@@ -1,0 +1,110 @@
+// Reproduces Fig. 3: "Classical compilation flow for CGRAs" on the
+// paper's own running example, the dot product.
+//
+// Shows the three flavours the figure draws side by side:
+//   * spatial mapping — every op on its own cell;
+//   * temporal mapping — ops time-share cells, no iteration overlap
+//     (II == schedule length);
+//   * modulo scheduling — II=1, "two different iterations of the loop
+//     are being processed at the same time".
+#include <cstdio>
+
+#include "ir/interp.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "mapping/validator.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+int main() {
+  Kernel k = MakeDotProduct(12, 42);
+  std::printf("=== Fig. 3: the dot product through the back-end ===\n\n");
+  std::printf("front-end/middle-end output (BB3's DFG):\n%s\n",
+              k.dfg.ToDot("bb3").c_str());
+
+  ArchParams p;
+  p.rows = p.cols = 2;
+  p.rf_kind = RfKind::kRotating;
+  p.num_banks = 1;
+  const Architecture small(p);
+  ArchParams p4 = p;
+  p4.rows = p4.cols = 4;
+  const Architecture big(p4);
+
+  TextTable table({"mapping style", "mapper", "II", "length", "cycles(12 it)",
+                   "overlap?"});
+
+  // Spatial mapping (one op per cell, 2x2 is exactly big enough for
+  // the 5-op body minus the folded constant... use the 4x4).
+  {
+    auto mapper = MakeSpatialGreedyMapper();
+    MapperOptions opts;
+    auto r = RunEndToEnd(*mapper, k, big, opts);
+    if (r.ok()) {
+      table.AddRow({"spatial", "greedy-spatial", StrFormat("%d", r->mapping.ii),
+                    StrFormat("%d", r->mapping.length),
+                    StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                    r->mapping.ii < r->mapping.length ? "yes" : "no"});
+    } else {
+      table.AddRow({"spatial", "greedy-spatial", "-", "-", "-",
+                    r.error().message.substr(0, 30)});
+    }
+  }
+  // Temporal mapping without pipelining: the SMT mapper produces
+  // non-pipelined schedules by construction (II == length).
+  {
+    auto mapper = MakeSmtTemporalMapper();
+    MapperOptions opts;
+    opts.deadline = Deadline::AfterSeconds(30);
+    auto r = RunEndToEnd(*mapper, k, small, opts);
+    if (r.ok()) {
+      table.AddRow({"temporal (no overlap)", "smt",
+                    StrFormat("%d", r->mapping.ii),
+                    StrFormat("%d", r->mapping.length),
+                    StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                    "no"});
+    } else {
+      table.AddRow({"temporal (no overlap)", "smt", "-", "-", "-",
+                    r.error().message.substr(0, 30)});
+    }
+  }
+  // Modulo scheduling: the Fig. 3 punchline. On the 2x2 the 5-op body
+  // is resource-limited (ResMII = ceil(5/4) = 2); the 4x4 reaches the
+  // figure's II = 1.
+  {
+    auto mapper = MakeIterativeModuloScheduler();
+    MapperOptions opts;
+    auto r = RunEndToEnd(*mapper, k, small, opts);
+    if (r.ok()) {
+      table.AddRow({"modulo (2x2, res-limited)", "ims",
+                    StrFormat("%d", r->mapping.ii),
+                    StrFormat("%d", r->mapping.length),
+                    StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                    r->mapping.ii < r->mapping.length ? "yes" : "no"});
+      std::printf("modulo schedule on the 2x2 fabric (II=%d):\n%s\n",
+                  r->mapping.ii, RenderSchedule(k.dfg, small, r->mapping).c_str());
+    }
+    auto r4 = RunEndToEnd(*mapper, k, big, opts);
+    if (r4.ok()) {
+      table.AddRow({"modulo scheduling (4x4)", "ims",
+                    StrFormat("%d", r4->mapping.ii),
+                    StrFormat("%d", r4->mapping.length),
+                    StrFormat("%lld", static_cast<long long>(r4->sim_stats.cycles)),
+                    r4->mapping.ii < r4->mapping.length ? "yes" : "no"});
+      if (r4->mapping.ii < r4->mapping.length) {
+        std::printf("4x4: II (%d) < schedule length (%d): while iteration i's\n"
+                    "acc executes, iteration i+1's mul is already in flight —\n"
+                    "the overlapped iterations of Fig. 3.\n\n",
+                    r4->mapping.ii, r4->mapping.length);
+      }
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("paper claim: modulo scheduling reaches II=1 on the dot product\n"
+              "and overlaps loop iterations; spatial mapping pipelines by\n"
+              "construction; plain temporal mapping pays II == length.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// The §III-B2 experiment: hardware loops.
+//
+// "Hardware loops consist of extra logic inside the CGRA to manage the
+// iterations of the loop in order to reduce the overhead of loop
+// control" [62]-[64]. We compare, for counter-using kernels, a fabric
+// WITH the hardware loop unit (kIterIdx folds into an operand select)
+// against one WITHOUT (the counter chain is lowered into the DFG and
+// occupies issue slots).
+#include <cstdio>
+
+#include "cf/hwloop.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+int main() {
+  ArchParams with_p;
+  with_p.rows = with_p.cols = 4;
+  with_p.rf_kind = RfKind::kRotating;
+  with_p.has_hw_loop = true;
+  const Architecture with_unit(with_p);
+  ArchParams without_p = with_p;
+  without_p.has_hw_loop = false;
+  const Architecture without_unit(without_p);
+
+  auto mapper = MakeIterativeModuloScheduler();
+  std::printf("=== §III-B2: hardware loop unit vs lowered counters ===\n\n");
+  TextTable table({"kernel", "fabric", "slots", "II", "cycles", "energy"});
+
+  for (const Kernel& base : {MakeMatVecRow(64, 0xB0), MakeGemmMac(64, 0xB1)}) {
+    // With the unit: counter is free.
+    {
+      MapperOptions options;
+      const auto r = RunEndToEnd(*mapper, base, with_unit, options);
+      if (r.ok()) {
+        table.AddRow({base.name, "hw loop unit",
+                      StrFormat("%d", r->map_stats.ops_mapped),
+                      StrFormat("%d", r->mapping.ii),
+                      StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                      StrFormat("%.0f", r->sim_stats.energy_proxy)});
+      } else {
+        table.AddRow({base.name, "hw loop unit", "-", "-", "-",
+                      r.error().message.substr(0, 24)});
+      }
+    }
+    // Without: lower the counter into the fabric.
+    {
+      const auto lowered = LowerIterIdx(base.dfg);
+      if (!lowered.ok()) continue;
+      Kernel lk = base;
+      lk.dfg = *lowered;
+      MapperOptions options;
+      const auto r = RunEndToEnd(*mapper, lk, without_unit, options);
+      if (r.ok()) {
+        table.AddRow({base.name, "no unit (lowered)",
+                      StrFormat("%d", r->map_stats.ops_mapped),
+                      StrFormat("%d", r->mapping.ii),
+                      StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                      StrFormat("%.0f", r->sim_stats.energy_proxy)});
+      } else {
+        table.AddRow({base.name, "no unit (lowered)", "-", "-", "-",
+                      r.error().message.substr(0, 24)});
+      }
+    }
+    table.AddRule();
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "expected shape: lowering adds counter slots and energy; with tight\n"
+      "resources it can also push the II up — the loop-control overhead\n"
+      "the hardware loop literature removes.\n");
+  return 0;
+}

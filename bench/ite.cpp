@@ -1,0 +1,96 @@
+// The §III-B1 experiment: the four ITE mapping methods head to head on
+// branchy loop bodies.
+//
+// Rows per kernel: full predication [56], partial predication [57],
+// dual-issue single execution [55][58][59], direct CDFG mapping [60].
+// Metrics: issue slots, achieved II, total cycles, energy proxy, and a
+// bit-exact correctness check against the reference on BOTH branch
+// outcomes (the input streams cross the threshold in both directions).
+#include <cstdio>
+
+#include "cf/direct_cdfg.hpp"
+#include "cf/predication.hpp"
+#include "ir/interp.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+int main() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.rf_kind = RfKind::kRotating;
+  const Architecture arch(p);
+  auto mapper = MakeIterativeModuloScheduler();
+
+  std::printf("=== §III-B1: mapping if-then-else, four ways ===\n\n");
+  TextTable table({"kernel", "method", "slots", "II", "cycles", "energy",
+                   "bit-exact"});
+
+  for (const IteKernel& kernel :
+       {MakeThresholdIte(64, 0x17E), MakeClampIte(64, 0x17F)}) {
+    const auto reference = RunReference(kernel.dfg, kernel.input);
+
+    struct Method {
+      const char* name;
+      Result<Dfg> (*transform)(const IteKernel&);
+    };
+    for (const Method m :
+         {Method{"full predication", &ApplyFullPredication},
+          Method{"partial predication", &ApplyPartialPredication},
+          Method{"dual-issue single exec", &ApplyDualIssue}}) {
+      const auto dfg = m.transform(kernel);
+      if (!dfg.ok()) {
+        table.AddRow({kernel.name, m.name, "-", "-", "-", "-",
+                      dfg.error().message.substr(0, 20)});
+        continue;
+      }
+      Kernel wrapped;
+      wrapped.name = kernel.name;
+      wrapped.dfg = *dfg;
+      wrapped.input = kernel.input;
+      MapperOptions options;
+      options.deadline = Deadline::AfterSeconds(15);
+      const auto r = RunEndToEnd(*mapper, wrapped, arch, options);
+      if (!r.ok()) {
+        table.AddRow({kernel.name, m.name, "-", "-", "-", "-",
+                      r.error().message.substr(0, 20)});
+        continue;
+      }
+      table.AddRow({kernel.name, m.name,
+                    StrFormat("%d", MappableOpCount(*dfg)),
+                    StrFormat("%d", r->mapping.ii),
+                    StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                    StrFormat("%.0f", r->sim_stats.energy_proxy), "yes"});
+    }
+    DirectCdfgOptions options;
+    const auto direct =
+        RunDirectCdfg(kernel.cdfg, arch, *mapper, kernel.input, options);
+    if (direct.ok()) {
+      const bool ok = reference.ok() && direct->outputs == reference->outputs;
+      table.AddRow({kernel.name, "direct CDFG mapping",
+                    StrFormat("%d blk", kernel.cdfg.num_blocks()), "-",
+                    StrFormat("%lld+%lldR",
+                              static_cast<long long>(direct->compute_cycles),
+                              static_cast<long long>(direct->reconfig_cycles)),
+                    "-", ok ? "yes" : "NO"});
+    } else {
+      table.AddRow({kernel.name, "direct CDFG mapping", "-", "-", "-", "-",
+                    direct.error().message.substr(0, 20)});
+    }
+    table.AddRule();
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "expected shape (§III-B1): dual-issue occupies the fewest slots\n"
+      "(then/else pairs share contexts) and the least energy; partial\n"
+      "predication reaches the same II but executes both sides; full\n"
+      "predication needs slots for both sides AND serialises on the\n"
+      "guard; direct CDFG mapping avoids predication but pays a\n"
+      "reconfiguration (R) on every block transition — per-branch\n"
+      "switching dwarfs the compute cycles.\n");
+  return 0;
+}

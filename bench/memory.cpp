@@ -1,0 +1,117 @@
+// The §III-C experiments: data mapping.
+//
+// (a) bank sweep — achieved II of a load/store-heavy kernel as the
+//     bank count grows (the "number of banks" parameter of §III-C);
+// (b) data layout — conflict stalls of block vs cyclic vs per-array
+//     placements (Kim [66] / Zhao [67] / Yin [68] territory);
+// (c) register files — rotating vs static RFs under modulo overlap
+//     (De Sutter et al. [20][29] register allocation).
+#include <cstdio>
+
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "mem/banking.hpp"
+#include "sim/compile.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+int main() {
+  auto mapper = MakeIterativeModuloScheduler();
+  std::printf("=== §III-C: memory and register data mapping ===\n\n");
+
+  // (a) bank sweep.
+  std::printf("--- (a) achieved II vs bank count (gemm_mac: 3 loads + 1 store) ---\n");
+  {
+    TextTable table({"banks", "ports", "mem min II", "achieved II", "cycles"});
+    for (int banks : {1, 2, 4}) {
+      ArchParams p;
+      p.rows = p.cols = 4;
+      p.rf_kind = RfKind::kRotating;
+      p.num_banks = banks;
+      p.bank_ports = 1;
+      const Architecture arch(p);
+      Kernel k = MakeGemmMac(64, 0xA0);
+      MapperOptions options;
+      const auto r = RunEndToEnd(*mapper, k, arch, options);
+      table.AddRow({StrFormat("%d", banks), "1",
+                    StrFormat("%d", MemoryMinIi(k.dfg, arch)),
+                    r.ok() ? StrFormat("%d", r->mapping.ii) : "-",
+                    r.ok() ? StrFormat("%lld",
+                                       static_cast<long long>(r->sim_stats.cycles))
+                           : "-"});
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // (b) data layout.
+  std::printf("--- (b) conflict stalls per layout (4 banks, 1 port each) ---\n");
+  {
+    const BankModel model{4, 1};
+    TextTable table({"kernel", "layout", "accesses", "stalls", "stalls/iter"});
+    for (const Kernel& k : {MakeGemmMac(64, 0xA1), MakeHistogram8(64, 0xA2),
+                            MakeMatVecRow(64, 0xA3)}) {
+      struct L {
+        const char* name;
+        ArrayLayout layout;
+      };
+      for (const L l : {L{"cyclic interleave", ArrayLayout::kCyclic},
+                        L{"block partition", ArrayLayout::kBlock},
+                        L{"array per bank", ArrayLayout::kSingleBank}}) {
+        const auto rep = AnalyzeBankConflicts(k.dfg, k.input, model, l.layout);
+        if (!rep.ok()) continue;
+        table.AddRow({k.name, l.name, StrFormat("%lld", (long long)rep->accesses),
+                      StrFormat("%lld", (long long)rep->conflict_stalls),
+                      StrFormat("%.2f", rep->stalls_per_iteration)});
+      }
+      table.AddRule();
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+
+  // (c) register files under modulo overlap.
+  std::printf("--- (c) rotating vs static register files ---\n");
+  {
+    TextTable table({"kernel", "RF", "mapped II", "codegen",
+                     "II after retries"});
+    // saxpy: no carried values — static RFs cope. sobel: carried
+    // distance-2 inputs live 2*II cycles, which a static RF can NEVER
+    // host (it rewrites every II); only rotation survives.
+    for (const Kernel& k : {MakeSaxpy(32, 0xA4), MakeSobelRow(32, 0xA5)}) {
+      for (const bool rotating : {true, false}) {
+        ArchParams p;
+        p.rows = p.cols = 4;
+        p.rf_kind = rotating ? RfKind::kRotating : RfKind::kLocal;
+        p.route_channels = 0;  // values must survive in their producer's RF
+        const Architecture arch(p);
+        MapperOptions options;
+        const auto r = RunEndToEnd(*mapper, k, arch, options);
+        if (r.ok()) {
+          table.AddRow({k.name, rotating ? "rotating" : "static",
+                        StrFormat("%d", r->mapping.ii),
+                        r->codegen_retries ? StrFormat("%d II bumps",
+                                                       r->codegen_retries)
+                                           : "first try",
+                        StrFormat("%d", r->mapping.ii)});
+        } else {
+          table.AddRow({k.name, rotating ? "rotating" : "static", "-",
+                        r.error().message.substr(0, 28), "-"});
+        }
+      }
+      table.AddRule();
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  std::printf(
+      "expected shape: (a) the achieved II tracks the memory-port bound\n"
+      "and halves as banks double; (b) co-indexed streams collide under\n"
+      "naive cyclic interleaving and separate cleanly per array — the\n"
+      "memory-aware layouts of [66]-[68]; (c) carried-history kernels\n"
+      "(sobel reads x[i-2]) are IMPOSSIBLE on static RFs without routing\n"
+      "channels — the value must outlive 2*II but the register rewrites\n"
+      "every II — while rotating files map them directly: De Sutter et\n"
+      "al.'s case for rotating register files.\n");
+  return 0;
+}

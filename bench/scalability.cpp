@@ -1,0 +1,94 @@
+// The §IV-B scalability study: "while legacy CGRAs are composed of
+// tens of cells ... modern CGRAs contain hundreds to thousands of
+// cells. The issue is to effectively make use of the massive number of
+// cells."
+//
+// Two sweeps:
+//   1. fabric sweep — a fixed wide kernel on 4x4 -> 16x16 arrays,
+//      flat IMS vs hierarchical (HiMap [26]) vs exhaustive B&B
+//      (compile-time blow-up of the exact method);
+//   2. workload sweep — growing unrolled dot products on the 16x16,
+//      showing where flat search slows and clustering holds.
+#include <cstdio>
+#include <vector>
+
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace cgra;
+
+namespace {
+
+Architecture Fabric(int n) {
+  ArchParams p;
+  p.rows = p.cols = n;
+  p.rf_kind = RfKind::kRotating;
+  p.num_banks = n / 2;
+  if (n >= 8) p.topology = Topology::kHop2;
+  p.name = StrFormat("%dx%d", n, n);
+  return Architecture(p);
+}
+
+void Run(const Mapper& mapper, const Kernel& kernel, const Architecture& arch,
+         TextTable& table, const char* sweep_label) {
+  MapperOptions options;
+  options.deadline = Deadline::AfterSeconds(20);
+  WallTimer timer;
+  const auto r = RunEndToEnd(mapper, kernel, arch, options);
+  const double ms = timer.Millis();
+  if (r.ok()) {
+    table.AddRow({sweep_label, arch.params().name, kernel.name, mapper.name(),
+                  StrFormat("%d", r->mapping.ii), StrFormat("%.1f", ms)});
+  } else {
+    const char* why = r.error().code == Error::Code::kResourceLimit
+                          ? "TIMEOUT"
+                          : "unmapped";
+    table.AddRow({sweep_label, arch.params().name, kernel.name, mapper.name(),
+                  why, StrFormat("%.1f", ms)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §IV-B scalability: flat vs hierarchical vs exact ===\n\n");
+  TextTable table({"sweep", "fabric", "kernel", "mapper", "II", "map ms"});
+
+  auto ims = MakeIterativeModuloScheduler();
+  auto himap = MakeHierarchicalMapper();
+  auto bnb = MakeBranchBoundMapper();
+
+  // Sweep 1: fixed 16-lane kernel across fabric sizes.
+  {
+    const Kernel k = MakeWideDotProduct(8, 16, 0x5CA1);
+    for (int n : {4, 8, 16}) {
+      const Architecture arch = Fabric(n);
+      Run(*ims, k, arch, table, "fabric");
+      Run(*himap, k, arch, table, "fabric");
+      if (n <= 8) Run(*bnb, k, arch, table, "fabric");
+      table.AddRule();
+    }
+  }
+  // Sweep 2: growing workloads on the 16x16.
+  {
+    const Architecture arch = Fabric(16);
+    for (int lanes : {4, 8, 16, 24}) {
+      const Kernel k = MakeWideDotProduct(lanes, 16, 0x5CA2);
+      Run(*ims, k, arch, table, "workload");
+      Run(*himap, k, arch, table, "workload");
+      table.AddRule();
+    }
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "expected shape: the exact method's compile time explodes with the\n"
+      "array (it is absent from the 16x16 rows on purpose); flat IMS keeps\n"
+      "mapping but its time grows with cells x ops; clustering (HiMap)\n"
+      "bounds the per-region search — the survey's argument for\n"
+      "hierarchical approaches on modern, large fabrics.\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Reproduces Table I: "A review of binding and scheduling techniques
+// for automated spatial and temporal mapping of applications on
+// CGRAs" — as a MEASURED comparison rather than a citation list.
+//
+// Every implemented mapper (one per populated cell of the paper's
+// table; lineage printed per row) runs on a kernel suite; the table
+// reports mapping success rate, achieved II, and compile time per
+// technique class. The paper's qualitative claims this must
+// reproduce:
+//   * exact methods prove optimality/infeasibility but only on small
+//     instances within realistic time budgets (§III-A);
+//   * heuristics are fast and scale, occasionally at a worse II;
+//   * meta-heuristics sit between, trading compile time for quality;
+//   * the problem statement: "provide high quality solution with fast
+//     compilation time" (Chen et al. [27]).
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bib/bib.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+using namespace cgra;
+
+namespace {
+
+struct RowStats {
+  int attempted = 0;
+  int mapped = 0;
+  int timeouts = 0;
+  long long ii_sum = 0;
+  double seconds = 0;
+};
+
+bool IsExact(const Mapper& m) {
+  return m.technique() == TechniqueClass::kExactIlp ||
+         m.technique() == TechniqueClass::kExactCsp;
+}
+
+}  // namespace
+
+int main() {
+  ArchParams p4;
+  p4.rows = p4.cols = 4;
+  p4.rf_kind = RfKind::kRotating;
+  const Architecture arch4(p4);
+  ArchParams p2 = p4;
+  p2.rows = p2.cols = 2;
+  p2.num_banks = 1;
+  const Architecture arch2(p2);
+
+  const auto full_suite = StandardKernelSuite(16, 0xF00D);
+  const auto tiny_suite = TinyKernelSuite(8, 0xF00D);
+  const auto mappers = MakeAllMappers();
+
+  std::printf("=== Table I, measured ===\n");
+  std::printf("approximate mappers: %zu kernels on a 4x4 mesh;\n"
+              "exact mappers: %zu small kernels on a 2x2 (temporal) or the "
+              "4x4 (spatial);\nper-kernel budget: 10 s.\n\n",
+              full_suite.size(), tiny_suite.size());
+
+  TextTable table({"class", "kind", "mapper (lineage)", "mapped", "avg II",
+                   "avg ms", "timeouts"});
+  TechniqueClass last_class = TechniqueClass::kHeuristic;
+  bool first = true;
+  std::map<TechniqueClass, RowStats> class_stats;
+
+  for (const auto& mapper : mappers) {
+    const bool exact = IsExact(*mapper);
+    const bool spatial = mapper->kind() == MappingKind::kSpatial;
+    const Architecture& arch = (exact && !spatial) ? arch2 : arch4;
+    const auto& suite = exact ? tiny_suite : full_suite;
+
+    RowStats stats;
+    for (const Kernel& kernel : suite) {
+      if (spatial) {
+        int mappable = 0;
+        for (const Op& op : kernel.dfg.ops()) {
+          if (!arch.IsFolded(op.opcode)) ++mappable;
+        }
+        if (mappable > arch.num_cells()) continue;
+      }
+      ++stats.attempted;
+      MapperOptions options;
+      options.deadline = Deadline::AfterSeconds(10);
+      WallTimer timer;
+      const auto r = RunEndToEnd(*mapper, kernel, arch, options);
+      stats.seconds += timer.Seconds();
+      if (r.ok()) {
+        ++stats.mapped;
+        stats.ii_sum += r->mapping.ii;
+      } else if (r.error().code == Error::Code::kResourceLimit) {
+        ++stats.timeouts;
+      }
+    }
+    auto& agg = class_stats[mapper->technique()];
+    agg.attempted += stats.attempted;
+    agg.mapped += stats.mapped;
+    agg.timeouts += stats.timeouts;
+    agg.ii_sum += stats.ii_sum;
+    agg.seconds += stats.seconds;
+
+    if (!first && mapper->technique() != last_class) table.AddRule();
+    first = false;
+    last_class = mapper->technique();
+    table.AddRow(
+        {std::string(TechniqueClassName(mapper->technique())),
+         std::string(MappingKindName(mapper->kind())),
+         mapper->name(),
+         StrFormat("%d/%d", stats.mapped, stats.attempted),
+         stats.mapped ? StrFormat("%.2f", double(stats.ii_sum) / stats.mapped)
+                      : "-",
+         stats.attempted
+             ? StrFormat("%.1f", 1e3 * stats.seconds / stats.attempted)
+             : "-",
+         StrFormat("%d", stats.timeouts)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("--- per technique class (the paper's four columns) ---\n");
+  TextTable agg_table({"class", "mapped", "avg II", "avg ms/kernel"});
+  for (const auto& [tech, s] : class_stats) {
+    agg_table.AddRow({std::string(TechniqueClassName(tech)),
+                      StrFormat("%d/%d", s.mapped, s.attempted),
+                      s.mapped ? StrFormat("%.2f", double(s.ii_sum) / s.mapped)
+                               : "-",
+                      s.attempted
+                          ? StrFormat("%.1f", 1e3 * s.seconds / s.attempted)
+                          : "-"});
+  }
+  std::printf("%s\n", agg_table.Render().c_str());
+
+  // The bibliometric side: who the paper files in each cell.
+  std::printf("--- Table I census from the bibliography dataset ---\n");
+  TextTable bib_table({"class", "kind", "surveyed works (refs)"});
+  for (const auto& [cell, entries] : TableOneCensus()) {
+    std::vector<std::string> refs;
+    for (const BibEntry* e : entries) refs.push_back(StrFormat("[%d]", e->ref));
+    bib_table.AddRow({std::string(TechniqueClassName(cell.first)),
+                      std::string(MappingKindName(cell.second)),
+                      Join(refs, " ")});
+  }
+  std::printf("%s\n", bib_table.Render().c_str());
+  std::printf(
+      "expected shape (paper, §III-A): exact classes prove optimality but\n"
+      "time out beyond toy instances; heuristics map everything fast;\n"
+      "meta-heuristics spend orders of magnitude more compile time for\n"
+      "comparable II on these kernels.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Second-wave workload (§IV): AI kernels on a "modern" large array.
+//
+// "These 'modern' CGRAs differ from the legacy ones in the number of
+// cells that are available, which causes a serious scalability issue."
+// This example maps MAC-reduction and activation kernels — the bread
+// and butter of inference — onto a 16x16 standalone fabric with 2-hop
+// express links, comparing the flat modulo scheduler against the
+// HiMap-style hierarchical mapper the survey highlights for
+// scalability.
+//
+//   $ ./ai_accelerator
+#include <cstdio>
+#include <memory>
+
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/table.hpp"
+#include "support/str.hpp"
+
+using namespace cgra;
+
+int main() {
+  ArchParams params;
+  params.rows = params.cols = 16;
+  params.topology = Topology::kHop2;
+  params.rf_kind = RfKind::kRotating;
+  params.num_banks = 8;
+  params.name = "mega16x16";
+  const Architecture arch(params);
+  std::printf("=== AI kernels on a %dx%d standalone fabric (%d cells) ===\n\n",
+              arch.rows(), arch.cols(), arch.num_cells());
+
+  std::vector<Kernel> kernels;
+  kernels.push_back(MakeMac2(128, 31));
+  kernels.push_back(MakeGemmMac(128, 32));
+  kernels.push_back(MakeReluScale(128, 33));
+  kernels.push_back(MakeRunningMaxPool(128, 34));
+
+  TextTable table({"kernel", "mapper", "II", "cycles", "ops/cycle", "map ms"});
+  for (const Kernel& kernel : kernels) {
+    for (const auto& mapper :
+         {MakeIterativeModuloScheduler(), MakeHierarchicalMapper()}) {
+      MapperOptions options;
+      options.deadline = Deadline::AfterSeconds(30);
+      const auto r = RunEndToEnd(*mapper, kernel, arch, options);
+      if (!r.ok()) {
+        table.AddRow({kernel.name, mapper->name(), "-", "-", "-",
+                      r.error().message.substr(0, 24)});
+        continue;
+      }
+      const double ops_per_cycle =
+          static_cast<double>(r->map_stats.ops_mapped) / r->mapping.ii;
+      table.AddRow({kernel.name, mapper->name(), StrFormat("%d", r->mapping.ii),
+                    StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                    StrFormat("%.1f", ops_per_cycle),
+                    StrFormat("%.2f", r->map_seconds * 1e3)});
+    }
+    table.AddRule();
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "The fabric is standalone (no host in the loop): streams feed the\n"
+      "border cells, the hardware loop unit sequences iterations, and the\n"
+      "whole run is validated bit-exactly against the reference.\n");
+  return 0;
+}

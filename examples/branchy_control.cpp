@@ -1,0 +1,91 @@
+// Control flow on a CGRA: the four ITE methods of §III-B1, side by side.
+//
+// Same if-then-else loop body, four mapping strategies:
+//   full predication, partial predication, dual-issue single
+//   execution, and direct CDFG mapping.
+// All four must produce identical outputs; they differ in issue slots,
+// II, energy and (for direct CDFG) reconfiguration traffic.
+//
+//   $ ./branchy_control
+#include <cstdio>
+
+#include "cf/direct_cdfg.hpp"
+#include "cf/predication.hpp"
+#include "ir/interp.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+int main() {
+  ArchParams params;
+  params.rows = params.cols = 4;
+  params.rf_kind = RfKind::kRotating;
+  const Architecture arch(params);
+  auto mapper = MakeIterativeModuloScheduler();
+
+  const IteKernel kernel = MakeClampIte(/*iterations=*/48, /*seed=*/77);
+  std::printf("=== if (x > 0) y = (2x + (x>>1))*3; else y = |x| + (x&15) - 7 ===\n\n");
+  std::printf("-- CDFG --\n%s\n", kernel.cdfg.ToDot().c_str());
+
+  const auto reference = RunReference(kernel.dfg, kernel.input);
+  TextTable table({"method", "slots", "II", "cycles", "energy", "correct"});
+
+  struct Method {
+    const char* name;
+    Result<Dfg> (*transform)(const IteKernel&);
+  };
+  for (const Method m : {Method{"full predication", &ApplyFullPredication},
+                         Method{"partial predication", &ApplyPartialPredication},
+                         Method{"dual-issue single exec", &ApplyDualIssue}}) {
+    const auto dfg = m.transform(kernel);
+    if (!dfg.ok()) {
+      table.AddRow({m.name, "-", "-", "-", "-", dfg.error().message});
+      continue;
+    }
+    Kernel wrapped;
+    wrapped.name = m.name;
+    wrapped.dfg = *dfg;
+    wrapped.input = kernel.input;
+    MapperOptions options;
+    const auto r = RunEndToEnd(*mapper, wrapped, arch, options);
+    if (!r.ok()) {
+      table.AddRow({m.name, "-", "-", "-", "-", r.error().message});
+      continue;
+    }
+    table.AddRow({m.name, StrFormat("%d", MappableOpCount(*dfg)),
+                  StrFormat("%d", r->mapping.ii),
+                  StrFormat("%lld", static_cast<long long>(r->sim_stats.cycles)),
+                  StrFormat("%.0f", r->sim_stats.energy_proxy), "yes"});
+  }
+
+  // Direct CDFG mapping: block-per-block with reconfiguration.
+  DirectCdfgOptions options;
+  const auto direct = RunDirectCdfg(kernel.cdfg, arch, *mapper, kernel.input,
+                                    options);
+  if (direct.ok()) {
+    const bool correct = reference.ok() && direct->outputs == reference->outputs;
+    table.AddRow({"direct CDFG mapping",
+                  StrFormat("%d blocks / %d switches", kernel.cdfg.num_blocks(),
+                            direct->config_switches),
+                  "-",
+                  StrFormat("%lld (+%lld reconfig)",
+                            static_cast<long long>(direct->compute_cycles),
+                            static_cast<long long>(direct->reconfig_cycles)),
+                  "-", correct ? "yes" : "NO"});
+  } else {
+    table.AddRow({"direct CDFG mapping", "-", "-", "-", "-",
+                  direct.error().message});
+  }
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Full predication burns a slot for every op of BOTH branches;\n"
+      "dual-issue fuses then/else pairs into single slots; direct CDFG\n"
+      "mapping avoids predication entirely but pays reconfiguration at\n"
+      "every branch — the §III-B1 trade-off, measured.\n");
+  return 0;
+}

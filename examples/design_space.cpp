@@ -1,0 +1,105 @@
+// Architecture design-space exploration — the use case the survey's
+// open-source frameworks (CGRA-ME [75], AURORA [76], [77]) exist for:
+// sweep architecture parameters, remap the workload, and read off the
+// cost/performance frontier. "The back-end must know the target
+// architecture" (§II-B) — here the back-end IS the evaluation function.
+//
+//   $ ./design_space
+#include <cstdio>
+#include <vector>
+
+#include "arch/context.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+int main() {
+  std::printf("=== design-space exploration: fabric sweep for a DSP suite ===\n\n");
+
+  std::vector<Kernel> suite;
+  suite.push_back(MakeFir4(48, 0xD5E));
+  suite.push_back(MakeDct4Stage(48, 0xD5F));
+  suite.push_back(MakeComplexMul(48, 0xD60));
+  suite.push_back(MakeSad(48, 0xD61));
+
+  struct Candidate {
+    const char* name;
+    ArchParams params;
+  };
+  std::vector<Candidate> candidates;
+  {
+    ArchParams p;
+    p.rows = p.cols = 3;
+    p.rf_kind = RfKind::kRotating;
+    p.rf_size = 2;
+    p.name = "small/cheap";
+    candidates.push_back({"3x3, rf2, mesh", p});
+  }
+  {
+    ArchParams p;
+    p.rows = p.cols = 4;
+    p.rf_kind = RfKind::kRotating;
+    p.name = "baseline";
+    candidates.push_back({"4x4, rf4, mesh", p});
+  }
+  {
+    ArchParams p;
+    p.rows = p.cols = 4;
+    p.rf_kind = RfKind::kRotating;
+    p.topology = Topology::kMeshPlus;
+    p.name = "diagonal";
+    candidates.push_back({"4x4, rf4, mesh+diag", p});
+  }
+  {
+    ArchParams p;
+    p.rows = p.cols = 4;
+    p.rf_kind = RfKind::kRotating;
+    p.mul_everywhere = false;
+    p.name = "cheap-mul";
+    candidates.push_back({"4x4, muls on even cols", p});
+  }
+  {
+    ArchParams p;
+    p.rows = p.cols = 5;
+    p.rf_kind = RfKind::kRotating;
+    p.route_channels = 2;
+    p.name = "big";
+    candidates.push_back({"5x5, rf4, 2 rt channels", p});
+  }
+
+  auto mapper = MakeIterativeModuloScheduler();
+  TextTable table({"fabric", "mapped", "sum II", "sum cycles", "cfg bits/frame",
+                   "energy"});
+  for (const Candidate& cand : candidates) {
+    const Architecture arch(cand.params);
+    int mapped = 0;
+    long long ii_sum = 0, cycles = 0;
+    double energy = 0;
+    for (const Kernel& k : suite) {
+      MapperOptions options;
+      options.deadline = Deadline::AfterSeconds(10);
+      const auto r = RunEndToEnd(*mapper, k, arch, options);
+      if (!r.ok()) continue;
+      ++mapped;
+      ii_sum += r->mapping.ii;
+      cycles += r->sim_stats.cycles;
+      energy += r->sim_stats.energy_proxy;
+    }
+    table.AddRow({cand.name, StrFormat("%d/%zu", mapped, suite.size()),
+                  StrFormat("%lld", ii_sum), StrFormat("%lld", cycles),
+                  StrFormat("%d", FrameBitCount(arch)),
+                  StrFormat("%.0f", energy)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "Read the frontier: the cheap 3x3 drops kernels or IIs; diagonals\n"
+      "and extra routing channels buy II at configuration-bit cost;\n"
+      "removing multipliers from odd columns halves the multiplier area\n"
+      "for (often) unchanged II on these kernels — the DSE loop the\n"
+      "open-source CGRA frameworks of §IV-A automate.\n");
+  return 0;
+}

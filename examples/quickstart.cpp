@@ -1,0 +1,81 @@
+// Quickstart: the paper's Fig. 3 running example, end to end.
+//
+// Builds the dot-product loop body as a DFG, maps it onto a 4x4
+// ADRES-like CGRA with iterative modulo scheduling, compiles the
+// mapping to a configuration bitstream, executes the bitstream on the
+// cycle-accurate simulator, and checks the results against the
+// reference interpreter. Prints every intermediate artifact so a
+// newcomer can follow the complete flow.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "arch/arch.hpp"
+#include "arch/context.hpp"
+#include "ir/interp.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/mappers.hpp"
+#include "mapping/validator.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+
+using namespace cgra;
+
+int main() {
+  std::printf("=== cgra-flow quickstart: dot product (Fig. 3) ===\n\n");
+
+  // 1. The application: one loop iteration as a data-flow graph.
+  //    acc += a[i] * b[i], with the accumulator as a loop-carried
+  //    dependence of distance 1.
+  Kernel kernel = MakeDotProduct(/*iterations=*/16, /*seed=*/2024);
+  std::printf("-- DFG (%d ops) --\n%s\n", kernel.dfg.num_ops(),
+              kernel.dfg.ToDot("dot_product").c_str());
+
+  // 2. The target: a 4x4 mesh CGRA with rotating register files.
+  ArchParams params;
+  params.rows = params.cols = 4;
+  params.rf_kind = RfKind::kRotating;
+  params.name = "adres4x4";
+  const Architecture arch(params);
+  std::printf("-- architecture --\n%s\n", arch.ToAscii().c_str());
+
+  // 3. Map: iterative modulo scheduling (the workhorse of §III-B2).
+  auto mapper = MakeIterativeModuloScheduler();
+  MapperOptions options;
+  const auto result = RunEndToEnd(*mapper, kernel, arch, options);
+  if (!result.ok()) {
+    std::printf("mapping failed: %s\n", result.error().message.c_str());
+    return 1;
+  }
+
+  std::printf("-- mapping (II=%d, length=%d) --\n%s\n", result->mapping.ii,
+              result->mapping.length,
+              RenderSchedule(kernel.dfg, arch, result->mapping).c_str());
+
+  // 4. The hardware contract: the mapping became this many
+  //    configuration bits, decoded and executed by the simulator.
+  std::printf("-- code generation --\n");
+  std::printf("configuration bitstream: %d bits (%d per frame)\n",
+              result->config_bits, FrameBitCount(arch));
+  std::printf("mapper wall time: %.3f ms\n", result->map_seconds * 1e3);
+
+  // 5. Execution: bit-exact against the reference interpreter
+  //    (RunEndToEnd already compared them; show the numbers).
+  const auto ref = RunReference(kernel.dfg, kernel.input);
+  std::printf("\n-- execution (%lld cycles for %d iterations) --\n",
+              static_cast<long long>(result->sim_stats.cycles),
+              kernel.input.iterations);
+  std::printf("iter :");
+  for (int i = 0; i < kernel.input.iterations; ++i) std::printf(" %5d", i);
+  std::printf("\nacc  :");
+  for (const auto v : ref->outputs[0]) {
+    std::printf(" %5lld", static_cast<long long>(v));
+  }
+  std::printf("\n\nFU utilisation %.1f%%, energy proxy %.1f, II=%d: with II=1 "
+              "two iterations overlap\nevery cycle, exactly as in Fig. 3's "
+              "modulo schedule.\n",
+              100.0 * result->map_stats.fu_utilization,
+              result->sim_stats.energy_proxy, result->mapping.ii);
+  std::printf("\nOK: simulator output matches the reference bit-exactly.\n");
+  return 0;
+}

@@ -1,0 +1,259 @@
+#include <cstddef>
+#include "arch/arch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "support/str.hpp"
+
+namespace cgra {
+
+Architecture::Architecture(ArchParams params) : params_(std::move(params)) {
+  const int n = num_cells();
+  caps_.resize(static_cast<size_t>(n));
+  readable_.resize(static_cast<size_t>(n));
+  links_out_.resize(static_cast<size_t>(n));
+
+  for (int c = 0; c < n; ++c) {
+    CellCaps& caps = caps_[static_cast<size_t>(c)];
+    const int row = RowOf(c), col = ColOf(c);
+    caps.alu = true;
+    caps.mul = params_.mul_everywhere || (col % 2 == 0);
+    const bool is_mem_cell = params_.mem_on_left_col ? (col == 0) : true;
+    caps.mem = params_.num_banks > 0 && is_mem_cell;
+    if (caps.mem) {
+      // Memory cells round-robin over the banks by row.
+      caps.bank = row % std::max(1, params_.num_banks);
+    }
+    const bool is_border = row == 0 || col == 0 || row == params_.rows - 1 ||
+                           col == params_.cols - 1;
+    caps.io = params_.io_on_border ? is_border : true;
+  }
+
+  // Interconnect links.
+  auto link = [&](int from, int to) {
+    if (from == to) return;
+    auto& outs = links_out_[static_cast<size_t>(from)];
+    if (std::find(outs.begin(), outs.end(), to) == outs.end()) outs.push_back(to);
+  };
+  for (int r = 0; r < params_.rows; ++r) {
+    for (int c = 0; c < params_.cols; ++c) {
+      const int cell = CellAt(r, c);
+      auto try_link = [&](int rr, int cc) {
+        if (rr < 0 || rr >= params_.rows || cc < 0 || cc >= params_.cols) return;
+        link(cell, CellAt(rr, cc));
+      };
+      // Mesh base.
+      try_link(r - 1, c);
+      try_link(r + 1, c);
+      try_link(r, c - 1);
+      try_link(r, c + 1);
+      switch (params_.topology) {
+        case Topology::kMesh:
+          break;
+        case Topology::kMeshPlus:
+          try_link(r - 1, c - 1);
+          try_link(r - 1, c + 1);
+          try_link(r + 1, c - 1);
+          try_link(r + 1, c + 1);
+          break;
+        case Topology::kTorus:
+          if (params_.rows > 2) {
+            link(cell, CellAt((r + 1) % params_.rows, c));
+            link(cell, CellAt((r + params_.rows - 1) % params_.rows, c));
+          }
+          if (params_.cols > 2) {
+            link(cell, CellAt(r, (c + 1) % params_.cols));
+            link(cell, CellAt(r, (c + params_.cols - 1) % params_.cols));
+          }
+          break;
+        case Topology::kHop2:
+          try_link(r - 2, c);
+          try_link(r + 2, c);
+          try_link(r, c - 2);
+          try_link(r, c + 2);
+          break;
+      }
+    }
+  }
+
+  // FU operand reachability: own RF plus every cell with a link to us.
+  for (int c = 0; c < n; ++c) {
+    readable_[static_cast<size_t>(c)].push_back(c);
+  }
+  for (int from = 0; from < n; ++from) {
+    for (int to : links_out_[static_cast<size_t>(from)]) {
+      readable_[static_cast<size_t>(to)].push_back(from);
+    }
+  }
+  // kShared: every cell can read every cell's (unified) registers.
+  if (params_.rf_kind == RfKind::kShared) {
+    for (int c = 0; c < n; ++c) {
+      auto& r = readable_[static_cast<size_t>(c)];
+      r.clear();
+      for (int o = 0; o < n; ++o) r.push_back(o);
+    }
+  }
+
+  // Hop distances (BFS over links).
+  hop_dist_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), -1);
+  for (int s = 0; s < n; ++s) {
+    std::queue<int> q;
+    auto dist_of = [&](int t) -> int& {
+      return hop_dist_[static_cast<size_t>(s) * static_cast<size_t>(n) +
+                       static_cast<size_t>(t)];
+    };
+    dist_of(s) = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : links_out_[static_cast<size_t>(v)]) {
+        if (dist_of(w) < 0) {
+          dist_of(w) = dist_of(v) + 1;
+          q.push(w);
+        }
+      }
+    }
+  }
+}
+
+bool Architecture::IsFolded(Opcode op) const {
+  if (op == Opcode::kConst) return true;
+  if (op == Opcode::kIterIdx && params_.has_hw_loop) return true;
+  return false;
+}
+
+bool Architecture::CanExecute(int c, const Op& op) const {
+  if (IsFolded(op.opcode)) return false;
+  const CellCaps& caps = this->caps(c);
+  if (op.opcode == Opcode::kIterIdx) {
+    return caps.alu;  // must be computed like an ALU op without HW loops
+  }
+  if (IsMemoryOp(op.opcode)) return caps.mem;
+  if (IsIoOp(op.opcode)) return caps.io;
+  if (op.opcode == Opcode::kMul || op.opcode == Opcode::kDiv) return caps.mul;
+  return caps.alu;
+}
+
+std::string Architecture::ToAscii() const {
+  std::string out = StrFormat("%s: %dx%d ", params_.name.c_str(), params_.rows,
+                              params_.cols);
+  switch (params_.topology) {
+    case Topology::kMesh: out += "mesh"; break;
+    case Topology::kMeshPlus: out += "mesh+diag"; break;
+    case Topology::kTorus: out += "torus"; break;
+    case Topology::kHop2: out += "mesh+2hop"; break;
+  }
+  out += params_.style == ExecutionStyle::kSpatial ? ", spatial" : ", temporal";
+  out += StrFormat(", rf=%d, banks=%d\n", HoldCapacity(), params_.num_banks);
+  for (int r = 0; r < params_.rows; ++r) {
+    for (int c = 0; c < params_.cols; ++c) {
+      const CellCaps& caps = this->caps(CellAt(r, c));
+      std::string tag = "[";
+      tag += caps.mul ? "A*" : "A ";
+      tag += caps.mem ? StrFormat("M%d", caps.bank) : "  ";
+      tag += caps.io ? "I" : " ";
+      tag += "]";
+      out += tag;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Status Architecture::Validate() const {
+  if (params_.rows < 1 || params_.cols < 1) {
+    return Error::InvalidArgument("array must be at least 1x1");
+  }
+  if (params_.rf_size < 1) return Error::InvalidArgument("rf_size must be >= 1");
+  if (params_.route_channels < 0) {
+    return Error::InvalidArgument("route_channels must be >= 0");
+  }
+  if (params_.context_depth < 1) {
+    return Error::InvalidArgument("context_depth must be >= 1");
+  }
+  if (params_.style == ExecutionStyle::kSpatial && params_.context_depth != 1) {
+    return Error::InvalidArgument("spatial fabrics hold exactly one context");
+  }
+  return Status::Ok();
+}
+
+Architecture Architecture::Small2x2() {
+  ArchParams p;
+  p.rows = p.cols = 2;
+  p.name = "small2x2";
+  p.num_banks = 1;
+  p.mem_on_left_col = true;
+  return Architecture(p);
+}
+
+Architecture Architecture::Adres4x4() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.name = "adres4x4";
+  return Architecture(p);
+}
+
+Architecture Architecture::Hetero4x4() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.mul_everywhere = false;
+  p.mem_on_left_col = true;
+  p.num_banks = 2;
+  p.name = "hetero4x4";
+  return Architecture(p);
+}
+
+Architecture Architecture::Spatial4x4() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.style = ExecutionStyle::kSpatial;
+  p.context_depth = 1;
+  p.name = "spatial4x4";
+  return Architecture(p);
+}
+
+Architecture Architecture::Torus4x4() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.topology = Topology::kTorus;
+  p.name = "torus4x4";
+  return Architecture(p);
+}
+
+Architecture Architecture::Big8x8() {
+  ArchParams p;
+  p.rows = p.cols = 8;
+  p.num_banks = 4;
+  p.name = "big8x8";
+  return Architecture(p);
+}
+
+Architecture Architecture::Mega16x16() {
+  ArchParams p;
+  p.rows = p.cols = 16;
+  p.num_banks = 8;
+  p.topology = Topology::kHop2;
+  p.name = "mega16x16";
+  return Architecture(p);
+}
+
+Architecture Architecture::VliwLike4() {
+  // The survey contrasts CGRAs with VLIW: "VLIW processors share data
+  // through a register file only". This foil has no direct links; all
+  // communication goes through one shared RF.
+  ArchParams p;
+  p.rows = 1;
+  p.cols = 4;
+  p.rf_kind = RfKind::kShared;
+  p.rf_size = 16;
+  p.route_channels = 0;
+  p.io_on_border = true;
+  p.mem_on_left_col = true;
+  p.name = "vliw4";
+  return Architecture(p);
+}
+
+}  // namespace cgra

@@ -1,0 +1,270 @@
+#include <cstddef>
+#include "arch/context.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/str.hpp"
+
+namespace cgra {
+namespace {
+
+int BitsFor(int max_value) {
+  int bits = 1;
+  while ((1 << bits) <= max_value) ++bits;
+  return bits;
+}
+
+class BitWriter {
+ public:
+  void Put(std::uint32_t value, int bits) {
+    assert(bits <= 32);
+    assert(bits == 32 || value < (1u << bits));
+    for (int i = 0; i < bits; ++i) {
+      const bool bit = (value >> i) & 1;
+      if (pos_ % 8 == 0) bytes_.push_back(0);
+      if (bit) bytes_.back() |= static_cast<std::uint8_t>(1u << (pos_ % 8));
+      ++pos_;
+    }
+  }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int pos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  bool Get(std::uint32_t* value, int bits) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < bits; ++i) {
+      const size_t byte = static_cast<size_t>(pos_ / 8);
+      if (byte >= bytes_.size()) return false;
+      if ((bytes_[byte] >> (pos_ % 8)) & 1) v |= (1u << i);
+      ++pos_;
+    }
+    *value = v;
+    return true;
+  }
+
+ private:
+  const std::vector<std::uint8_t>& bytes_;
+  int pos_ = 0;
+};
+
+constexpr int kNumOpcodes = static_cast<int>(Opcode::kVarOut) + 1;
+
+}  // namespace
+
+int ContextLayout::BitsPerFu() const {
+  // valid + opcode + 3 operands + imm + dest + we + pred operand +
+  // sense + io slot + stage + dual-issue alternate (valid + opcode +
+  // 3 operands + its own imm).
+  return 1 + opcode_bits + 3 * BitsPerOperand() + imm_bits + reg_bits + 1 +
+         BitsPerOperand() + 1 + io_bits + stage_bits + 1 + opcode_bits +
+         3 * BitsPerOperand() + imm_bits;
+}
+
+int ContextLayout::BitsPerRt() const {
+  return 1 + read_idx_bits + 2 * reg_bits + stage_bits;
+}
+
+int ContextLayout::BitsPerCell(int route_channels) const {
+  return BitsPerFu() + route_channels * BitsPerRt();
+}
+
+ContextLayout MakeContextLayout(const Architecture& arch) {
+  ContextLayout l;
+  l.opcode_bits = BitsFor(kNumOpcodes - 1);
+  l.src_bits = 2;
+  int max_readable = 1;
+  for (int c = 0; c < arch.num_cells(); ++c) {
+    max_readable = std::max(
+        max_readable, static_cast<int>(arch.ReadableFrom(c).size()));
+  }
+  l.read_idx_bits = BitsFor(max_readable - 1);
+  l.reg_bits = BitsFor(std::max(1, arch.HoldCapacity() - 1));
+  l.imm_bits = 32;
+  l.io_bits = 6;
+  l.stage_bits = 8;
+  return l;
+}
+
+int FrameBitCount(const Architecture& arch) {
+  const ContextLayout l = MakeContextLayout(arch);
+  return arch.num_cells() * l.BitsPerCell(arch.params().route_channels);
+}
+
+namespace {
+
+void PutOperand(BitWriter& w, const ContextLayout& l, const OperandSel& o) {
+  w.Put(static_cast<std::uint32_t>(o.src), l.src_bits);
+  w.Put(static_cast<std::uint32_t>(o.read_idx), l.read_idx_bits);
+  w.Put(static_cast<std::uint32_t>(o.reg), l.reg_bits);
+}
+
+bool GetOperand(BitReader& r, const ContextLayout& l, OperandSel* o) {
+  std::uint32_t src, idx, reg;
+  if (!r.Get(&src, l.src_bits) || !r.Get(&idx, l.read_idx_bits) ||
+      !r.Get(&reg, l.reg_bits)) {
+    return false;
+  }
+  o->src = static_cast<OperandSel::Src>(src);
+  o->read_idx = static_cast<int>(idx);
+  o->reg = static_cast<int>(reg);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeConfig(const Architecture& arch,
+                                       const ConfigImage& image) {
+  const ContextLayout l = MakeContextLayout(arch);
+  BitWriter w;
+  w.Put(static_cast<std::uint32_t>(image.ii), 8);
+  w.Put(static_cast<std::uint32_t>(image.preloads.size()), 16);
+  for (const RfPreload& p : image.preloads) {
+    w.Put(static_cast<std::uint32_t>(p.cell), 16);
+    w.Put(static_cast<std::uint32_t>(p.reg), 8);
+    w.Put(static_cast<std::uint32_t>(p.value & 0xFFFFFFFF), 32);
+    w.Put(static_cast<std::uint32_t>(
+              (static_cast<std::uint64_t>(p.value) >> 32) & 0xFFFFFFFF),
+          32);
+  }
+  for (const ContextFrame& frame : image.frames) {
+    assert(static_cast<int>(frame.cells.size()) == arch.num_cells());
+    for (const CellContext& cell : frame.cells) {
+      const FuConfig& fu = cell.fu;
+      w.Put(fu.valid ? 1 : 0, 1);
+      w.Put(static_cast<std::uint32_t>(fu.opcode), l.opcode_bits);
+      for (const OperandSel& o : fu.operand) PutOperand(w, l, o);
+      w.Put(static_cast<std::uint32_t>(fu.imm), l.imm_bits);
+      w.Put(static_cast<std::uint32_t>(fu.dest_reg), l.reg_bits);
+      w.Put(fu.write_enable ? 1 : 0, 1);
+      PutOperand(w, l, fu.pred);
+      w.Put(fu.pred_sense ? 1 : 0, 1);
+      w.Put(static_cast<std::uint32_t>(fu.io_slot), l.io_bits);
+      w.Put(static_cast<std::uint32_t>(fu.stage), l.stage_bits);
+      w.Put(fu.alt_valid ? 1 : 0, 1);
+      w.Put(static_cast<std::uint32_t>(fu.alt_opcode), l.opcode_bits);
+      for (const OperandSel& o : fu.alt_operand) PutOperand(w, l, o);
+      w.Put(static_cast<std::uint32_t>(fu.alt_imm), l.imm_bits);
+      assert(static_cast<int>(cell.rt.size()) == arch.params().route_channels);
+      for (const RtConfig& rt : cell.rt) {
+        w.Put(rt.valid ? 1 : 0, 1);
+        w.Put(static_cast<std::uint32_t>(rt.read_idx), l.read_idx_bits);
+        w.Put(static_cast<std::uint32_t>(rt.src_reg), l.reg_bits);
+        w.Put(static_cast<std::uint32_t>(rt.dest_reg), l.reg_bits);
+        w.Put(static_cast<std::uint32_t>(rt.stage), l.stage_bits);
+      }
+    }
+  }
+  return w.Take();
+}
+
+Result<ConfigImage> DecodeConfig(const Architecture& arch,
+                                 const std::vector<std::uint8_t>& bits) {
+  const ContextLayout l = MakeContextLayout(arch);
+  BitReader r(bits);
+  ConfigImage image;
+  std::uint32_t ii;
+  if (!r.Get(&ii, 8)) return Error::InvalidArgument("truncated bitstream");
+  image.ii = static_cast<int>(ii);
+  if (image.ii < 1 || image.ii > arch.MaxIi()) {
+    return Error::InvalidArgument(
+        StrFormat("decoded II %d outside [1, %d]", image.ii, arch.MaxIi()));
+  }
+  std::uint32_t num_preloads;
+  if (!r.Get(&num_preloads, 16)) return Error::InvalidArgument("truncated");
+  image.preloads.resize(num_preloads);
+  for (RfPreload& p : image.preloads) {
+    std::uint32_t cell, reg, lo32, hi32;
+    if (!r.Get(&cell, 16) || !r.Get(&reg, 8) || !r.Get(&lo32, 32) ||
+        !r.Get(&hi32, 32)) {
+      return Error::InvalidArgument("truncated preload section");
+    }
+    p.cell = static_cast<int>(cell);
+    p.reg = static_cast<int>(reg);
+    p.value = static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(hi32) << 32) | lo32);
+    if (p.cell >= arch.num_cells() || p.reg >= arch.HoldCapacity()) {
+      return Error::InvalidArgument("preload targets a nonexistent register");
+    }
+  }
+  image.frames.resize(static_cast<size_t>(image.ii));
+  for (ContextFrame& frame : image.frames) {
+    frame.cells.resize(static_cast<size_t>(arch.num_cells()));
+    for (int c = 0; c < arch.num_cells(); ++c) {
+      CellContext& cell = frame.cells[static_cast<size_t>(c)];
+      FuConfig& fu = cell.fu;
+      std::uint32_t v;
+      if (!r.Get(&v, 1)) return Error::InvalidArgument("truncated bitstream");
+      fu.valid = v;
+      if (!r.Get(&v, l.opcode_bits)) return Error::InvalidArgument("truncated");
+      if (v >= static_cast<std::uint32_t>(kNumOpcodes)) {
+        return Error::InvalidArgument(StrFormat("bad opcode field %u", v));
+      }
+      fu.opcode = static_cast<Opcode>(v);
+      for (OperandSel& o : fu.operand) {
+        if (!GetOperand(r, l, &o)) return Error::InvalidArgument("truncated");
+      }
+      if (!r.Get(&v, l.imm_bits)) return Error::InvalidArgument("truncated");
+      fu.imm = static_cast<std::int32_t>(v);
+      if (!r.Get(&v, l.reg_bits)) return Error::InvalidArgument("truncated");
+      fu.dest_reg = static_cast<int>(v);
+      if (!r.Get(&v, 1)) return Error::InvalidArgument("truncated");
+      fu.write_enable = v;
+      if (!GetOperand(r, l, &fu.pred)) return Error::InvalidArgument("truncated");
+      if (!r.Get(&v, 1)) return Error::InvalidArgument("truncated");
+      fu.pred_sense = v;
+      if (!r.Get(&v, l.io_bits)) return Error::InvalidArgument("truncated");
+      fu.io_slot = static_cast<int>(v);
+      if (!r.Get(&v, l.stage_bits)) return Error::InvalidArgument("truncated");
+      fu.stage = static_cast<int>(v);
+      if (!r.Get(&v, 1)) return Error::InvalidArgument("truncated");
+      fu.alt_valid = v;
+      if (!r.Get(&v, l.opcode_bits)) return Error::InvalidArgument("truncated");
+      if (v >= static_cast<std::uint32_t>(kNumOpcodes)) {
+        return Error::InvalidArgument(StrFormat("bad alt opcode field %u", v));
+      }
+      fu.alt_opcode = static_cast<Opcode>(v);
+      for (OperandSel& o : fu.alt_operand) {
+        if (!GetOperand(r, l, &o)) return Error::InvalidArgument("truncated");
+      }
+      if (!r.Get(&v, l.imm_bits)) return Error::InvalidArgument("truncated");
+      fu.alt_imm = static_cast<std::int32_t>(v);
+      // Field sanity against this cell's actual readable set.
+      const int readable = static_cast<int>(arch.ReadableFrom(c).size());
+      for (const OperandSel& o : fu.operand) {
+        if (o.src == OperandSel::Src::kReg && o.read_idx >= readable) {
+          return Error::InvalidArgument(
+              StrFormat("cell %d: operand reads nonexistent neighbour %d", c,
+                        o.read_idx));
+        }
+      }
+      cell.rt.resize(static_cast<size_t>(arch.params().route_channels));
+      for (RtConfig& rt : cell.rt) {
+        if (!r.Get(&v, 1)) return Error::InvalidArgument("truncated");
+        rt.valid = v;
+        if (!r.Get(&v, l.read_idx_bits)) return Error::InvalidArgument("truncated");
+        rt.read_idx = static_cast<int>(v);
+        if (!r.Get(&v, l.reg_bits)) return Error::InvalidArgument("truncated");
+        rt.src_reg = static_cast<int>(v);
+        if (!r.Get(&v, l.reg_bits)) return Error::InvalidArgument("truncated");
+        rt.dest_reg = static_cast<int>(v);
+        if (!r.Get(&v, l.stage_bits)) return Error::InvalidArgument("truncated");
+        rt.stage = static_cast<int>(v);
+        if (rt.valid && rt.read_idx >= readable) {
+          return Error::InvalidArgument(
+              StrFormat("cell %d: route reads nonexistent neighbour %d", c,
+                        rt.read_idx));
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace cgra

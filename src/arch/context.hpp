@@ -1,0 +1,141 @@
+// Configuration / context format (§II-B "Why reconfigurable?", Fig 2c).
+//
+// "A configuration must hold all the values of a set of signals that
+// select the correct input of a multiplexer. [...] the format defines
+// the contract between the hardware and the software to reach a valid
+// execution." This header IS that contract for our fabric: the
+// backend compiles a Mapping into ConfigImage; the simulator executes
+// only what survives the bit-level encode/decode round trip.
+//
+// Per cell and per context slot the word holds: the FU opcode, three
+// operand selects (own register / linked neighbour's register /
+// immediate / loop counter), the immediate, the destination register,
+// a predicate select with its sense, an I/O stream slot, and one
+// routing-channel select per route channel (source neighbour+register
+// -> destination register).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// Where an FU operand (or routed value) comes from.
+struct OperandSel {
+  enum class Src : std::uint8_t {
+    kNone = 0,     ///< operand unused
+    kReg = 1,      ///< register `reg` of readable-cell index `read_idx`
+    kImm = 2,      ///< the context's immediate field
+    kIter = 3,     ///< hardware loop counter broadcast
+  };
+  Src src = Src::kNone;
+  int read_idx = 0;  ///< index into Architecture::ReadableFrom(cell)
+  int reg = 0;       ///< register within that cell's RF
+
+  bool operator==(const OperandSel&) const = default;
+};
+
+/// One cell's FU configuration for one slot.
+struct FuConfig {
+  bool valid = false;          ///< FU idle this slot when false
+  Opcode opcode = Opcode::kAdd;
+  OperandSel operand[3];
+  std::int32_t imm = 0;
+  int dest_reg = 0;            ///< RF register receiving the result
+  bool write_enable = false;   ///< latch the result at all
+  OperandSel pred;             ///< kNone = unpredicated
+  bool pred_sense = true;      ///< execute when predicate != 0
+  int io_slot = 0;             ///< stream index for kInput/kOutput
+  /// Pipeline stage (issue_time / II): the loop control uses it to
+  /// gate prologue/epilogue iterations and to index streams.
+  int stage = 0;
+  /// Dual-issue single execution: the fused alternate operation that
+  /// fires when the predicate does NOT hold. It is a second
+  /// instruction word, so it carries its own immediate.
+  bool alt_valid = false;
+  Opcode alt_opcode = Opcode::kAdd;
+  OperandSel alt_operand[3];
+  std::int32_t alt_imm = 0;
+
+  bool operator==(const FuConfig&) const = default;
+};
+
+/// One routing-channel transfer for one slot.
+struct RtConfig {
+  bool valid = false;
+  int read_idx = 0;  ///< source: index into ReadableFrom(cell)
+  int src_reg = 0;
+  int dest_reg = 0;
+  int stage = 0;     ///< pipeline stage of this transfer (gating)
+
+  bool operator==(const RtConfig&) const = default;
+};
+
+struct CellContext {
+  FuConfig fu;
+  std::vector<RtConfig> rt;  ///< size == route_channels
+
+  bool operator==(const CellContext&) const = default;
+};
+
+/// One context frame = the whole array for one slot.
+struct ContextFrame {
+  std::vector<CellContext> cells;
+
+  bool operator==(const ContextFrame&) const = default;
+};
+
+/// An initial register value written by the configuration loader
+/// before cycle 0 — how loop-carried initial values (accumulator
+/// seeds) reach the fabric.
+struct RfPreload {
+  int cell = 0;  ///< RF bank (0 for the shared file)
+  int reg = 0;   ///< physical register index
+  std::int64_t value = 0;
+
+  bool operator==(const RfPreload&) const = default;
+};
+
+/// The complete configuration: `ii` frames cycled by the slot counter,
+/// plus the preload section.
+struct ConfigImage {
+  int ii = 1;
+  std::vector<ContextFrame> frames;
+  std::vector<RfPreload> preloads;
+
+  bool operator==(const ConfigImage&) const = default;
+};
+
+/// Bit widths the encoding uses for a given architecture (derived,
+/// documented by Fig2Anatomy in the bench).
+struct ContextLayout {
+  int opcode_bits;
+  int src_bits;       ///< operand source kind
+  int read_idx_bits;  ///< max over cells of log2(|ReadableFrom|)
+  int reg_bits;
+  int imm_bits;
+  int io_bits;
+  int stage_bits;
+  int BitsPerOperand() const { return src_bits + read_idx_bits + reg_bits; }
+  int BitsPerFu() const;
+  int BitsPerRt() const;
+  int BitsPerCell(int route_channels) const;
+};
+ContextLayout MakeContextLayout(const Architecture& arch);
+
+/// Serialises to the raw bitstream the hardware would shift into its
+/// configuration registers.
+std::vector<std::uint8_t> EncodeConfig(const Architecture& arch,
+                                       const ConfigImage& image);
+
+/// Parses a bitstream back; fails on truncated input or field overflow.
+Result<ConfigImage> DecodeConfig(const Architecture& arch,
+                                 const std::vector<std::uint8_t>& bits);
+
+/// Total configuration bits for one frame (the Fig. 2(c) register width).
+int FrameBitCount(const Architecture& arch);
+
+}  // namespace cgra

@@ -1,0 +1,70 @@
+#include <cstddef>
+#include "arch/mrrg.hpp"
+
+#include <algorithm>
+
+namespace cgra {
+
+Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
+  const int n = arch.num_cells();
+  fu_of_.assign(static_cast<size_t>(n), -1);
+  hold_of_.assign(static_cast<size_t>(n), -1);
+  rt_of_.assign(static_cast<size_t>(n), -1);
+
+  const bool shared_rf = arch.params().rf_kind == RfKind::kShared;
+
+  for (int c = 0; c < n; ++c) {
+    fu_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{Kind::kFu, c, 1});
+  }
+  if (shared_rf) {
+    const int shared = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{Kind::kHold, -1, arch.HoldCapacity()});
+    for (int c = 0; c < n; ++c) hold_of_[static_cast<size_t>(c)] = shared;
+  } else {
+    for (int c = 0; c < n; ++c) {
+      hold_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{Kind::kHold, c, arch.HoldCapacity()});
+    }
+  }
+  if (arch.params().route_channels > 0) {
+    for (int c = 0; c < n; ++c) {
+      rt_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
+      nodes_.push_back(Node{Kind::kRt, c, arch.params().route_channels});
+    }
+  }
+
+  out_.resize(nodes_.size());
+  auto add_link = [&](int from, int to, int latency) {
+    out_[static_cast<size_t>(from)].push_back(Link{to, latency});
+  };
+
+  if (shared_rf) {
+    const int shared = hold_of_[0];
+    add_link(shared, shared, 1);  // retain
+  } else {
+    for (int c = 0; c < n; ++c) {
+      const int h = hold_of_[static_cast<size_t>(c)];
+      add_link(h, h, 1);  // retain in the RF another cycle
+      if (arch.params().route_channels > 0) {
+        // A held value can enter a linked neighbour's routing channel
+        // combinationally; the channel latches into that cell's RF.
+        for (int to : arch.LinksOut(c)) {
+          add_link(h, rt_of_[static_cast<size_t>(to)], 0);
+        }
+        add_link(rt_of_[static_cast<size_t>(c)], h, 1);
+      }
+    }
+  }
+
+  readable_holds_.resize(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    auto& rh = readable_holds_[static_cast<size_t>(c)];
+    for (int src : arch.ReadableFrom(c)) {
+      const int h = hold_of_[static_cast<size_t>(src)];
+      if (std::find(rh.begin(), rh.end(), h) == rh.end()) rh.push_back(h);
+    }
+  }
+}
+
+}  // namespace cgra

@@ -1,0 +1,80 @@
+// Modulo Routing Resource Graph (MRRG).
+//
+// The temporal coordinate system of the mapping problem — "the time
+// extended CGRA (TEC), or the time-space graph" (§II-C). Resources are
+// replicated conceptually per cycle modulo II; this class holds the
+// *static* resource graph (nodes, capacities, latency-annotated
+// links); the router and validator pair each node with a time slot.
+//
+// Resource kinds per cell:
+//   kFu   — executes one operation per slot (capacity 1);
+//   kHold — the cell's register file; a value parked here at slot t is
+//           readable by the cell's own FU and by linked neighbours'
+//           FUs (capacity = Architecture::HoldCapacity());
+//   kRt   — the pass-through routing channel: copies a neighbour's
+//           held value into this cell's RF without using the FU
+//           (capacity = route_channels).
+//
+// Latencies: FU -> own HOLD is 1 cycle (results are latched); HOLD ->
+// HOLD self-link is 1 cycle (the value stays another cycle); HOLD ->
+// neighbour RT is 0 (combinational link) and RT -> own HOLD is 1
+// (latched), so each routed hop costs one cycle. A consumer FU reads a
+// HOLD in the same cycle (combinational operand fetch), so the minimum
+// producer->consumer latency is 1 cycle — matching Fig. 3's modulo
+// schedule where dependent ops sit in consecutive cycles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/arch.hpp"
+
+namespace cgra {
+
+class Mrrg {
+ public:
+  enum class Kind { kFu, kHold, kRt };
+
+  struct Node {
+    Kind kind;
+    int cell;      ///< owning cell (kShared hold uses cell -1)
+    int capacity;  ///< simultaneous values per time slot
+  };
+
+  struct Link {
+    int to;
+    int latency;  ///< cycles consumed by traversing this link
+  };
+
+  explicit Mrrg(const Architecture& arch);
+
+  const Architecture& arch() const { return *arch_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int n) const { return nodes_[static_cast<size_t>(n)]; }
+
+  int FuNode(int cell) const { return fu_of_[static_cast<size_t>(cell)]; }
+  /// The hold (RF) node a cell's FU result lands in.
+  int HoldNode(int cell) const { return hold_of_[static_cast<size_t>(cell)]; }
+  /// The routing-channel node of a cell (-1 when route_channels == 0).
+  int RtNode(int cell) const { return rt_of_[static_cast<size_t>(cell)]; }
+
+  /// Outgoing routing links of a node (HOLD/RT only; FU->HOLD is
+  /// modelled separately because it starts a net rather than routes it).
+  const std::vector<Link>& OutLinks(int n) const {
+    return out_[static_cast<size_t>(n)];
+  }
+
+  /// Hold nodes whose values `cell`'s FU can read combinationally.
+  const std::vector<int>& ReadableHolds(int cell) const {
+    return readable_holds_[static_cast<size_t>(cell)];
+  }
+
+ private:
+  const Architecture* arch_;
+  std::vector<Node> nodes_;
+  std::vector<int> fu_of_, hold_of_, rt_of_;
+  std::vector<std::vector<Link>> out_;
+  std::vector<std::vector<int>> readable_holds_;
+};
+
+}  // namespace cgra

@@ -1,0 +1,238 @@
+#include "bib/bib.hpp"
+
+#include <algorithm>
+
+namespace cgra {
+namespace {
+
+// Builder shorthand.
+struct E : BibEntry {
+  E(int r, std::string k, std::string l, std::string v, int y) {
+    ref = r;
+    key = std::move(k);
+    label = std::move(l);
+    venue = std::move(v);
+    year = y;
+  }
+  E& Survey() {
+    is_survey = true;
+    return *this;
+  }
+  E& Tech(TechniqueClass t, MappingKind m) {
+    has_technique = true;
+    technique = t;
+    kind = m;
+    return *this;
+  }
+  E& Mod() { modulo_scheduling = true; return *this; }
+  E& FullPred() { full_predication = true; return *this; }
+  E& PartPred() { partial_predication = true; return *this; }
+  E& Dise() { dual_issue = true; return *this; }
+  E& Cdfg() { direct_cdfg = true; return *this; }
+  E& Unroll() { loop_unrolling = true; return *this; }
+  E& Mem() { memory_aware = true; return *this; }
+  E& Reg() { register_allocation = true; return *this; }
+  E& HwLoop() { hardware_loops = true; return *this; }
+  E& Poly() { polyhedral = true; return *this; }
+  E& Ml() { ml_based = true; return *this; }
+  E& Scale() { scalability = true; return *this; }
+  E& Open() { open_source = true; return *this; }
+  E& Stream() { streaming = true; return *this; }
+};
+
+using T = TechniqueClass;
+using K = MappingKind;
+
+std::vector<BibEntry> Build() {
+  std::vector<BibEntry> b;
+  // --- first decade --------------------------------------------------------
+  b.push_back(E(12, "bondalapati1998", "loop mapping", "FPL", 1998)
+                  .Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(21, "goldstein2000piperench", "PipeRench", "Computer", 2000)
+                  .Tech(T::kHeuristic, K::kSpatial).Stream());
+  b.push_back(E(13, "bondalapati2001", "data context switching", "DAC", 2001)
+                  .Tech(T::kHeuristic, K::kTemporal).Unroll());
+  b.push_back(E(22, "mei2002dresc", "DRESC", "FPT", 2002)
+                  .Tech(T::kMetaLocalSearch, K::kTemporal).Mod());
+  b.push_back(E(56, "anido2002", "guarded instructions", "DSD", 2002)
+                  .FullPred().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(14, "lee2003draa", "DRAA compilation", "IEEE D&T", 2003)
+                  .Tech(T::kHeuristic, K::kBinding));
+  b.push_back(E(61, "mei2003modulo", "loop-level parallelism", "DATE", 2003)
+                  .Tech(T::kMetaLocalSearch, K::kTemporal).Mod());
+  b.push_back(E(51, "bansal2003", "PE configuration analysis", "WASP", 2003)
+                  .Tech(T::kHeuristic, K::kScheduling));
+  b.push_back(E(41, "brenner2006", "optimal SBR", "FPL", 2006)
+                  .Tech(T::kExactIlp, K::kTemporal));
+  b.push_back(E(30, "hatanaka2007", "SA modulo scheduling", "IPDPS", 2007)
+                  .Tech(T::kMetaLocalSearch, K::kBinding).Mod());
+  b.push_back(E(37, "park2008ems", "EMS", "PACT", 2008)
+                  .Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(57, "chang2008", "control-intensive kernels", "ISOCC", 2008)
+                  .PartPred().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(29, "desutter2008regalloc", "P&R register allocation",
+                "LCTES", 2008)
+                  .Tech(T::kMetaLocalSearch, K::kTemporal).Mod().Reg());
+  b.push_back(E(23, "yoon2009spkm", "graph drawing (SPKM)", "TVLSI", 2009)
+                  .Tech(T::kHeuristic, K::kSpatial));
+  b.push_back(E(49, "friedman2009spr", "SPR", "FPGA", 2009)
+                  .Tech(T::kMetaLocalSearch, K::kBinding).Mod());
+  // --- second decade --------------------------------------------------------
+  b.push_back(E(43, "raffin2010", "CP scheduling/binding/routing", "DASIP", 2010)
+                  .Tech(T::kExactCsp, K::kTemporal));
+  b.push_back(E(48, "lee2011qea", "multi-domain QEA", "TCAD", 2011)
+                  .Tech(T::kMetaPopulation, K::kBinding));
+  b.push_back(E(66, "kim2011mem", "memory access optimisation", "TODAES", 2011)
+                  .Mem().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(28, "hamzeh2012epimap", "EPIMap", "DAC", 2012)
+                  .Tech(T::kHeuristic, K::kBinding).Mod());
+  b.push_back(E(35, "nowatzki2013", "constraint-centric scheduling",
+                "PLDI", 2013)
+                  .Tech(T::kExactIlp, K::kSpatial));
+  b.push_back(E(46, "hamzeh2013regimap", "REGIMap", "DAC", 2013)
+                  .Tech(T::kHeuristic, K::kBinding).Reg());
+  b.push_back(E(27, "chen2014minor", "graph minor", "TRETS", 2014)
+                  .Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(47, "peyret2014", "backward sched/binding", "ASAP", 2014)
+                  .Tech(T::kHeuristic, K::kBinding));
+  b.push_back(E(58, "hamzeh2014branch", "branch-aware loop mapping",
+                "DAC", 2014)
+                  .Dise().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(50, "schulz2014rpm", "rotated parallel mapping",
+                "ReConFig", 2014)
+                  .Tech(T::kMetaLocalSearch, K::kBinding).Mem());
+  b.push_back(E(45, "yin2015affine", "affine transform + pipelining",
+                "DATE", 2015)
+                  .Poly().Tech(T::kHeuristic, K::kBinding).Mod());
+  b.push_back(E(24, "das2016scalable", "stochastic partial solutions",
+                "ISVLSI", 2016)
+                  .Tech(T::kHeuristic, K::kBinding).Scale());
+  b.push_back(E(64, "vadivel2017", "loop overhead reduction", "DSD", 2017)
+                  .HwLoop().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(68, "yin2017conflictfree", "conflict-free multibank",
+                "TPDS", 2017)
+                  .Mem().Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(60, "das2017cdfg", "direct CDFG mapping", "ASP-DAC", 2017)
+                  .Cdfg().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(25, "dave2018ureca", "URECA unified RF", "DATE", 2018)
+                  .Reg().Tech(T::kHeuristic, K::kBinding));
+  b.push_back(E(34, "chin2018ilp", "arch-agnostic ILP", "DAC", 2018)
+                  .Tech(T::kExactIlp, K::kSpatial));
+  b.push_back(E(38, "dave2018ramp", "RAMP", "DAC", 2018)
+                  .Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(42, "karunaratne2018dnestmap", "DNestMap", "DAC", 2018)
+                  .Tech(T::kExactIlp, K::kTemporal).Scale());
+  b.push_back(E(62, "bala2018laser", "LASER", "DATE", 2018)
+                  .HwLoop().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(67, "zhao2018banks", "multi-bank data placement",
+                "DATE", 2018)
+                  .Mem().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(39, "gu2018stress", "stress-aware multi-map", "TPDS", 2018)
+                  .Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(54, "das2019ipa", "IPA compilation flow", "TCAD", 2019)
+                  .Tech(T::kHeuristic, K::kBinding).Cdfg());
+  b.push_back(E(74, "liu2019rl", "RL mapping", "TCAD", 2019)
+                  .Ml().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(59, "karunaratne2019_4d", "4D-CGRA branch dimension",
+                "ICCAD", 2019)
+                  .Dise().Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(44, "donovick2019smt", "agile SMT mapping", "ReConFig", 2019)
+                  .Tech(T::kExactCsp, K::kTemporal));
+  b.push_back(E(19, "kojima2020genmap", "GenMap", "TVLSI", 2020)
+                  .Tech(T::kMetaPopulation, K::kSpatial));
+  b.push_back(E(52, "bala2020crimson", "CRIMSON", "TCAD", 2020)
+                  .Tech(T::kHeuristic, K::kScheduling).Mod());
+  b.push_back(E(36, "zhao2020robust", "robust modulo scheduling",
+                "TPDS", 2020)
+                  .Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(32, "weng2020dsagen", "DSAGEN", "ISCA", 2020)
+                  .Tech(T::kMetaLocalSearch, K::kSpatial).Open());
+  b.push_back(E(77, "podobas2020template", "template framework", "ASAP", 2020)
+                  .Open().Tech(T::kHeuristic, K::kSpatial));
+  b.push_back(E(26, "wijerathne2021himap", "HiMap", "DATE", 2021)
+                  .Tech(T::kHeuristic, K::kTemporal).Scale().Mod());
+  b.push_back(E(15, "guo2021sync", "data-arrival synchronisers ILP",
+                "DAC", 2021)
+                  .Tech(T::kExactIlp, K::kBinding));
+  b.push_back(E(16, "lee2021ultrafast", "ultra-fast scheduling", "DAC", 2021)
+                  .Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(17, "miyasaka2021sat", "SAT-based mapping", "VLSI-SoC", 2021)
+                  .Tech(T::kExactCsp, K::kTemporal));
+  b.push_back(E(31, "li2021chordmap", "ChordMap", "TCAD", 2021)
+                  .Tech(T::kHeuristic, K::kSpatial).Stream());
+  b.push_back(E(40, "canesche2021traversal", "Traversal", "TCAD", 2021)
+                  .Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(53, "mu2021routability", "routability-enhanced scheduling",
+                "Access", 2021)
+                  .Tech(T::kExactIlp, K::kScheduling));
+  b.push_back(E(55, "yuan2021dynii", "dynamic-II pipeline", "TCAD", 2021)
+                  .Dise().Tech(T::kHeuristic, K::kTemporal).Mod());
+  b.push_back(E(63, "sunny2021hwloop", "hardware loop optimisation",
+                "ARC", 2021)
+                  .HwLoop().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(65, "li2021subtask", "memory partitioning + subtasks",
+                "ASP-DAC", 2021)
+                  .Mem().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(75, "anderson2021cgrame", "CGRA-ME", "ASAP", 2021)
+                  .Open().Tech(T::kExactIlp, K::kTemporal));
+  b.push_back(E(76, "tan2021aurora", "AURORA", "DATE", 2021)
+                  .Open().Tech(T::kHeuristic, K::kTemporal));
+  b.push_back(E(73, "zhang2021sara", "SARA", "ISCA", 2021)
+                  .Tech(T::kHeuristic, K::kTemporal).Scale().Stream());
+  // --- surveys (context only; excluded from the timeline) --------------------
+  b.push_back(E(2, "hartenstein2001", "decade retrospective", "DATE", 2001).Survey());
+  b.push_back(E(5, "theodoridis2007", "arch & CAD survey", "book", 2007).Survey());
+  b.push_back(E(11, "cardoso2010", "compiling for RC survey", "CSUR", 2010).Survey());
+  b.push_back(E(6, "choi2011", "arch & mapping survey", "IPSJ", 2011).Survey());
+  b.push_back(E(7, "wijtvliet2016", "25 years of CGRAs", "SAMOS", 2016).Survey());
+  b.push_back(E(3, "liu2019survey", "CGRA survey", "CSUR", 2019).Survey());
+  b.push_back(E(8, "podobas2020survey", "performance survey", "Access", 2020).Survey());
+
+  std::sort(b.begin(), b.end(), [](const BibEntry& x, const BibEntry& y) {
+    return x.year != y.year ? x.year < y.year : x.ref < y.ref;
+  });
+  return b;
+}
+
+}  // namespace
+
+const std::vector<BibEntry>& SurveyBibliography() {
+  static const std::vector<BibEntry> bib = Build();
+  return bib;
+}
+
+std::map<int, int> PublicationsPerYear() {
+  std::map<int, int> hist;
+  for (const BibEntry& e : SurveyBibliography()) {
+    if (!e.is_survey) ++hist[e.year];
+  }
+  return hist;
+}
+
+int FirstYear(bool BibEntry::* flag) {
+  int year = 0;
+  for (const BibEntry& e : SurveyBibliography()) {
+    if (e.*flag && !e.is_survey && (year == 0 || e.year < year)) year = e.year;
+  }
+  return year;
+}
+
+std::map<std::pair<TechniqueClass, MappingKind>, std::vector<const BibEntry*>>
+TableOneCensus() {
+  std::map<std::pair<TechniqueClass, MappingKind>, std::vector<const BibEntry*>>
+      census;
+  for (const BibEntry& e : SurveyBibliography()) {
+    if (e.has_technique) census[{e.technique, e.kind}].push_back(&e);
+  }
+  return census;
+}
+
+int CountInYears(int from, int to) {
+  int n = 0;
+  for (const BibEntry& e : SurveyBibliography()) {
+    if (!e.is_survey && e.year >= from && e.year <= to) ++n;
+  }
+  return n;
+}
+
+}  // namespace cgra

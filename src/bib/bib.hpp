@@ -1,0 +1,69 @@
+// Structured bibliography of the mapping works the survey covers.
+//
+// Fig. 4 and Table I of the paper are *bibliometric* artifacts: a
+// publications-per-year timeline with technique-era annotations, and a
+// classification of techniques. This dataset encodes the surveyed
+// papers (reference numbers as in the paper) with year, venue,
+// technique class, mapping kind and topic flags, so both artifacts are
+// regenerated from data — and the prose claims ("the community has
+// intensified the efforts in the last decade, with a clear increase in
+// 2021", "memory-aware methods gained interest around 2010") become
+// checkable assertions.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapping/mapper.hpp"
+
+namespace cgra {
+
+struct BibEntry {
+  int ref = 0;               ///< [n] in the survey's reference list
+  std::string key;           ///< firstauthor+year+tag
+  std::string label;         ///< short human name (system/algorithm)
+  std::string venue;
+  int year = 0;
+
+  bool is_survey = false;    ///< surveys are excluded from the timeline
+
+  bool has_technique = false;
+  TechniqueClass technique = TechniqueClass::kHeuristic;
+  MappingKind kind = MappingKind::kTemporal;
+
+  // Topic flags (the Fig. 4 annotations).
+  bool modulo_scheduling = false;
+  bool full_predication = false;
+  bool partial_predication = false;
+  bool dual_issue = false;
+  bool direct_cdfg = false;
+  bool loop_unrolling = false;
+  bool memory_aware = false;
+  bool register_allocation = false;
+  bool hardware_loops = false;
+  bool polyhedral = false;
+  bool ml_based = false;
+  bool scalability = false;
+  bool open_source = false;
+  bool streaming = false;
+};
+
+/// The dataset (stable order: ascending year, then ref).
+const std::vector<BibEntry>& SurveyBibliography();
+
+/// Mapping publications per year (surveys excluded) — the Fig. 4 bars.
+std::map<int, int> PublicationsPerYear();
+
+/// First year a topic flag appears (the Fig. 4 era markers).
+int FirstYear(bool BibEntry::* flag);
+
+/// Count per (technique, kind) cell — the Table I census.
+std::map<std::pair<TechniqueClass, MappingKind>, std::vector<const BibEntry*>>
+TableOneCensus();
+
+/// Publications in [from, to] (inclusive).
+int CountInYears(int from, int to);
+
+}  // namespace cgra

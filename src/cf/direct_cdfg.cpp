@@ -1,0 +1,174 @@
+#include "cf/direct_cdfg.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "arch/context.hpp"
+#include "sim/compile.hpp"
+#include "sim/simulator.hpp"
+#include "support/str.hpp"
+
+namespace cgra {
+namespace {
+
+struct BlockProgram {
+  bool empty = true;
+  Mapping mapping;
+  ConfigImage image;
+  std::vector<int> input_slots;            // one entry per kInput op
+  std::optional<int> cond_var;             // var carrying the branch condition
+};
+
+}  // namespace
+
+Result<DirectCdfgResult> RunDirectCdfg(const Cdfg& cdfg,
+                                       const Architecture& arch,
+                                       const Mapper& mapper,
+                                       const ExecInput& input,
+                                       const DirectCdfgOptions& options) {
+  if (Status s = cdfg.Verify(); !s.ok()) return s.error();
+
+  DirectCdfgResult result;
+  std::vector<BlockProgram> programs(static_cast<size_t>(cdfg.num_blocks()));
+
+  for (int b = 0; b < cdfg.num_blocks(); ++b) {
+    const Dfg& body = cdfg.block(b).body;
+    BlockProgram& prog = programs[static_cast<size_t>(b)];
+    std::vector<bool> slot_seen;
+    for (const Op& op : body.ops()) {
+      if (op.opcode == Opcode::kInput) {
+        prog.input_slots.push_back(op.slot);
+        if (static_cast<size_t>(op.slot) >= slot_seen.size()) {
+          slot_seen.resize(static_cast<size_t>(op.slot) + 1, false);
+        }
+        if (slot_seen[static_cast<size_t>(op.slot)]) {
+          return Error::InvalidArgument(StrFormat(
+              "block %s reads stream %d twice (unsupported by the "
+              "block-sequenced simulator)",
+              cdfg.block(b).name.c_str(), op.slot));
+        }
+        slot_seen[static_cast<size_t>(op.slot)] = true;
+      }
+    }
+    // Branch-condition var.
+    const auto outs = cdfg.OutEdges(b);
+    if (outs.size() == 2) {
+      for (const Op& op : body.ops()) {
+        if (op.opcode == Opcode::kVarOut &&
+            op.operands[0].producer == outs[0].cond_op) {
+          prog.cond_var = op.slot;
+        }
+      }
+      if (!prog.cond_var) {
+        return Error::InvalidArgument(StrFormat(
+            "block %s branches on a value that is not written to a "
+            "variable (the sequencer cannot observe it)",
+            cdfg.block(b).name.c_str()));
+      }
+    }
+    int mappable = 0;
+    for (const Op& op : body.ops()) {
+      if (!arch.IsFolded(op.opcode)) ++mappable;
+    }
+    if (mappable == 0) continue;
+
+    Result<Mapping> m = mapper.Map(body, arch, options.mapper_options);
+    if (!m.ok()) {
+      return Error::Unmappable(StrFormat("block %s: %s",
+                                         cdfg.block(b).name.c_str(),
+                                         m.error().message.c_str()));
+    }
+    Result<ConfigImage> image = CompileToContexts(body, arch, *m);
+    if (!image.ok()) {
+      return Error::Unmappable(StrFormat("block %s: %s",
+                                         cdfg.block(b).name.c_str(),
+                                         image.error().message.c_str()));
+    }
+    prog.empty = false;
+    prog.mapping = std::move(m).value();
+    prog.image = std::move(image).value();
+    result.block_mappings.resize(static_cast<size_t>(cdfg.num_blocks()));
+    result.block_mappings[static_cast<size_t>(b)] = prog.mapping;
+  }
+
+  // ---- sequenced execution ---------------------------------------------------
+  result.arrays = input.arrays;
+  result.vars = input.vars;
+  std::vector<size_t> cursor(input.streams.size(), 0);
+  int current = cdfg.entry();
+  int previous = -1;
+
+  for (;;) {
+    if (result.blocks_executed >= options.max_steps) {
+      return Error::ResourceLimit("direct CDFG execution exceeded max_steps");
+    }
+    const BlockProgram& prog = programs[static_cast<size_t>(current)];
+    if (!prog.empty) {
+      // Per-visit input: single-iteration slices at the stream cursors.
+      ExecInput visit;
+      visit.iterations = 1;
+      visit.streams.resize(input.streams.size());
+      for (int slot : prog.input_slots) {
+        if (static_cast<size_t>(slot) >= input.streams.size() ||
+            cursor[static_cast<size_t>(slot)] >=
+                input.streams[static_cast<size_t>(slot)].size()) {
+          return Error::InvalidArgument(
+              StrFormat("input stream %d exhausted", slot));
+        }
+        visit.streams[static_cast<size_t>(slot)] = {
+            input.streams[static_cast<size_t>(slot)]
+                         [cursor[static_cast<size_t>(slot)]]};
+        ++cursor[static_cast<size_t>(slot)];
+      }
+      visit.arrays = result.arrays;
+      visit.vars = result.vars;
+      SimStats stats;
+      Result<ExecResult> r = RunOnSimulator(arch, prog.image, visit, &stats);
+      if (!r.ok()) return r.error();
+      result.arrays = std::move(r->arrays);
+      result.vars = std::move(r->vars);
+      if (r->outputs.size() > result.outputs.size()) {
+        result.outputs.resize(r->outputs.size());
+      }
+      for (size_t s = 0; s < r->outputs.size(); ++s) {
+        result.outputs[s].insert(result.outputs[s].end(), r->outputs[s].begin(),
+                                 r->outputs[s].end());
+      }
+      result.compute_cycles += stats.cycles;
+      if (previous != current) {
+        ++result.config_switches;
+        const int per_switch =
+            options.reconfig_cycles_per_switch >= 0
+                ? options.reconfig_cycles_per_switch
+                : (FrameBitCount(arch) * prog.image.ii + 63) / 64;
+        result.reconfig_cycles += per_switch;
+      }
+      previous = current;
+    }
+    ++result.blocks_executed;
+    if (current == cdfg.exit()) break;
+
+    const auto outs = cdfg.OutEdges(current);
+    int next = -1;
+    if (outs.size() == 1) {
+      next = outs[0].to;
+    } else {
+      const int var = *prog.cond_var;
+      if (var >= static_cast<int>(result.vars.size())) {
+        return Error::Internal("condition variable unset");
+      }
+      const bool taken = result.vars[static_cast<size_t>(var)] != 0;
+      for (const ControlEdge& e : outs) {
+        if ((e.cond == ControlEdge::Cond::kIfTrue) == taken) {
+          next = e.to;
+          break;
+        }
+      }
+    }
+    if (next < 0) return Error::Internal("no control successor taken");
+    current = next;
+  }
+  return result;
+}
+
+}  // namespace cgra

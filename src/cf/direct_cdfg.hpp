@@ -1,0 +1,54 @@
+// (4) Direct CDFG mapping, after Das et al. [60]: every basic block is
+// mapped onto the fabric separately; at run time the array switches
+// configurations as control flows from block to block. No predication,
+// no wasted issue slots — but every branch costs a reconfiguration.
+//
+// Requirements on the CDFG (checked): at most one kInput per stream
+// slot per block, and every branch condition is also written to a
+// variable (so the sequencer can observe it between configurations).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "ir/cdfg.hpp"
+#include "mapping/mapper.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+struct DirectCdfgResult {
+  /// Per-block mappings (empty mapping for blocks with no mappable ops).
+  std::vector<Mapping> block_mappings;
+  /// Observable state after execution (compare with RunCdfgReference).
+  std::vector<std::vector<std::int64_t>> outputs;
+  std::vector<std::vector<std::int64_t>> arrays;
+  std::vector<std::int64_t> vars;
+  int blocks_executed = 0;
+  int config_switches = 0;
+  std::int64_t compute_cycles = 0;
+  std::int64_t reconfig_cycles = 0;
+  std::int64_t total_cycles() const { return compute_cycles + reconfig_cycles; }
+};
+
+struct DirectCdfgOptions {
+  MapperOptions mapper_options;
+  /// Cycles to switch the whole array to another block's contexts
+  /// (modelling the configuration bus; default: one 64-bit word per
+  /// cycle for one frame).
+  int reconfig_cycles_per_switch = -1;  ///< -1 = derive from FrameBitCount/64
+  int max_steps = 100000;
+};
+
+/// Maps every block with `mapper`, then executes the CDFG block by
+/// block on the context-driven simulator, charging the reconfiguration
+/// cost at every block transition.
+Result<DirectCdfgResult> RunDirectCdfg(const Cdfg& cdfg,
+                                       const Architecture& arch,
+                                       const Mapper& mapper,
+                                       const ExecInput& input,
+                                       const DirectCdfgOptions& options = {});
+
+}  // namespace cgra

@@ -1,0 +1,28 @@
+#include "cf/hwloop.hpp"
+
+namespace cgra {
+
+int CountIterIdxOps(const Dfg& dfg) {
+  int n = 0;
+  for (const Op& op : dfg.ops()) {
+    if (op.opcode == Opcode::kIterIdx) ++n;
+  }
+  return n;
+}
+
+Result<Dfg> LowerIterIdx(const Dfg& dfg) {
+  Dfg out = dfg;
+  if (CountIterIdxOps(dfg) == 0) return out;
+  const OpId one = out.AddConst(1, "one_lowered");
+  for (OpId id = 0; id < dfg.num_ops(); ++id) {
+    Op& op = out.mutable_op(id);
+    if (op.opcode != Opcode::kIterIdx) continue;
+    op.opcode = Opcode::kAdd;
+    // cnt(i) = 1 + cnt(i-1), cnt(-1) = -1  =>  cnt(0) = 0, cnt(1) = 1, ...
+    op.operands = {Operand{one, 0, 0}, Operand{id, 1, -1}};
+  }
+  if (Status s = out.Verify(); !s.ok()) return s.error();
+  return out;
+}
+
+}  // namespace cgra

@@ -1,0 +1,28 @@
+// Hardware loops (§III-B2): "extra logic inside the CGRA to manage the
+// iterations of the loop in order to reduce the overhead of loop
+// control by the processor" [62]-[64].
+//
+// Our fabric's hardware loop unit broadcasts the iteration counter
+// (kIterIdx folds into an operand select) and gates prologue/epilogue
+// stages. On a fabric WITHOUT the unit, the counter must be computed
+// in the fabric itself: LowerIterIdx rewrites each kIterIdx into an
+// increment chain, spending an issue slot per counter — the overhead
+// the hwloop bench quantifies.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/dfg.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// Rewrites every kIterIdx op into `cnt = cnt@1 + 1` (init -1, so the
+/// first iteration reads 0). Op ids are preserved; one shared constant
+/// is appended. No-op when the DFG has no kIterIdx.
+Result<Dfg> LowerIterIdx(const Dfg& dfg);
+
+/// Number of kIterIdx ops (counters the HW loop unit would absorb).
+int CountIterIdxOps(const Dfg& dfg);
+
+}  // namespace cgra

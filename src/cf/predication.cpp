@@ -1,0 +1,129 @@
+#include "cf/predication.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace cgra {
+namespace {
+
+// Region ops that actually occupy issue slots (constants fold away).
+std::vector<OpId> MappableRegion(const Dfg& dfg, const std::vector<OpId>& region) {
+  std::vector<OpId> out;
+  for (OpId op : region) {
+    if (dfg.op(op).opcode != Opcode::kConst) out.push_back(op);
+  }
+  return out;
+}
+
+bool HasSideEffects(Opcode op) {
+  return op == Opcode::kStore || op == Opcode::kOutput || op == Opcode::kVarOut;
+}
+
+}  // namespace
+
+int MappableOpCount(const Dfg& dfg) {
+  int n = 0;
+  for (const Op& op : dfg.ops()) {
+    if (op.opcode != Opcode::kConst) ++n;
+  }
+  return n;
+}
+
+Result<Dfg> ApplyFullPredication(const IteKernel& kernel) {
+  Dfg dfg = kernel.dfg;
+  for (OpId op : MappableRegion(dfg, kernel.then_ops)) {
+    dfg.mutable_op(op).pred = kernel.cond;
+    dfg.mutable_op(op).pred_when_true = true;
+  }
+  for (OpId op : MappableRegion(dfg, kernel.else_ops)) {
+    dfg.mutable_op(op).pred = kernel.cond;
+    dfg.mutable_op(op).pred_when_true = false;
+  }
+  // The phi joins, guarded by the same condition (already set by the
+  // kernel builder).
+  if (Status s = dfg.Verify(); !s.ok()) return s.error();
+  return dfg;
+}
+
+Result<Dfg> ApplyPartialPredication(const IteKernel& kernel) {
+  Dfg dfg = kernel.dfg;
+  // Pure region ops run unguarded; only side effects are predicated.
+  for (OpId op : MappableRegion(dfg, kernel.then_ops)) {
+    if (HasSideEffects(dfg.op(op).opcode)) {
+      dfg.mutable_op(op).pred = kernel.cond;
+      dfg.mutable_op(op).pred_when_true = true;
+    }
+  }
+  for (OpId op : MappableRegion(dfg, kernel.else_ops)) {
+    if (HasSideEffects(dfg.op(op).opcode)) {
+      dfg.mutable_op(op).pred = kernel.cond;
+      dfg.mutable_op(op).pred_when_true = false;
+    }
+  }
+  // Phi -> ordinary select: both sides were computed, pick one.
+  for (OpId phi : kernel.phi_ops) {
+    Op& op = dfg.mutable_op(phi);
+    const Operand then_val = op.operands[0];
+    const Operand else_val = op.operands[1];
+    op.opcode = Opcode::kSelect;
+    op.operands = {Operand{op.pred, 0, 0}, then_val, else_val};
+    op.pred = kNoOp;
+    op.pred_when_true = true;
+  }
+  if (Status s = dfg.Verify(); !s.ok()) return s.error();
+  return dfg;
+}
+
+Result<Dfg> ApplyDualIssue(const IteKernel& kernel) {
+  Dfg dfg = kernel.dfg;
+  const std::vector<OpId> then_ops = MappableRegion(dfg, kernel.then_ops);
+  const std::vector<OpId> else_ops = MappableRegion(dfg, kernel.else_ops);
+  const size_t pairs = std::min(then_ops.size(), else_ops.size());
+
+  for (size_t i = 0; i < pairs; ++i) {
+    const OpId host = then_ops[i];
+    const OpId guest = else_ops[i];
+    Op& h = dfg.mutable_op(host);
+    const Op& g = dfg.op(guest);
+    if (IsMemoryOp(g.opcode) || IsIoOp(g.opcode) || OpArity(g.opcode) == 0) {
+      return Error::InvalidArgument(
+          "dual-issue can only fuse pure ALU operations");
+    }
+    h.pred = kernel.cond;
+    h.pred_when_true = true;
+    h.alt_opcode = g.opcode;
+    h.alt_operands = g.operands;
+    // Rewire every consumer of the guest to the host (the fused slot's
+    // value IS the guest's value whenever the guest side executes).
+    for (OpId op = 0; op < dfg.num_ops(); ++op) {
+      if (op == host) continue;
+      Op& o = dfg.mutable_op(op);
+      for (Operand& operand : o.operands) {
+        if (operand.producer == guest) operand.producer = host;
+      }
+      for (Operand& operand : o.alt_operands) {
+        if (operand.producer == guest) operand.producer = host;
+      }
+      if (o.pred == guest) o.pred = host;
+    }
+    // Neutralise the guest: a dead constant folds away entirely.
+    Op dead;
+    dead.opcode = Opcode::kConst;
+    dead.imm = 0;
+    dead.name = g.name + "_fused";
+    dfg.mutable_op(guest) = std::move(dead);
+  }
+  // Remainder ops (uneven region sizes) keep a plain guard.
+  for (size_t i = pairs; i < then_ops.size(); ++i) {
+    dfg.mutable_op(then_ops[i]).pred = kernel.cond;
+    dfg.mutable_op(then_ops[i]).pred_when_true = true;
+  }
+  for (size_t i = pairs; i < else_ops.size(); ++i) {
+    dfg.mutable_op(else_ops[i]).pred = kernel.cond;
+    dfg.mutable_op(else_ops[i]).pred_when_true = false;
+  }
+  if (Status s = dfg.Verify(); !s.ok()) return s.error();
+  return dfg;
+}
+
+}  // namespace cgra

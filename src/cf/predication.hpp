@@ -1,0 +1,41 @@
+// Control-flow support: the four ITE mapping methods of §III-B1.
+//
+// "There are four basic methods to map applications with if-then-else
+// onto CGRAs: (1) Full predication [56], (2) Partial predication [57],
+// (3) Dual-issue single execution [55][58][59], (4) Direct CDFG
+// mapping [60]." The first three are DFG transforms implemented here;
+// the fourth maps the CDFG block-per-block (direct_cdfg.hpp).
+#pragma once
+
+#include <cstddef>
+
+#include "ir/kernels.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// (1) Full predication: every op of both branch regions is guarded by
+/// the condition (then: taken sense, else: fallthrough sense); the phi
+/// joins the sides. Inactive ops are squashed by the fabric, so both
+/// regions OCCUPY issue slots but only one side switches its datapath.
+Result<Dfg> ApplyFullPredication(const IteKernel& kernel);
+
+/// (2) Partial predication: pure ALU ops of both regions run
+/// UNGUARDED (their results are discarded by the select); only
+/// side-effecting ops keep a guard; the phi becomes an ordinary
+/// kSelect. Cheapest in predicate routing, but burns energy on the
+/// untaken side.
+Result<Dfg> ApplyPartialPredication(const IteKernel& kernel);
+
+/// (3) Dual-issue single execution: then/else ops are fused pairwise
+/// into single issue slots (two operations per context word, the
+/// predicate picks which fires). Region ops left unpaired keep a plain
+/// guard. The number of occupied slots drops from |then|+|else| toward
+/// max(|then|, |else|).
+Result<Dfg> ApplyDualIssue(const IteKernel& kernel);
+
+/// Number of issue slots the transformed body needs (mappable ops);
+/// the ITE bench reports it next to II and energy.
+int MappableOpCount(const Dfg& dfg);
+
+}  // namespace cgra

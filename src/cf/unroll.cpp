@@ -1,0 +1,102 @@
+#include "cf/unroll.hpp"
+
+#include <algorithm>
+
+#include "support/str.hpp"
+
+namespace cgra {
+
+Result<Kernel> UnrollKernel(const Kernel& kernel, int factor) {
+  if (factor < 1) return Error::InvalidArgument("unroll factor must be >= 1");
+  if (factor == 1) return kernel;
+  const Dfg& src = kernel.dfg;
+  if (kernel.input.iterations % factor != 0) {
+    return Error::InvalidArgument(
+        StrFormat("iterations (%d) not divisible by unroll factor (%d)",
+                  kernel.input.iterations, factor));
+  }
+  for (const Op& op : src.ops()) {
+    if (op.opcode == Opcode::kIterIdx || op.opcode == Opcode::kVarIn ||
+        op.opcode == Opcode::kVarOut || op.opcode == Opcode::kPhi ||
+        !op.order_deps.empty() || op.has_alt()) {
+      return Error::InvalidArgument(StrFormat(
+          "unrolling supports plain stream kernels; op %s (%s) is not",
+          op.name.c_str(), std::string(OpName(op.opcode)).c_str()));
+    }
+  }
+
+  const int m = src.num_ops();
+  // Clone id of original op p in lane u.
+  auto clone_id = [&](int u, OpId p) { return static_cast<OpId>(u * m + p); };
+
+  // Original iteration n = factor*i + u; producer of a distance-d
+  // operand ran at n - d = factor*(i - D) + L.
+  auto remap = [&](int u, const Operand& o) {
+    const int q = u - o.distance;
+    const int lane = ((q % factor) + factor) % factor;
+    const int carried = (lane - q) / factor;
+    return Operand{clone_id(lane, o.producer), carried, o.init};
+  };
+
+  Kernel out;
+  out.name = kernel.name + StrFormat("_x%d", factor);
+  out.description = kernel.description + StrFormat(" (unrolled x%d)", factor);
+  for (int u = 0; u < factor; ++u) {
+    for (OpId p = 0; p < m; ++p) {
+      Op op = src.op(p);
+      op.name = StrFormat("%s_u%d", op.name.c_str(), u);
+      for (Operand& operand : op.operands) operand = remap(u, operand);
+      if (op.pred != kNoOp) op.pred = clone_id(u, op.pred);
+      if (IsIoOp(op.opcode)) op.slot = op.slot * factor + u;
+      out.dfg.AddOp(std::move(op));
+    }
+  }
+  if (Status s = out.dfg.Verify(); !s.ok()) return s.error();
+
+  // De-interleave the streams; share the arrays.
+  out.input.iterations = kernel.input.iterations / factor;
+  out.input.arrays = kernel.input.arrays;
+  out.input.vars = kernel.input.vars;
+  out.input.streams.assign(kernel.input.streams.size() * static_cast<size_t>(factor), {});
+  for (size_t s = 0; s < kernel.input.streams.size(); ++s) {
+    for (int u = 0; u < factor; ++u) {
+      auto& lane_stream = out.input.streams[s * static_cast<size_t>(factor) +
+                                            static_cast<size_t>(u)];
+      for (int i = 0; i < out.input.iterations; ++i) {
+        const size_t n = static_cast<size_t>(i) * static_cast<size_t>(factor) +
+                         static_cast<size_t>(u);
+        if (n < kernel.input.streams[s].size()) {
+          lane_stream.push_back(kernel.input.streams[s][n]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<std::int64_t>> ReinterleaveOutputs(
+    const std::vector<std::vector<std::int64_t>>& unrolled_outputs, int factor,
+    int original_slots) {
+  std::vector<std::vector<std::int64_t>> out(static_cast<size_t>(original_slots));
+  for (int s = 0; s < original_slots; ++s) {
+    // All lanes of a slot have equal length by construction.
+    size_t iters = 0;
+    for (int u = 0; u < factor; ++u) {
+      const size_t idx = static_cast<size_t>(s * factor + u);
+      if (idx < unrolled_outputs.size()) {
+        iters = std::max(iters, unrolled_outputs[idx].size());
+      }
+    }
+    for (size_t i = 0; i < iters; ++i) {
+      for (int u = 0; u < factor; ++u) {
+        const size_t idx = static_cast<size_t>(s * factor + u);
+        if (idx < unrolled_outputs.size() && i < unrolled_outputs[idx].size()) {
+          out[static_cast<size_t>(s)].push_back(unrolled_outputs[idx][i]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cgra

@@ -1,0 +1,36 @@
+// Loop unrolling (a Fig. 4 technique era; "[13] parallelizing DSP
+// nested loops ... using data context switching" is its earliest
+// representative in the survey's timeline).
+//
+// UnrollKernel replicates the loop body U times inside one iteration:
+// lane u of the unrolled body computes original iteration U*i + u.
+// Loop-carried dependences of distance d become, in the unrolled body,
+// either same-iteration edges between lanes (when u >= d') or carried
+// edges of distance ceil'd to the unrolled iteration space — the
+// standard modulo-unrolling dependence rewrite. Streams are
+// de-interleaved so the unrolled kernel remains executable and
+// bit-comparable against the original.
+#pragma once
+
+#include <cstddef>
+
+#include "ir/kernels.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// Unrolls `kernel` by `factor` (>= 1). The returned kernel runs
+/// ceil(iterations/factor) iterations and produces the SAME output
+/// values, re-grouped: output slot s of lane u becomes output slot
+/// s*factor + u (interleaved back in lane order = original order).
+/// Requirements: iterations % factor == 0; no memory ops with carried
+/// ordering hazards (the rewrite would need memory disambiguation).
+Result<Kernel> UnrollKernel(const Kernel& kernel, int factor);
+
+/// Flattens the unrolled outputs back to the original stream order for
+/// comparison: out[s][U*i + u] = unrolled_out[s*U + u][i].
+std::vector<std::vector<std::int64_t>> ReinterleaveOutputs(
+    const std::vector<std::vector<std::int64_t>>& unrolled_outputs, int factor,
+    int original_slots);
+
+}  // namespace cgra

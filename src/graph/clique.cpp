@@ -1,0 +1,95 @@
+#include <cstddef>
+#include "graph/clique.hpp"
+
+#include <algorithm>
+
+namespace cgra {
+namespace {
+
+struct BkState {
+  const UGraph& g;
+  const Deadline& deadline;
+  std::vector<int> best;
+  std::vector<int> current;
+  int ticks = 0;
+
+  bool TimedOut() {
+    // Check the clock only every few hundred expansions.
+    if (++ticks % 256 == 0 && deadline.Expired()) return true;
+    return false;
+  }
+
+  void Expand(std::vector<int> p, std::vector<int> x) {
+    if (TimedOut()) return;
+    if (p.empty() && x.empty()) {
+      if (current.size() > best.size()) best = current;
+      return;
+    }
+    if (current.size() + p.size() <= best.size()) return;  // bound
+
+    // Pivot: vertex of P union X with most neighbours in P.
+    int pivot = -1, pivot_cnt = -1;
+    auto count_in_p = [&](int u) {
+      int c = 0;
+      for (int v : p) c += g.HasEdge(u, v) ? 1 : 0;
+      return c;
+    };
+    for (int u : p) {
+      const int c = count_in_p(u);
+      if (c > pivot_cnt) { pivot_cnt = c; pivot = u; }
+    }
+    for (int u : x) {
+      const int c = count_in_p(u);
+      if (c > pivot_cnt) { pivot_cnt = c; pivot = u; }
+    }
+
+    std::vector<int> candidates;
+    for (int v : p) {
+      if (pivot < 0 || !g.HasEdge(pivot, v)) candidates.push_back(v);
+    }
+    for (int v : candidates) {
+      std::vector<int> np, nx;
+      for (int w : p) if (g.HasEdge(v, w)) np.push_back(w);
+      for (int w : x) if (g.HasEdge(v, w)) nx.push_back(w);
+      current.push_back(v);
+      Expand(std::move(np), std::move(nx));
+      current.pop_back();
+      p.erase(std::find(p.begin(), p.end(), v));
+      x.push_back(v);
+      if (TimedOut()) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> MaxClique(const UGraph& g, const Deadline& deadline) {
+  BkState state{g, deadline, {}, {}, 0};
+  std::vector<int> p(static_cast<size_t>(g.size()));
+  for (int v = 0; v < g.size(); ++v) p[static_cast<size_t>(v)] = v;
+  // Seed the bound with the greedy solution so pruning bites early.
+  state.best = GreedyClique(g);
+  state.Expand(std::move(p), {});
+  return state.best;
+}
+
+std::vector<int> GreedyClique(const UGraph& g) {
+  std::vector<int> order(static_cast<size_t>(g.size()));
+  for (int v = 0; v < g.size(); ++v) order[static_cast<size_t>(v)] = v;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return g.Degree(a) > g.Degree(b); });
+  std::vector<int> clique;
+  for (int v : order) {
+    bool compatible = true;
+    for (int u : clique) {
+      if (!g.HasEdge(u, v)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) clique.push_back(v);
+  }
+  return clique;
+}
+
+}  // namespace cgra

@@ -1,0 +1,52 @@
+// Maximum clique on undirected graphs.
+//
+// RAMP-style mappers [38] build a compatibility graph between
+// (operation, resource-slot) pairs and extract a maximum clique: a
+// clique is a set of pairwise-compatible assignments, i.e. a partial
+// mapping. Exact search is Bron-Kerbosch with pivoting; a greedy
+// fallback serves when the exact search would blow the time budget.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace cgra {
+
+/// Undirected graph as an adjacency matrix (dense; compatibility
+/// graphs built by mappers are small and dense).
+class UGraph {
+ public:
+  explicit UGraph(int n)
+      : n_(n), adj_(static_cast<size_t>(n) * static_cast<size_t>(n), false) {}
+
+  int size() const { return n_; }
+  void AddEdge(int a, int b) {
+    adj_[Index(a, b)] = true;
+    adj_[Index(b, a)] = true;
+  }
+  bool HasEdge(int a, int b) const { return adj_[Index(a, b)]; }
+  int Degree(int v) const {
+    int d = 0;
+    for (int u = 0; u < n_; ++u) d += adj_[Index(v, u)] ? 1 : 0;
+    return d;
+  }
+
+ private:
+  size_t Index(int a, int b) const {
+    return static_cast<size_t>(a) * static_cast<size_t>(n_) + static_cast<size_t>(b);
+  }
+  int n_;
+  std::vector<bool> adj_;
+};
+
+/// Exact maximum clique (Bron-Kerbosch with pivot). Stops early and
+/// returns the best clique found so far if the deadline expires.
+std::vector<int> MaxClique(const UGraph& g, const Deadline& deadline = {});
+
+/// Greedy clique: repeatedly add the highest-degree compatible vertex.
+std::vector<int> GreedyClique(const UGraph& g);
+
+}  // namespace cgra

@@ -1,0 +1,74 @@
+#include <cstddef>
+#include "graph/layout.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgra {
+
+std::vector<Point2> ForceDirectedLayout(const Digraph& g, Rng& rng,
+                                        const LayoutOptions& options) {
+  const int n = g.num_nodes();
+  std::vector<Point2> pos(static_cast<size_t>(n));
+  if (n == 0) return pos;
+  for (auto& p : pos) {
+    p.x = rng.NextDouble() * options.area_width;
+    p.y = rng.NextDouble() * options.area_height;
+  }
+  if (n == 1) return pos;
+
+  const double area = options.area_width * options.area_height;
+  const double k = options.k_scale * std::sqrt(area / n);
+  double temperature = options.area_width / 10.0;
+  const double cool = std::pow(0.01, 1.0 / std::max(1, options.iterations));
+
+  std::vector<Point2> disp(static_cast<size_t>(n));
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (auto& d : disp) d = Point2{};
+    // Repulsion between all pairs.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double dx = pos[static_cast<size_t>(i)].x - pos[static_cast<size_t>(j)].x;
+        double dy = pos[static_cast<size_t>(i)].y - pos[static_cast<size_t>(j)].y;
+        double d2 = dx * dx + dy * dy;
+        if (d2 < 1e-9) {  // jitter coincident nodes apart
+          dx = (rng.NextDouble() - 0.5) * 1e-3;
+          dy = (rng.NextDouble() - 0.5) * 1e-3;
+          d2 = dx * dx + dy * dy;
+        }
+        const double d = std::sqrt(d2);
+        const double force = k * k / d;
+        disp[static_cast<size_t>(i)].x += dx / d * force;
+        disp[static_cast<size_t>(i)].y += dy / d * force;
+        disp[static_cast<size_t>(j)].x -= dx / d * force;
+        disp[static_cast<size_t>(j)].y -= dy / d * force;
+      }
+    }
+    // Attraction along edges.
+    for (const auto& e : g.edges()) {
+      double dx = pos[static_cast<size_t>(e.from)].x - pos[static_cast<size_t>(e.to)].x;
+      double dy = pos[static_cast<size_t>(e.from)].y - pos[static_cast<size_t>(e.to)].y;
+      const double d = std::max(1e-6, std::sqrt(dx * dx + dy * dy));
+      const double force = d * d / k;
+      disp[static_cast<size_t>(e.from)].x -= dx / d * force;
+      disp[static_cast<size_t>(e.from)].y -= dy / d * force;
+      disp[static_cast<size_t>(e.to)].x += dx / d * force;
+      disp[static_cast<size_t>(e.to)].y += dy / d * force;
+    }
+    // Apply displacements, capped by temperature, clamped to the area.
+    for (int i = 0; i < n; ++i) {
+      const double d = std::max(
+          1e-9, std::sqrt(disp[static_cast<size_t>(i)].x * disp[static_cast<size_t>(i)].x +
+                          disp[static_cast<size_t>(i)].y * disp[static_cast<size_t>(i)].y));
+      const double step = std::min(d, temperature);
+      pos[static_cast<size_t>(i)].x += disp[static_cast<size_t>(i)].x / d * step;
+      pos[static_cast<size_t>(i)].y += disp[static_cast<size_t>(i)].y / d * step;
+      pos[static_cast<size_t>(i)].x = std::clamp(pos[static_cast<size_t>(i)].x, 0.0, options.area_width);
+      pos[static_cast<size_t>(i)].y = std::clamp(pos[static_cast<size_t>(i)].y, 0.0, options.area_height);
+    }
+    temperature *= cool;
+  }
+  return pos;
+}
+
+}  // namespace cgra

@@ -1,0 +1,34 @@
+// Force-directed 2-D graph layout.
+//
+// The graph-drawing-based spatial mapper of Yoon et al. [23] treats
+// placement as a graph-drawing problem: draw the DFG with springs so
+// connected operations land close together, then snap positions onto
+// the PE grid. This is the drawing half; the snapping lives in the
+// mapper.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+
+struct Point2 {
+  double x = 0;
+  double y = 0;
+};
+
+struct LayoutOptions {
+  int iterations = 300;
+  double area_width = 10.0;
+  double area_height = 10.0;
+  /// Spring rest length as a fraction of sqrt(area / n).
+  double k_scale = 1.0;
+};
+
+/// Fruchterman-Reingold layout; deterministic given the rng seed.
+std::vector<Point2> ForceDirectedLayout(const Digraph& g, Rng& rng,
+                                        const LayoutOptions& options = {});
+
+}  // namespace cgra

@@ -1,0 +1,95 @@
+#include <cstddef>
+#include "graph/mcs.hpp"
+
+#include <algorithm>
+
+namespace cgra {
+namespace {
+
+struct McsState {
+  const Digraph& a;
+  const Digraph& b;
+  const McsOptions& opts;
+  std::vector<int> a_to_b;  // -1 = unmatched / skipped
+  std::vector<bool> b_used;
+  std::vector<std::pair<NodeId, NodeId>> best;
+  std::vector<NodeId> a_order;  // visit order: high-degree first
+  int matched = 0;
+  int ticks = 0;
+
+  bool TimedOut() {
+    return ++ticks % 512 == 0 && opts.deadline.Expired();
+  }
+
+  bool Consistent(NodeId va, NodeId vb) const {
+    if (opts.node_compatible && !opts.node_compatible(va, vb)) return false;
+    if (!opts.require_edge_preservation) return true;
+    // Every already-matched A-neighbour relation must hold in B.
+    for (EdgeId e : a.out_edges(va)) {
+      const NodeId wa = a.edge(e).to;
+      const int wb = a_to_b[static_cast<size_t>(wa)];
+      if (wb >= 0 && !b.HasEdge(vb, wb)) return false;
+    }
+    for (EdgeId e : a.in_edges(va)) {
+      const NodeId wa = a.edge(e).from;
+      const int wb = a_to_b[static_cast<size_t>(wa)];
+      if (wb >= 0 && !b.HasEdge(wb, vb)) return false;
+    }
+    return true;
+  }
+
+  void Record() {
+    if (matched <= static_cast<int>(best.size())) return;
+    best.clear();
+    for (NodeId va = 0; va < a.num_nodes(); ++va) {
+      if (a_to_b[static_cast<size_t>(va)] >= 0) {
+        best.emplace_back(va, a_to_b[static_cast<size_t>(va)]);
+      }
+    }
+  }
+
+  void Search(size_t depth) {
+    if (TimedOut()) return;
+    Record();
+    if (depth == a_order.size()) return;
+    // Bound: even matching everything left cannot beat best.
+    const int remaining = static_cast<int>(a_order.size() - depth);
+    if (matched + remaining <= static_cast<int>(best.size())) return;
+
+    const NodeId va = a_order[depth];
+    for (NodeId vb = 0; vb < b.num_nodes(); ++vb) {
+      if (b_used[static_cast<size_t>(vb)]) continue;
+      if (!Consistent(va, vb)) continue;
+      a_to_b[static_cast<size_t>(va)] = vb;
+      b_used[static_cast<size_t>(vb)] = true;
+      ++matched;
+      Search(depth + 1);
+      --matched;
+      b_used[static_cast<size_t>(vb)] = false;
+      a_to_b[static_cast<size_t>(va)] = -1;
+      if (TimedOut()) return;
+    }
+    // Also consider leaving va unmatched.
+    Search(depth + 1);
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<NodeId, NodeId>> MaxCommonSubgraph(
+    const Digraph& a, const Digraph& b, const McsOptions& options) {
+  McsState state{a, b, options, {}, {}, {}, {}, 0, 0};
+  state.a_to_b.assign(static_cast<size_t>(a.num_nodes()), -1);
+  state.b_used.assign(static_cast<size_t>(b.num_nodes()), false);
+  state.a_order.resize(static_cast<size_t>(a.num_nodes()));
+  for (NodeId v = 0; v < a.num_nodes(); ++v) state.a_order[static_cast<size_t>(v)] = v;
+  std::sort(state.a_order.begin(), state.a_order.end(), [&](NodeId x, NodeId y) {
+    const int dx = a.in_degree(x) + a.out_degree(x);
+    const int dy = a.in_degree(y) + a.out_degree(y);
+    return dx != dy ? dx > dy : x < y;
+  });
+  state.Search(0);
+  return state.best;
+}
+
+}  // namespace cgra

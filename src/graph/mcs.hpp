@@ -1,0 +1,36 @@
+// Maximum common subgraph (MCS) between two directed graphs.
+//
+// EPIMap [28] and Peyret et al. [47] cast binding as finding the
+// maximum common subgraph between (a transformed) DFG and the
+// time-extended CGRA graph: the common part is the set of operations
+// that can be mapped without further transformation. We implement a
+// McGregor-style backtracking search over node pairs with label
+// compatibility and a time budget.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/timer.hpp"
+
+namespace cgra {
+
+struct McsOptions {
+  Deadline deadline;
+  /// Node-compatibility oracle: may (a, b) be identified?
+  std::function<bool(NodeId, NodeId)> node_compatible;
+  /// If true, an edge of A between matched nodes must exist in B too
+  /// (induced on A's side only; B may have extra edges).
+  bool require_edge_preservation = true;
+};
+
+/// Returns matched pairs (a_node, b_node) of a (near-)maximum common
+/// subgraph of A into B. Monotone: larger results are strictly better
+/// mappings. Deterministic for a fixed input.
+std::vector<std::pair<NodeId, NodeId>> MaxCommonSubgraph(const Digraph& a,
+                                                         const Digraph& b,
+                                                         const McsOptions& options);
+
+}  // namespace cgra

@@ -1,0 +1,139 @@
+#include <cstddef>
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cgra {
+namespace {
+
+// Gain of moving v to the other side: external - internal edges.
+int MoveGain(const Digraph& g, const std::vector<int>& part, NodeId v) {
+  int internal = 0, external = 0;
+  auto tally = [&](NodeId w) {
+    if (part[static_cast<size_t>(w)] == part[static_cast<size_t>(v)]) {
+      ++internal;
+    } else {
+      ++external;
+    }
+  };
+  for (EdgeId e : g.out_edges(v)) tally(g.edge(e).to);
+  for (EdgeId e : g.in_edges(v)) tally(g.edge(e).from);
+  return external - internal;
+}
+
+}  // namespace
+
+std::vector<int> KernighanLinBipartition(const Digraph& g, Rng& rng,
+                                         int slack, int passes) {
+  const int n = g.num_nodes();
+  std::vector<int> part(static_cast<size_t>(n));
+  // Random balanced start.
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+  rng.Shuffle(order);
+  for (int i = 0; i < n; ++i) part[static_cast<size_t>(order[static_cast<size_t>(i)])] = i < (n + 1) / 2 ? 0 : 1;
+
+  const int target0 = (n + 1) / 2;
+  for (int pass = 0; pass < passes; ++pass) {
+    // One KL pass: greedily move the best-gain unlocked node whose move
+    // keeps the balance, remember the prefix with the best cumulative
+    // gain, then roll back past it.
+    std::vector<bool> locked(static_cast<size_t>(n), false);
+    std::vector<NodeId> moved;
+    int size0 = 0;
+    for (int v = 0; v < n; ++v) size0 += part[static_cast<size_t>(v)] == 0 ? 1 : 0;
+    int cumulative = 0, best_cum = 0;
+    int best_prefix = 0;
+    for (int step = 0; step < n; ++step) {
+      int best_gain = std::numeric_limits<int>::min();
+      NodeId best_v = kNoNode;
+      for (NodeId v = 0; v < n; ++v) {
+        if (locked[static_cast<size_t>(v)]) continue;
+        const int from0 = part[static_cast<size_t>(v)] == 0 ? 1 : 0;
+        const int new_size0 = size0 - from0 + (1 - from0);
+        if (std::abs(new_size0 - target0) > slack) continue;
+        const int gain = MoveGain(g, part, v);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_v = v;
+        }
+      }
+      if (best_v == kNoNode) break;
+      size0 += part[static_cast<size_t>(best_v)] == 0 ? -1 : 1;
+      part[static_cast<size_t>(best_v)] ^= 1;
+      locked[static_cast<size_t>(best_v)] = true;
+      moved.push_back(best_v);
+      cumulative += best_gain;
+      if (cumulative > best_cum) {
+        best_cum = cumulative;
+        best_prefix = static_cast<int>(moved.size());
+      }
+    }
+    // Roll back moves beyond the best prefix.
+    for (int i = static_cast<int>(moved.size()) - 1; i >= best_prefix; --i) {
+      part[static_cast<size_t>(moved[static_cast<size_t>(i)])] ^= 1;
+    }
+    if (best_cum <= 0) break;  // converged
+  }
+  return part;
+}
+
+std::vector<int> RecursiveBisection(const Digraph& g, int k, Rng& rng) {
+  assert(k >= 1 && (k & (k - 1)) == 0 && "k must be a power of two");
+  const int n = g.num_nodes();
+  std::vector<int> part(static_cast<size_t>(n), 0);
+  if (k == 1) return part;
+
+  // Work on index sets; build an induced subgraph per split.
+  struct Work {
+    std::vector<NodeId> nodes;  // global ids
+    int base;                   // first part id of this range
+    int parts;                  // how many parts this range must split into
+  };
+  std::vector<Work> stack;
+  std::vector<NodeId> all(static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) all[static_cast<size_t>(v)] = v;
+  stack.push_back({all, 0, k});
+
+  while (!stack.empty()) {
+    Work w = std::move(stack.back());
+    stack.pop_back();
+    if (w.parts == 1 || w.nodes.size() <= 1) {
+      for (NodeId v : w.nodes) part[static_cast<size_t>(v)] = w.base;
+      continue;
+    }
+    // Induced subgraph.
+    std::vector<int> local(static_cast<size_t>(n), -1);
+    Digraph sub(static_cast<int>(w.nodes.size()));
+    for (size_t i = 0; i < w.nodes.size(); ++i) local[static_cast<size_t>(w.nodes[i])] = static_cast<int>(i);
+    for (NodeId v : w.nodes) {
+      for (EdgeId e : g.out_edges(v)) {
+        const NodeId t = g.edge(e).to;
+        if (local[static_cast<size_t>(t)] >= 0) {
+          sub.AddEdge(local[static_cast<size_t>(v)], local[static_cast<size_t>(t)]);
+        }
+      }
+    }
+    const std::vector<int> half = KernighanLinBipartition(sub, rng);
+    Work lo{{}, w.base, w.parts / 2};
+    Work hi{{}, w.base + w.parts / 2, w.parts / 2};
+    for (size_t i = 0; i < w.nodes.size(); ++i) {
+      (half[i] == 0 ? lo.nodes : hi.nodes).push_back(w.nodes[i]);
+    }
+    stack.push_back(std::move(lo));
+    stack.push_back(std::move(hi));
+  }
+  return part;
+}
+
+int CutSize(const Digraph& g, const std::vector<int>& part) {
+  int cut = 0;
+  for (const auto& e : g.edges()) {
+    if (part[static_cast<size_t>(e.from)] != part[static_cast<size_t>(e.to)]) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace cgra

@@ -1,0 +1,29 @@
+// Graph partitioning for hierarchical mapping.
+//
+// HiMap [26] scales to large arrays by clustering the DFG and mapping
+// clusters onto sub-arrays. We provide Kernighan-Lin bipartitioning
+// with balance constraints, applied recursively for k-way splits.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+
+/// Bipartitions nodes of `g` (edges treated as undirected, unit
+/// weight) minimising the cut while keeping part sizes within
+/// ceil(n/2) +- slack. Returns part id (0/1) per node.
+std::vector<int> KernighanLinBipartition(const Digraph& g, Rng& rng,
+                                         int slack = 1, int passes = 8);
+
+/// Recursive k-way partition (k must be a power of two). Returns part
+/// id in [0, k) per node. Parts are balanced within a slack that grows
+/// with recursion depth.
+std::vector<int> RecursiveBisection(const Digraph& g, int k, Rng& rng);
+
+/// Total number of edges crossing parts.
+int CutSize(const Digraph& g, const std::vector<int>& part);
+
+}  // namespace cgra

@@ -1,0 +1,237 @@
+#include <cstddef>
+#include "ir/cdfg.hpp"
+
+#include <algorithm>
+
+#include "graph/algos.hpp"
+#include "support/str.hpp"
+
+namespace cgra {
+
+int Cdfg::AddBlock(std::string name, Dfg body) {
+  blocks_.push_back(BasicBlock{std::move(name), std::move(body)});
+  return static_cast<int>(blocks_.size()) - 1;
+}
+
+void Cdfg::AddEdge(ControlEdge edge) { edges_.push_back(edge); }
+
+std::vector<ControlEdge> Cdfg::OutEdges(int b) const {
+  std::vector<ControlEdge> out;
+  for (const ControlEdge& e : edges_) {
+    if (e.from == b) out.push_back(e);
+  }
+  return out;
+}
+
+Status Cdfg::Verify() const {
+  if (entry_ < 0 || entry_ >= num_blocks()) {
+    return Error::InvalidArgument("CDFG entry block not set");
+  }
+  if (exit_ < 0 || exit_ >= num_blocks()) {
+    return Error::InvalidArgument("CDFG exit block not set");
+  }
+  for (int b = 0; b < num_blocks(); ++b) {
+    const BasicBlock& bb = blocks_[static_cast<size_t>(b)];
+    if (Status s = bb.body.Verify(); !s.ok()) {
+      return Error::InvalidArgument(
+          StrFormat("block %s: %s", bb.name.c_str(), s.error().message.c_str()));
+    }
+    for (const Op& op : bb.body.ops()) {
+      for (const Operand& o : op.operands) {
+        if (o.distance != 0) {
+          return Error::InvalidArgument(StrFormat(
+              "block %s: loop-carried operand inside a basic block (loops "
+              "are control edges in a CDFG)",
+              bb.name.c_str()));
+        }
+      }
+    }
+    const auto outs = OutEdges(b);
+    if (b == exit_) continue;  // the exit block may fall off the end
+    if (outs.size() == 1) {
+      if (outs[0].cond != ControlEdge::Cond::kAlways) {
+        return Error::InvalidArgument(
+            StrFormat("block %s: single successor must be unconditional",
+                      bb.name.c_str()));
+      }
+    } else if (outs.size() == 2) {
+      const bool ok =
+          ((outs[0].cond == ControlEdge::Cond::kIfTrue &&
+            outs[1].cond == ControlEdge::Cond::kIfFalse) ||
+           (outs[0].cond == ControlEdge::Cond::kIfFalse &&
+            outs[1].cond == ControlEdge::Cond::kIfTrue)) &&
+          outs[0].cond_op == outs[1].cond_op && outs[0].cond_op != kNoOp &&
+          outs[0].cond_op < bb.body.num_ops();
+      if (!ok) {
+        return Error::InvalidArgument(StrFormat(
+            "block %s: two successors must be an if-true/if-false pair on "
+            "one condition op",
+            bb.name.c_str()));
+      }
+    } else {
+      return Error::InvalidArgument(
+          StrFormat("block %s: %zu successors (must be 1 or 2)",
+                    bb.name.c_str(), outs.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Cdfg::ToDot() const {
+  std::string out = "digraph cdfg {\n  node [shape=box];\n";
+  for (int b = 0; b < num_blocks(); ++b) {
+    out += StrFormat("  b%d [label=\"%s\\n(%d ops)\"];\n", b,
+                     blocks_[static_cast<size_t>(b)].name.c_str(),
+                     blocks_[static_cast<size_t>(b)].body.num_ops());
+  }
+  for (const ControlEdge& e : edges_) {
+    const char* label = e.cond == ControlEdge::Cond::kAlways ? ""
+                        : e.cond == ControlEdge::Cond::kIfTrue ? "T"
+                                                               : "F";
+    out += StrFormat("  b%d -> b%d [label=\"%s\"];\n", e.from, e.to, label);
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+// Executes one basic block visit. Streams are consumed through
+// `cursors` (one element per kInput op execution, in dependence order).
+Result<std::vector<std::int64_t>> RunBlockOnce(
+    const Dfg& dfg, const ExecInput& input, std::vector<size_t>& cursors,
+    CdfgExecResult& state) {
+  const auto order_opt = TopologicalOrder(dfg.ToDigraph(/*include_carried=*/false));
+  if (!order_opt) return Error::InvalidArgument("block DFG has a cycle");
+  std::vector<std::int64_t> val(static_cast<size_t>(dfg.num_ops()), 0);
+  for (const NodeId id : *order_opt) {
+    const Op& op = dfg.op(id);
+    bool active = true;
+    if (op.pred != kNoOp) {
+      active = (val[static_cast<size_t>(op.pred)] != 0) == op.pred_when_true;
+    }
+    if (!active) {
+      if (op.opcode == Opcode::kPhi) {
+        val[static_cast<size_t>(id)] = val[static_cast<size_t>(op.operands[1].producer)];
+      }
+      continue;
+    }
+    auto in = [&](int i) {
+      return val[static_cast<size_t>(op.operands[static_cast<size_t>(i)].producer)];
+    };
+    switch (op.opcode) {
+      case Opcode::kConst:
+        val[static_cast<size_t>(id)] = op.imm;
+        break;
+      case Opcode::kInput: {
+        if (op.slot >= static_cast<int>(input.streams.size())) {
+          return Error::InvalidArgument(StrFormat("no input stream %d", op.slot));
+        }
+        if (static_cast<size_t>(op.slot) >= cursors.size()) {
+          cursors.resize(static_cast<size_t>(op.slot) + 1, 0);
+        }
+        const auto& stream = input.streams[static_cast<size_t>(op.slot)];
+        if (cursors[static_cast<size_t>(op.slot)] >= stream.size()) {
+          return Error::InvalidArgument(StrFormat("input stream %d exhausted", op.slot));
+        }
+        val[static_cast<size_t>(id)] = stream[cursors[static_cast<size_t>(op.slot)]++];
+        break;
+      }
+      case Opcode::kIterIdx:
+        val[static_cast<size_t>(id)] = state.blocks_executed;
+        break;
+      case Opcode::kVarIn:
+        if (op.slot >= static_cast<int>(state.vars.size())) {
+          return Error::InvalidArgument(StrFormat("variable %d unset", op.slot));
+        }
+        val[static_cast<size_t>(id)] = state.vars[static_cast<size_t>(op.slot)];
+        break;
+      case Opcode::kVarOut:
+        val[static_cast<size_t>(id)] = in(0);
+        if (op.slot >= static_cast<int>(state.vars.size())) {
+          state.vars.resize(static_cast<size_t>(op.slot) + 1, 0);
+        }
+        state.vars[static_cast<size_t>(op.slot)] = in(0);
+        break;
+      case Opcode::kOutput:
+        val[static_cast<size_t>(id)] = in(0);
+        if (op.slot >= static_cast<int>(state.outputs.size())) {
+          state.outputs.resize(static_cast<size_t>(op.slot) + 1);
+        }
+        state.outputs[static_cast<size_t>(op.slot)].push_back(in(0));
+        break;
+      case Opcode::kLoad: {
+        const std::int64_t addr = in(0);
+        if (op.array >= static_cast<int>(state.arrays.size()) || addr < 0 ||
+            addr >= static_cast<std::int64_t>(state.arrays[static_cast<size_t>(op.array)].size())) {
+          return Error::InvalidArgument("load out of bounds");
+        }
+        val[static_cast<size_t>(id)] =
+            state.arrays[static_cast<size_t>(op.array)][static_cast<size_t>(addr)];
+        break;
+      }
+      case Opcode::kStore: {
+        const std::int64_t addr = in(0);
+        if (op.array >= static_cast<int>(state.arrays.size()) || addr < 0 ||
+            addr >= static_cast<std::int64_t>(state.arrays[static_cast<size_t>(op.array)].size())) {
+          return Error::InvalidArgument("store out of bounds");
+        }
+        state.arrays[static_cast<size_t>(op.array)][static_cast<size_t>(addr)] = in(1);
+        val[static_cast<size_t>(id)] = in(1);
+        break;
+      }
+      case Opcode::kPhi:
+        val[static_cast<size_t>(id)] = in(0);  // active phi takes "then"
+        break;
+      default: {
+        const int arity = OpArity(op.opcode);
+        val[static_cast<size_t>(id)] =
+            EvalAlu(op.opcode, arity > 0 ? in(0) : 0, arity > 1 ? in(1) : 0,
+                    arity > 2 ? in(2) : 0);
+        break;
+      }
+    }
+  }
+  return val;
+}
+
+}  // namespace
+
+Result<CdfgExecResult> RunCdfgReference(const Cdfg& cdfg, const ExecInput& input,
+                                        int max_steps) {
+  if (Status s = cdfg.Verify(); !s.ok()) return s.error();
+  CdfgExecResult state;
+  state.arrays = input.arrays;
+  state.vars = input.vars;
+  std::vector<size_t> cursors;
+
+  int b = cdfg.entry();
+  for (;;) {
+    if (state.blocks_executed >= max_steps) {
+      return Error::ResourceLimit("CDFG execution exceeded max_steps");
+    }
+    auto values = RunBlockOnce(cdfg.block(b).body, input, cursors, state);
+    if (!values.ok()) return values.error();
+    ++state.blocks_executed;
+    if (b == cdfg.exit()) break;
+    const auto outs = cdfg.OutEdges(b);
+    int next = -1;
+    if (outs.size() == 1) {
+      next = outs[0].to;
+    } else {
+      const std::int64_t c = (*values)[static_cast<size_t>(outs[0].cond_op)];
+      for (const ControlEdge& e : outs) {
+        const bool taken = e.cond == ControlEdge::Cond::kIfTrue ? c != 0 : c == 0;
+        if (taken) {
+          next = e.to;
+          break;
+        }
+      }
+    }
+    if (next < 0) return Error::Internal("no control successor taken");
+    b = next;
+  }
+  return state;
+}
+
+}  // namespace cgra

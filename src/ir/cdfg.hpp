@@ -1,0 +1,83 @@
+// Control Data Flow Graph (§II-B): nodes are basic blocks (each a
+// straight-line DFG executed once per visit), edges are control
+// dependencies. Values crossing blocks travel through a variable file
+// via kVarIn/kVarOut ops; streams and memory arrays are global.
+//
+// This is the input shape for "direct CDFG mapping" [60] and the
+// source from which the predication transforms (cf/) produce a single
+// predicated DFG.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "ir/interp.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+struct BasicBlock {
+  std::string name;
+  Dfg body;
+};
+
+struct ControlEdge {
+  enum class Cond {
+    kAlways,  ///< unconditional successor
+    kIfTrue,  ///< taken when `cond_op`'s value != 0
+    kIfFalse, ///< taken when `cond_op`'s value == 0
+  };
+  int from = -1;
+  int to = -1;
+  Cond cond = Cond::kAlways;
+  OpId cond_op = kNoOp;  ///< op in blocks[from].body for kIfTrue/kIfFalse
+};
+
+class Cdfg {
+ public:
+  int AddBlock(std::string name, Dfg body = {});
+  void AddEdge(ControlEdge edge);
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  const BasicBlock& block(int b) const { return blocks_[static_cast<size_t>(b)]; }
+  BasicBlock& mutable_block(int b) { return blocks_[static_cast<size_t>(b)]; }
+  const std::vector<ControlEdge>& edges() const { return edges_; }
+
+  void set_entry(int b) { entry_ = b; }
+  void set_exit(int b) { exit_ = b; }
+  int entry() const { return entry_; }
+  int exit() const { return exit_; }
+
+  /// Successor edges of a block.
+  std::vector<ControlEdge> OutEdges(int b) const;
+
+  /// Structural checks: valid entry/exit, every non-exit block has a
+  /// well-formed outgoing edge set (one kAlways, or a kIfTrue/kIfFalse
+  /// pair on the same condition op), bodies verify.
+  Status Verify() const;
+
+  std::string ToDot() const;
+
+ private:
+  std::vector<BasicBlock> blocks_;
+  std::vector<ControlEdge> edges_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+/// Reference execution of a CDFG: starts at entry, executes each
+/// visited block once (single iteration), follows control edges until
+/// the exit block has executed; stops with an error after `max_steps`
+/// block executions. Stream inputs are consumed (cursor per slot).
+struct CdfgExecResult {
+  std::vector<std::vector<std::int64_t>> outputs;
+  std::vector<std::vector<std::int64_t>> arrays;
+  std::vector<std::int64_t> vars;
+  int blocks_executed = 0;
+};
+Result<CdfgExecResult> RunCdfgReference(const Cdfg& cdfg, const ExecInput& input,
+                                        int max_steps = 100000);
+
+}  // namespace cgra

@@ -1,0 +1,172 @@
+#include <cstddef>
+#include "ir/interp.hpp"
+
+#include <algorithm>
+
+#include "graph/algos.hpp"
+#include "support/str.hpp"
+
+namespace cgra {
+
+Result<ExecResult> RunReference(const Dfg& dfg, const ExecInput& input,
+                                std::vector<std::vector<MemAccess>>* mem_trace) {
+  if (Status s = dfg.Verify(); !s.ok()) return s.error();
+
+  const auto order_opt = TopologicalOrder(dfg.ToDigraph(/*include_carried=*/false));
+  if (!order_opt) {
+    return Error::InvalidArgument("DFG has a same-iteration cycle");
+  }
+  const std::vector<NodeId>& order = *order_opt;
+
+  // Longest carried distance bounds the value history we must keep.
+  int max_dist = 0;
+  for (const Op& op : dfg.ops()) {
+    for (const Operand& o : op.operands) max_dist = std::max(max_dist, o.distance);
+  }
+  const int depth = max_dist + 1;
+  // history[iter % depth][op]
+  std::vector<std::vector<std::int64_t>> history(
+      static_cast<size_t>(depth),
+      std::vector<std::int64_t>(static_cast<size_t>(dfg.num_ops()), 0));
+
+  ExecResult result;
+  result.arrays = input.arrays;
+  result.vars = input.vars;
+  int max_out_slot = -1;
+  for (const Op& op : dfg.ops()) {
+    if (op.opcode == Opcode::kOutput) max_out_slot = std::max(max_out_slot, op.slot);
+  }
+  result.outputs.assign(static_cast<size_t>(max_out_slot + 1), {});
+
+  if (mem_trace) mem_trace->assign(static_cast<size_t>(input.iterations), {});
+  for (int iter = 0; iter < input.iterations; ++iter) {
+    auto& now = history[static_cast<size_t>(iter % depth)];
+    auto read = [&](const Operand& o) -> std::int64_t {
+      if (iter < o.distance) return o.init;
+      return history[static_cast<size_t>((iter - o.distance) % depth)]
+                    [static_cast<size_t>(o.producer)];
+    };
+
+    for (const NodeId id : order) {
+      const Op& op = dfg.op(id);
+      // Predicate check (same-iteration value by construction).
+      bool active = true;
+      if (op.pred != kNoOp) {
+        const std::int64_t p = now[static_cast<size_t>(op.pred)];
+        active = (p != 0) == op.pred_when_true;
+      }
+      std::int64_t v = 0;
+      if (active) {
+        switch (op.opcode) {
+          case Opcode::kConst:
+            v = op.imm;
+            break;
+          case Opcode::kInput: {
+            if (op.slot >= static_cast<int>(input.streams.size()) ||
+                iter >= static_cast<int>(input.streams[static_cast<size_t>(op.slot)].size())) {
+              return Error::InvalidArgument(
+                  StrFormat("input stream %d underrun at iteration %d", op.slot, iter));
+            }
+            v = input.streams[static_cast<size_t>(op.slot)][static_cast<size_t>(iter)];
+            break;
+          }
+          case Opcode::kIterIdx:
+            v = iter;
+            break;
+          case Opcode::kVarIn: {
+            if (op.slot >= static_cast<int>(result.vars.size())) {
+              return Error::InvalidArgument(
+                  StrFormat("variable %d read but var file has %zu entries",
+                            op.slot, result.vars.size()));
+            }
+            v = result.vars[static_cast<size_t>(op.slot)];
+            break;
+          }
+          case Opcode::kVarOut: {
+            v = read(op.operands[0]);
+            if (op.slot >= static_cast<int>(result.vars.size())) {
+              result.vars.resize(static_cast<size_t>(op.slot) + 1, 0);
+            }
+            result.vars[static_cast<size_t>(op.slot)] = v;
+            break;
+          }
+          case Opcode::kOutput:
+            v = read(op.operands[0]);
+            result.outputs[static_cast<size_t>(op.slot)].push_back(v);
+            break;
+          case Opcode::kLoad: {
+            const std::int64_t addr = read(op.operands[0]);
+            if (op.array >= static_cast<int>(result.arrays.size()) || addr < 0 ||
+                addr >= static_cast<std::int64_t>(
+                            result.arrays[static_cast<size_t>(op.array)].size())) {
+              return Error::InvalidArgument(
+                  StrFormat("load out of bounds: array %d addr %lld", op.array,
+                            static_cast<long long>(addr)));
+            }
+            v = result.arrays[static_cast<size_t>(op.array)][static_cast<size_t>(addr)];
+            if (mem_trace) {
+              (*mem_trace)[static_cast<size_t>(iter)].push_back(
+                  MemAccess{op.array, addr, false});
+            }
+            break;
+          }
+          case Opcode::kStore: {
+            const std::int64_t addr = read(op.operands[0]);
+            v = read(op.operands[1]);
+            if (op.array >= static_cast<int>(result.arrays.size()) || addr < 0 ||
+                addr >= static_cast<std::int64_t>(
+                            result.arrays[static_cast<size_t>(op.array)].size())) {
+              return Error::InvalidArgument(
+                  StrFormat("store out of bounds: array %d addr %lld", op.array,
+                            static_cast<long long>(addr)));
+            }
+            result.arrays[static_cast<size_t>(op.array)][static_cast<size_t>(addr)] = v;
+            if (mem_trace) {
+              (*mem_trace)[static_cast<size_t>(iter)].push_back(
+                  MemAccess{op.array, addr, true});
+            }
+            break;
+          }
+          case Opcode::kPhi: {
+            // Phi must be guarded; it picks the "then" value when the
+            // guard holds (with pred_when_true), else the "else" value.
+            if (op.pred == kNoOp) {
+              return Error::InvalidArgument(
+                  StrFormat("phi op %s has no guarding condition", op.name.c_str()));
+            }
+            const std::int64_t p = now[static_cast<size_t>(op.pred)];
+            const bool taken = (p != 0) == op.pred_when_true;
+            v = taken ? read(op.operands[0]) : read(op.operands[1]);
+            break;
+          }
+          default: {
+            const int arity = OpArity(op.opcode);
+            const std::int64_t a = arity > 0 ? read(op.operands[0]) : 0;
+            const std::int64_t b = arity > 1 ? read(op.operands[1]) : 0;
+            const std::int64_t c = arity > 2 ? read(op.operands[2]) : 0;
+            v = EvalAlu(op.opcode, a, b, c);
+            break;
+          }
+        }
+      } else if (op.opcode == Opcode::kPhi) {
+        // An inactive phi still joins: it takes the "else" operand.
+        v = read(op.operands[1]);
+      } else if (op.has_alt()) {
+        // Dual-issue single execution: the alternate side fires.
+        const int arity = OpArity(op.alt_opcode);
+        const std::int64_t a = arity > 0 ? read(op.alt_operands[0]) : 0;
+        const std::int64_t b = arity > 1 ? read(op.alt_operands[1]) : 0;
+        const std::int64_t c = arity > 2 ? read(op.alt_operands[2]) : 0;
+        v = EvalAlu(op.alt_opcode, a, b, c);
+      }
+      now[static_cast<size_t>(id)] = v;
+    }
+    if (iter == input.iterations - 1) result.last_values = now;
+  }
+  if (input.iterations == 0) {
+    result.last_values.assign(static_cast<size_t>(dfg.num_ops()), 0);
+  }
+  return result;
+}
+
+}  // namespace cgra

@@ -1,0 +1,58 @@
+// Reference interpreter for loop-body DFGs.
+//
+// Defines the *ground truth* an accelerated execution must reproduce:
+// the simulator's results are compared bit-exactly against this
+// interpreter in the test and bench harnesses. Semantics: the DFG is
+// one loop iteration; it executes `iterations` times; a distance-d
+// operand reads the producer's value from iteration i-d (its `init`
+// while i < d); predicated-off ops yield 0 and suppress side effects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/dfg.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// Inputs to an execution: stream contents (indexed by kInput slot,
+/// each at least `iterations` long) and initial memory array contents.
+struct ExecInput {
+  std::vector<std::vector<std::int64_t>> streams;
+  std::vector<std::vector<std::int64_t>> arrays;
+  int iterations = 1;
+  /// CDFG variable file (kVarIn/kVarOut); plain loop kernels leave it empty.
+  std::vector<std::int64_t> vars;
+};
+
+/// Observable outcome of an execution.
+struct ExecResult {
+  /// Values pushed by kOutput ops, indexed by slot, one per executed
+  /// (non-predicated-off) occurrence, in iteration order.
+  std::vector<std::vector<std::int64_t>> outputs;
+  /// Final memory array contents.
+  std::vector<std::vector<std::int64_t>> arrays;
+  /// Value of each op in the last iteration (handy for reductions).
+  std::vector<std::int64_t> last_values;
+  /// Final variable file.
+  std::vector<std::int64_t> vars;
+};
+
+/// One memory access observed during reference execution (for the
+/// §III-C bank-conflict studies).
+struct MemAccess {
+  int array = 0;
+  std::int64_t addr = 0;
+  bool is_store = false;
+};
+
+/// Executes `dfg` for input.iterations iterations.
+/// Fails on malformed DFGs, stream underruns, and out-of-bounds
+/// memory accesses (the kernels are expected to be address-safe).
+/// When `mem_trace` is non-null it receives, per iteration, the memory
+/// accesses issued (predicated-off accesses excluded).
+Result<ExecResult> RunReference(const Dfg& dfg, const ExecInput& input,
+                                std::vector<std::vector<MemAccess>>* mem_trace = nullptr);
+
+}  // namespace cgra

@@ -1,0 +1,720 @@
+#include <cstddef>
+#include "ir/kernels.hpp"
+
+#include "support/str.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace cgra {
+namespace {
+
+std::vector<std::int64_t> RandomStream(Rng& rng, int n, int lo = -100, int hi = 100) {
+  std::vector<std::int64_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = rng.NextInt(lo, hi);
+  return v;
+}
+
+ExecInput MakeStreams(std::uint64_t seed, int iterations, int n_streams,
+                      int lo = -100, int hi = 100) {
+  Rng rng(seed);
+  ExecInput in;
+  in.iterations = iterations;
+  for (int s = 0; s < n_streams; ++s) {
+    in.streams.push_back(RandomStream(rng, iterations, lo, hi));
+  }
+  return in;
+}
+
+}  // namespace
+
+Kernel MakeDotProduct(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "dot_product";
+  k.description = "acc += a[i]*b[i]; the paper's Fig. 3 running example";
+  const OpId a = k.dfg.AddInput(0, "a");
+  const OpId b = k.dfg.AddInput(1, "b");
+  const OpId mul = k.dfg.AddBinary(Opcode::kMul, a, b, "mul");
+  // acc(i) = mul(i) + acc(i-1): the carried add of Fig. 3.
+  Op add;
+  add.opcode = Opcode::kAdd;
+  add.name = "acc";
+  add.operands = {Operand{mul, 0, 0}, Operand{kNoOp, 1, 0}};
+  const OpId acc = k.dfg.AddOp([&] {
+    Op tmp = add;
+    return tmp;
+  }());
+  k.dfg.mutable_op(acc).operands[1].producer = acc;  // self loop, distance 1
+  k.dfg.AddOutput(acc, 0, "out");
+  k.input = MakeStreams(seed, iterations, 2);
+  return k;
+}
+
+Kernel MakeVecAdd(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "vecadd";
+  k.description = "c[i] = a[i] + b[i]";
+  const OpId a = k.dfg.AddInput(0, "a");
+  const OpId b = k.dfg.AddInput(1, "b");
+  const OpId sum = k.dfg.AddBinary(Opcode::kAdd, a, b, "sum");
+  k.dfg.AddOutput(sum, 0, "c");
+  k.input = MakeStreams(seed, iterations, 2);
+  return k;
+}
+
+Kernel MakeSaxpy(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "saxpy";
+  k.description = "y[i] = 7*x[i] + y0[i]";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId y0 = k.dfg.AddInput(1, "y0");
+  const OpId a = k.dfg.AddConst(7, "a");
+  const OpId ax = k.dfg.AddBinary(Opcode::kMul, a, x, "ax");
+  const OpId y = k.dfg.AddBinary(Opcode::kAdd, ax, y0, "y");
+  k.dfg.AddOutput(y, 0, "out");
+  k.input = MakeStreams(seed, iterations, 2);
+  return k;
+}
+
+Kernel MakeFir4(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "fir4";
+  k.description = "y[i] = 5x[i] + 3x[i-1] - 2x[i-2] + x[i-3]";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId c0 = k.dfg.AddConst(5, "c0");
+  const OpId c1 = k.dfg.AddConst(3, "c1");
+  const OpId c2 = k.dfg.AddConst(-2, "c2");
+  const OpId t0 = k.dfg.AddBinary(Opcode::kMul, c0, x, "t0");
+  const OpId t1 = k.dfg.AddBinary(Opcode::kMul, Operand{c1, 0, 0},
+                                  Operand{x, 1, 0}, "t1");
+  const OpId t2 = k.dfg.AddBinary(Opcode::kMul, Operand{c2, 0, 0},
+                                  Operand{x, 2, 0}, "t2");
+  const OpId s0 = k.dfg.AddBinary(Opcode::kAdd, t0, t1, "s0");
+  const OpId s1 = k.dfg.AddBinary(Opcode::kAdd, Operand{t2, 0, 0},
+                                  Operand{x, 3, 0}, "s1");
+  const OpId y = k.dfg.AddBinary(Opcode::kAdd, s0, s1, "y");
+  k.dfg.AddOutput(y, 0, "out");
+  k.input = MakeStreams(seed, iterations, 1);
+  return k;
+}
+
+Kernel MakeIir1(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "iir1";
+  k.description = "y[i] = 3*x[i] + 2*y[i-1] (tight recurrence)";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId c3 = k.dfg.AddConst(3, "c3");
+  const OpId c2 = k.dfg.AddConst(2, "c2");
+  const OpId t = k.dfg.AddBinary(Opcode::kMul, c3, x, "t");
+  Op fb;
+  fb.opcode = Opcode::kMul;
+  fb.name = "fb";
+  fb.operands = {Operand{c2, 0, 0}, Operand{kNoOp, 1, 0}};
+  const OpId fbm = k.dfg.AddOp(std::move(fb));
+  const OpId y = k.dfg.AddBinary(Opcode::kAdd, t, fbm, "y");
+  k.dfg.mutable_op(fbm).operands[1].producer = y;  // y[i-1]
+  k.dfg.AddOutput(y, 0, "out");
+  k.input = MakeStreams(seed, iterations, 1, -20, 20);
+  return k;
+}
+
+Kernel MakeMovingAvg3(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "mavg3";
+  k.description = "y[i] = (x[i] + x[i-1] + x[i-2]) / 3";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId c3 = k.dfg.AddConst(3, "c3");
+  const OpId s0 = k.dfg.AddBinary(Opcode::kAdd, Operand{x, 0, 0},
+                                  Operand{x, 1, 0}, "s0");
+  const OpId s1 = k.dfg.AddBinary(Opcode::kAdd, Operand{s0, 0, 0},
+                                  Operand{x, 2, 0}, "s1");
+  const OpId y = k.dfg.AddBinary(Opcode::kDiv, s1, c3, "y");
+  k.dfg.AddOutput(y, 0, "out");
+  k.input = MakeStreams(seed, iterations, 1);
+  return k;
+}
+
+Kernel MakeSobelRow(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "sobel_gx";
+  k.description = "Gx of 3x3 Sobel over three row streams";
+  const OpId r0 = k.dfg.AddInput(0, "r0");
+  const OpId r1 = k.dfg.AddInput(1, "r1");
+  const OpId r2 = k.dfg.AddInput(2, "r2");
+  const OpId two = k.dfg.AddConst(2, "two");
+  // Right column (current), left column (two iterations ago).
+  const OpId m1r = k.dfg.AddBinary(Opcode::kMul, two, r1, "m1r");
+  const OpId right0 = k.dfg.AddBinary(Opcode::kAdd, r0, m1r, "right0");
+  const OpId right = k.dfg.AddBinary(Opcode::kAdd, right0, r2, "right");
+  const OpId m1l = k.dfg.AddBinary(Opcode::kMul, Operand{two, 0, 0},
+                                   Operand{r1, 2, 0}, "m1l");
+  const OpId left0 = k.dfg.AddBinary(Opcode::kAdd, Operand{r0, 2, 0},
+                                     Operand{m1l, 0, 0}, "left0");
+  const OpId left = k.dfg.AddBinary(Opcode::kAdd, Operand{left0, 0, 0},
+                                    Operand{r2, 2, 0}, "left");
+  const OpId gx = k.dfg.AddBinary(Opcode::kSub, right, left, "gx");
+  k.dfg.AddOutput(gx, 0, "out");
+  k.input = MakeStreams(seed, iterations, 3, 0, 255);
+  return k;
+}
+
+Kernel MakeSad(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "sad";
+  k.description = "acc += |a[i] - b[i]| (sum of absolute differences)";
+  const OpId a = k.dfg.AddInput(0, "a");
+  const OpId b = k.dfg.AddInput(1, "b");
+  const OpId d = k.dfg.AddBinary(Opcode::kSub, a, b, "d");
+  const OpId ad = k.dfg.AddUnary(Opcode::kAbs, d, "ad");
+  Op add;
+  add.opcode = Opcode::kAdd;
+  add.name = "acc";
+  add.operands = {Operand{ad, 0, 0}, Operand{kNoOp, 1, 0}};
+  const OpId acc = k.dfg.AddOp(std::move(add));
+  k.dfg.mutable_op(acc).operands[1].producer = acc;
+  k.dfg.AddOutput(acc, 0, "out");
+  k.input = MakeStreams(seed, iterations, 2, 0, 255);
+  return k;
+}
+
+Kernel MakeButterfly(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "butterfly";
+  k.description = "FFT/DCT stage: u = x+y, v = (x-y)*w, two outputs";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId y = k.dfg.AddInput(1, "y");
+  const OpId w = k.dfg.AddInput(2, "w");
+  const OpId u = k.dfg.AddBinary(Opcode::kAdd, x, y, "u");
+  const OpId d = k.dfg.AddBinary(Opcode::kSub, x, y, "d");
+  const OpId v = k.dfg.AddBinary(Opcode::kMul, d, w, "v");
+  k.dfg.AddOutput(u, 0, "out_u");
+  k.dfg.AddOutput(v, 1, "out_v");
+  k.input = MakeStreams(seed, iterations, 3, -50, 50);
+  return k;
+}
+
+Kernel MakeMatVecRow(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "matvec_row";
+  k.description = "acc += A[i] * x[i] via memory loads";
+  const OpId i = k.dfg.AddIterIdx("i");
+  const OpId a = k.dfg.AddLoad(0, i, "A_i");
+  const OpId x = k.dfg.AddLoad(1, i, "x_i");
+  const OpId m = k.dfg.AddBinary(Opcode::kMul, a, x, "m");
+  Op add;
+  add.opcode = Opcode::kAdd;
+  add.name = "acc";
+  add.operands = {Operand{m, 0, 0}, Operand{kNoOp, 1, 0}};
+  const OpId acc = k.dfg.AddOp(std::move(add));
+  k.dfg.mutable_op(acc).operands[1].producer = acc;
+  k.dfg.AddOutput(acc, 0, "out");
+  Rng rng(seed);
+  k.input.iterations = iterations;
+  k.input.arrays.push_back(RandomStream(rng, iterations));
+  k.input.arrays.push_back(RandomStream(rng, iterations));
+  return k;
+}
+
+Kernel MakeGemmMac(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "gemm_mac";
+  k.description = "C[i] += A[i]*B[i] with load/accumulate/store";
+  const OpId i = k.dfg.AddIterIdx("i");
+  const OpId a = k.dfg.AddLoad(0, i, "A_i");
+  const OpId b = k.dfg.AddLoad(1, i, "B_i");
+  const OpId c = k.dfg.AddLoad(2, i, "C_i");
+  const OpId m = k.dfg.AddBinary(Opcode::kMul, a, b, "m");
+  const OpId s = k.dfg.AddBinary(Opcode::kAdd, c, m, "s");
+  const OpId st = k.dfg.AddStore(2, i, s, "store_c");
+  (void)st;
+  k.dfg.AddOutput(s, 0, "out");
+  Rng rng(seed);
+  k.input.iterations = iterations;
+  k.input.arrays.push_back(RandomStream(rng, iterations));
+  k.input.arrays.push_back(RandomStream(rng, iterations));
+  k.input.arrays.push_back(RandomStream(rng, iterations));
+  return k;
+}
+
+Kernel MakeHistogram8(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "histogram8";
+  k.description = "h[x&7]++ with a carried memory dependence";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId mask = k.dfg.AddConst(7, "mask");
+  const OpId one = k.dfg.AddConst(1, "one");
+  const OpId addr = k.dfg.AddBinary(Opcode::kAnd, x, mask, "addr");
+  const OpId h = k.dfg.AddLoad(0, addr, "h");
+  const OpId inc = k.dfg.AddBinary(Opcode::kAdd, h, one, "inc");
+  const OpId st = k.dfg.AddStore(0, addr, inc, "st");
+  // The load must observe the previous iteration's store: carried
+  // ordering dependence (a real memory hazard, so II cannot hide it).
+  k.dfg.mutable_op(h).order_deps.push_back(Operand{st, 1, 0});
+  k.dfg.AddOutput(inc, 0, "out");
+  Rng rng(seed);
+  k.input.iterations = iterations;
+  k.input.streams.push_back(RandomStream(rng, iterations, 0, 255));
+  k.input.arrays.push_back(std::vector<std::int64_t>(8, 0));
+  return k;
+}
+
+Kernel MakeReluScale(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "relu_scale";
+  k.description = "y = max(0, x) * w (activation + scale)";
+  const OpId x = k.dfg.AddInput(0, "x");
+  const OpId w = k.dfg.AddInput(1, "w");
+  const OpId zero = k.dfg.AddConst(0, "zero");
+  const OpId r = k.dfg.AddBinary(Opcode::kMax, x, zero, "relu");
+  const OpId y = k.dfg.AddBinary(Opcode::kMul, r, w, "y");
+  k.dfg.AddOutput(y, 0, "out");
+  k.input = MakeStreams(seed, iterations, 2);
+  return k;
+}
+
+Kernel MakeRunningMaxPool(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "maxpool_run";
+  k.description = "m = max(x[i], m@1) (running max pooling)";
+  const OpId x = k.dfg.AddInput(0, "x");
+  Op mx;
+  mx.opcode = Opcode::kMax;
+  mx.name = "m";
+  mx.operands = {Operand{x, 0, 0}, Operand{kNoOp, 1, -1000000}};
+  const OpId m = k.dfg.AddOp(std::move(mx));
+  k.dfg.mutable_op(m).operands[1].producer = m;
+  k.dfg.AddOutput(m, 0, "out");
+  k.input = MakeStreams(seed, iterations, 1);
+  return k;
+}
+
+Kernel MakeMac2(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "mac2";
+  k.description = "acc += a[i]*b[i] + c[i]*d[i] (dual MAC reduction)";
+  const OpId a = k.dfg.AddInput(0, "a");
+  const OpId b = k.dfg.AddInput(1, "b");
+  const OpId c = k.dfg.AddInput(2, "c");
+  const OpId d = k.dfg.AddInput(3, "d");
+  const OpId m0 = k.dfg.AddBinary(Opcode::kMul, a, b, "m0");
+  const OpId m1 = k.dfg.AddBinary(Opcode::kMul, c, d, "m1");
+  const OpId s = k.dfg.AddBinary(Opcode::kAdd, m0, m1, "s");
+  Op add;
+  add.opcode = Opcode::kAdd;
+  add.name = "acc";
+  add.operands = {Operand{s, 0, 0}, Operand{kNoOp, 1, 0}};
+  const OpId acc = k.dfg.AddOp(std::move(add));
+  k.dfg.mutable_op(acc).operands[1].producer = acc;
+  k.dfg.AddOutput(acc, 0, "out");
+  k.input = MakeStreams(seed, iterations, 4, -30, 30);
+  return k;
+}
+
+Kernel MakeComplexMul(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "complex_mul";
+  k.description = "(a+bi)(c+di): re = ac - bd, im = ad + bc";
+  const OpId a = k.dfg.AddInput(0, "a");
+  const OpId b = k.dfg.AddInput(1, "b");
+  const OpId c = k.dfg.AddInput(2, "c");
+  const OpId d = k.dfg.AddInput(3, "d");
+  const OpId ac = k.dfg.AddBinary(Opcode::kMul, a, c, "ac");
+  const OpId bd = k.dfg.AddBinary(Opcode::kMul, b, d, "bd");
+  const OpId ad = k.dfg.AddBinary(Opcode::kMul, a, d, "ad");
+  const OpId bc = k.dfg.AddBinary(Opcode::kMul, b, c, "bc");
+  const OpId re = k.dfg.AddBinary(Opcode::kSub, ac, bd, "re");
+  const OpId im = k.dfg.AddBinary(Opcode::kAdd, ad, bc, "im");
+  k.dfg.AddOutput(re, 0, "out_re");
+  k.dfg.AddOutput(im, 1, "out_im");
+  k.input = MakeStreams(seed, iterations, 4, -30, 30);
+  return k;
+}
+
+Kernel MakeAlphaBlend(int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = "alpha_blend";
+  k.description = "y = (alpha*p + (256-alpha)*q) >> 8";
+  const OpId alpha = k.dfg.AddInput(0, "alpha");
+  const OpId fg = k.dfg.AddInput(1, "p");
+  const OpId bg = k.dfg.AddInput(2, "q");
+  const OpId c256 = k.dfg.AddConst(256, "c256");
+  const OpId c8 = k.dfg.AddConst(8, "c8");
+  const OpId inv = k.dfg.AddBinary(Opcode::kSub, c256, alpha, "inv");
+  const OpId t0 = k.dfg.AddBinary(Opcode::kMul, alpha, fg, "t0");
+  const OpId t1 = k.dfg.AddBinary(Opcode::kMul, inv, bg, "t1");
+  const OpId sum = k.dfg.AddBinary(Opcode::kAdd, t0, t1, "sum");
+  const OpId y = k.dfg.AddBinary(Opcode::kShr, sum, c8, "y");
+  k.dfg.AddOutput(y, 0, "out");
+  Rng rng(seed);
+  k.input.iterations = iterations;
+  k.input.streams.push_back(RandomStream(rng, iterations, 0, 256));
+  k.input.streams.push_back(RandomStream(rng, iterations, 0, 255));
+  k.input.streams.push_back(RandomStream(rng, iterations, 0, 255));
+  return k;
+}
+
+Kernel MakeDct4Stage(int iterations, std::uint64_t seed) {
+  // The 4-point DCT-II decomposed into butterflies with small integer
+  // twiddles: X0 = (x0+x3)+(x1+x2), X2 = (x0+x3)-(x1+x2),
+  //           X1 = 17*(x0-x3) + 7*(x1-x2), X3 = 7*(x0-x3) - 17*(x1-x2)
+  Kernel k;
+  k.name = "dct4";
+  k.description = "4-point DCT stage (butterflies + twiddles)";
+  const OpId x0 = k.dfg.AddInput(0, "x0");
+  const OpId x1 = k.dfg.AddInput(1, "x1");
+  const OpId x2 = k.dfg.AddInput(2, "x2");
+  const OpId x3 = k.dfg.AddInput(3, "x3");
+  const OpId c17 = k.dfg.AddConst(17, "c17");
+  const OpId c7 = k.dfg.AddConst(7, "c7");
+  const OpId s03 = k.dfg.AddBinary(Opcode::kAdd, x0, x3, "s03");
+  const OpId s12 = k.dfg.AddBinary(Opcode::kAdd, x1, x2, "s12");
+  const OpId d03 = k.dfg.AddBinary(Opcode::kSub, x0, x3, "d03");
+  const OpId d12 = k.dfg.AddBinary(Opcode::kSub, x1, x2, "d12");
+  const OpId X0 = k.dfg.AddBinary(Opcode::kAdd, s03, s12, "X0");
+  const OpId X2 = k.dfg.AddBinary(Opcode::kSub, s03, s12, "X2");
+  const OpId a0 = k.dfg.AddBinary(Opcode::kMul, c17, d03, "a0");
+  const OpId a1 = k.dfg.AddBinary(Opcode::kMul, c7, d12, "a1");
+  const OpId b0 = k.dfg.AddBinary(Opcode::kMul, c7, d03, "b0");
+  const OpId b1 = k.dfg.AddBinary(Opcode::kMul, c17, d12, "b1");
+  const OpId X1 = k.dfg.AddBinary(Opcode::kAdd, a0, a1, "X1");
+  const OpId X3 = k.dfg.AddBinary(Opcode::kSub, b0, b1, "X3");
+  k.dfg.AddOutput(X0, 0, "out0");
+  k.dfg.AddOutput(X1, 1, "out1");
+  k.dfg.AddOutput(X2, 2, "out2");
+  k.dfg.AddOutput(X3, 3, "out3");
+  k.input = MakeStreams(seed, iterations, 4, 0, 255);
+  return k;
+}
+
+Kernel MakeWideDotProduct(int lanes, int iterations, std::uint64_t seed) {
+  Kernel k;
+  k.name = StrFormat("wide_dot_%d", lanes);
+  k.description = "unrolled dot product: parallel MAC lanes + adder tree";
+  std::vector<OpId> partials;
+  for (int lane = 0; lane < lanes; ++lane) {
+    const OpId a = k.dfg.AddInput(2 * lane, StrFormat("a%d", lane));
+    const OpId b = k.dfg.AddInput(2 * lane + 1, StrFormat("b%d", lane));
+    partials.push_back(
+        k.dfg.AddBinary(Opcode::kMul, a, b, StrFormat("m%d", lane)));
+  }
+  // Reduction tree.
+  while (partials.size() > 1) {
+    std::vector<OpId> next;
+    for (size_t i = 0; i + 1 < partials.size(); i += 2) {
+      next.push_back(k.dfg.AddBinary(Opcode::kAdd, partials[i], partials[i + 1]));
+    }
+    if (partials.size() % 2 == 1) next.push_back(partials.back());
+    partials = std::move(next);
+  }
+  Op acc;
+  acc.opcode = Opcode::kAdd;
+  acc.name = "acc";
+  acc.operands = {Operand{partials[0], 0, 0}, Operand{kNoOp, 1, 0}};
+  const OpId acc_id = k.dfg.AddOp(std::move(acc));
+  k.dfg.mutable_op(acc_id).operands[1].producer = acc_id;
+  k.dfg.AddOutput(acc_id, 0, "out");
+  k.input = MakeStreams(seed, iterations, 2 * lanes, -20, 20);
+  return k;
+}
+
+std::vector<Kernel> StandardKernelSuite(int iterations, std::uint64_t seed) {
+  std::vector<Kernel> suite;
+  suite.push_back(MakeDotProduct(iterations, seed + 1));
+  suite.push_back(MakeVecAdd(iterations, seed + 2));
+  suite.push_back(MakeSaxpy(iterations, seed + 3));
+  suite.push_back(MakeFir4(iterations, seed + 4));
+  suite.push_back(MakeIir1(iterations, seed + 5));
+  suite.push_back(MakeMovingAvg3(iterations, seed + 6));
+  suite.push_back(MakeSobelRow(iterations, seed + 7));
+  suite.push_back(MakeSad(iterations, seed + 8));
+  suite.push_back(MakeButterfly(iterations, seed + 9));
+  suite.push_back(MakeMatVecRow(iterations, seed + 10));
+  suite.push_back(MakeGemmMac(iterations, seed + 11));
+  suite.push_back(MakeHistogram8(iterations, seed + 12));
+  suite.push_back(MakeReluScale(iterations, seed + 13));
+  suite.push_back(MakeRunningMaxPool(iterations, seed + 14));
+  suite.push_back(MakeMac2(iterations, seed + 15));
+  return suite;
+}
+
+std::vector<Kernel> TinyKernelSuite(int iterations, std::uint64_t seed) {
+  std::vector<Kernel> suite;
+  suite.push_back(MakeVecAdd(iterations, seed + 2));
+  suite.push_back(MakeDotProduct(iterations, seed + 1));
+  suite.push_back(MakeSaxpy(iterations, seed + 3));
+  suite.push_back(MakeReluScale(iterations, seed + 13));
+  suite.push_back(MakeButterfly(iterations, seed + 9));
+  return suite;
+}
+
+namespace {
+
+// Builds the shared ITE scaffold: reads x, computes cond = x > thr.
+// `then_fn` / `else_fn` append region ops and return the region value.
+template <typename ThenFn, typename ElseFn>
+IteKernel BuildIte(const std::string& name, int iterations, std::uint64_t seed,
+                   std::int64_t thr, ThenFn&& then_fn, ElseFn&& else_fn) {
+  IteKernel k;
+  k.name = name;
+
+  // --- predicated single-DFG form ---
+  {
+    Dfg& d = k.dfg;
+    const OpId x = d.AddInput(0, "x");
+    const OpId thr_c = d.AddConst(thr, "thr");
+    k.cond = d.AddBinary(Opcode::kCmpLt, thr_c, x, "cond");  // x > thr
+    const int first_then = d.num_ops();
+    const OpId tv = then_fn(d, x);
+    for (OpId id = first_then; id < d.num_ops(); ++id) k.then_ops.push_back(id);
+    const int first_else = d.num_ops();
+    const OpId ev = else_fn(d, x);
+    for (OpId id = first_else; id < d.num_ops(); ++id) k.else_ops.push_back(id);
+    Op phi;
+    phi.opcode = Opcode::kPhi;
+    phi.name = "join";
+    phi.operands = {Operand{tv, 0, 0}, Operand{ev, 0, 0}};
+    phi.pred = k.cond;
+    const OpId join = d.AddOp(std::move(phi));
+    k.phi_ops.push_back(join);
+    d.AddOutput(join, 0, "out");
+  }
+
+  // --- CDFG diamond form ---
+  {
+    // Variables: 0 = x (live across the diamond), 1 = y (join result),
+    // 2 = loop counter.
+    Dfg header;
+    {
+      const OpId x = header.AddInput(0, "x");
+      header.AddOp([&] {
+        Op o;
+        o.opcode = Opcode::kVarOut;
+        o.slot = 0;
+        o.operands = {Operand{x, 0, 0}};
+        o.name = "save_x";
+        return o;
+      }());
+      const OpId thr_c = header.AddConst(thr, "thr");
+      const OpId cond = header.AddBinary(Opcode::kCmpLt, thr_c, x, "cond");
+      // The branch condition is also stored, so a sequenced (direct
+      // CDFG mapping) execution can observe it between configurations.
+      header.AddOp([&] {
+        Op o;
+        o.opcode = Opcode::kVarOut;
+        o.slot = 3;
+        o.operands = {Operand{cond, 0, 0}};
+        o.name = "save_cond";
+        return o;
+      }());
+    }
+    Dfg then_b;
+    {
+      Op vi;
+      vi.opcode = Opcode::kVarIn;
+      vi.slot = 0;
+      vi.name = "x";
+      const OpId x = then_b.AddOp(std::move(vi));
+      const OpId tv = then_fn(then_b, x);
+      Op vo;
+      vo.opcode = Opcode::kVarOut;
+      vo.slot = 1;
+      vo.operands = {Operand{tv, 0, 0}};
+      vo.name = "save_y";
+      then_b.AddOp(std::move(vo));
+    }
+    Dfg else_b;
+    {
+      Op vi;
+      vi.opcode = Opcode::kVarIn;
+      vi.slot = 0;
+      vi.name = "x";
+      const OpId x = else_b.AddOp(std::move(vi));
+      const OpId ev = else_fn(else_b, x);
+      Op vo;
+      vo.opcode = Opcode::kVarOut;
+      vo.slot = 1;
+      vo.operands = {Operand{ev, 0, 0}};
+      vo.name = "save_y";
+      else_b.AddOp(std::move(vo));
+    }
+    Dfg join_b;
+    OpId loop_cond;
+    {
+      Op vi;
+      vi.opcode = Opcode::kVarIn;
+      vi.slot = 1;
+      vi.name = "y";
+      const OpId y = join_b.AddOp(std::move(vi));
+      join_b.AddOutput(y, 0, "out");
+      // Loop bookkeeping: ++count; continue while count < iterations.
+      Op ci;
+      ci.opcode = Opcode::kVarIn;
+      ci.slot = 2;
+      ci.name = "count";
+      const OpId cnt = join_b.AddOp(std::move(ci));
+      const OpId one = join_b.AddConst(1, "one");
+      const OpId n = join_b.AddConst(iterations, "n");
+      const OpId next = join_b.AddBinary(Opcode::kAdd, cnt, one, "next");
+      Op co;
+      co.opcode = Opcode::kVarOut;
+      co.slot = 2;
+      co.operands = {Operand{next, 0, 0}};
+      co.name = "save_count";
+      join_b.AddOp(std::move(co));
+      loop_cond = join_b.AddBinary(Opcode::kCmpLt, next, n, "more");
+      Op mo;
+      mo.opcode = Opcode::kVarOut;
+      mo.slot = 4;
+      mo.operands = {Operand{loop_cond, 0, 0}};
+      mo.name = "save_more";
+      join_b.AddOp(std::move(mo));
+    }
+    Dfg exit_b;  // empty exit
+
+    Cdfg& c = k.cdfg;
+    const int bh = c.AddBlock("header", std::move(header));
+    const int bt = c.AddBlock("then", std::move(then_b));
+    const int be = c.AddBlock("else", std::move(else_b));
+    const int bj = c.AddBlock("join", std::move(join_b));
+    const int bx = c.AddBlock("exit", std::move(exit_b));
+    const OpId cond_op = 3;  // header: x, save_x, thr, cond -> cond is id 3
+    c.AddEdge(ControlEdge{bh, bt, ControlEdge::Cond::kIfTrue, cond_op});
+    c.AddEdge(ControlEdge{bh, be, ControlEdge::Cond::kIfFalse, cond_op});
+    c.AddEdge(ControlEdge{bt, bj, ControlEdge::Cond::kAlways, kNoOp});
+    c.AddEdge(ControlEdge{be, bj, ControlEdge::Cond::kAlways, kNoOp});
+    c.AddEdge(ControlEdge{bj, bh, ControlEdge::Cond::kIfTrue, loop_cond});
+    c.AddEdge(ControlEdge{bj, bx, ControlEdge::Cond::kIfFalse, loop_cond});
+    c.set_entry(bh);
+    c.set_exit(bx);
+  }
+
+  k.input = MakeStreams(seed, iterations, 1, -100, 100);
+  k.input.vars = {0, 0, 0, 0, 0};
+  return k;
+}
+
+}  // namespace
+
+IteKernel MakeThresholdIte(int iterations, std::uint64_t seed) {
+  return BuildIte(
+      "threshold_ite", iterations, seed, /*thr=*/10,
+      [](Dfg& d, OpId x) {
+        const OpId c3 = d.AddConst(3, "c3");
+        const OpId c1 = d.AddConst(1, "c1");
+        const OpId t = d.AddBinary(Opcode::kMul, x, c3, "t_mul");
+        return d.AddBinary(Opcode::kSub, t, c1, "t_val");
+      },
+      [](Dfg& d, OpId x) {
+        const OpId c100 = d.AddConst(100, "c100");
+        return d.AddBinary(Opcode::kAdd, x, c100, "e_val");
+      });
+}
+
+IteKernel MakeClampIte(int iterations, std::uint64_t seed) {
+  return BuildIte(
+      "clamp_ite", iterations, seed, /*thr=*/0,
+      [](Dfg& d, OpId x) {
+        // then: y = ((x*2) + (x>>1)) * 3
+        const OpId c2 = d.AddConst(2, "c2");
+        const OpId c1 = d.AddConst(1, "c1");
+        const OpId c3 = d.AddConst(3, "c3");
+        const OpId t0 = d.AddBinary(Opcode::kMul, x, c2, "t0");
+        const OpId t1 = d.AddBinary(Opcode::kShr, x, c1, "t1");
+        const OpId t2 = d.AddBinary(Opcode::kAdd, t0, t1, "t2");
+        return d.AddBinary(Opcode::kMul, t2, c3, "t_val");
+      },
+      [](Dfg& d, OpId x) {
+        // else: y = |x| + (x & 15) - 7
+        const OpId c15 = d.AddConst(15, "c15");
+        const OpId c7 = d.AddConst(7, "c7");
+        const OpId e0 = d.AddUnary(Opcode::kAbs, x, "e0");
+        const OpId e1 = d.AddBinary(Opcode::kAnd, x, c15, "e1");
+        const OpId e2 = d.AddBinary(Opcode::kAdd, e0, e1, "e2");
+        return d.AddBinary(Opcode::kSub, e2, c7, "e_val");
+      });
+}
+
+Kernel MakeRandomKernel(Rng& rng, const RandomDfgOptions& options,
+                        int iterations) {
+  static const Opcode kBinaryPool[] = {
+      Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd, Opcode::kOr,
+      Opcode::kXor, Opcode::kMin, Opcode::kMax, Opcode::kCmpLt};
+  static const Opcode kUnaryPool[] = {Opcode::kNeg, Opcode::kNot, Opcode::kAbs};
+
+  Kernel k;
+  k.name = "random";
+  k.description = "randomly generated loop body";
+  Dfg& d = k.dfg;
+  std::vector<OpId> values;  // ops usable as operands
+  for (int s = 0; s < options.num_inputs; ++s) {
+    values.push_back(d.AddInput(s));
+  }
+  values.push_back(d.AddConst(rng.NextInt(-50, 50)));
+
+  // Warm-up inits must be CONSISTENT per producer: all reads of "v
+  // before iteration 0" see the same (nonexistent) instances, and
+  // hardware keeps each in one register.
+  std::map<OpId, std::int64_t> shared_init;
+  auto pick_operand = [&](OpId self) -> Operand {
+    // Loop-carried operands may reference any non-constant op
+    // (including self); same-iteration operands reference any earlier
+    // value. Constants are excluded from carried picks: an immediate
+    // is iteration-invariant, so "the constant from d iterations ago"
+    // is not a meaningful hardware read.
+    if (rng.NextDouble() < options.carried_fraction) {
+      const int dist = rng.NextInt(1, options.max_distance);
+      OpId producer = self;  // `self` is not in `values` yet
+      if (!rng.NextBool(0.3)) {
+        for (int tries = 0; tries < 8; ++tries) {
+          const OpId candidate = values[rng.NextIndex(values.size())];
+          if (d.op(candidate).opcode != Opcode::kConst) {
+            producer = candidate;
+            break;
+          }
+        }
+      }
+      auto [it, inserted] = shared_init.insert({producer, rng.NextInt(-5, 5)});
+      return Operand{producer, dist, it->second};
+    }
+    return Operand{values[rng.NextIndex(values.size())], 0, 0};
+  };
+
+  const int body_ops = std::max(1, options.num_ops - options.num_inputs -
+                                       options.num_outputs - 1);
+  for (int i = 0; i < body_ops; ++i) {
+    const OpId self = d.num_ops();
+    if (options.allow_memory && rng.NextBool(0.1)) {
+      const OpId mask = values[rng.NextIndex(values.size())];
+      const OpId seven = values.empty() ? d.AddConst(7) : mask;
+      const OpId addr = d.AddBinary(Opcode::kAnd, seven, d.AddConst(7), "addr");
+      values.push_back(d.AddLoad(0, addr));
+      continue;
+    }
+    if (rng.NextBool(0.25)) {
+      Op op;
+      op.opcode = kUnaryPool[rng.NextIndex(std::size(kUnaryPool))];
+      op.operands = {pick_operand(self)};
+      values.push_back(d.AddOp(std::move(op)));
+    } else {
+      Op op;
+      op.opcode = kBinaryPool[rng.NextIndex(std::size(kBinaryPool))];
+      op.operands = {pick_operand(self), pick_operand(self)};
+      values.push_back(d.AddOp(std::move(op)));
+    }
+  }
+  for (int s = 0; s < options.num_outputs; ++s) {
+    d.AddOutput(values[values.size() - 1 - static_cast<size_t>(s) % values.size()], s);
+  }
+
+  k.input.iterations = iterations;
+  for (int s = 0; s < options.num_inputs; ++s) {
+    k.input.streams.push_back(RandomStream(rng, iterations, -40, 40));
+  }
+  if (options.allow_memory) {
+    k.input.arrays.push_back(std::vector<std::int64_t>(16, 1));
+  }
+  return k;
+}
+
+}  // namespace cgra

@@ -1,0 +1,101 @@
+// Kernel library: the workloads every mapper and every bench runs.
+//
+// The survey's two CGRA "waves" (§IV) frame the suite: first-wave
+// multimedia/DSP kernels (dot product — the paper's running example in
+// Fig. 3 — FIR, IIR, Sobel, SAD, DCT butterflies) and second-wave AI
+// kernels (MAC/GEMM, ReLU, pooling). Each kernel is one loop body as a
+// DFG plus deterministic inputs sized for `iterations`, so reference
+// interpreter and CGRA simulator outputs can be compared bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/cdfg.hpp"
+#include "ir/dfg.hpp"
+#include "ir/interp.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+
+struct Kernel {
+  std::string name;
+  std::string description;
+  Dfg dfg;
+  ExecInput input;
+};
+
+// ---- first wave: multimedia / DSP -----------------------------------------
+Kernel MakeDotProduct(int iterations, std::uint64_t seed);   ///< acc += a[i]*b[i]
+Kernel MakeVecAdd(int iterations, std::uint64_t seed);       ///< c[i] = a[i]+b[i]
+Kernel MakeSaxpy(int iterations, std::uint64_t seed);        ///< y[i] = 7*x[i]+y0[i]
+Kernel MakeFir4(int iterations, std::uint64_t seed);         ///< 4-tap FIR
+Kernel MakeIir1(int iterations, std::uint64_t seed);         ///< y = 3x + 2*y@1
+Kernel MakeMovingAvg3(int iterations, std::uint64_t seed);   ///< window mean
+Kernel MakeSobelRow(int iterations, std::uint64_t seed);     ///< 3x3 Gx on rows
+Kernel MakeSad(int iterations, std::uint64_t seed);          ///< acc += |a-b|
+Kernel MakeButterfly(int iterations, std::uint64_t seed);    ///< FFT/DCT stage
+// ---- memory-bound (exercise kLoad/kStore) ----------------------------------
+Kernel MakeMatVecRow(int iterations, std::uint64_t seed);    ///< y += A[i]*x[i] (loads)
+Kernel MakeGemmMac(int iterations, std::uint64_t seed);      ///< C[i]+=A[i]*B[i] (ld/st)
+Kernel MakeHistogram8(int iterations, std::uint64_t seed);   ///< h[x&7]++ (carried mem dep)
+// ---- second wave: AI ---------------------------------------------------------
+Kernel MakeReluScale(int iterations, std::uint64_t seed);    ///< max(0,x)*w
+Kernel MakeRunningMaxPool(int iterations, std::uint64_t seed);///< m = max(x, m@1)
+Kernel MakeMac2(int iterations, std::uint64_t seed);         ///< dual-MAC reduction
+// ---- extra DSP kernels (used by examples/tests; not in the standard
+// suite, so bench baselines stay stable) --------------------------------------
+Kernel MakeComplexMul(int iterations, std::uint64_t seed);   ///< (a+bi)*(c+di)
+Kernel MakeAlphaBlend(int iterations, std::uint64_t seed);   ///< (a*p + (256-a)*q)>>8
+Kernel MakeDct4Stage(int iterations, std::uint64_t seed);    ///< 4-pt DCT butterflies
+
+/// A width-scalable workload for the §IV-B scalability studies:
+/// `lanes` independent MAC lanes reduced by an adder tree (the shape
+/// of an unrolled dot product / one GEMM output tile). Op count grows
+/// roughly as 4*lanes.
+Kernel MakeWideDotProduct(int lanes, int iterations, std::uint64_t seed);
+
+/// The full suite, deterministic for a given seed.
+std::vector<Kernel> StandardKernelSuite(int iterations = 64,
+                                        std::uint64_t seed = 0x5EED);
+
+/// A reduced suite of the smallest kernels (exact mappers get these).
+std::vector<Kernel> TinyKernelSuite(int iterations = 16,
+                                    std::uint64_t seed = 0x5EED);
+
+// ---- control-flow kernels (for §III-B experiments) --------------------------
+
+/// An if-then-else loop body in two equivalent forms: a predicated DFG
+/// (phi join, region tags) and a CDFG diamond. Semantics:
+///   t = x[i];  if (t > thr) y = (t*3 - 1)  else  y = (t + 100);  out y
+struct IteKernel {
+  std::string name;
+  /// Single-DFG form with a kPhi join guarded by the condition.
+  Dfg dfg;
+  OpId cond = kNoOp;                 ///< condition op in `dfg`
+  std::vector<OpId> then_ops;        ///< ops of the taken region
+  std::vector<OpId> else_ops;        ///< ops of the not-taken region
+  std::vector<OpId> phi_ops;         ///< join ops
+  /// CDFG diamond form (entry -> cond -> then/else -> join/exit).
+  Cdfg cdfg;
+  ExecInput input;
+};
+IteKernel MakeThresholdIte(int iterations, std::uint64_t seed);
+IteKernel MakeClampIte(int iterations, std::uint64_t seed);   ///< nested arith, fatter branches
+
+// ---- random DFGs (property tests) -------------------------------------------
+struct RandomDfgOptions {
+  int num_ops = 12;
+  int num_inputs = 2;
+  int num_outputs = 1;
+  double carried_fraction = 0.15;  ///< chance an operand is loop-carried
+  int max_distance = 2;
+  bool allow_memory = false;
+};
+/// A structurally valid random loop-body DFG (Verify() passes) plus
+/// matching random inputs.
+Kernel MakeRandomKernel(Rng& rng, const RandomDfgOptions& options,
+                        int iterations = 16);
+
+}  // namespace cgra

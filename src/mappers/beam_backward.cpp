@@ -1,0 +1,125 @@
+// Backward simultaneous scheduling/binding with stochastically pruned
+// partial solutions, after Peyret et al. [47] and Das et al. [24].
+//
+// Ops are mapped from the outputs backward (consumers first), so every
+// placement decision immediately knows where its consumers sit and can
+// bind close to them. All partial solutions live in a beam; when the
+// beam overflows, the best ones survive deterministically and ONE
+// survivor is chosen at random — the [24] trick that keeps the
+// population diverse while bounding its size ("the partial solutions
+// are stochastically pruned to keep under control their number").
+#include <algorithm>
+#include <cstddef>
+
+#include "graph/algos.hpp"
+#include "mappers/common.hpp"
+#include "mappers/mappers.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+namespace {
+
+class BackwardBeamMapper final : public Mapper {
+ public:
+  std::string name() const override { return "bwd-beam"; }
+  TechniqueClass technique() const override { return TechniqueClass::kHeuristic; }
+  MappingKind kind() const override { return MappingKind::kBinding; }
+  std::string lineage() const override {
+    return "backward simultaneous scheduling/binding with stochastic "
+           "pruning (Peyret et al. [47], Das et al. [24])";
+  }
+
+  Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
+                      const MapperOptions& options) const override {
+    const Mrrg mrrg(arch);
+    Rng rng(options.seed);
+    const auto candidates = CandidateCellTable(dfg, arch);
+    constexpr int kBeamWidth = 6;
+    constexpr int kExpansionsPerState = 10;
+
+    // Reverse topological order (outputs first).
+    const auto topo = TopologicalOrder(dfg.ToDigraph(/*include_carried=*/false));
+    if (!topo) return Error::InvalidArgument("DFG has a same-iteration cycle");
+    std::vector<OpId> order;
+    for (auto it = topo->rbegin(); it != topo->rend(); ++it) {
+      if (!arch.IsFolded(dfg.op(*it).opcode)) order.push_back(*it);
+    }
+
+    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+      const auto est = ModuloAsap(dfg, arch, ii);
+      if (est.empty()) {
+        return Error::Unmappable("recurrences infeasible at this II");
+      }
+      // Going backward we anchor times at ALAP-style targets: critical
+      // path length plus slack gives the output row.
+      const int horizon =
+          *std::max_element(est.begin(), est.end()) + options.extra_slack;
+
+      struct State {
+        PlaceRouteState prs;
+        int route_steps = 0;
+      };
+      std::vector<State> beam;
+      beam.push_back(State{PlaceRouteState(dfg, arch, mrrg, ii), 0});
+
+      const auto edges = dfg.Edges(true);
+      for (OpId op : order) {
+        if (options.deadline.Expired()) {
+          return Error::ResourceLimit("beam search deadline expired");
+        }
+        std::vector<State> next;
+        for (State& s : beam) {
+          // Time window: below every placed consumer, above ASAP.
+          int hi = horizon;
+          for (const DfgEdge& e : edges) {
+            if (e.from != op || e.to == op) continue;
+            if (s.prs.IsPlaced(e.to)) {
+              hi = std::min(hi, s.prs.placement(e.to).time - 1 + ii * e.distance);
+            }
+          }
+          const int lo = std::max(est[static_cast<size_t>(op)], hi - ii + 1);
+          int expansions = 0;
+          // Prefer late times (backward construction packs upward).
+          for (int t = hi; t >= lo && expansions < kExpansionsPerState; --t) {
+            std::vector<int> cells = candidates[static_cast<size_t>(op)];
+            rng.Shuffle(cells);
+            for (int cell : cells) {
+              if (expansions >= kExpansionsPerState) break;
+              State child{s.prs, s.route_steps};  // copy the partial solution
+              if (child.prs.TryPlace(op, cell, t)) {
+                child.route_steps += child.prs.last_route_steps();
+                next.push_back(std::move(child));
+                ++expansions;
+              }
+            }
+          }
+        }
+        if (next.empty()) {
+          return Error::Unmappable("beam died: no placement for " +
+                                   dfg.op(op).name);
+        }
+        // Deterministic survivors + one stochastic survivor [24].
+        std::sort(next.begin(), next.end(), [](const State& a, const State& b) {
+          return a.route_steps < b.route_steps;
+        });
+        if (static_cast<int>(next.size()) > kBeamWidth) {
+          const size_t wild =
+              kBeamWidth - 1 +
+              rng.NextIndex(next.size() - (kBeamWidth - 1));
+          std::swap(next[kBeamWidth - 1], next[wild]);
+          next.erase(next.begin() + kBeamWidth, next.end());
+        }
+        beam = std::move(next);
+      }
+      return beam.front().prs.Finalize();
+    });
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Mapper> MakeBackwardBeamMapper() {
+  return std::make_unique<BackwardBeamMapper>();
+}
+
+}  // namespace cgra

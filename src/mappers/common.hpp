@@ -1,0 +1,80 @@
+// Shared machinery for the mapper collection.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "arch/mrrg.hpp"
+#include "ir/dfg.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/place_route.hpp"
+#include "support/rng.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// Lower bounds on the initiation interval (§II-B modulo scheduling).
+struct MiiBounds {
+  int res_mii = 1;  ///< resource-constrained (per capability class)
+  int rec_mii = 1;  ///< recurrence-constrained
+  int mii() const { return res_mii > rec_mii ? res_mii : rec_mii; }
+};
+MiiBounds ComputeMii(const Dfg& dfg, const Architecture& arch, int max_ii);
+
+/// Modulo-aware earliest start times: the least t per op satisfying
+/// t_v >= t_u + 1 - II*distance over all dependence edges (Bellman-Ford
+/// longest path; empty when the recurrence is infeasible at this II).
+std::vector<int> ModuloAsap(const Dfg& dfg, const Architecture& arch, int ii);
+
+/// Height-based priority: ops on longer paths to a sink first
+/// (classic IMS ordering). Ties broken by op id for determinism.
+std::vector<OpId> HeightPriorityOrder(const Dfg& dfg, const Architecture& arch);
+
+/// Cells allowed for each op (capability filter), optionally
+/// restricted to `region` (HiMap-style sub-arrays).
+std::vector<std::vector<int>> CandidateCellTable(
+    const Dfg& dfg, const Architecture& arch,
+    const std::vector<int>* region = nullptr);
+
+/// The workhorse: iterative modulo place-and-route at a fixed II.
+/// Schedules ops in `order`, placing each at the earliest feasible
+/// (cell, time); on failure within the time window it evicts the
+/// blocking ops (IMS-style "force and re-schedule") up to `budget`
+/// evictions. Randomisation (`rng` non-null) turns it into CRIMSON-
+/// style randomized IMS.
+struct ImsOptions {
+  int eviction_budget_factor = 8;  ///< budget = factor * num_ops
+  Rng* rng = nullptr;              ///< shuffle cell order / time choice
+  const std::vector<std::vector<int>>* candidate_cells = nullptr;
+  int extra_slack = 8;             ///< window beyond ASAP for start times
+  Deadline deadline;
+};
+Result<Mapping> ImsPlaceRoute(const Dfg& dfg, const Architecture& arch,
+                              const Mrrg& mrrg, int ii,
+                              const std::vector<OpId>& order,
+                              const ImsOptions& options);
+
+/// Binds ops to cells under an externally fixed schedule: depth-first
+/// search in time order over affinity-ordered candidate cells, with a
+/// node budget. Used by the decoupled schedulers (ILP scheduling, CP
+/// realizations) whose "binding is someone else's problem".
+Result<Mapping> BindAtFixedTimes(const Dfg& dfg, const Architecture& arch,
+                                 const Mrrg& mrrg, int ii,
+                                 const std::vector<int>& times,
+                                 const Deadline& deadline,
+                                 int node_budget = 20000);
+
+/// Runs `attempt(ii)` for ii from max(mii, 1) to min(max_ii, arch max),
+/// returning the first success; aggregates attempts into `attempts`.
+Result<Mapping> EscalateIi(const Dfg& dfg, const Architecture& arch,
+                           const MapperOptions& options,
+                           const std::function<Result<Mapping>(int)>& attempt);
+
+/// True when every op of the DFG has at least one compatible cell (a
+/// cheap pre-check that gives exact mappers their "prove infeasible"
+/// behaviour early).
+Status CheckMappable(const Dfg& dfg, const Architecture& arch);
+
+}  // namespace cgra

@@ -1,0 +1,195 @@
+// EPIMap-style binding via maximum common subgraph, after Hamzeh et
+// al. [28] (and the backward simultaneous variant of Peyret [47] uses
+// the same compatibility machinery).
+//
+// The schedule is produced first (modulo-ASAP levels); binding is then
+// the problem of embedding the scheduled DFG into the time-extended
+// CGRA graph. We build graph A = scheduled ops (edges = same/carried
+// dependencies) and graph B = (cell, slot) pairs with edges wherever a
+// one-hop-or-wait transfer of the required latency exists, and run the
+// MCS search with compatibility = capability + slot agreement. When
+// the embedding misses ops (MCS < |A|), the DFG is transformed the
+// EPIMap way — a kRoute node is inserted to stretch the failing edge —
+// and the process repeats (the "epimorphism" iteration).
+#include <algorithm>
+#include <cstddef>
+#include <map>
+
+#include "graph/mcs.hpp"
+#include "mappers/common.hpp"
+#include "mappers/mappers.hpp"
+
+namespace cgra {
+namespace {
+
+class EpimapStyleMapper final : public Mapper {
+ public:
+  std::string name() const override { return "epimap"; }
+  TechniqueClass technique() const override { return TechniqueClass::kHeuristic; }
+  MappingKind kind() const override { return MappingKind::kBinding; }
+  std::string lineage() const override {
+    return "max-common-subgraph binding with recompute/route transforms "
+           "(EPIMap [28]; cf. Peyret et al. [47])";
+  }
+
+  Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
+                      const MapperOptions& options) const override {
+    const Mrrg mrrg(arch);
+    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+      Dfg work = dfg;  // transformed copy (route insertions)
+      for (int transform_round = 0; transform_round < 4; ++transform_round) {
+        if (options.deadline.Expired()) {
+          return Error::ResourceLimit("EPIMap deadline expired");
+        }
+        Result<Mapping> r = TryBind(work, dfg, arch, mrrg, ii, options);
+        if (r.ok()) return r;
+        // Transform: stretch the longest same-iteration edge of the
+        // highest-fanout op with a route node, then retry.
+        const auto fan = work.FanOut();
+        OpId worst = kNoOp;
+        int worst_fan = 1;
+        for (OpId op = 0; op < work.num_ops(); ++op) {
+          if (arch.IsFolded(work.op(op).opcode)) continue;
+          if (fan[static_cast<size_t>(op)] > worst_fan) {
+            worst_fan = fan[static_cast<size_t>(op)];
+            worst = op;
+          }
+        }
+        if (worst == kNoOp) return r;
+        const OpId route =
+            work.AddUnary(Opcode::kRoute, worst, work.op(worst).name + "_rt");
+        int toggle = 0;
+        for (OpId consumer = 0; consumer < work.num_ops(); ++consumer) {
+          if (consumer == route) continue;
+          for (Operand& o : work.mutable_op(consumer).operands) {
+            if (o.producer == worst && o.distance == 0 && toggle++ % 2 == 1) {
+              o.producer = route;
+            }
+          }
+        }
+      }
+      return Error::Unmappable("EPIMap transforms exhausted at this II");
+    });
+  }
+
+ private:
+  // One embed attempt for the (possibly transformed) DFG `work`. The
+  // result is projected onto `original` if `work` == `original` in op
+  // prefix (synthetic routes are appended, so original placements are
+  // a prefix); we re-pin-and-route the original ops.
+  Result<Mapping> TryBind(const Dfg& work, const Dfg& original,
+                          const Architecture& arch, const Mrrg& mrrg, int ii,
+                          const MapperOptions& options) const {
+    const auto times = ModuloAsap(work, arch, ii);
+    if (times.empty()) {
+      return Error::Unmappable("recurrences infeasible at this II");
+    }
+
+    // Graph A: mappable scheduled ops with their dependence edges.
+    std::vector<OpId> mappable;
+    std::vector<int> compact(static_cast<size_t>(work.num_ops()), -1);
+    for (OpId op = 0; op < work.num_ops(); ++op) {
+      if (!arch.IsFolded(work.op(op).opcode)) {
+        compact[static_cast<size_t>(op)] = static_cast<int>(mappable.size());
+        mappable.push_back(op);
+      }
+    }
+    Digraph a(static_cast<int>(mappable.size()));
+    struct AEdge {
+      int from, to, latency;
+    };
+    std::vector<AEdge> a_edges;
+    for (const DfgEdge& e : work.Edges(true)) {
+      if (e.to_port == kOrderPort) continue;
+      if (arch.IsFolded(work.op(e.from).opcode)) continue;
+      const int fa = compact[static_cast<size_t>(e.from)];
+      const int ta = compact[static_cast<size_t>(e.to)];
+      a.AddEdge(fa, ta);
+      a_edges.push_back(
+          AEdge{fa, ta,
+                times[static_cast<size_t>(e.to)] + ii * e.distance -
+                    times[static_cast<size_t>(e.from)]});
+    }
+
+    // Graph B: one node per (cell, slot); edge p->q when a value
+    // produced on p can be read by q after a wait-or-one-hop transfer
+    // (the restricted-routing relation).
+    const int cells = arch.num_cells();
+    Digraph b(cells * ii);
+    auto bnode = [&](int cell, int slot) { return cell * ii + slot; };
+    for (int p = 0; p < cells; ++p) {
+      for (int sp = 0; sp < ii; ++sp) {
+        for (int q = 0; q < cells; ++q) {
+          const auto& readable = arch.ReadableFrom(q);
+          const bool direct =
+              std::find(readable.begin(), readable.end(), p) != readable.end();
+          if (!direct) continue;
+          for (int sq = 0; sq < ii; ++sq) {
+            b.AddEdge(bnode(p, sp), bnode(q, sq));
+          }
+        }
+      }
+    }
+
+    // Compatibility: capability + slot agreement with the schedule.
+    McsOptions mcs;
+    mcs.deadline = options.deadline.RemainingSeconds() > 2.0
+                       ? Deadline::AfterSeconds(2.0)
+                       : options.deadline;
+    mcs.require_edge_preservation = true;
+    mcs.node_compatible = [&](NodeId va, NodeId vb) {
+      const OpId op = mappable[static_cast<size_t>(va)];
+      const int cell = vb / ii;
+      const int slot = vb % ii;
+      const int want = ((times[static_cast<size_t>(op)] % ii) + ii) % ii;
+      return slot == want && arch.CanExecute(cell, work.op(op));
+    };
+    const auto match = MaxCommonSubgraph(a, b, mcs);
+    if (match.size() != mappable.size()) {
+      return Error::Unmappable("MCS embedding left ops unmapped");
+    }
+
+    // Realize with the real router at the matched cells/times.
+    PlaceRouteState state(work, arch, mrrg, ii);
+    std::vector<std::pair<OpId, int>> placement;  // (op, cell)
+    for (const auto& [va, vb] : match) {
+      placement.push_back({mappable[static_cast<size_t>(va)], vb / ii});
+    }
+    std::sort(placement.begin(), placement.end(), [&](const auto& x, const auto& y) {
+      return times[static_cast<size_t>(x.first)] < times[static_cast<size_t>(y.first)];
+    });
+    for (const auto& [op, cell] : placement) {
+      if (!state.TryPlace(op, cell, times[static_cast<size_t>(op)])) {
+        return Error::Unmappable("MCS embedding not routable");
+      }
+    }
+    Mapping full = state.Finalize();
+    if (work.num_ops() == original.num_ops()) return full;
+
+    // Project the transformed mapping back onto the original DFG.
+    PlaceRouteState pinned(original, arch, mrrg, ii);
+    std::vector<OpId> by_time;
+    for (OpId op = 0; op < original.num_ops(); ++op) {
+      if (!arch.IsFolded(original.op(op).opcode)) by_time.push_back(op);
+    }
+    std::sort(by_time.begin(), by_time.end(), [&](OpId x, OpId y) {
+      return full.place[static_cast<size_t>(x)].time <
+             full.place[static_cast<size_t>(y)].time;
+    });
+    for (OpId op : by_time) {
+      const Placement& p = full.place[static_cast<size_t>(op)];
+      if (!pinned.TryPlace(op, p.cell, p.time)) {
+        return Error::Unmappable("projection of transformed mapping failed");
+      }
+    }
+    return pinned.Finalize();
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Mapper> MakeEpimapStyleMapper() {
+  return std::make_unique<EpimapStyleMapper>();
+}
+
+}  // namespace cgra

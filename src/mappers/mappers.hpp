@@ -1,0 +1,44 @@
+// The mapper collection: one representative implementation per cell of
+// the survey's Table I. See DESIGN.md §3 for the coverage map and the
+// lineage of each algorithm.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "mapping/mapper.hpp"
+
+namespace cgra {
+
+// ---- heuristics -------------------------------------------------------------
+std::unique_ptr<Mapper> MakeSpatialGreedyMapper();      ///< spatial, greedy list
+std::unique_ptr<Mapper> MakeGraphDrawingMapper();       ///< spatial, Yoon [23]
+std::unique_ptr<Mapper> MakeIterativeModuloScheduler(); ///< temporal, Rau IMS / Mei [61]
+std::unique_ptr<Mapper> MakeUltraFastScheduler();       ///< temporal, Lee&Carlson [16]
+std::unique_ptr<Mapper> MakeEdgeCentricMapper();        ///< temporal, EMS [37]
+std::unique_ptr<Mapper> MakeRampMapper();               ///< temporal, RAMP [38]
+std::unique_ptr<Mapper> MakeEpimapStyleMapper();        ///< binding, EPIMap [28]
+std::unique_ptr<Mapper> MakeBackwardBeamMapper();       ///< binding, Peyret [47]/Das [24]
+std::unique_ptr<Mapper> MakeCrimsonScheduler();         ///< scheduling, CRIMSON [52]
+std::unique_ptr<Mapper> MakeHierarchicalMapper();       ///< temporal, HiMap [26]
+
+// ---- meta-heuristics ---------------------------------------------------------
+std::unique_ptr<Mapper> MakeAnnealingSpatialMapper();   ///< spatial SA, SNAFU/DSAGEN
+std::unique_ptr<Mapper> MakeDrescAnnealingMapper();     ///< temporal SA, DRESC [22]
+std::unique_ptr<Mapper> MakeAnnealingBinder();          ///< binding SA, SPR [49]
+std::unique_ptr<Mapper> MakeGeneticSpatialMapper();     ///< spatial GA, GenMap [19]
+std::unique_ptr<Mapper> MakeQeaBinder();                ///< binding QEA, Lee [48]
+
+// ---- exact: ILP / branch & bound ---------------------------------------------
+std::unique_ptr<Mapper> MakeIlpSpatialMapper();         ///< Chin&Anderson [34]
+std::unique_ptr<Mapper> MakeIlpTemporalMapper();        ///< Brenner [41]
+std::unique_ptr<Mapper> MakeIlpBinder();                ///< Guo [15]
+std::unique_ptr<Mapper> MakeIlpScheduler();             ///< Mu [53]
+std::unique_ptr<Mapper> MakeBranchBoundMapper();        ///< DNestMap [42] + pruning [24]
+
+// ---- exact: CSP ----------------------------------------------------------------
+std::unique_ptr<Mapper> MakeCpTemporalMapper();         ///< Raffin [43]
+std::unique_ptr<Mapper> MakeSatTemporalMapper();        ///< Miyasaka [17]
+std::unique_ptr<Mapper> MakeSmtTemporalMapper();        ///< Donovick [44]
+
+}  // namespace cgra

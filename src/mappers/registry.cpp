@@ -1,0 +1,39 @@
+#include <cstddef>
+
+#include "mappers/mappers.hpp"
+
+namespace cgra {
+
+std::vector<std::unique_ptr<Mapper>> MakeAllMappers() {
+  std::vector<std::unique_ptr<Mapper>> mappers;
+  // Heuristics.
+  mappers.push_back(MakeSpatialGreedyMapper());
+  mappers.push_back(MakeGraphDrawingMapper());
+  mappers.push_back(MakeIterativeModuloScheduler());
+  mappers.push_back(MakeUltraFastScheduler());
+  mappers.push_back(MakeEdgeCentricMapper());
+  mappers.push_back(MakeRampMapper());
+  mappers.push_back(MakeEpimapStyleMapper());
+  mappers.push_back(MakeBackwardBeamMapper());
+  mappers.push_back(MakeCrimsonScheduler());
+  mappers.push_back(MakeHierarchicalMapper());
+  // Meta-heuristics.
+  mappers.push_back(MakeAnnealingSpatialMapper());
+  mappers.push_back(MakeDrescAnnealingMapper());
+  mappers.push_back(MakeAnnealingBinder());
+  mappers.push_back(MakeGeneticSpatialMapper());
+  mappers.push_back(MakeQeaBinder());
+  // Exact: ILP / B&B.
+  mappers.push_back(MakeIlpSpatialMapper());
+  mappers.push_back(MakeIlpTemporalMapper());
+  mappers.push_back(MakeIlpBinder());
+  mappers.push_back(MakeIlpScheduler());
+  mappers.push_back(MakeBranchBoundMapper());
+  // Exact: CSP.
+  mappers.push_back(MakeCpTemporalMapper());
+  mappers.push_back(MakeSatTemporalMapper());
+  mappers.push_back(MakeSmtTemporalMapper());
+  return mappers;
+}
+
+}  // namespace cgra

@@ -1,0 +1,26 @@
+#include "mapping/mapper.hpp"
+
+namespace cgra {
+
+std::string_view TechniqueClassName(TechniqueClass c) {
+  switch (c) {
+    case TechniqueClass::kHeuristic: return "heuristic";
+    case TechniqueClass::kMetaPopulation: return "meta(population)";
+    case TechniqueClass::kMetaLocalSearch: return "meta(local search)";
+    case TechniqueClass::kExactIlp: return "exact(ILP/B&B)";
+    case TechniqueClass::kExactCsp: return "exact(CSP)";
+  }
+  return "?";
+}
+
+std::string_view MappingKindName(MappingKind k) {
+  switch (k) {
+    case MappingKind::kSpatial: return "spatial";
+    case MappingKind::kTemporal: return "temporal";
+    case MappingKind::kBinding: return "binding";
+    case MappingKind::kScheduling: return "scheduling";
+  }
+  return "?";
+}
+
+}  // namespace cgra

@@ -1,0 +1,68 @@
+#include "mapping/mapping.hpp"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "arch/context.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+namespace cgra {
+
+MappingStats ComputeStats(const Dfg& dfg, const Architecture& arch,
+                          const Mapping& m) {
+  MappingStats s;
+  s.ii = m.ii;
+  s.length = m.length;
+  std::set<int> cells;
+  for (OpId op = 0; op < dfg.num_ops(); ++op) {
+    const Placement& p = m.place[static_cast<size_t>(op)];
+    if (p.cell >= 0) {
+      ++s.ops_mapped;
+      cells.insert(p.cell);
+    }
+  }
+  s.cells_used = static_cast<int>(cells.size());
+  std::set<std::tuple<OpId, int, int>> occ;
+  const auto edges = dfg.Edges(true);
+  for (size_t e = 0; e < m.routes.size() && e < edges.size(); ++e) {
+    for (const RouteStep& step : m.routes[e].steps) {
+      occ.insert({edges[e].from, step.node, step.time});
+    }
+  }
+  s.route_steps = static_cast<int>(occ.size());
+  const double denom = static_cast<double>(arch.num_cells()) * m.ii;
+  s.fu_utilization = denom > 0 ? s.ops_mapped / denom : 0;
+  // Energy proxy per iteration: one unit per executed op, 0.2 per
+  // register write along routes, plus configuration fetch cost
+  // proportional to the bits held for II frames, amortised.
+  s.energy_proxy = s.ops_mapped + 0.2 * s.route_steps +
+                   1e-4 * FrameBitCount(arch) * m.ii;
+  return s;
+}
+
+std::string RenderSchedule(const Dfg& dfg, const Architecture& arch,
+                           const Mapping& m) {
+  std::vector<std::string> header{"cycle"};
+  for (int c = 0; c < arch.num_cells(); ++c) {
+    header.push_back(StrFormat("PE%d,%d", arch.RowOf(c), arch.ColOf(c)));
+  }
+  TextTable table(header);
+  for (int t = 0; t < m.length; ++t) {
+    std::vector<std::string> row{StrFormat("%d", t)};
+    for (int c = 0; c < arch.num_cells(); ++c) {
+      std::string cell;
+      for (OpId op = 0; op < dfg.num_ops(); ++op) {
+        const Placement& p = m.place[static_cast<size_t>(op)];
+        if (p.cell == c && p.time == t) cell = dfg.op(op).name;
+      }
+      row.push_back(cell);
+    }
+    table.AddRow(std::move(row));
+    if ((t + 1) % m.ii == 0 && t + 1 < m.length) table.AddRule();
+  }
+  return table.Render();
+}
+
+}  // namespace cgra

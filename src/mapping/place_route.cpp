@@ -1,0 +1,177 @@
+#include "mapping/place_route.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cgra {
+
+PlaceRouteState::PlaceRouteState(const Dfg& dfg, const Architecture& arch,
+                                 const Mrrg& mrrg, int ii)
+    : dfg_(&dfg),
+      arch_(&arch),
+      mrrg_(&mrrg),
+      ii_(ii),
+      tracker_(mrrg, ii),
+      place_(static_cast<size_t>(dfg.num_ops())),
+      edges_(dfg.Edges(/*include_pred=*/true)),
+      routes_(edges_.size()),
+      edges_of_(static_cast<size_t>(dfg.num_ops())),
+      bank_load_(static_cast<size_t>(std::max(1, arch.params().num_banks)),
+                 std::vector<int>(static_cast<size_t>(ii), 0)) {
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    edges_of_[static_cast<size_t>(edges_[e].from)].push_back(static_cast<int>(e));
+    if (edges_[e].to != edges_[e].from) {
+      edges_of_[static_cast<size_t>(edges_[e].to)].push_back(static_cast<int>(e));
+    }
+  }
+  for (OpId op = 0; op < dfg.num_ops(); ++op) {
+    if (!arch.IsFolded(dfg.op(op).opcode)) mappable_.push_back(op);
+  }
+}
+
+std::vector<int> PlaceRouteState::CandidateCells(OpId op) const {
+  std::vector<int> cells;
+  for (int c = 0; c < arch_->num_cells(); ++c) {
+    if (arch_->CanExecute(c, dfg_->op(op))) cells.push_back(c);
+  }
+  return cells;
+}
+
+bool PlaceRouteState::RouteEdge(int edge_index, const RouterOptions& options) {
+  const DfgEdge& e = edges_[static_cast<size_t>(edge_index)];
+  const Placement& from = place_[static_cast<size_t>(e.from)];
+  const Placement& to = place_[static_cast<size_t>(e.to)];
+  const int arrive = to.time + ii_ * e.distance;
+
+  if (e.to_port == kOrderPort) {
+    // Ordering-only: the consumer must issue strictly after the
+    // producer's side effect commits. No value is routed.
+    if (arrive < from.time + 1) {
+      last_fail_ = FailReason::kTimingViolated;
+      return false;
+    }
+    routes_[static_cast<size_t>(edge_index)] = Route{};
+    return true;
+  }
+  if (arrive < from.time + 1) {
+    last_fail_ = FailReason::kTimingViolated;
+    return false;
+  }
+  RouteRequest req;
+  req.from_cell = from.cell;
+  req.from_time = from.time;
+  req.to_cell = to.cell;
+  req.to_time = arrive;
+  req.value = e.from;
+  auto route = RouteValue(*mrrg_, tracker_, req, options);
+  if (!route.ok()) {
+    last_fail_ = FailReason::kRouteCongested;
+    return false;
+  }
+  routes_[static_cast<size_t>(edge_index)] = std::move(route).value();
+  return true;
+}
+
+void PlaceRouteState::UnrouteEdge(int edge_index) {
+  auto& route = routes_[static_cast<size_t>(edge_index)];
+  if (!route.has_value()) return;
+  ReleaseRoute(tracker_, *route, edges_[static_cast<size_t>(edge_index)].from);
+  route.reset();
+}
+
+bool PlaceRouteState::TryPlace(OpId op, int cell, int time,
+                               const RouterOptions& router_options) {
+  assert(!IsPlaced(op));
+  last_fail_ = FailReason::kNone;
+  const Op& o = dfg_->op(op);
+  if (!arch_->CanExecute(cell, o)) {
+    last_fail_ = FailReason::kIncompatibleCell;
+    return false;
+  }
+  const int fu = mrrg_->FuNode(cell);
+  if (!tracker_.CanOccupy(fu, time, op)) {
+    last_fail_ = FailReason::kFuBusy;
+    return false;
+  }
+  const bool is_mem = IsMemoryOp(o.opcode);
+  const int slot = ((time % ii_) + ii_) % ii_;
+  if (is_mem) {
+    const int bank = BankOf(cell);
+    if (bank >= 0 &&
+        bank_load_[static_cast<size_t>(bank)][static_cast<size_t>(slot)] >=
+            arch_->params().bank_ports) {
+      last_fail_ = FailReason::kBankPortConflict;
+      return false;
+    }
+  }
+
+  tracker_.Occupy(fu, time, op);
+  place_[static_cast<size_t>(op)] = Placement{cell, time};
+  if (is_mem && BankOf(cell) >= 0) {
+    ++bank_load_[static_cast<size_t>(BankOf(cell))][static_cast<size_t>(slot)];
+  }
+
+  std::vector<int> routed;
+  last_route_steps_ = 0;
+  bool ok = true;
+  for (int e : edges_of_[static_cast<size_t>(op)]) {
+    const DfgEdge& edge = edges_[static_cast<size_t>(e)];
+    if (routes_[static_cast<size_t>(e)].has_value()) continue;  // self-loop routed once
+    const OpId other = edge.from == op ? edge.to : edge.from;
+    // Folded producers (constants / loop counter) need no route.
+    if (arch_->IsFolded(dfg_->op(edge.from).opcode)) continue;
+    if (other != op && !IsPlaced(other)) continue;
+    if (!RouteEdge(e, router_options)) {
+      ok = false;
+      break;
+    }
+    last_route_steps_ +=
+        static_cast<int>(routes_[static_cast<size_t>(e)]->steps.size());
+    routed.push_back(e);
+  }
+
+  if (!ok) {
+    for (int e : routed) UnrouteEdge(e);
+    tracker_.Release(fu, time, op);
+    if (is_mem && BankOf(cell) >= 0) {
+      --bank_load_[static_cast<size_t>(BankOf(cell))][static_cast<size_t>(slot)];
+    }
+    place_[static_cast<size_t>(op)] = Placement{};
+    return false;
+  }
+  ++placed_count_;
+  return true;
+}
+
+void PlaceRouteState::Unplace(OpId op) {
+  assert(IsPlaced(op));
+  const Placement p = place_[static_cast<size_t>(op)];
+  for (int e : edges_of_[static_cast<size_t>(op)]) {
+    UnrouteEdge(e);
+  }
+  tracker_.Release(mrrg_->FuNode(p.cell), p.time, op);
+  if (IsMemoryOp(dfg_->op(op).opcode) && BankOf(p.cell) >= 0) {
+    const int slot = ((p.time % ii_) + ii_) % ii_;
+    --bank_load_[static_cast<size_t>(BankOf(p.cell))][static_cast<size_t>(slot)];
+  }
+  place_[static_cast<size_t>(op)] = Placement{};
+  --placed_count_;
+}
+
+Mapping PlaceRouteState::Finalize() const {
+  Mapping m;
+  m.ii = ii_;
+  m.place = place_;
+  int length = 1;
+  for (const Placement& p : place_) {
+    if (p.cell >= 0) length = std::max(length, p.time + 1);
+  }
+  m.length = std::max(length, ii_);
+  m.routes.resize(edges_.size());
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (routes_[e].has_value()) m.routes[e] = *routes_[e];
+  }
+  return m;
+}
+
+}  // namespace cgra

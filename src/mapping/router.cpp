@@ -1,0 +1,154 @@
+#include "mapping/router.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <unordered_map>
+
+namespace cgra {
+namespace {
+
+// Dijkstra state key: (node, time, stay) packed into one integer.
+// `stay` counts consecutive cycles already spent in `node`; it bounds
+// how many entries one path may stack onto a single (node, slot) pair
+// — without it a long wait in one register file could silently exceed
+// the file's capacity (each II wrap is another live copy).
+std::int64_t Key(int node, int time, int stay) {
+  return (static_cast<std::int64_t>(node) << 32) |
+         (static_cast<std::int64_t>(stay) << 24) | time;
+}
+
+}  // namespace
+
+Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
+                         const RouteRequest& request,
+                         const RouterOptions& options) {
+  const int ii = tracker.ii();
+  const int start_time = request.from_time + 1;
+  if (start_time > request.to_time) {
+    return Error::Unmappable("consumer issues before the producer's latch");
+  }
+  const int start_node = mrrg.HoldNode(request.from_cell);
+  if (!options.ignore_capacity &&
+      !tracker.CanOccupy(start_node, start_time, request.value)) {
+    return Error::Unmappable("producer's register file is full at the latch cycle");
+  }
+
+  const auto& goals = mrrg.ReadableHolds(request.to_cell);
+  auto is_goal = [&](int node, int time) {
+    return time == request.to_time &&
+           std::find(goals.begin(), goals.end(), node) != goals.end();
+  };
+
+  struct State {
+    double cost;
+    int node;
+    int time;
+    int stay;
+  };
+  auto cmp = [](const State& a, const State& b) { return a.cost > b.cost; };
+  std::priority_queue<State, std::vector<State>, decltype(cmp)> pq(cmp);
+  std::unordered_map<std::int64_t, double> best;
+  std::unordered_map<std::int64_t, std::int64_t> parent;
+
+  auto node_cost = [&](int node) {
+    double c = options.step_cost;
+    if (options.history_cost &&
+        static_cast<size_t>(node) < options.history_cost->size()) {
+      c += (*options.history_cost)[static_cast<size_t>(node)];
+    }
+    return c;
+  };
+
+  // True when a consecutive chain of `chain_len` cycles ending at
+  // (node, end_time) fits the capacity of every slot it touches,
+  // together with the existing tracker load. The chain hits the slot
+  // of `end_time` exactly floor((chain_len - 1) / ii) + 1 times.
+  auto chain_fits = [&](int node, int end_time, int chain_len) {
+    if (options.ignore_capacity) return true;
+    const int hits = (chain_len - 1) / ii + 1;
+    const int slot = ((end_time % ii) + ii) % ii;
+    return tracker.Load(node, slot) + hits <= mrrg.node(node).capacity;
+  };
+
+  const std::int64_t start_key = Key(start_node, start_time, 0);
+  best[start_key] = node_cost(start_node);
+  pq.push(State{best[start_key], start_node, start_time, 0});
+  int expansions = 0;
+  std::int64_t goal_key = -1;
+
+  while (!pq.empty()) {
+    const State s = pq.top();
+    pq.pop();
+    const std::int64_t k = Key(s.node, s.time, s.stay);
+    auto it = best.find(k);
+    if (it == best.end() || it->second < s.cost) continue;
+    if (is_goal(s.node, s.time)) {
+      goal_key = k;
+      break;
+    }
+    if (++expansions > options.max_expansions) break;
+    for (const Mrrg::Link& link : mrrg.OutLinks(s.node)) {
+      const int nt = s.time + link.latency;
+      if (nt > request.to_time) continue;
+      const bool self_stay = link.to == s.node;
+      const int nstay = self_stay ? s.stay + 1 : 0;
+      if (self_stay) {
+        // The whole consecutive chain (nstay + 1 cycles) must fit.
+        if (!chain_fits(link.to, nt, nstay + 1)) continue;
+      } else if (!options.ignore_capacity &&
+                 !tracker.CanOccupy(link.to, nt, request.value)) {
+        continue;
+      }
+      const double nc = s.cost + node_cost(link.to);
+      const std::int64_t nk = Key(link.to, nt, nstay);
+      auto bit = best.find(nk);
+      if (bit == best.end() || nc < bit->second) {
+        best[nk] = nc;
+        parent[nk] = k;
+        pq.push(State{nc, link.to, nt, nstay});
+      }
+    }
+  }
+
+  if (goal_key < 0) {
+    return Error::Unmappable("no capacity-respecting route of the required latency");
+  }
+
+  Route route;
+  for (std::int64_t k = goal_key;;) {
+    route.steps.push_back(
+        RouteStep{static_cast<int>(k >> 32),
+                  static_cast<int>(k & 0xFFFFFF)});
+    auto it = parent.find(k);
+    if (it == parent.end()) break;
+    k = it->second;
+  }
+  std::reverse(route.steps.begin(), route.steps.end());
+
+  if (!options.ignore_capacity) {
+    for (const RouteStep& step : route.steps) {
+      tracker.Occupy(step.node, step.time, request.value);
+    }
+    // Defence in depth: non-consecutive revisits of a node are not
+    // covered by the stay counter; verify the committed load and back
+    // out if anything overflowed.
+    for (const RouteStep& step : route.steps) {
+      const int slot = ((step.time % ii) + ii) % ii;
+      if (tracker.Load(step.node, slot) > mrrg.node(step.node).capacity) {
+        ReleaseRoute(tracker, route, request.value);
+        return Error::Unmappable("route would overflow a register file");
+      }
+    }
+  }
+  return route;
+}
+
+void ReleaseRoute(ResourceTracker& tracker, const Route& route, ValueId value) {
+  for (const RouteStep& step : route.steps) {
+    tracker.Release(step.node, step.time, value);
+  }
+}
+
+}  // namespace cgra

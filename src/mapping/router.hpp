@@ -1,0 +1,52 @@
+// Time-extended router (§II-B "Routing": "use an existing link without
+// interfering with already existing communications using this link").
+//
+// Routes one value from its producer's latch to a hold readable by the
+// consumer at exactly the consumer's issue cycle, by Dijkstra over
+// (MRRG node, absolute time) states. Hold self-links let a value wait
+// in a register, so any arrival cycle >= producer+1 is reachable if
+// capacity permits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "arch/mrrg.hpp"
+#include "mapping/mapping.hpp"
+#include "mapping/tracker.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+struct RouteRequest {
+  int from_cell = -1;
+  int from_time = -1;  ///< producer issue cycle
+  int to_cell = -1;
+  int to_time = -1;    ///< consumer issue cycle + II*distance (absolute)
+  ValueId value = -1;  ///< producer op id (nets sharing a value share steps)
+};
+
+struct RouterOptions {
+  /// Per-MRRG-node extra cost (PathFinder-style history); may be null.
+  const std::vector<double>* history_cost = nullptr;
+  /// Base cost of occupying one (node, time) step.
+  double step_cost = 1.0;
+  /// Hard cap on Dijkstra expansions (guards pathological searches).
+  int max_expansions = 1 << 18;
+  /// DRESC-style congestion-negotiating mode: ignore capacities and do
+  /// NOT record occupancy in the tracker — the caller accounts overuse
+  /// itself and anneals it away (Mei et al. [22]).
+  bool ignore_capacity = false;
+};
+
+/// On success the returned route's steps are already recorded in the
+/// tracker (call ReleaseRoute to undo). Fails with kUnmappable when no
+/// capacity-respecting path of the exact required latency exists.
+Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
+                         const RouteRequest& request,
+                         const RouterOptions& options = {});
+
+/// Releases every step of `route` for `value`.
+void ReleaseRoute(ResourceTracker& tracker, const Route& route, ValueId value);
+
+}  // namespace cgra

@@ -1,0 +1,65 @@
+#include "mapping/tracker.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cgra {
+
+ResourceTracker::ResourceTracker(const Mrrg& mrrg, int ii)
+    : mrrg_(&mrrg), ii_(ii) {
+  assert(ii >= 1);
+  occ_.resize(static_cast<size_t>(mrrg.num_nodes()) * static_cast<size_t>(ii));
+}
+
+bool ResourceTracker::CanOccupy(int node, int time, ValueId value) const {
+  const int s = ((time % ii_) + ii_) % ii_;
+  const auto& entries = slot(node, s);
+  int occupants = 0;
+  for (const Entry& e : entries) {
+    if (e.value == value && e.time == time) return true;  // already ours
+    ++occupants;
+  }
+  return occupants < mrrg_->node(node).capacity;
+}
+
+void ResourceTracker::Occupy(int node, int time, ValueId value) {
+  const int s = ((time % ii_) + ii_) % ii_;
+  auto& entries = slot(node, s);
+  for (Entry& e : entries) {
+    if (e.value == value && e.time == time) {
+      ++e.refs;
+      return;
+    }
+  }
+  entries.push_back(Entry{value, time, 1});
+}
+
+void ResourceTracker::Release(int node, int time, ValueId value) {
+  const int s = ((time % ii_) + ii_) % ii_;
+  auto& entries = slot(node, s);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].value == value && entries[i].time == time) {
+      if (--entries[i].refs == 0) {
+        entries[i] = entries.back();
+        entries.pop_back();
+      }
+      return;
+    }
+  }
+  assert(false && "releasing an occupancy that was never recorded");
+}
+
+int ResourceTracker::Load(int node, int s) const {
+  return static_cast<int>(slot(node, s).size());
+}
+
+int ResourceTracker::Headroom(int node, int time) const {
+  const int s = ((time % ii_) + ii_) % ii_;
+  return mrrg_->node(node).capacity - Load(node, s);
+}
+
+void ResourceTracker::Reset() {
+  for (auto& v : occ_) v.clear();
+}
+
+}  // namespace cgra

@@ -1,0 +1,74 @@
+// Modulo resource occupancy tracking.
+//
+// Every physical resource exists once per II slot (time mod II); this
+// tracker counts which *values* occupy which (node, slot) pair so
+// capacities are enforced during placement and routing. Two subtleties
+// the survey's problem statement implies:
+//   * net sharing — the same value fanning out to several consumers may
+//     reuse a hold/route step at no extra cost (counted once);
+//   * modulo self-overlap — the same value alive at absolute times t
+//     and t+II occupies the SAME slot twice (two iterations' copies are
+//     live simultaneously), so it consumes two capacity units.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/mrrg.hpp"
+
+namespace cgra {
+
+/// Identifies a value: the op producing it (one value per op per
+/// iteration; iteration offsets are captured by the absolute time).
+using ValueId = std::int32_t;
+
+class ResourceTracker {
+ public:
+  ResourceTracker(const Mrrg& mrrg, int ii);
+
+  int ii() const { return ii_; }
+  const Mrrg& mrrg() const { return *mrrg_; }
+
+  /// True if `value` may (additionally) occupy `node` at absolute
+  /// `time` without exceeding capacity. Re-occupying an entry the
+  /// value already holds at the same absolute time is always allowed.
+  bool CanOccupy(int node, int time, ValueId value) const;
+
+  /// Records the occupancy (reference-counted per (node,time,value) so
+  /// shared route prefixes release correctly).
+  void Occupy(int node, int time, ValueId value);
+
+  /// Releases one reference.
+  void Release(int node, int time, ValueId value);
+
+  /// Number of distinct (value, abs-time) occupants of the slot.
+  int Load(int node, int slot) const;
+
+  /// Remaining capacity of (node, time mod ii) for a NEW occupant.
+  int Headroom(int node, int time) const;
+
+  /// Clears everything (used when restarting at a different II).
+  void Reset();
+
+ private:
+  struct Entry {
+    ValueId value;
+    int time;  // absolute
+    int refs;
+  };
+  const std::vector<Entry>& slot(int node, int s) const {
+    return occ_[static_cast<size_t>(node) * static_cast<size_t>(ii_) +
+                static_cast<size_t>(s)];
+  }
+  std::vector<Entry>& slot(int node, int s) {
+    return occ_[static_cast<size_t>(node) * static_cast<size_t>(ii_) +
+                static_cast<size_t>(s)];
+  }
+
+  const Mrrg* mrrg_;
+  int ii_;
+  std::vector<std::vector<Entry>> occ_;
+};
+
+}  // namespace cgra

@@ -1,0 +1,178 @@
+#include "mapping/validator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "mapping/tracker.hpp"
+#include "support/str.hpp"
+
+namespace cgra {
+
+Status ValidateMapping(const Dfg& dfg, const Architecture& arch,
+                       const Mapping& m) {
+  if (Status s = dfg.Verify(); !s.ok()) return s;
+  if (Status s = arch.Validate(); !s.ok()) return s;
+  if (m.ii < 1) return Error::InvalidArgument("II must be >= 1");
+  if (m.ii > arch.MaxIi()) {
+    return Error::InvalidArgument(
+        StrFormat("II %d exceeds the configuration depth %d", m.ii, arch.MaxIi()));
+  }
+  if (static_cast<int>(m.place.size()) != dfg.num_ops()) {
+    return Error::InvalidArgument("placement vector size mismatch");
+  }
+
+  const Mrrg mrrg(arch);
+  auto slot_of = [&](int time) { return ((time % m.ii) + m.ii) % m.ii; };
+
+  // (1) + (2): placements and FU exclusivity.
+  std::map<std::pair<int, int>, OpId> fu_busy;  // (cell, slot) -> op
+  std::map<std::pair<int, int>, int> bank_use;  // (bank, slot) -> count
+  for (OpId op = 0; op < dfg.num_ops(); ++op) {
+    const Op& o = dfg.op(op);
+    const Placement& p = m.place[static_cast<size_t>(op)];
+    if (arch.IsFolded(o.opcode)) {
+      if (p.cell >= 0) {
+        return Error::InvalidArgument(
+            StrFormat("folded op %s must not occupy a cell", o.name.c_str()));
+      }
+      continue;
+    }
+    if (p.cell < 0 || p.cell >= arch.num_cells()) {
+      return Error::InvalidArgument(
+          StrFormat("op %s is not placed", o.name.c_str()));
+    }
+    if (p.time < 0 || p.time >= m.length) {
+      return Error::InvalidArgument(
+          StrFormat("op %s scheduled at %d outside [0, %d)", o.name.c_str(),
+                    p.time, m.length));
+    }
+    if (!arch.CanExecute(p.cell, o)) {
+      return Error::InvalidArgument(
+          StrFormat("op %s bound to incompatible cell %d", o.name.c_str(), p.cell));
+    }
+    const auto key = std::make_pair(p.cell, slot_of(p.time));
+    auto [it, inserted] = fu_busy.emplace(key, op);
+    if (!inserted) {
+      return Error::InvalidArgument(StrFormat(
+          "ops %s and %s share cell %d in slot %d",
+          dfg.op(it->second).name.c_str(), o.name.c_str(), p.cell, key.second));
+    }
+    if (IsMemoryOp(o.opcode)) {
+      const int bank = arch.caps(p.cell).bank;
+      if (bank >= 0) {
+        const int use = ++bank_use[{bank, slot_of(p.time)}];
+        if (use > arch.params().bank_ports) {
+          return Error::InvalidArgument(StrFormat(
+              "bank %d oversubscribed in slot %d (%d > %d ports)", bank,
+              slot_of(p.time), use, arch.params().bank_ports));
+        }
+      }
+    }
+  }
+
+  // (4): edges and routes.
+  const std::vector<DfgEdge> edges = dfg.Edges(/*include_pred=*/true);
+  if (m.routes.size() != edges.size()) {
+    return Error::InvalidArgument(
+        StrFormat("route vector has %zu entries for %zu edges", m.routes.size(),
+                  edges.size()));
+  }
+  // Occupancy sets for (5): distinct (value, node, abs-time).
+  std::set<std::tuple<ValueId, int, int>> occupancy;
+
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const DfgEdge& edge = edges[e];
+    const Op& from_op = dfg.op(edge.from);
+    const Op& to_op = dfg.op(edge.to);
+    const Placement& pf = m.place[static_cast<size_t>(edge.from)];
+    const Placement& pt = m.place[static_cast<size_t>(edge.to)];
+
+    if (edge.to_port == kOrderPort) {
+      if (arch.IsFolded(from_op.opcode) || arch.IsFolded(to_op.opcode)) continue;
+      if (pt.time + m.ii * edge.distance < pf.time + 1) {
+        return Error::InvalidArgument(StrFormat(
+            "ordering edge %s -> %s violated", from_op.name.c_str(),
+            to_op.name.c_str()));
+      }
+      continue;
+    }
+    if (arch.IsFolded(from_op.opcode)) {
+      if (!m.routes[e].steps.empty()) {
+        return Error::InvalidArgument(
+            StrFormat("edge from folded op %s must not be routed",
+                      from_op.name.c_str()));
+      }
+      continue;
+    }
+
+    const int arrive = pt.time + m.ii * edge.distance;
+    if (arrive < pf.time + 1) {
+      return Error::InvalidArgument(StrFormat(
+          "edge %s -> %s needs latency %d (< 1 cycle)", from_op.name.c_str(),
+          to_op.name.c_str(), arrive - pf.time));
+    }
+    const Route& route = m.routes[e];
+    if (route.steps.empty()) {
+      return Error::InvalidArgument(StrFormat(
+          "edge %s -> %s has no route", from_op.name.c_str(), to_op.name.c_str()));
+    }
+    // Starts at the producer's latch.
+    if (route.steps.front().node != mrrg.HoldNode(pf.cell) ||
+        route.steps.front().time != pf.time + 1) {
+      return Error::InvalidArgument(StrFormat(
+          "edge %s -> %s: route does not start at the producer's latch",
+          from_op.name.c_str(), to_op.name.c_str()));
+    }
+    // Follows real links with matching latency.
+    for (size_t i = 0; i + 1 < route.steps.size(); ++i) {
+      const RouteStep& a = route.steps[i];
+      const RouteStep& b = route.steps[i + 1];
+      bool ok = false;
+      for (const Mrrg::Link& link : mrrg.OutLinks(a.node)) {
+        if (link.to == b.node && a.time + link.latency == b.time) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        return Error::InvalidArgument(StrFormat(
+            "edge %s -> %s: route step %zu does not follow an MRRG link",
+            from_op.name.c_str(), to_op.name.c_str(), i));
+      }
+    }
+    // Ends in a hold the consumer reads at its issue cycle.
+    const RouteStep& last = route.steps.back();
+    const auto& readable = mrrg.ReadableHolds(pt.cell);
+    if (last.time != arrive ||
+        std::find(readable.begin(), readable.end(), last.node) == readable.end()) {
+      return Error::InvalidArgument(StrFormat(
+          "edge %s -> %s: route does not deliver to a readable hold at t=%d",
+          from_op.name.c_str(), to_op.name.c_str(), arrive));
+    }
+    for (const RouteStep& step : route.steps) {
+      occupancy.insert({edge.from, step.node, step.time});
+    }
+  }
+
+  // (5): capacities per (node, slot).
+  std::map<std::pair<int, int>, int> load;
+  for (const auto& [value, node, time] : occupancy) {
+    (void)value;
+    const int use = ++load[{node, slot_of(time)}];
+    if (use > mrrg.node(node).capacity) {
+      const Mrrg::Node& n = mrrg.node(node);
+      const char* kind = n.kind == Mrrg::Kind::kHold ? "register file"
+                         : n.kind == Mrrg::Kind::kRt ? "route channel"
+                                                     : "FU";
+      return Error::InvalidArgument(
+          StrFormat("%s of cell %d oversubscribed in slot %d (%d > %d)", kind,
+                    n.cell, slot_of(time), use, n.capacity));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace cgra

@@ -1,0 +1,124 @@
+#include "mem/banking.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace cgra {
+
+int BankOfAccess(ArrayLayout layout, const BankModel& model, int array,
+                 std::int64_t array_size, std::int64_t addr) {
+  switch (layout) {
+    case ArrayLayout::kSingleBank:
+      return array % model.banks;
+    case ArrayLayout::kBlock: {
+      const std::int64_t chunk =
+          std::max<std::int64_t>(1, (array_size + model.banks - 1) / model.banks);
+      return static_cast<int>(std::min<std::int64_t>(addr / chunk, model.banks - 1));
+    }
+    case ArrayLayout::kCyclic:
+      return static_cast<int>(addr % model.banks);
+  }
+  return 0;
+}
+
+Result<ConflictReport> AnalyzeBankConflicts(const Dfg& dfg,
+                                            const ExecInput& input,
+                                            const BankModel& model,
+                                            ArrayLayout layout) {
+  std::vector<std::vector<MemAccess>> trace;
+  auto r = RunReference(dfg, input, &trace);
+  if (!r.ok()) return r.error();
+
+  ConflictReport report;
+  std::vector<int> per_bank(static_cast<size_t>(model.banks));
+  for (const auto& iteration : trace) {
+    std::fill(per_bank.begin(), per_bank.end(), 0);
+    for (const MemAccess& a : iteration) {
+      const std::int64_t size = static_cast<std::int64_t>(
+          input.arrays[static_cast<size_t>(a.array)].size());
+      ++per_bank[static_cast<size_t>(
+          BankOfAccess(layout, model, a.array, size, a.addr))];
+      ++report.accesses;
+    }
+    for (int n : per_bank) {
+      report.conflict_stalls += std::max(0, n - model.ports_per_bank);
+    }
+  }
+  report.stalls_per_iteration =
+      input.iterations > 0
+          ? static_cast<double>(report.conflict_stalls) / input.iterations
+          : 0;
+  return report;
+}
+
+std::vector<int> AssignArraysToBanks(const Dfg& dfg, const ExecInput& input,
+                                     int banks) {
+  // Co-access weights: arrays touched in the same iteration.
+  std::vector<std::vector<MemAccess>> trace;
+  auto r = RunReference(dfg, input, &trace);
+  const int n = static_cast<int>(input.arrays.size());
+  std::vector<int> assignment(static_cast<size_t>(n), 0);
+  if (!r.ok() || n == 0) return assignment;
+
+  std::map<std::pair<int, int>, int> weight;
+  for (const auto& iteration : trace) {
+    std::set<int> touched;
+    for (const MemAccess& a : iteration) touched.insert(a.array);
+    for (int a : touched) {
+      for (int b : touched) {
+        if (a < b) ++weight[{a, b}];
+      }
+    }
+  }
+  // Greedy: order arrays by total co-access weight, put each in the
+  // bank with the least conflict weight against already-placed arrays.
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  auto total = [&](int a) {
+    int w = 0;
+    for (const auto& [key, value] : weight) {
+      if (key.first == a || key.second == a) w += value;
+    }
+    return w;
+  };
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return total(a) > total(b); });
+  std::vector<bool> placed(static_cast<size_t>(n), false);
+  for (int a : order) {
+    int best_bank = 0, best_cost = 1 << 30;
+    for (int bank = 0; bank < banks; ++bank) {
+      int cost = 0;
+      for (int b = 0; b < n; ++b) {
+        if (!placed[static_cast<size_t>(b)] || assignment[static_cast<size_t>(b)] != bank) continue;
+        auto it = weight.find({std::min(a, b), std::max(a, b)});
+        if (it != weight.end()) cost += it->second;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_bank = bank;
+      }
+    }
+    assignment[static_cast<size_t>(a)] = best_bank;
+    placed[static_cast<size_t>(a)] = true;
+  }
+  return assignment;
+}
+
+int MemoryMinIi(const Dfg& dfg, const Architecture& arch) {
+  int mem_ops = 0;
+  for (const Op& op : dfg.ops()) {
+    if (IsMemoryOp(op.opcode)) ++mem_ops;
+  }
+  if (mem_ops == 0) return 1;
+  int mem_cells = 0;
+  for (int c = 0; c < arch.num_cells(); ++c) {
+    if (arch.caps(c).mem) ++mem_cells;
+  }
+  const int throughput = std::min(
+      mem_cells, arch.params().num_banks * arch.params().bank_ports);
+  if (throughput == 0) return 1 << 20;
+  return (mem_ops + throughput - 1) / throughput;
+}
+
+}  // namespace cgra

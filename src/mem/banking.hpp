@@ -1,0 +1,65 @@
+// Data mapping (§III-C): "the interaction between the CGRA and the
+// memory [...] defines the efficiency of the whole execution. Various
+// parameters of the memory can be considered for an efficient mapping:
+// number of banks, communication bandwidth, and memory size."
+//
+// Two studies live here:
+//  * element-level data layout (Kim [66], Zhao [67], Yin [68]): how a
+//    block vs cyclic interleaving of array elements over the banks
+//    changes the per-cycle conflict stalls of a kernel's access trace;
+//  * array-to-bank assignment: co-accessed arrays should sit in
+//    different banks (greedy colouring of the co-access graph).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "ir/dfg.hpp"
+#include "ir/interp.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// How array elements spread over the banks.
+enum class ArrayLayout {
+  kSingleBank,  ///< whole array in bank (array_id % banks)
+  kBlock,       ///< contiguous chunks: bank = addr / ceil(size/banks)
+  kCyclic,      ///< interleaved: bank = addr % banks
+};
+
+struct BankModel {
+  int banks = 2;
+  int ports_per_bank = 1;
+};
+
+/// The bank an access lands in under a layout.
+int BankOfAccess(ArrayLayout layout, const BankModel& model, int array,
+                 std::int64_t array_size, std::int64_t addr);
+
+struct ConflictReport {
+  std::int64_t accesses = 0;
+  /// Extra cycles a simple in-order bank queue needs: per iteration,
+  /// sum over banks of max(0, accesses_to_bank - ports).
+  std::int64_t conflict_stalls = 0;
+  double stalls_per_iteration = 0;
+};
+
+/// Replays the kernel's memory trace under the layout/bank model.
+Result<ConflictReport> AnalyzeBankConflicts(const Dfg& dfg,
+                                            const ExecInput& input,
+                                            const BankModel& model,
+                                            ArrayLayout layout);
+
+/// Greedy assignment of arrays to banks so arrays accessed in the same
+/// iteration land in different banks where possible. Returns bank per
+/// array index.
+std::vector<int> AssignArraysToBanks(const Dfg& dfg, const ExecInput& input,
+                                     int banks);
+
+/// Memory-throughput lower bound on the II: ceil(memory ops per
+/// iteration / per-slot memory throughput).
+int MemoryMinIi(const Dfg& dfg, const Architecture& arch);
+
+}  // namespace cgra

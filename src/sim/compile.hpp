@@ -1,0 +1,36 @@
+// Backend code generation: Mapping -> ConfigImage.
+//
+// The survey's §II-B insists the configuration format "defines the
+// contract between the hardware and the software"; this compiler
+// honours it by reducing a validated Mapping to nothing but context
+// words — including REGISTER ALLOCATION, the §III-C concern of
+// De Sutter et al. [20][29]:
+//
+//  * rotating register files (RfKind::kRotating): logical indices are
+//    rebased by a global rotation counter every II cycles, so copies of
+//    a value from successive overlapped iterations land in successive
+//    physical registers — long-lived values survive modulo overlap;
+//  * static register files (kLocal/kNone/kShared): the same physical
+//    register is rewritten every II cycles, so a value whose live range
+//    exceeds II CANNOT be allocated — compilation fails with
+//    kUnmappable, which is precisely the rotating-vs-static experiment
+//    the memory bench runs.
+#pragma once
+
+#include <cstddef>
+
+#include "arch/arch.hpp"
+#include "arch/context.hpp"
+#include "ir/dfg.hpp"
+#include "mapping/mapping.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// Compiles a mapping to executable contexts. The mapping must be
+/// valid (callers typically ValidateMapping first; the compiler
+/// re-derives what it needs and fails cleanly on inconsistency).
+Result<ConfigImage> CompileToContexts(const Dfg& dfg, const Architecture& arch,
+                                      const Mapping& mapping);
+
+}  // namespace cgra

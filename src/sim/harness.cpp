@@ -1,0 +1,79 @@
+#include "sim/harness.hpp"
+
+#include <algorithm>
+
+#include "ir/interp.hpp"
+#include "mapping/validator.hpp"
+#include "sim/compile.hpp"
+#include "support/str.hpp"
+#include "support/timer.hpp"
+
+namespace cgra {
+
+bool SameObservableState(const ExecResult& a, const ExecResult& b) {
+  return a.outputs == b.outputs && a.arrays == b.arrays;
+}
+
+Result<EndToEndResult> RunEndToEnd(const Mapper& mapper, const Kernel& kernel,
+                                   const Architecture& arch,
+                                   const MapperOptions& options) {
+  EndToEndResult out;
+  MapperOptions opts = options;
+
+  for (;;) {
+    // 1. Map.
+    WallTimer timer;
+    Result<Mapping> mapping = mapper.Map(kernel.dfg, arch, opts);
+    out.map_seconds += timer.Seconds();
+    if (!mapping.ok()) return mapping.error();
+
+    // 2. Validate (defence in depth: mappers already self-check).
+    if (Status s = ValidateMapping(kernel.dfg, arch, *mapping); !s.ok()) {
+      return Error::Internal(
+          StrFormat("mapper %s produced an invalid mapping: %s",
+                    mapper.name().c_str(), s.error().message.c_str()));
+    }
+
+    // 3. Compile to contexts (register allocation can reject).
+    Result<ConfigImage> image = CompileToContexts(kernel.dfg, arch, *mapping);
+    if (!image.ok()) {
+      if (image.error().code == Error::Code::kUnmappable &&
+          mapping->ii < std::min(opts.max_ii, arch.MaxIi())) {
+        opts.min_ii = mapping->ii + 1;
+        ++out.codegen_retries;
+        continue;  // re-map with a larger II floor
+      }
+      return image.error();
+    }
+
+    // 4. The hardware contract: encode, then execute ONLY the decode.
+    const std::vector<std::uint8_t> bits = EncodeConfig(arch, *image);
+    out.config_bits = static_cast<int>(bits.size()) * 8;
+    Result<ConfigImage> decoded = DecodeConfig(arch, bits);
+    if (!decoded.ok()) {
+      return Error::Internal("configuration bitstream did not round-trip: " +
+                             decoded.error().message);
+    }
+    if (!(*decoded == *image)) {
+      return Error::Internal("configuration decode mismatch");
+    }
+
+    // 5. Simulate and compare with the reference interpreter.
+    Result<ExecResult> ref = RunReference(kernel.dfg, kernel.input);
+    if (!ref.ok()) return ref.error();
+    Result<ExecResult> sim =
+        RunOnSimulator(arch, *decoded, kernel.input, &out.sim_stats);
+    if (!sim.ok()) return sim.error();
+    if (!SameObservableState(*ref, *sim)) {
+      return Error::Internal(
+          StrFormat("simulation mismatch for kernel %s under mapper %s",
+                    kernel.name.c_str(), mapper.name().c_str()));
+    }
+
+    out.mapping = std::move(mapping).value();
+    out.map_stats = ComputeStats(kernel.dfg, arch, out.mapping);
+    return out;
+  }
+}
+
+}  // namespace cgra

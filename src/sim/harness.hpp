@@ -1,0 +1,42 @@
+// End-to-end flow: map -> validate -> compile -> encode/decode ->
+// simulate -> compare against the reference interpreter.
+//
+// This is the library's headline guarantee and what every bench
+// reports: a mapping only "counts" when the bit-level configuration it
+// compiles to reproduces the reference semantics cycle-accurately.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "arch/arch.hpp"
+#include "arch/context.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/mapper.hpp"
+#include "sim/simulator.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+struct EndToEndResult {
+  Mapping mapping;
+  MappingStats map_stats;
+  SimStats sim_stats;
+  int config_bits = 0;      ///< encoded bitstream size (bits)
+  double map_seconds = 0;   ///< wall time inside the mapper
+  int codegen_retries = 0;  ///< II escalations forced by register allocation
+};
+
+/// Runs the full flow. Any stage failing (unmappable, invalid mapping,
+/// register allocation, simulation mismatch) surfaces as the error.
+/// When register allocation rejects a mapping (e.g. a static RF cannot
+/// host a long-lived value), the mapper is re-run with a higher II
+/// floor, up to options.max_ii.
+Result<EndToEndResult> RunEndToEnd(const Mapper& mapper, const Kernel& kernel,
+                                   const Architecture& arch,
+                                   const MapperOptions& options);
+
+/// Bit-exact comparison helper (outputs + final arrays).
+bool SameObservableState(const ExecResult& a, const ExecResult& b);
+
+}  // namespace cgra

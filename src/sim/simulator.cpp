@@ -1,0 +1,293 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/str.hpp"
+
+namespace cgra {
+namespace {
+
+struct PendingWrite {
+  int cell;  // -1 = shared RF
+  int physical_reg;
+  std::int64_t value;
+};
+
+struct PendingStore {
+  int array;
+  std::int64_t addr;
+  std::int64_t value;
+};
+
+struct PendingOutput {
+  int slot;
+  std::int64_t value;
+  int iteration;
+  OpId unused = kNoOp;
+};
+
+}  // namespace
+
+Result<ExecResult> RunOnSimulator(const Architecture& arch,
+                                  const ConfigImage& image,
+                                  const ExecInput& input, SimStats* stats) {
+  const int ii = image.ii;
+  if (ii < 1 || static_cast<int>(image.frames.size()) != ii) {
+    return Error::InvalidArgument("malformed configuration image");
+  }
+  const int R = arch.HoldCapacity();
+  const bool shared = arch.params().rf_kind == RfKind::kShared;
+  const bool rotating = arch.params().rf_kind == RfKind::kRotating;
+  const int N = input.iterations;
+
+  // Register files (shared mode uses rf[0] only).
+  const int rf_banks = shared ? 1 : arch.num_cells();
+  std::vector<std::vector<std::int64_t>> rf(
+      static_cast<size_t>(rf_banks),
+      std::vector<std::int64_t>(static_cast<size_t>(R), 0));
+
+  // Configuration-loader preload of initial register contents.
+  for (const RfPreload& p : image.preloads) {
+    if (p.cell < 0 || p.cell >= rf_banks || p.reg < 0 || p.reg >= R) {
+      return Error::InvalidArgument("preload targets a nonexistent register");
+    }
+    rf[static_cast<size_t>(p.cell)][static_cast<size_t>(p.reg)] = p.value;
+  }
+
+  ExecResult result;
+  result.arrays = input.arrays;
+  result.vars = input.vars;
+  int max_out_slot = -1;
+  int max_abs_time = 0;
+  for (int s = 0; s < ii; ++s) {
+    for (int c = 0; c < arch.num_cells(); ++c) {
+      const CellContext& cc = image.frames[static_cast<size_t>(s)].cells[static_cast<size_t>(c)];
+      if (cc.fu.valid) {
+        max_abs_time = std::max(max_abs_time, cc.fu.stage * ii + s);
+        if (cc.fu.opcode == Opcode::kOutput) {
+          max_out_slot = std::max(max_out_slot, cc.fu.io_slot);
+        }
+      }
+      for (const RtConfig& rt : cc.rt) {
+        if (rt.valid) max_abs_time = std::max(max_abs_time, rt.stage * ii + s);
+      }
+    }
+  }
+  result.outputs.assign(static_cast<size_t>(max_out_slot + 1), {});
+
+  const std::int64_t total_cycles =
+      N > 0 ? static_cast<std::int64_t>(max_abs_time) +
+                  static_cast<std::int64_t>(N - 1) * ii + 1
+            : 0;
+  if (stats) stats->cycles = total_cycles;
+
+  auto physical = [&](int logical, std::int64_t T) {
+    if (!rotating) return logical;
+    return static_cast<int>(((logical + T / ii) % R + R) % R);
+  };
+  auto rf_bank_of = [&](int reader_cell, int read_idx) -> int {
+    if (shared) return 0;
+    return arch.ReadableFrom(reader_cell)[static_cast<size_t>(read_idx)];
+  };
+
+  std::vector<PendingWrite> writes;
+  std::vector<PendingStore> stores;
+  std::vector<std::pair<int, std::int64_t>> outs;  // (slot, value)
+
+  // Set CGRA_SIM_TRACE=1 for a cycle-by-cycle log on stderr (debugging).
+  const bool trace = std::getenv("CGRA_SIM_TRACE") != nullptr;
+
+  for (std::int64_t T = 0; T < total_cycles; ++T) {
+    const int slot = static_cast<int>(T % ii);
+    const ContextFrame& frame = image.frames[static_cast<size_t>(slot)];
+    writes.clear();
+    stores.clear();
+    outs.clear();
+
+    for (int c = 0; c < arch.num_cells(); ++c) {
+      const CellContext& cc = frame.cells[static_cast<size_t>(c)];
+      // ---- FU ----
+      const FuConfig& fu = cc.fu;
+      if (fu.valid) {
+        const std::int64_t iter = T / ii - fu.stage;
+        if (iter >= 0 && iter < N) {
+          auto read = [&](const OperandSel& sel) -> std::int64_t {
+            switch (sel.src) {
+              case OperandSel::Src::kNone:
+                return 0;
+              case OperandSel::Src::kImm:
+                return fu.imm;
+              case OperandSel::Src::kIter:
+                return iter;
+              case OperandSel::Src::kReg: {
+                const int bank = rf_bank_of(c, sel.read_idx);
+                return rf[static_cast<size_t>(bank)]
+                         [static_cast<size_t>(physical(sel.reg, T))];
+              }
+            }
+            return 0;
+          };
+          bool active = true;
+          if (fu.pred.src != OperandSel::Src::kNone) {
+            active = (read(fu.pred) != 0) == fu.pred_sense;
+          }
+          if (stats) ++stats->fu_activations;
+          bool produce = active;
+          std::int64_t v = 0;
+          if (!active && fu.alt_valid) {
+            // Dual-issue single execution: the alternate side fires,
+            // with its own immediate word.
+            auto read_alt = [&](const OperandSel& sel) -> std::int64_t {
+              if (sel.src == OperandSel::Src::kImm) return fu.alt_imm;
+              return read(sel);
+            };
+            v = EvalAlu(fu.alt_opcode, read_alt(fu.alt_operand[0]),
+                        read_alt(fu.alt_operand[1]), read_alt(fu.alt_operand[2]));
+            produce = true;
+          } else if (active || fu.opcode == Opcode::kPhi) {
+            switch (fu.opcode) {
+              case Opcode::kInput: {
+                if (fu.io_slot >= static_cast<int>(input.streams.size()) ||
+                    iter >= static_cast<std::int64_t>(
+                                input.streams[static_cast<size_t>(fu.io_slot)].size())) {
+                  return Error::InvalidArgument(
+                      StrFormat("input stream %d underrun", fu.io_slot));
+                }
+                v = input.streams[static_cast<size_t>(fu.io_slot)]
+                                 [static_cast<size_t>(iter)];
+                break;
+              }
+              case Opcode::kOutput:
+                v = read(fu.operand[0]);
+                outs.push_back({fu.io_slot, v});
+                break;
+              case Opcode::kVarIn:
+                if (fu.io_slot >= static_cast<int>(result.vars.size())) {
+                  return Error::InvalidArgument("variable file underrun");
+                }
+                v = result.vars[static_cast<size_t>(fu.io_slot)];
+                break;
+              case Opcode::kVarOut:
+                v = read(fu.operand[0]);
+                if (fu.io_slot >= static_cast<int>(result.vars.size())) {
+                  result.vars.resize(static_cast<size_t>(fu.io_slot) + 1, 0);
+                }
+                result.vars[static_cast<size_t>(fu.io_slot)] = v;
+                break;
+              case Opcode::kLoad: {
+                const std::int64_t addr = read(fu.operand[0]);
+                if (fu.io_slot >= static_cast<int>(result.arrays.size()) ||
+                    addr < 0 ||
+                    addr >= static_cast<std::int64_t>(
+                                result.arrays[static_cast<size_t>(fu.io_slot)].size())) {
+                  return Error::InvalidArgument("simulated load out of bounds");
+                }
+                v = result.arrays[static_cast<size_t>(fu.io_slot)]
+                                 [static_cast<size_t>(addr)];
+                if (stats) ++stats->mem_accesses;
+                break;
+              }
+              case Opcode::kStore: {
+                const std::int64_t addr = read(fu.operand[0]);
+                v = read(fu.operand[1]);
+                if (fu.io_slot >= static_cast<int>(result.arrays.size()) ||
+                    addr < 0 ||
+                    addr >= static_cast<std::int64_t>(
+                                result.arrays[static_cast<size_t>(fu.io_slot)].size())) {
+                  return Error::InvalidArgument("simulated store out of bounds");
+                }
+                stores.push_back({fu.io_slot, addr, v});
+                if (stats) ++stats->mem_accesses;
+                break;
+              }
+              case Opcode::kPhi: {
+                // Guard in operand slot 2 selects a side; the phi
+                // itself always produces.
+                const bool taken = (read(fu.operand[2]) != 0) == fu.pred_sense;
+                v = taken ? read(fu.operand[0]) : read(fu.operand[1]);
+                produce = true;
+                break;
+              }
+              default:
+                v = EvalAlu(fu.opcode, read(fu.operand[0]), read(fu.operand[1]),
+                            read(fu.operand[2]));
+                break;
+            }
+          }
+          if (trace) {
+            std::fprintf(stderr,
+                         "T=%lld cell=%d %s iter=%lld active=%d v=%lld "
+                         "ops=(%lld,%lld,%lld) we=%d dest=r%d\n",
+                         static_cast<long long>(T), c,
+                         std::string(OpName(fu.opcode)).c_str(),
+                         static_cast<long long>(iter), active ? 1 : 0,
+                         static_cast<long long>(v),
+                         static_cast<long long>(read(fu.operand[0])),
+                         static_cast<long long>(read(fu.operand[1])),
+                         static_cast<long long>(read(fu.operand[2])),
+                         fu.write_enable ? 1 : 0,
+                         physical(fu.dest_reg, T + 1));
+          }
+          if (produce && fu.write_enable) {
+            const int bank = shared ? 0 : c;
+            writes.push_back(
+                PendingWrite{bank, physical(fu.dest_reg, T + 1), v});
+          }
+        }
+      }
+      // ---- routing channels ----
+      for (const RtConfig& rt : cc.rt) {
+        if (!rt.valid) continue;
+        const std::int64_t iter = T / ii - rt.stage;
+        if (iter < 0 || iter >= N) continue;
+        const int bank = rf_bank_of(c, rt.read_idx);
+        const std::int64_t v =
+            rf[static_cast<size_t>(bank)][static_cast<size_t>(physical(rt.src_reg, T))];
+        const int dest_bank = shared ? 0 : c;
+        if (trace) {
+          std::fprintf(stderr,
+                       "T=%lld cell=%d RT iter=%lld v=%lld from bank%d r%d -> r%d\n",
+                       static_cast<long long>(T), c,
+                       static_cast<long long>(iter), static_cast<long long>(v),
+                       bank, physical(rt.src_reg, T),
+                       physical(rt.dest_reg, T + 1));
+        }
+        writes.push_back(PendingWrite{dest_bank, physical(rt.dest_reg, T + 1), v});
+        if (stats) ++stats->rt_transfers;
+      }
+    }
+
+    // ---- commit ----
+    for (const PendingWrite& w : writes) {
+      rf[static_cast<size_t>(w.cell)][static_cast<size_t>(w.physical_reg)] = w.value;
+      if (stats) ++stats->rf_writes;
+    }
+    for (const PendingStore& s : stores) {
+      result.arrays[static_cast<size_t>(s.array)][static_cast<size_t>(s.addr)] = s.value;
+    }
+    for (const auto& [slot_id, value] : outs) {
+      result.outputs[static_cast<size_t>(slot_id)].push_back(value);
+    }
+  }
+
+
+  if (stats) {
+    // Configuration traffic: while the fabric time-shares (II > 1),
+    // every active cell reads its context word every issue; a
+    // single-context fabric (or a steady II=1 frame) loads once.
+    stats->config_energy =
+        (ii > 1 ? 0.25 * static_cast<double>(stats->fu_activations) : 0.0) +
+        1e-4 * static_cast<double>(FrameBitCount(arch)) * ii;
+    stats->datapath_energy =
+        static_cast<double>(stats->fu_activations) +
+        0.3 * static_cast<double>(stats->rt_transfers) +
+        0.2 * static_cast<double>(stats->rf_writes) +
+        0.5 * static_cast<double>(stats->mem_accesses);
+    stats->energy_proxy = stats->config_energy + stats->datapath_energy;
+  }
+  return result;
+}
+
+}  // namespace cgra

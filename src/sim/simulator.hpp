@@ -1,0 +1,51 @@
+// Cycle-accurate, context-driven CGRA simulator.
+//
+// Executes ONLY what the configuration bitstream describes — the
+// hardware side of §II-B's hardware/software contract. Per cycle, in
+// hardware order: every FU reads operands combinationally from the
+// register files visible to it, every routing channel reads its source
+// register; results and transfers latch at the cycle boundary. The II
+// slot counter cycles the context frames; a global rotation counter
+// rebases register indices when the fabric has rotating RFs; the
+// hardware loop unit gates prologue/epilogue stages and provides the
+// iteration counter broadcast.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "arch/context.hpp"
+#include "ir/interp.hpp"
+#include "support/status.hpp"
+
+namespace cgra {
+
+struct SimStats {
+  std::int64_t cycles = 0;
+  std::int64_t fu_activations = 0;
+  std::int64_t rt_transfers = 0;
+  std::int64_t rf_writes = 0;
+  std::int64_t mem_accesses = 0;
+  /// Configuration-fetch component: context-memory reads while the
+  /// fabric time-shares (II > 1) plus the one-time frame load. "Often
+  /// criticized to reduce the energy efficiency" (§II-B on temporal
+  /// computation) — this is that cost, measured.
+  double config_energy = 0;
+  /// Datapath component: FU activity, routed transfers, RF writes,
+  /// memory accesses.
+  double datapath_energy = 0;
+  /// Total energy proxy (config + datapath).
+  double energy_proxy = 0;
+};
+
+/// Runs `iterations` loop iterations of the configured fabric.
+/// `input.streams`/`input.arrays` as for the reference interpreter.
+/// Returns outputs/arrays for bit-exact comparison with RunReference.
+Result<ExecResult> RunOnSimulator(const Architecture& arch,
+                                  const ConfigImage& image,
+                                  const ExecInput& input,
+                                  SimStats* stats = nullptr);
+
+}  // namespace cgra

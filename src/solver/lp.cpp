@@ -1,0 +1,172 @@
+#include "solver/lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cgra {
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kBigM = 1e7;
+
+}  // namespace
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations) {
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.constraints.size());
+
+  // Normalise rows to rhs >= 0 and count auxiliary columns.
+  struct Row {
+    std::vector<double> a;
+    Rel rel;
+    double b;
+  };
+  std::vector<Row> rows(static_cast<size_t>(m));
+  int num_slack = 0, num_art = 0;
+  for (int i = 0; i < m; ++i) {
+    Row& r = rows[static_cast<size_t>(i)];
+    r.a.assign(static_cast<size_t>(n), 0.0);
+    const LinearConstraint& c = problem.constraints[static_cast<size_t>(i)];
+    for (const LinearTerm& t : c.terms) r.a[static_cast<size_t>(t.var)] += t.coeff;
+    r.rel = c.rel;
+    r.b = c.rhs;
+    if (r.b < 0) {
+      for (double& v : r.a) v = -v;
+      r.b = -r.b;
+      r.rel = r.rel == Rel::kLe ? Rel::kGe : r.rel == Rel::kGe ? Rel::kLe : Rel::kEq;
+    }
+    if (r.rel != Rel::kEq) ++num_slack;
+    if (r.rel != Rel::kLe) ++num_art;
+  }
+
+  const int total = n + num_slack + num_art;
+  // tableau[i][j], i in [0, m], row 0 is the objective (z) row.
+  std::vector<std::vector<double>> t(
+      static_cast<size_t>(m + 1), std::vector<double>(static_cast<size_t>(total + 1), 0.0));
+  std::vector<int> basis(static_cast<size_t>(m), -1);
+
+  // Objective row: maximize -> store -c (we drive row 0 to all >= 0).
+  for (int j = 0; j < n && j < static_cast<int>(problem.objective.size()); ++j) {
+    t[0][static_cast<size_t>(j)] = -problem.objective[static_cast<size_t>(j)];
+  }
+
+  int slack_col = n, art_col = n + num_slack;
+  for (int i = 0; i < m; ++i) {
+    Row& r = rows[static_cast<size_t>(i)];
+    for (int j = 0; j < n; ++j) t[static_cast<size_t>(i + 1)][static_cast<size_t>(j)] = r.a[static_cast<size_t>(j)];
+    t[static_cast<size_t>(i + 1)][static_cast<size_t>(total)] = r.b;
+    if (r.rel == Rel::kLe) {
+      t[static_cast<size_t>(i + 1)][static_cast<size_t>(slack_col)] = 1.0;
+      basis[static_cast<size_t>(i)] = slack_col++;
+    } else if (r.rel == Rel::kGe) {
+      t[static_cast<size_t>(i + 1)][static_cast<size_t>(slack_col)] = -1.0;
+      ++slack_col;
+      t[static_cast<size_t>(i + 1)][static_cast<size_t>(art_col)] = 1.0;
+      t[0][static_cast<size_t>(art_col)] = kBigM;
+      basis[static_cast<size_t>(i)] = art_col++;
+    } else {
+      t[static_cast<size_t>(i + 1)][static_cast<size_t>(art_col)] = 1.0;
+      t[0][static_cast<size_t>(art_col)] = kBigM;
+      basis[static_cast<size_t>(i)] = art_col++;
+    }
+  }
+  // Price out artificial columns so the z-row is consistent with the
+  // starting basis.
+  for (int i = 0; i < m; ++i) {
+    const int b = basis[static_cast<size_t>(i)];
+    if (b >= n + num_slack) {
+      for (int j = 0; j <= total; ++j) {
+        t[0][static_cast<size_t>(j)] -= kBigM * t[static_cast<size_t>(i + 1)][static_cast<size_t>(j)];
+      }
+    }
+  }
+
+  LpSolution sol;
+  int degenerate_streak = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Entering column: most negative z-coefficient (Dantzig), or the
+    // lowest-index negative one (Bland) after a degeneracy streak.
+    int pivot_col = -1;
+    const bool bland = degenerate_streak > 2 * (m + total);
+    double best = -kEps;
+    for (int j = 0; j < total; ++j) {
+      const double z = t[0][static_cast<size_t>(j)];
+      if (z < -kEps) {
+        if (bland) {
+          pivot_col = j;
+          break;
+        }
+        if (z < best) {
+          best = z;
+          pivot_col = j;
+        }
+      }
+    }
+    if (pivot_col < 0) break;  // optimal
+
+    // Ratio test.
+    int pivot_row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 1; i <= m; ++i) {
+      const double a = t[static_cast<size_t>(i)][static_cast<size_t>(pivot_col)];
+      if (a > kEps) {
+        const double ratio = t[static_cast<size_t>(i)][static_cast<size_t>(total)] / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps && pivot_row > 0 &&
+             basis[static_cast<size_t>(i - 1)] < basis[static_cast<size_t>(pivot_row - 1)])) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    if (pivot_row < 0) {
+      sol.status = LpStatus::kUnbounded;
+      return sol;
+    }
+    degenerate_streak = best_ratio < kEps ? degenerate_streak + 1 : 0;
+
+    // Pivot.
+    const double p = t[static_cast<size_t>(pivot_row)][static_cast<size_t>(pivot_col)];
+    for (int j = 0; j <= total; ++j) t[static_cast<size_t>(pivot_row)][static_cast<size_t>(j)] /= p;
+    for (int i = 0; i <= m; ++i) {
+      if (i == pivot_row) continue;
+      const double f = t[static_cast<size_t>(i)][static_cast<size_t>(pivot_col)];
+      if (std::abs(f) < kEps) continue;
+      for (int j = 0; j <= total; ++j) {
+        t[static_cast<size_t>(i)][static_cast<size_t>(j)] -=
+            f * t[static_cast<size_t>(pivot_row)][static_cast<size_t>(j)];
+      }
+    }
+    basis[static_cast<size_t>(pivot_row - 1)] = pivot_col;
+    if (iter == max_iterations - 1) {
+      sol.status = LpStatus::kIterLimit;
+      return sol;
+    }
+  }
+
+  // Infeasible if an artificial stays basic at a positive level.
+  for (int i = 0; i < m; ++i) {
+    if (basis[static_cast<size_t>(i)] >= n + num_slack &&
+        t[static_cast<size_t>(i + 1)][static_cast<size_t>(total)] > 1e-6) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+  }
+
+  sol.status = LpStatus::kOptimal;
+  sol.x.assign(static_cast<size_t>(n), 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (basis[static_cast<size_t>(i)] < n) {
+      sol.x[static_cast<size_t>(basis[static_cast<size_t>(i)])] =
+          t[static_cast<size_t>(i + 1)][static_cast<size_t>(total)];
+    }
+  }
+  sol.objective = 0;
+  for (int j = 0; j < n && j < static_cast<int>(problem.objective.size()); ++j) {
+    sol.objective += problem.objective[static_cast<size_t>(j)] * sol.x[static_cast<size_t>(j)];
+  }
+  return sol;
+}
+
+}  // namespace cgra

@@ -1,0 +1,47 @@
+// Dense-tableau simplex solver.
+//
+// The LP relaxation engine under the ILP branch-and-bound (solver/ilp).
+// The survey's exact mappers ([23], [34], [35], [41], [15], [53]) all
+// lean on commercial MILP solvers; this is our self-contained
+// replacement, adequate for the small-but-NP-hard instances CGRA
+// mapping produces. Big-M handles >=/= rows; Bland's rule kicks in
+// after a degeneracy streak to guarantee termination.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cgra {
+
+enum class Rel { kLe, kGe, kEq };
+
+struct LinearTerm {
+  int var;
+  double coeff;
+};
+
+struct LinearConstraint {
+  std::vector<LinearTerm> terms;
+  Rel rel = Rel::kLe;
+  double rhs = 0;
+};
+
+/// maximize objective . x  subject to constraints, 0 <= x (upper bounds
+/// are expressed as constraints by the caller).
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;
+  std::vector<LinearConstraint> constraints;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;
+};
+
+LpSolution SolveLp(const LpProblem& problem, int max_iterations = 200000);
+
+}  // namespace cgra

@@ -1,0 +1,101 @@
+// CDCL SAT solver.
+//
+// Backs the SAT-based mapper (Miyasaka et al. [17]) and the DPLL(T)
+// SMT layer (Donovick et al. [44] style). A conventional conflict-
+// driven design: two-watched-literal propagation, 1-UIP conflict
+// analysis with clause learning and non-chronological backjumping,
+// VSIDS-style decaying activities, phase saving, Luby restarts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/timer.hpp"
+
+namespace cgra {
+
+/// Literal encoding: variable v (0-based) => positive literal 2v,
+/// negative literal 2v+1.
+using Lit = std::int32_t;
+inline Lit PosLit(int var) { return 2 * var; }
+inline Lit NegLit(int var) { return 2 * var + 1; }
+inline Lit Negate(Lit l) { return l ^ 1; }
+inline int VarOf(Lit l) { return l >> 1; }
+inline bool IsPos(Lit l) { return (l & 1) == 0; }
+
+enum class SatResult { kSat, kUnsat, kUnknown };
+
+class SatSolver {
+ public:
+  /// Creates `n` fresh variables; returns the first index.
+  int NewVars(int n);
+  int num_vars() const { return static_cast<int>(assign_.size()); }
+
+  /// Adds a clause (empty clause makes the instance trivially unsat).
+  void AddClause(std::vector<Lit> lits);
+
+  // Convenience encodings used by the mapping CNF builders.
+  void AddUnit(Lit l) { AddClause({l}); }
+  void AddImplies(Lit a, Lit b) { AddClause({Negate(a), b}); }
+  void AtMostOnePairwise(const std::vector<Lit>& lits);
+  /// Sinz sequential-counter at-most-one (linear clauses, adds aux vars).
+  void AtMostOneSequential(const std::vector<Lit>& lits);
+  void ExactlyOne(const std::vector<Lit>& lits);
+
+  /// Solves; deterministic for a fixed clause set.
+  SatResult Solve(const Deadline& deadline = {});
+
+  /// Model access after kSat.
+  bool Value(int var) const { return assign_[static_cast<size_t>(var)] == 1; }
+
+  // Statistics.
+  std::int64_t conflicts() const { return conflicts_; }
+  std::int64_t decisions() const { return decisions_; }
+  std::int64_t propagations() const { return propagations_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learned = false;
+    double activity = 0;
+  };
+
+  // Assignment: -1 unassigned, 0 false, 1 true (per variable).
+  bool LitTrue(Lit l) const {
+    const int a = assign_[static_cast<size_t>(VarOf(l))];
+    return a >= 0 && (a == 1) == IsPos(l);
+  }
+  bool LitFalse(Lit l) const {
+    const int a = assign_[static_cast<size_t>(VarOf(l))];
+    return a >= 0 && (a == 1) != IsPos(l);
+  }
+  bool Unassigned(int var) const { return assign_[static_cast<size_t>(var)] < 0; }
+
+  void Enqueue(Lit l, int reason_clause);
+  int Propagate();  // returns conflicting clause index or -1
+  void Analyze(int conflict, std::vector<Lit>* learned, int* backjump_level);
+  void Backtrack(int level);
+  void BumpVar(int var);
+  void DecayActivities();
+  int PickBranchVar();
+  void AttachWatches(int clause_index);
+  void ReduceLearnedDb();
+
+  std::vector<Clause> clauses_;
+  std::vector<Lit> units_;                 // level-0 unit clauses
+  std::vector<std::vector<int>> watches_;  // per literal: clause indices
+  std::vector<std::int8_t> assign_;
+  std::vector<std::int8_t> saved_phase_;
+  std::vector<int> level_;
+  std::vector<int> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  bool unsat_ = false;
+  std::int64_t conflicts_ = 0, decisions_ = 0, propagations_ = 0;
+};
+
+}  // namespace cgra

@@ -1,0 +1,97 @@
+#include "solver/smt.hpp"
+
+#include <algorithm>
+
+namespace cgra {
+
+int SmtSolver::NewTerm() { return num_terms_++; }
+
+Lit SmtSolver::AtomLe(int x, int y, int c) {
+  const auto key = std::make_tuple(x, y, c);
+  auto it = atom_cache_.find(key);
+  if (it != atom_cache_.end()) return PosLit(atom_bool_[static_cast<size_t>(it->second)]);
+  const int var = sat_.NewVars(1);
+  const int atom_index = static_cast<int>(atoms_.size());
+  atoms_.push_back(AtomInfo{x, y, c});
+  atom_bool_.push_back(var);
+  atom_cache_[key] = atom_index;
+  return PosLit(var);
+}
+
+bool SmtSolver::TheoryCheck(std::vector<Lit>* blocking) {
+  // Build the constraint graph: x - y <= c  =>  edge y -> x, weight c.
+  // The negation of an atom contributes x - y >= c+1, i.e. y - x <= -c-1,
+  // edge x -> y with weight -c-1.
+  struct Edge {
+    int from, to, w;
+    Lit origin;  // literal as asserted in the model
+  };
+  std::vector<Edge> edges;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    const AtomInfo& a = atoms_[i];
+    const int var = atom_bool_[i];
+    if (sat_.Value(var)) {
+      edges.push_back(Edge{a.y, a.x, a.c, PosLit(var)});
+    } else {
+      edges.push_back(Edge{a.x, a.y, -a.c - 1, NegLit(var)});
+    }
+  }
+
+  // Bellman-Ford from a virtual source connected to every term with
+  // weight 0 (equivalent: init all distances 0).
+  const int n = num_terms_;
+  std::vector<long long> dist(static_cast<size_t>(n), 0);
+  std::vector<int> pred_edge(static_cast<size_t>(n), -1);
+  int relaxed_node = -1;
+  for (int pass = 0; pass <= n; ++pass) {
+    relaxed_node = -1;
+    for (size_t e = 0; e < edges.size(); ++e) {
+      const Edge& ed = edges[e];
+      if (dist[static_cast<size_t>(ed.from)] + ed.w < dist[static_cast<size_t>(ed.to)]) {
+        dist[static_cast<size_t>(ed.to)] = dist[static_cast<size_t>(ed.from)] + ed.w;
+        pred_edge[static_cast<size_t>(ed.to)] = static_cast<int>(e);
+        relaxed_node = ed.to;
+      }
+    }
+    if (relaxed_node < 0) break;
+  }
+
+  if (relaxed_node < 0) {
+    // Feasible: -dist is a satisfying assignment (shift to >= 0).
+    term_value_.assign(static_cast<size_t>(n), 0);
+    long long min_d = 0;
+    for (long long d : dist) min_d = std::min(min_d, d);
+    for (int t = 0; t < n; ++t) {
+      term_value_[static_cast<size_t>(t)] = static_cast<int>(dist[static_cast<size_t>(t)] - min_d);
+    }
+    return true;
+  }
+
+  // Negative cycle: walk predecessors n times to land inside the cycle,
+  // then collect its edges.
+  int v = relaxed_node;
+  for (int i = 0; i < n; ++i) v = edges[static_cast<size_t>(pred_edge[static_cast<size_t>(v)])].from;
+  blocking->clear();
+  int u = v;
+  do {
+    const Edge& ed = edges[static_cast<size_t>(pred_edge[static_cast<size_t>(u)])];
+    blocking->push_back(Negate(ed.origin));
+    u = ed.from;
+  } while (u != v);
+  return false;
+}
+
+SmtSolver::Outcome SmtSolver::Solve(const Deadline& deadline) {
+  for (;;) {
+    const SatResult r = sat_.Solve(deadline);
+    if (r == SatResult::kUnsat) return Outcome::kUnsat;
+    if (r == SatResult::kUnknown) return Outcome::kUnknown;
+    std::vector<Lit> blocking;
+    if (TheoryCheck(&blocking)) return Outcome::kSat;
+    ++theory_conflicts_;
+    sat_.AddClause(std::move(blocking));
+    if (deadline.Expired()) return Outcome::kUnknown;
+  }
+}
+
+}  // namespace cgra

@@ -1,0 +1,77 @@
+// SMT solver for the theory of integer difference logic, DPLL(T) style.
+//
+// Donovick et al. [44] map CGRAs with "agile SMT-based mapping"; the
+// timing half of such formulations is difference logic: atoms of the
+// form x - y <= c over integer terms (issue cycles), combined with
+// arbitrary boolean structure (placement choices). We implement the
+// lazy schema: the CDCL core (solver/sat) enumerates boolean models;
+// a Bellman-Ford theory checker accepts or returns the negative cycle
+// as a blocking clause.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "solver/sat.hpp"
+#include "support/status.hpp"
+#include "support/timer.hpp"
+
+namespace cgra {
+
+class SmtSolver {
+ public:
+  /// Fresh integer term (e.g. an op's issue cycle). Returns its index.
+  int NewTerm();
+  int num_terms() const { return num_terms_; }
+
+  /// Fresh propositional variable (placement booleans etc.).
+  int NewBool() { return sat_.NewVars(1); }
+
+  /// The literal for atom (x - y <= c); cached per (x, y, c). Asserting
+  /// its negation means x - y >= c + 1.
+  Lit AtomLe(int x, int y, int c);
+
+  /// Convenience: force x - y <= c unconditionally.
+  void AssertLe(int x, int y, int c) { sat_.AddUnit(AtomLe(x, y, c)); }
+  /// Convenience: force x - y == c.
+  void AssertEq(int x, int y, int c) {
+    AssertLe(x, y, c);
+    AssertLe(y, x, -c);
+  }
+
+  /// Boolean structure goes straight to the core.
+  void AddClause(std::vector<Lit> lits) { sat_.AddClause(std::move(lits)); }
+  SatSolver& sat() { return sat_; }
+
+  enum class Outcome { kSat, kUnsat, kUnknown };
+  Outcome Solve(const Deadline& deadline = {});
+
+  /// Term valuation after kSat (a satisfying integer assignment).
+  int TermValue(int term) const { return term_value_[static_cast<size_t>(term)]; }
+  /// Boolean valuation after kSat.
+  bool BoolValue(int var) const { return sat_.Value(var); }
+
+  int theory_conflicts() const { return theory_conflicts_; }
+
+ private:
+  struct AtomInfo {
+    int x, y, c;  // x - y <= c
+  };
+
+  /// Checks the difference constraints implied by the current boolean
+  /// model; fills term_value_ on success, returns the blocking clause
+  /// (negation of the cycle's literals) on failure.
+  bool TheoryCheck(std::vector<Lit>* blocking);
+
+  SatSolver sat_;
+  int num_terms_ = 0;
+  std::map<std::tuple<int, int, int>, int> atom_cache_;  // -> bool var
+  std::vector<AtomInfo> atoms_;       // by atom index
+  std::vector<int> atom_bool_;        // atom index -> sat var
+  std::vector<int> term_value_;
+  int theory_conflicts_ = 0;
+};
+
+}  // namespace cgra

@@ -1,0 +1,103 @@
+// Lightweight error handling for the cgra-flow library.
+//
+// Mapping can fail (the survey stresses this: "mapping might fail
+// [23]-[25], which is of course unconceivable from the user point of
+// view"), so fallible APIs return Result<T> instead of throwing: the
+// failure is a first-class value the caller must inspect.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cgra {
+
+/// A failure description. `code` is a stable machine-readable tag,
+/// `message` a human-readable explanation.
+struct Error {
+  enum class Code {
+    kInvalidArgument,  ///< malformed input (bad DFG, bad arch, ...)
+    kUnmappable,       ///< no valid mapping exists under the given limits
+    kResourceLimit,    ///< time/iteration/node budget exhausted
+    kInternal,         ///< invariant violation inside the library (a bug)
+  };
+  Code code = Code::kInternal;
+  std::string message;
+
+  static Error InvalidArgument(std::string msg) {
+    return Error{Code::kInvalidArgument, std::move(msg)};
+  }
+  static Error Unmappable(std::string msg) {
+    return Error{Code::kUnmappable, std::move(msg)};
+  }
+  static Error ResourceLimit(std::string msg) {
+    return Error{Code::kResourceLimit, std::move(msg)};
+  }
+  static Error Internal(std::string msg) {
+    return Error{Code::kInternal, std::move(msg)};
+  }
+};
+
+/// Value-or-error, in the spirit of std::expected (not yet in libstdc++ 12).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+
+  /// Value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result<void> analogue.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  static Status Ok() { return Status{}; }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace cgra

@@ -1,0 +1,23 @@
+// Small string/formatting helpers (libstdc++ 12 lacks std::format).
+#pragma once
+
+#include <cstddef>
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace cgra {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Join elements with a separator.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Split on a single character, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Pads/truncates to exactly `width` columns, left- or right-aligned.
+std::string Pad(const std::string& s, std::size_t width, bool right_align = false);
+
+}  // namespace cgra

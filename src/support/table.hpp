@@ -1,0 +1,36 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the rows/series of the paper artifact it
+// regenerates; this printer keeps them uniform and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cgra {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next row.
+  void AddRule();
+
+  /// Renders with column-width auto-sizing; numeric-looking cells are
+  /// right-aligned.
+  std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace cgra

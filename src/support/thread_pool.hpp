@@ -1,0 +1,51 @@
+// A fixed-size task pool for embarrassingly-parallel sweeps.
+//
+// Used by the benchmark harnesses (mapper x kernel grids) and by
+// population-based mappers to evaluate individuals concurrently.
+// Per the Core Guidelines (CP.4) the API is task-shaped: submit
+// closures, wait for all of them; no shared mutable state is implied.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cgra {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace cgra

@@ -1,0 +1,61 @@
+// Wall-clock timing and deadlines.
+//
+// The survey's problem statement demands "high quality solution with
+// fast compilation time" (Chen et al.); every mapper accepts a time
+// budget and checks a Deadline so exact methods fail gracefully instead
+// of hanging the harness.
+#pragma once
+
+#include <chrono>
+
+namespace cgra {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time after which long-running searches must stop.
+class Deadline {
+ public:
+  /// A deadline that never expires.
+  Deadline() : unlimited_(true) {}
+
+  static Deadline AfterSeconds(double s) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.end_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(s));
+    return d;
+  }
+  static Deadline Unlimited() { return Deadline{}; }
+
+  bool Expired() const {
+    return !unlimited_ && Clock::now() >= end_;
+  }
+
+  /// Seconds remaining (a large value when unlimited).
+  double RemainingSeconds() const {
+    if (unlimited_) return 1e18;
+    return std::chrono::duration<double>(end_ - Clock::now()).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool unlimited_ = true;
+  Clock::time_point end_{};
+};
+
+}  // namespace cgra

@@ -1,0 +1,258 @@
+// The mapper property suite: EVERY mapper's output on EVERY kernel it
+// can handle must (a) pass the validator and (b) execute bit-exactly
+// on the simulator. This is the §II-C invariant enforced wholesale.
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ir/kernels.hpp"
+#include "mappers/common.hpp"
+#include "mappers/mappers.hpp"
+#include "mapping/validator.hpp"
+#include "sim/harness.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+namespace {
+
+Architecture Rotating4x4() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.rf_kind = RfKind::kRotating;
+  p.name = "rot4x4";
+  return Architecture(p);
+}
+
+Architecture Rotating2x2() {
+  ArchParams p;
+  p.rows = p.cols = 2;
+  p.rf_kind = RfKind::kRotating;
+  p.num_banks = 1;
+  p.name = "rot2x2";
+  return Architecture(p);
+}
+
+bool IsExact(const Mapper& m) {
+  return m.technique() == TechniqueClass::kExactIlp ||
+         m.technique() == TechniqueClass::kExactCsp;
+}
+
+// ---- common helpers ---------------------------------------------------------
+
+void ExpectEndToEnd(const Mapper& mapper, const Kernel& kernel,
+                    const Architecture& arch, double budget_seconds = 20.0) {
+  MapperOptions opts;
+  opts.deadline = Deadline::AfterSeconds(budget_seconds);
+  const auto r = RunEndToEnd(mapper, kernel, arch, opts);
+  if (!r.ok() && r.error().code == Error::Code::kResourceLimit) {
+    GTEST_SKIP() << mapper.name() << " timed out on " << kernel.name
+                 << " (allowed for exact methods)";
+  }
+  ASSERT_TRUE(r.ok()) << mapper.name() << " on " << kernel.name << ": "
+                      << r.error().message;
+  EXPECT_GE(r->mapping.ii, 1);
+}
+
+// ---- per-mapper smoke on the tiny suite ------------------------------------
+
+struct MapperCase {
+  std::string name;
+};
+
+class EveryMapperTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EveryMapperTest, TinySuiteEndToEnd) {
+  const auto mappers = MakeAllMappers();
+  const Mapper& mapper = *mappers[static_cast<size_t>(GetParam())];
+  // Exact temporal mappers get the tiny fabric (their models explode);
+  // exact spatial needs one cell per op under direct-adjacency routing,
+  // so it gets the 4x4 like the heuristics.
+  const bool exact = IsExact(mapper);
+  const bool tiny_fabric = exact && mapper.kind() != MappingKind::kSpatial;
+  const Architecture arch = tiny_fabric ? Rotating2x2() : Rotating4x4();
+  const auto suite = TinyKernelSuite(10, 0xBEEF);
+  for (const Kernel& k : suite) {
+    // Spatial mappers need one cell per op.
+    if (mapper.kind() == MappingKind::kSpatial) {
+      int mappable = 0;
+      for (const Op& op : k.dfg.ops()) {
+        if (!arch.IsFolded(op.opcode)) ++mappable;
+      }
+      if (mappable > arch.num_cells()) continue;
+    }
+    ExpectEndToEnd(mapper, k, arch, exact ? 30.0 : 10.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMappers, EveryMapperTest,
+    ::testing::Range(0, static_cast<int>(MakeAllMappers().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      std::string name = MakeAllMappers()[static_cast<size_t>(info.param)]->name();
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---- heuristics on the full suite -------------------------------------------
+
+class HeuristicFullSuiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeuristicFullSuiteTest, FullSuiteEndToEnd) {
+  const auto suite = StandardKernelSuite(16, 0xCAFE);
+  const Kernel& k = suite[static_cast<size_t>(GetParam())];
+  const Architecture arch = Rotating4x4();
+  for (const auto& mapper :
+       {MakeIterativeModuloScheduler(), MakeUltraFastScheduler(),
+        MakeEdgeCentricMapper(), MakeRampMapper(), MakeCrimsonScheduler(),
+        MakeHierarchicalMapper()}) {
+    ExpectEndToEnd(*mapper, k, arch, 15.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, HeuristicFullSuiteTest,
+                         ::testing::Range(0, 15),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return StandardKernelSuite(4, 0xCAFE)
+                               [static_cast<size_t>(info.param)].name;
+                         });
+
+// ---- property: random DFGs --------------------------------------------------
+
+TEST(MapperProperty, RandomDfgsValidateAndSimulate) {
+  Rng rng(0xD00D);
+  const Architecture arch = Rotating4x4();
+  auto ims = MakeIterativeModuloScheduler();
+  auto ems = MakeEdgeCentricMapper();
+  RandomDfgOptions gen;
+  gen.num_ops = 10;
+  for (int trial = 0; trial < 15; ++trial) {
+    Kernel k = MakeRandomKernel(rng, gen, 12);
+    k.name = "random" + std::to_string(trial);
+    MapperOptions opts;
+    opts.deadline = Deadline::AfterSeconds(10);
+    for (Mapper* mapper : {ims.get(), ems.get()}) {
+      const auto r = RunEndToEnd(*mapper, k, arch, opts);
+      ASSERT_TRUE(r.ok()) << mapper->name() << " trial " << trial << ": "
+                          << r.error().message;
+    }
+  }
+}
+
+// ---- cross-mapper agreement: exact beats-or-ties heuristics -----------------
+
+TEST(MapperProperty, ExactIiNeverWorseOnTinyKernels) {
+  // Branch & bound shares the heuristics' full router, so within its
+  // horizon its first feasible II is a true lower bound for IMS.
+  // (The SAT/SMT/ILP mappers use restricted routing and may honestly
+  // need a higher II than a multi-hop heuristic — that asymmetry is a
+  // finding the Table I bench reports, not a bug.)
+  const Architecture arch = Rotating2x2();
+  auto ims = MakeIterativeModuloScheduler();
+  auto bnb = MakeBranchBoundMapper();
+  for (const Kernel& k : TinyKernelSuite(8, 0x1D)) {
+    MapperOptions opts;
+    opts.deadline = Deadline::AfterSeconds(30);
+    const auto hr = ims->Map(k.dfg, arch, opts);
+    const auto er = bnb->Map(k.dfg, arch, opts);
+    if (!hr.ok() || !er.ok()) continue;  // timeouts are fine here
+    EXPECT_LE(er->ii, hr->ii)
+        << k.name << ": B&B explores exhaustively; IMS cannot beat it";
+  }
+}
+
+// ---- determinism -------------------------------------------------------------
+
+TEST(MapperProperty, DeterministicForFixedSeed) {
+  const Architecture arch = Rotating4x4();
+  Kernel k = MakeFir4(8, 3);
+  for (const auto& mapper :
+       {MakeDrescAnnealingMapper(), MakeCrimsonScheduler(),
+        MakeGeneticSpatialMapper()}) {
+    MapperOptions opts;
+    opts.seed = 42;
+    opts.deadline = Deadline::AfterSeconds(20);
+    const auto a = mapper->Map(k.dfg, arch, opts);
+    const auto b = mapper->Map(k.dfg, arch, opts);
+    ASSERT_EQ(a.ok(), b.ok()) << mapper->name();
+    if (a.ok()) {
+      EXPECT_EQ(a->ii, b->ii) << mapper->name();
+      for (size_t i = 0; i < a->place.size(); ++i) {
+        EXPECT_EQ(a->place[i].cell, b->place[i].cell) << mapper->name();
+        EXPECT_EQ(a->place[i].time, b->place[i].time) << mapper->name();
+      }
+    }
+  }
+}
+
+// ---- taxonomy metadata --------------------------------------------------------
+
+TEST(MapperRegistry, CoversEveryTableOneCell) {
+  const auto mappers = MakeAllMappers();
+  EXPECT_GE(mappers.size(), 20u);
+  bool seen[5][4] = {};
+  for (const auto& m : mappers) {
+    seen[static_cast<int>(m->technique())][static_cast<int>(m->kind())] = true;
+    EXPECT_FALSE(m->name().empty());
+    EXPECT_FALSE(m->lineage().empty());
+  }
+  // Table I's populated cells (see DESIGN.md §3).
+  EXPECT_TRUE(seen[0][0]) << "heuristic spatial";
+  EXPECT_TRUE(seen[0][1]) << "heuristic temporal";
+  EXPECT_TRUE(seen[0][2]) << "heuristic binding";
+  EXPECT_TRUE(seen[0][3]) << "heuristic scheduling";
+  EXPECT_TRUE(seen[1][0]) << "GA spatial";
+  EXPECT_TRUE(seen[1][2]) << "QEA binding";
+  EXPECT_TRUE(seen[2][0]) << "SA spatial";
+  EXPECT_TRUE(seen[2][1]) << "SA temporal (DRESC)";
+  EXPECT_TRUE(seen[2][2]) << "SA binding (SPR)";
+  EXPECT_TRUE(seen[3][0]) << "ILP spatial";
+  EXPECT_TRUE(seen[3][1]) << "ILP/B&B temporal";
+  EXPECT_TRUE(seen[3][2]) << "ILP binding";
+  EXPECT_TRUE(seen[3][3]) << "ILP scheduling";
+  EXPECT_TRUE(seen[4][1]) << "CSP temporal (CP/SAT/SMT)";
+}
+
+TEST(MapperRegistry, NamesAreUnique) {
+  const auto mappers = MakeAllMappers();
+  std::set<std::string> names;
+  for (const auto& m : mappers) names.insert(m->name());
+  EXPECT_EQ(names.size(), mappers.size());
+}
+
+// ---- MII bounds ---------------------------------------------------------------
+
+TEST(Mii, RecurrenceBoundFromIir) {
+  Kernel k = MakeIir1(8, 1);  // y = 3x + 2*y@1: 2-op recurrence
+  const Architecture arch = Rotating4x4();
+  const MiiBounds b = ComputeMii(k.dfg, arch, 16);
+  EXPECT_GE(b.rec_mii, 2) << "mul+add cycle over distance 1";
+}
+
+TEST(Mii, ResourceBoundFromWideKernel) {
+  Kernel k = MakeMac2(8, 1);
+  ArchParams p;
+  p.rows = 1;
+  p.cols = 2;
+  p.rf_kind = RfKind::kRotating;
+  p.io_on_border = true;
+  const Architecture arch{p};
+  const MiiBounds b = ComputeMii(k.dfg, arch, 16);
+  // 8 mappable ops on 2 cells: ResMII >= 4.
+  EXPECT_GE(b.res_mii, 4);
+}
+
+TEST(Mii, ModuloAsapRespectsCarriedLatency) {
+  Kernel k = MakeIir1(8, 1);
+  const Architecture arch = Rotating4x4();
+  const auto est2 = ModuloAsap(k.dfg, arch, 2);
+  ASSERT_FALSE(est2.empty());
+  const auto est1 = ModuloAsap(k.dfg, arch, 1);
+  EXPECT_TRUE(est1.empty()) << "II=1 infeasible for the 2-cycle recurrence";
+}
+
+}  // namespace
+}  // namespace cgra

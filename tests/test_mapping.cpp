@@ -1,0 +1,339 @@
+// Tests for the mapping core: resource tracker, time-extended router,
+// incremental place-and-route, validator, stats.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "arch/arch.hpp"
+#include "arch/mrrg.hpp"
+#include "ir/kernels.hpp"
+#include "mapping/mapping.hpp"
+#include "mapping/place_route.hpp"
+#include "mapping/router.hpp"
+#include "mapping/tracker.hpp"
+#include "mapping/validator.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Tracker, CapacityEnforced) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, /*ii=*/2);
+  const int fu = mrrg.FuNode(0);  // capacity 1
+  EXPECT_TRUE(t.CanOccupy(fu, 0, /*value=*/10));
+  t.Occupy(fu, 0, 10);
+  EXPECT_FALSE(t.CanOccupy(fu, 0, 11));
+  EXPECT_FALSE(t.CanOccupy(fu, 2, 11)) << "slot 0 == slot 2 mod II";
+  EXPECT_TRUE(t.CanOccupy(fu, 1, 11));
+}
+
+TEST(Tracker, SameValueSameTimeShares) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 2);
+  const int h = mrrg.HoldNode(0);
+  t.Occupy(h, 3, 7);
+  // Re-occupying (same value, same absolute time) is free net sharing.
+  EXPECT_TRUE(t.CanOccupy(h, 3, 7));
+  // Same value at a DIFFERENT time mapping to the same slot is a new
+  // copy (modulo self-overlap) and consumes capacity.
+  for (int k = 0; k < arch.HoldCapacity() - 1; ++k) {
+    t.Occupy(h, 3 + 2 * (k + 1), 7);
+  }
+  EXPECT_FALSE(t.CanOccupy(h, 3 + 2 * arch.HoldCapacity(), 7));
+}
+
+TEST(Tracker, RefCountedRelease) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 1);
+  const int h = mrrg.HoldNode(0);
+  t.Occupy(h, 0, 5);
+  t.Occupy(h, 0, 5);  // second reference (net sharing)
+  t.Release(h, 0, 5);
+  EXPECT_EQ(t.Load(h, 0), 1) << "still referenced once";
+  t.Release(h, 0, 5);
+  EXPECT_EQ(t.Load(h, 0), 0);
+}
+
+TEST(Router, DirectNeighbourOneCycle) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 2);
+  RouteRequest req;
+  req.from_cell = arch.CellAt(0, 0);
+  req.from_time = 0;
+  req.to_cell = arch.CellAt(0, 1);
+  req.to_time = 1;
+  req.value = 0;
+  const auto route = RouteValue(mrrg, t, req);
+  ASSERT_TRUE(route.ok()) << route.error().message;
+  // One step: the value sits in the producer's hold, read directly.
+  ASSERT_EQ(route->steps.size(), 1u);
+  EXPECT_EQ(route->steps[0].node, mrrg.HoldNode(req.from_cell));
+  EXPECT_EQ(route->steps[0].time, 1);
+}
+
+TEST(Router, WaitsInRegisterForLateConsumer) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 8);
+  RouteRequest req;
+  req.from_cell = 0;
+  req.from_time = 0;
+  req.to_cell = 0;
+  req.to_time = 4;
+  req.value = 0;
+  const auto route = RouteValue(mrrg, t, req);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->steps.size(), 4u) << "held cycles 1..4";
+  for (const auto& s : route->steps) {
+    EXPECT_EQ(s.node, mrrg.HoldNode(0));
+  }
+}
+
+TEST(Router, MultiHopThroughRoutingChannels) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 8);
+  RouteRequest req;
+  req.from_cell = arch.CellAt(0, 0);
+  req.from_time = 0;
+  req.to_cell = arch.CellAt(0, 3);  // 3 hops away; reader covers 1 hop
+  req.to_time = 3;
+  req.value = 1;
+  const auto route = RouteValue(mrrg, t, req);
+  ASSERT_TRUE(route.ok()) << route.error().message;
+  // Needs at least 2 routed hops to reach a hold adjacent to (0,3).
+  int rts = 0;
+  for (const auto& s : route->steps) {
+    if (mrrg.node(s.node).kind == Mrrg::Kind::kRt) ++rts;
+  }
+  EXPECT_GE(rts, 2);
+}
+
+TEST(Router, ImpossibleLatencyFails) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 2);
+  RouteRequest req;
+  req.from_cell = 0;
+  req.from_time = 3;
+  req.to_cell = 1;
+  req.to_time = 3;  // same cycle: latency 0 < 1
+  req.value = 0;
+  EXPECT_FALSE(RouteValue(mrrg, t, req).ok());
+}
+
+TEST(Router, TooFarForDeadlineFails) {
+  const Architecture arch = Architecture::Big8x8();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 4);
+  RouteRequest req;
+  req.from_cell = arch.CellAt(0, 0);
+  req.from_time = 0;
+  req.to_cell = arch.CellAt(7, 7);  // 14 hops
+  req.to_time = 2;                  // only 2 cycles
+  req.value = 0;
+  EXPECT_FALSE(RouteValue(mrrg, t, req).ok());
+}
+
+TEST(Router, CongestionForcesDetourOrFailure) {
+  // Saturate the single route channel of the intermediate cell, then
+  // ask for a 2-hop route in exactly 2 cycles at II=1.
+  ArchParams p;
+  p.rows = 1;
+  p.cols = 3;
+  p.route_channels = 1;
+  p.rf_size = 4;
+  const Architecture arch{p};
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 1);
+  // Block RT of the middle cell at slot 0 with a foreign value.
+  t.Occupy(mrrg.RtNode(1), 0, /*value=*/99);
+  RouteRequest req;
+  req.from_cell = 0;
+  req.from_time = 0;
+  req.to_cell = 2;
+  req.to_time = 2;
+  req.value = 1;
+  // In a 1x3 row the only 2-cycle path crosses RT(1): must fail.
+  EXPECT_FALSE(RouteValue(mrrg, t, req).ok());
+}
+
+TEST(Router, ReleaseRouteRestoresCapacity) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker t(mrrg, 1);
+  RouteRequest req;
+  req.from_cell = 0;
+  req.from_time = 0;
+  req.to_cell = 1;
+  req.to_time = 1;
+  req.value = 3;
+  const auto route = RouteValue(mrrg, t, req);
+  ASSERT_TRUE(route.ok());
+  ReleaseRoute(t, *route, 3);
+  EXPECT_EQ(t.Load(mrrg.HoldNode(0), 0), 0);
+}
+
+TEST(PlaceRoute, PlacesChainAndFinalizes) {
+  Kernel k = MakeVecAdd(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, /*ii=*/1);
+  // vecadd: a(in), b(in), sum, out. At II=1 every op needs its own
+  // cell; sum sits between its producers so both holds are readable.
+  ASSERT_EQ(state.MappableOps().size(), 4u);
+  EXPECT_TRUE(state.TryPlace(0, arch.CellAt(0, 1), 0));
+  EXPECT_TRUE(state.TryPlace(1, arch.CellAt(1, 0), 0));
+  EXPECT_TRUE(state.TryPlace(2, arch.CellAt(1, 1), 1)) << "reads both holds";
+  // The output op needs a border (I/O) cell: two routed hops away.
+  EXPECT_TRUE(state.TryPlace(3, arch.CellAt(3, 1), 3));
+  const Mapping m = state.Finalize();
+  EXPECT_TRUE(ValidateMapping(k.dfg, arch, m).ok());
+  EXPECT_EQ(m.length, 4);
+}
+
+TEST(PlaceRoute, FuConflictRejected) {
+  Kernel k = MakeVecAdd(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 2);
+  ASSERT_TRUE(state.TryPlace(0, 0, 0));
+  EXPECT_FALSE(state.TryPlace(1, 0, 2)) << "same cell, same slot mod II";
+  EXPECT_EQ(state.last_fail(), PlaceRouteState::FailReason::kFuBusy);
+}
+
+TEST(PlaceRoute, IncompatibleCellRejected) {
+  Kernel k = MakeGemmMac(4, 1);  // has loads/stores
+  const Architecture arch = Architecture::Hetero4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 2);
+  // Op 1 is a load; column 1 has no memory.
+  EXPECT_FALSE(state.TryPlace(1, arch.CellAt(0, 1), 0));
+  EXPECT_EQ(state.last_fail(), PlaceRouteState::FailReason::kIncompatibleCell);
+}
+
+TEST(PlaceRoute, TimingViolationRejectedAndRolledBack) {
+  Kernel k = MakeVecAdd(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 4);
+  ASSERT_TRUE(state.TryPlace(0, 0, 2));
+  // Consumer (op 2, sum) before producer: must fail and roll back.
+  EXPECT_FALSE(state.TryPlace(2, 1, 1));
+  EXPECT_FALSE(state.IsPlaced(2));
+  EXPECT_EQ(state.placed_count(), 1);
+  // And succeed at a legal time.
+  EXPECT_TRUE(state.TryPlace(1, 4, 2));
+  EXPECT_TRUE(state.TryPlace(2, 0, 3));
+}
+
+TEST(PlaceRoute, UnplaceRestoresEverything) {
+  Kernel k = MakeDotProduct(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 1);
+  ASSERT_TRUE(state.TryPlace(0, arch.CellAt(0, 0), 0));
+  ASSERT_TRUE(state.TryPlace(1, arch.CellAt(0, 2), 0));
+  ASSERT_TRUE(state.TryPlace(2, arch.CellAt(0, 1), 1));  // mul reads both
+  state.Unplace(2);
+  EXPECT_EQ(state.placed_count(), 2);
+  // Re-placing at the same spot must succeed (resources were freed).
+  EXPECT_TRUE(state.TryPlace(2, arch.CellAt(0, 1), 1));
+}
+
+TEST(PlaceRoute, BankPortsEnforced) {
+  Kernel k = MakeGemmMac(4, 1);  // 3 loads + 1 store
+  ArchParams p;
+  p.rows = 4;
+  p.cols = 4;
+  p.num_banks = 1;
+  p.bank_ports = 1;
+  p.mem_on_left_col = true;
+  const Architecture arch{p};
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, /*ii=*/1);
+  // Two memory ops in the same slot on bank 0: second must fail.
+  ASSERT_TRUE(state.TryPlace(1, arch.CellAt(0, 0), 0));   // load A
+  EXPECT_FALSE(state.TryPlace(2, arch.CellAt(1, 0), 0));  // load B same slot
+  EXPECT_EQ(state.last_fail(), PlaceRouteState::FailReason::kBankPortConflict);
+}
+
+TEST(Validator, RejectsCorruptedMappings) {
+  Kernel k = MakeVecAdd(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 1);
+  ASSERT_TRUE(state.TryPlace(0, arch.CellAt(0, 1), 0));
+  ASSERT_TRUE(state.TryPlace(1, arch.CellAt(1, 0), 0));
+  ASSERT_TRUE(state.TryPlace(2, arch.CellAt(1, 1), 1));
+  ASSERT_TRUE(state.TryPlace(3, arch.CellAt(3, 1), 3));
+  Mapping good = state.Finalize();
+  ASSERT_TRUE(ValidateMapping(k.dfg, arch, good).ok());
+
+  {
+    Mapping bad = good;  // move an op off its route
+    bad.place[2].cell = arch.CellAt(3, 3);
+    EXPECT_FALSE(ValidateMapping(k.dfg, arch, bad).ok());
+  }
+  {
+    Mapping bad = good;  // break a route step
+    for (auto& r : bad.routes) {
+      if (!r.steps.empty()) {
+        r.steps.back().time += 1;
+        break;
+      }
+    }
+    EXPECT_FALSE(ValidateMapping(k.dfg, arch, bad).ok());
+  }
+  {
+    Mapping bad = good;  // II beyond config memory
+    bad.ii = arch.MaxIi() + 1;
+    EXPECT_FALSE(ValidateMapping(k.dfg, arch, bad).ok());
+  }
+  {
+    Mapping bad = good;  // drop a route entirely
+    for (auto& r : bad.routes) r.steps.clear();
+    EXPECT_FALSE(ValidateMapping(k.dfg, arch, bad).ok());
+  }
+}
+
+TEST(Validator, CatchesFuDoubleBooking) {
+  Kernel k = MakeVecAdd(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 2);
+  ASSERT_TRUE(state.TryPlace(0, arch.CellAt(0, 1), 0));
+  ASSERT_TRUE(state.TryPlace(1, arch.CellAt(1, 0), 0));
+  ASSERT_TRUE(state.TryPlace(2, arch.CellAt(1, 1), 1));
+  ASSERT_TRUE(state.TryPlace(3, arch.CellAt(3, 1), 3));
+  Mapping bad = state.Finalize();
+  bad.place[1] = bad.place[0];  // two inputs on one (cell, slot)
+  EXPECT_FALSE(ValidateMapping(k.dfg, arch, bad).ok());
+}
+
+TEST(Stats, ComputedFromMapping) {
+  Kernel k = MakeVecAdd(4, 1);
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  PlaceRouteState state(k.dfg, arch, mrrg, 1);
+  ASSERT_TRUE(state.TryPlace(0, arch.CellAt(0, 1), 0));
+  ASSERT_TRUE(state.TryPlace(1, arch.CellAt(1, 0), 0));
+  ASSERT_TRUE(state.TryPlace(2, arch.CellAt(1, 1), 1));
+  ASSERT_TRUE(state.TryPlace(3, arch.CellAt(3, 1), 3));
+  const Mapping m = state.Finalize();
+  const MappingStats s = ComputeStats(k.dfg, arch, m);
+  EXPECT_EQ(s.ii, 1);
+  EXPECT_EQ(s.ops_mapped, 4);
+  EXPECT_EQ(s.cells_used, 4);
+  EXPECT_GT(s.route_steps, 0);
+  EXPECT_GT(s.energy_proxy, 0);
+  const std::string table = RenderSchedule(k.dfg, arch, m);
+  EXPECT_NE(table.find("sum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,184 @@
+// Tests for data mapping (§III-C): bank-conflict analysis, data
+// placement, memory-driven II bounds — plus the bibliography dataset.
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "bib/bib.hpp"
+#include "ir/kernels.hpp"
+#include "mem/banking.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Banking, BankOfAccessLayouts) {
+  BankModel m{4, 1};
+  // Cyclic: addr % banks.
+  EXPECT_EQ(BankOfAccess(ArrayLayout::kCyclic, m, 0, 16, 5), 1);
+  EXPECT_EQ(BankOfAccess(ArrayLayout::kCyclic, m, 0, 16, 8), 0);
+  // Block: 16 elements over 4 banks -> chunks of 4.
+  EXPECT_EQ(BankOfAccess(ArrayLayout::kBlock, m, 0, 16, 5), 1);
+  EXPECT_EQ(BankOfAccess(ArrayLayout::kBlock, m, 0, 16, 15), 3);
+  // Single bank: by array id.
+  EXPECT_EQ(BankOfAccess(ArrayLayout::kSingleBank, m, 2, 16, 999), 2);
+  EXPECT_EQ(BankOfAccess(ArrayLayout::kSingleBank, m, 5, 16, 0), 1);
+}
+
+TEST(Banking, SequentialStreamsConflictInSingleBank) {
+  // gemm_mac touches arrays 0,1,2 at the same index each iteration
+  // (4 accesses: 3 loads + 1 store). All arrays in one bank: 3 stalls
+  // per iteration. One array per bank: only the C load+store pair
+  // shares a bank — 1 stall per iteration.
+  Kernel k = MakeGemmMac(32, 7);
+  const BankModel one{1, 1};
+  const BankModel four{4, 1};
+  const auto all_in_one = AnalyzeBankConflicts(k.dfg, k.input, one,
+                                               ArrayLayout::kSingleBank);
+  const auto spread = AnalyzeBankConflicts(k.dfg, k.input, four,
+                                           ArrayLayout::kSingleBank);
+  ASSERT_TRUE(all_in_one.ok());
+  ASSERT_TRUE(spread.ok());
+  EXPECT_EQ(all_in_one->conflict_stalls, 3 * 32);
+  EXPECT_EQ(spread->conflict_stalls, 1 * 32);
+  EXPECT_LT(spread->conflict_stalls, all_in_one->conflict_stalls);
+}
+
+TEST(Banking, CyclicBeatsSingleBankForCoindexedArrays) {
+  // Arrays accessed at the same index i: cyclic interleaving puts all
+  // three accesses of iteration i into the SAME bank (addr%banks is
+  // equal) — the classic pathological layout — while per-array banking
+  // separates them.
+  Kernel k = MakeGemmMac(32, 9);
+  const BankModel m{4, 1};
+  const auto cyclic = AnalyzeBankConflicts(k.dfg, k.input, m, ArrayLayout::kCyclic);
+  const auto per_array = AnalyzeBankConflicts(k.dfg, k.input, m,
+                                              ArrayLayout::kSingleBank);
+  ASSERT_TRUE(cyclic.ok());
+  ASSERT_TRUE(per_array.ok());
+  EXPECT_GT(cyclic->conflict_stalls, per_array->conflict_stalls);
+}
+
+TEST(Banking, HistogramRandomAddressesSpread) {
+  Kernel k = MakeHistogram8(64, 5);
+  const BankModel m{4, 1};
+  const auto cyclic = AnalyzeBankConflicts(k.dfg, k.input, m, ArrayLayout::kCyclic);
+  ASSERT_TRUE(cyclic.ok());
+  // Two accesses (load+store) to the same address per iteration: at
+  // least one conflict per iteration under 1 port regardless of layout.
+  EXPECT_GE(cyclic->conflict_stalls, 64);
+}
+
+TEST(Banking, AssignArraysToBanksSeparatesCoaccessed) {
+  Kernel k = MakeGemmMac(16, 3);
+  const auto assign = AssignArraysToBanks(k.dfg, k.input, 3);
+  ASSERT_EQ(assign.size(), 3u);
+  std::set<int> banks(assign.begin(), assign.end());
+  EXPECT_EQ(banks.size(), 3u) << "three co-accessed arrays, three banks";
+}
+
+TEST(Banking, MemoryMinIiScalesWithBanks) {
+  Kernel k = MakeGemmMac(8, 1);  // 4 memory ops per iteration
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.mem_on_left_col = true;  // 4 LSU cells
+  p.bank_ports = 1;
+  p.num_banks = 1;
+  EXPECT_EQ(MemoryMinIi(k.dfg, Architecture{p}), 4);
+  p.num_banks = 2;
+  EXPECT_EQ(MemoryMinIi(k.dfg, Architecture{p}), 2);
+  p.num_banks = 4;
+  EXPECT_EQ(MemoryMinIi(k.dfg, Architecture{p}), 1);
+}
+
+TEST(Banking, NoMemoryOpsMeansNoBound) {
+  Kernel k = MakeVecAdd(4, 1);
+  EXPECT_EQ(MemoryMinIi(k.dfg, Architecture::Adres4x4()), 1);
+}
+
+// ---- bibliography -----------------------------------------------------------
+
+TEST(Bib, DatasetNonTrivial) {
+  const auto& bib = SurveyBibliography();
+  EXPECT_GE(bib.size(), 55u);
+  std::set<std::string> keys;
+  for (const auto& e : bib) {
+    EXPECT_GE(e.year, 1998);
+    EXPECT_LE(e.year, 2021);
+    EXPECT_FALSE(e.key.empty());
+    keys.insert(e.key);
+  }
+  EXPECT_EQ(keys.size(), bib.size()) << "keys must be unique";
+}
+
+TEST(Bib, TimelineShapeMatchesPaperClaims) {
+  // "the community has intensified the efforts in the last decade,
+  // with a clear increase in 2021"
+  const auto hist = PublicationsPerYear();
+  const int first_decade = CountInYears(1998, 2009);
+  const int second_decade = CountInYears(2010, 2021);
+  EXPECT_GT(second_decade, first_decade);
+  int max_year = 0, max_count = 0;
+  for (const auto& [year, count] : hist) {
+    if (count >= max_count) {
+      max_count = count;
+      max_year = year;
+    }
+  }
+  EXPECT_EQ(max_year, 2021) << "2021 is the peak year";
+}
+
+TEST(Bib, EraMarkersMatchFigure4) {
+  // Fig. 4 annotations: modulo scheduling from the start, branch
+  // support in the early 2000s, memory-aware around 2010.
+  EXPECT_LE(FirstYear(&BibEntry::modulo_scheduling), 2002);
+  EXPECT_LE(FirstYear(&BibEntry::full_predication), 2002);
+  const int mem = FirstYear(&BibEntry::memory_aware);
+  EXPECT_GE(mem, 2008);
+  EXPECT_LE(mem, 2012);
+  EXPECT_GE(FirstYear(&BibEntry::ml_based), 2018);
+  EXPECT_GE(FirstYear(&BibEntry::open_source), 2019);
+}
+
+TEST(Bib, TableOneCensusCoversAllColumns) {
+  const auto census = TableOneCensus();
+  // Every technique class appears somewhere.
+  std::set<TechniqueClass> techniques;
+  std::set<MappingKind> kinds;
+  for (const auto& [cell, entries] : census) {
+    EXPECT_FALSE(entries.empty());
+    techniques.insert(cell.first);
+    kinds.insert(cell.second);
+  }
+  EXPECT_EQ(techniques.size(), 5u);
+  EXPECT_EQ(kinds.size(), 4u);
+  // Spot checks against the paper's Table I.
+  auto has = [&](TechniqueClass t, MappingKind k, int ref) {
+    auto it = census.find({t, k});
+    if (it == census.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [&](const BibEntry* e) { return e->ref == ref; });
+  };
+  EXPECT_TRUE(has(TechniqueClass::kMetaLocalSearch, MappingKind::kTemporal, 22))
+      << "DRESC [22] is temporal SA";
+  EXPECT_TRUE(has(TechniqueClass::kMetaPopulation, MappingKind::kSpatial, 19))
+      << "GenMap [19] is spatial GA";
+  EXPECT_TRUE(has(TechniqueClass::kExactCsp, MappingKind::kTemporal, 17))
+      << "Miyasaka [17] is SAT";
+  EXPECT_TRUE(has(TechniqueClass::kExactIlp, MappingKind::kSpatial, 34))
+      << "Chin & Anderson [34] is spatial ILP";
+}
+
+TEST(Bib, SurveysExcludedFromTimeline) {
+  const auto hist = PublicationsPerYear();
+  int total = 0;
+  for (const auto& [year, count] : hist) total += count;
+  int non_survey = 0;
+  for (const auto& e : SurveyBibliography()) {
+    if (!e.is_survey) ++non_survey;
+  }
+  EXPECT_EQ(total, non_survey);
+}
+
+}  // namespace
+}  // namespace cgra

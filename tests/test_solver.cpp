@@ -1,0 +1,460 @@
+// Tests for the solver substrate: simplex, ILP branch & bound, CDCL
+// SAT, CP engine, and difference-logic SMT.
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/cp.hpp"
+#include "solver/ilp.hpp"
+#include "solver/lp.hpp"
+#include "solver/sat.hpp"
+#include "solver/smt.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+namespace {
+
+// ---------------------------------------------------------------- LP --------
+
+TEST(Lp, SimpleMaximisation) {
+  // max x + y s.t. x <= 3, y <= 4, x + y <= 5.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.constraints = {{{{0, 1.0}}, Rel::kLe, 3},
+                   {{{1, 1.0}}, Rel::kLe, 4},
+                   {{{0, 1.0}, {1, 1.0}}, Rel::kLe, 5}};
+  const auto s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+}
+
+TEST(Lp, EqualityAndGe) {
+  // max x s.t. x + y == 4, x >= 1, y >= 1  => x = 3.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, 0};
+  p.constraints = {{{{0, 1.0}, {1, 1.0}}, Rel::kEq, 4},
+                   {{{0, 1.0}}, Rel::kGe, 1},
+                   {{{1, 1.0}}, Rel::kGe, 1}};
+  const auto s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-6);
+}
+
+TEST(Lp, DetectsInfeasible) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.constraints = {{{{0, 1.0}}, Rel::kLe, 1}, {{{0, 1.0}}, Rel::kGe, 2}};
+  EXPECT_EQ(SolveLp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Lp, DetectsUnbounded) {
+  LpProblem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  const auto s = SolveLp(p);
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(Lp, NegativeRhsNormalised) {
+  // x - y <= -2 with x,y >= 0: maximize x - y => -2 at best under x=0,y=2.
+  LpProblem p;
+  p.num_vars = 2;
+  p.objective = {1, -1};
+  p.constraints = {{{{0, 1.0}, {1, -1.0}}, Rel::kLe, -2}};
+  const auto s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -2.0, 1e-6);
+}
+
+// ---------------------------------------------------------------- ILP -------
+
+TEST(Ilp, Knapsack) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries) => 16.
+  IlpModel m;
+  const int a = m.AddBinary(), b = m.AddBinary(), c = m.AddBinary();
+  m.AddConstraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Rel::kLe, 2);
+  m.SetObjective({10, 6, 4}, true);
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->proved_optimal);
+  EXPECT_NEAR(s->objective, 16.0, 1e-6);
+  EXPECT_EQ(s->Int(a), 1);
+  EXPECT_EQ(s->Int(b), 1);
+  EXPECT_EQ(s->Int(c), 0);
+}
+
+TEST(Ilp, RoundingMattersVsLpRelaxation) {
+  // max x s.t. 2x <= 3, x integer => x = 1 (LP gives 1.5).
+  IlpModel m;
+  const int x = m.AddVar(0, 10, true);
+  m.AddConstraint({{x, 1.0}}, Rel::kLe, 1.5);
+  m.SetObjective({1}, true);
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Int(x), 1);
+}
+
+TEST(Ilp, InfeasibleReported) {
+  IlpModel m;
+  const int x = m.AddBinary();
+  m.AddConstraint({{x, 1.0}}, Rel::kGe, 2);
+  const auto s = m.Solve();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kUnmappable);
+}
+
+TEST(Ilp, MinimisationWorks) {
+  // min x + y s.t. x + y >= 3, x,y in [0,5] integer => 3.
+  IlpModel m;
+  const int x = m.AddVar(0, 5, true), y = m.AddVar(0, 5, true);
+  m.AddConstraint({{x, 1.0}, {y, 1.0}}, Rel::kGe, 3);
+  m.SetObjective({1, 1}, false);
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 3.0, 1e-6);
+}
+
+TEST(Ilp, AssignmentProblemExact) {
+  // 3x3 assignment as ILP must equal the Hungarian optimum (5).
+  const std::vector<std::vector<double>> cost{{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  IlpModel m;
+  std::vector<std::vector<int>> x(3, std::vector<int>(3));
+  std::vector<double> obj;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      x[static_cast<size_t>(i)][static_cast<size_t>(j)] = m.AddBinary();
+      obj.push_back(cost[static_cast<size_t>(i)][static_cast<size_t>(j)]);
+    }
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::vector<LinearTerm> row, col;
+    for (int j = 0; j < 3; ++j) {
+      row.push_back({x[static_cast<size_t>(i)][static_cast<size_t>(j)], 1.0});
+      col.push_back({x[static_cast<size_t>(j)][static_cast<size_t>(i)], 1.0});
+    }
+    m.AddConstraint(std::move(row), Rel::kEq, 1);
+    m.AddConstraint(std::move(col), Rel::kEq, 1);
+  }
+  m.SetObjective(std::move(obj), false);
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->objective, 5.0, 1e-6);
+}
+
+TEST(Ilp, RejectsNegativeLowerBounds) {
+  IlpModel m;
+  m.AddVar(-1, 1, true);
+  EXPECT_FALSE(m.Solve().ok());
+}
+
+// ---------------------------------------------------------------- SAT -------
+
+TEST(Sat, TrivialSat) {
+  SatSolver s;
+  const int v = s.NewVars(2);
+  s.AddClause({PosLit(v), PosLit(v + 1)});
+  EXPECT_EQ(s.Solve(), SatResult::kSat);
+  EXPECT_TRUE(s.Value(v) || s.Value(v + 1));
+}
+
+TEST(Sat, TrivialUnsat) {
+  SatSolver s;
+  const int v = s.NewVars(1);
+  s.AddUnit(PosLit(v));
+  s.AddUnit(NegLit(v));
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 4 pigeons, 3 holes.
+  SatSolver s;
+  const int base = s.NewVars(12);
+  auto x = [&](int p, int h) { return PosLit(base + p * 3 + h); };
+  for (int p = 0; p < 4; ++p) {
+    s.AddClause({x(p, 0), x(p, 1), x(p, 2)});
+  }
+  for (int h = 0; h < 3; ++h) {
+    std::vector<Lit> hole;
+    for (int p = 0; p < 4; ++p) hole.push_back(x(p, h));
+    s.AtMostOnePairwise(hole);
+  }
+  EXPECT_EQ(s.Solve(), SatResult::kUnsat);
+}
+
+TEST(Sat, ExactlyOneHolds) {
+  SatSolver s;
+  const int base = s.NewVars(8);
+  std::vector<Lit> lits;
+  for (int i = 0; i < 8; ++i) lits.push_back(PosLit(base + i));
+  s.ExactlyOne(lits);
+  ASSERT_EQ(s.Solve(), SatResult::kSat);
+  int count = 0;
+  for (int i = 0; i < 8; ++i) count += s.Value(base + i) ? 1 : 0;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Sat, SequentialAmoEquivalentToPairwise) {
+  // Property: for random forced assignments, both encodings agree on
+  // satisfiability.
+  Rng rng(2024);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = rng.NextInt(5, 9);
+    std::vector<int> forced;  // indices forced true
+    const int k = rng.NextInt(0, 2);
+    for (int i = 0; i < k; ++i) forced.push_back(rng.NextInt(0, n - 1));
+    auto build = [&](bool sequential) {
+      SatSolver s;
+      const int base = s.NewVars(n);
+      std::vector<Lit> lits;
+      for (int i = 0; i < n; ++i) lits.push_back(PosLit(base + i));
+      if (sequential) {
+        s.AtMostOneSequential(lits);
+      } else {
+        s.AtMostOnePairwise(lits);
+      }
+      for (int f : forced) s.AddUnit(PosLit(base + f));
+      return s.Solve();
+    };
+    EXPECT_EQ(build(true), build(false)) << "trial " << trial;
+  }
+}
+
+TEST(Sat, RandomInstancesAgreeWithBruteForce) {
+  Rng rng(55);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = rng.NextInt(3, 8);
+    const int clauses = rng.NextInt(3, 20);
+    std::vector<std::vector<Lit>> cnf;
+    for (int c = 0; c < clauses; ++c) {
+      std::vector<Lit> clause;
+      const int width = rng.NextInt(1, 3);
+      for (int l = 0; l < width; ++l) {
+        const int var = rng.NextInt(0, n - 1);
+        clause.push_back(rng.NextBool() ? PosLit(var) : NegLit(var));
+      }
+      cnf.push_back(clause);
+    }
+    // Brute force.
+    bool any = false;
+    for (int m = 0; m < (1 << n) && !any; ++m) {
+      bool all = true;
+      for (const auto& clause : cnf) {
+        bool sat = false;
+        for (Lit l : clause) {
+          const bool val = (m >> VarOf(l)) & 1;
+          if (val == IsPos(l)) {
+            sat = true;
+            break;
+          }
+        }
+        if (!sat) {
+          all = false;
+          break;
+        }
+      }
+      any = all;
+    }
+    SatSolver s;
+    s.NewVars(n);
+    for (auto& clause : cnf) s.AddClause(std::move(clause));
+    EXPECT_EQ(s.Solve(), any ? SatResult::kSat : SatResult::kUnsat)
+        << "trial " << trial;
+  }
+}
+
+TEST(Sat, ModelSatisfiesAllClauses) {
+  Rng rng(77);
+  SatSolver s;
+  const int n = 30;
+  s.NewVars(n);
+  std::vector<std::vector<Lit>> cnf;
+  for (int c = 0; c < 120; ++c) {
+    std::vector<Lit> clause;
+    for (int l = 0; l < 3; ++l) {
+      const int var = rng.NextInt(0, n - 1);
+      clause.push_back(rng.NextBool() ? PosLit(var) : NegLit(var));
+    }
+    cnf.push_back(clause);
+    s.AddClause(clause);
+  }
+  if (s.Solve() == SatResult::kSat) {
+    for (const auto& clause : cnf) {
+      bool sat = false;
+      for (Lit l : clause) sat |= s.Value(VarOf(l)) == IsPos(l);
+      EXPECT_TRUE(sat);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- CP --------
+
+TEST(Cp, AllDifferentPermutation) {
+  CpModel m;
+  std::vector<CpVar> vars;
+  for (int i = 0; i < 4; ++i) vars.push_back(m.AddVar(0, 3));
+  m.AddAllDifferent(vars);
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  std::set<int> values(s->begin(), s->end());
+  EXPECT_EQ(values.size(), 4u);
+}
+
+TEST(Cp, BinaryConstraintRespected) {
+  CpModel m;
+  const CpVar x = m.AddVar(0, 5), y = m.AddVar(0, 5);
+  m.AddBinary(x, y, [](int a, int b) { return a + b == 7; });
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)[0] + (*s)[1], 7);
+}
+
+TEST(Cp, InfeasibleDetected) {
+  CpModel m;
+  const CpVar x = m.AddVar(0, 1), y = m.AddVar(0, 1), z = m.AddVar(0, 1);
+  m.AddAllDifferent({x, y, z});  // 3 vars, 2 values
+  EXPECT_FALSE(m.Solve().ok());
+}
+
+TEST(Cp, NQueens6HasSolution) {
+  CpModel m;
+  std::vector<CpVar> col;
+  const int n = 6;
+  for (int i = 0; i < n; ++i) col.push_back(m.AddVar(0, n - 1));
+  m.AddAllDifferent(col);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const int d = j - i;
+      m.AddBinary(col[static_cast<size_t>(i)], col[static_cast<size_t>(j)],
+                  [d](int a, int b) { return a - b != d && b - a != d; });
+    }
+  }
+  const auto s = m.Solve();
+  ASSERT_TRUE(s.ok());
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      EXPECT_NE((*s)[static_cast<size_t>(i)], (*s)[static_cast<size_t>(j)]);
+      EXPECT_NE(std::abs((*s)[static_cast<size_t>(i)] - (*s)[static_cast<size_t>(j)]), j - i);
+    }
+  }
+}
+
+TEST(Cp, DeadlineSurfacesAsResourceLimit) {
+  // A hard instance with an immediate deadline.
+  CpModel m;
+  std::vector<CpVar> col;
+  for (int i = 0; i < 16; ++i) col.push_back(m.AddVar(0, 15));
+  m.AddAllDifferent(col);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = i + 1; j < 16; ++j) {
+      const int d = j - i;
+      m.AddBinary(col[static_cast<size_t>(i)], col[static_cast<size_t>(j)],
+                  [d](int a, int b) { return a - b != d && b - a != d; });
+    }
+  }
+  const auto s = m.Solve(Deadline::AfterSeconds(0.0));
+  if (!s.ok()) {
+    EXPECT_EQ(s.error().code, Error::Code::kResourceLimit);
+  }
+}
+
+// ---------------------------------------------------------------- SMT -------
+
+TEST(Smt, SimpleDifferenceChain) {
+  SmtSolver s;
+  const int a = s.NewTerm(), b = s.NewTerm(), c = s.NewTerm();
+  // b - a >= 1, c - b >= 1, c - a <= 5.
+  s.AssertLe(a, b, -1);
+  s.AssertLe(b, c, -1);
+  s.AssertLe(c, a, 5);
+  ASSERT_EQ(s.Solve(), SmtSolver::Outcome::kSat);
+  EXPECT_GE(s.TermValue(b) - s.TermValue(a), 1);
+  EXPECT_GE(s.TermValue(c) - s.TermValue(b), 1);
+  EXPECT_LE(s.TermValue(c) - s.TermValue(a), 5);
+}
+
+TEST(Smt, InfeasibleCycle) {
+  SmtSolver s;
+  const int a = s.NewTerm(), b = s.NewTerm();
+  s.AssertLe(a, b, -1);  // b >= a + 1
+  s.AssertLe(b, a, -1);  // a >= b + 1
+  EXPECT_EQ(s.Solve(), SmtSolver::Outcome::kUnsat);
+}
+
+TEST(Smt, BooleanChoicePicksFeasibleTheory) {
+  // p -> (b - a >= 5); !p -> (a - b >= 5); plus a - b <= 0 forces p.
+  SmtSolver s;
+  const int a = s.NewTerm(), b = s.NewTerm();
+  const int p = s.NewBool();
+  const Lit atom1 = s.AtomLe(a, b, -5);
+  const Lit atom2 = s.AtomLe(b, a, -5);
+  s.AddClause({NegLit(p), atom1});
+  s.AddClause({PosLit(p), atom2});
+  s.AssertLe(a, b, 0);  // a <= b, contradicts atom2
+  ASSERT_EQ(s.Solve(), SmtSolver::Outcome::kSat);
+  EXPECT_TRUE(s.BoolValue(p));
+  EXPECT_GE(s.TermValue(b) - s.TermValue(a), 5);
+}
+
+TEST(Smt, EqualityHelper) {
+  SmtSolver s;
+  const int a = s.NewTerm(), b = s.NewTerm();
+  s.AssertEq(a, b, 3);  // a - b == 3
+  ASSERT_EQ(s.Solve(), SmtSolver::Outcome::kSat);
+  EXPECT_EQ(s.TermValue(a) - s.TermValue(b), 3);
+}
+
+TEST(Smt, TheoryConflictForcesOtherModel) {
+  // Either x-y<=0 or y-x<=-3; also x-y>=2. First choice conflicts.
+  SmtSolver s;
+  const int x = s.NewTerm(), y = s.NewTerm();
+  const Lit a1 = s.AtomLe(x, y, 0);
+  const Lit a2 = s.AtomLe(y, x, -3);
+  s.AddClause({a1, a2});
+  s.AssertLe(y, x, -2);  // x - y >= 2
+  ASSERT_EQ(s.Solve(), SmtSolver::Outcome::kSat);
+  EXPECT_GE(s.TermValue(x) - s.TermValue(y), 3);
+}
+
+TEST(Smt, RandomDifferenceSystemsAgreeWithBellmanFord) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = rng.NextInt(3, 6);
+    const int m = rng.NextInt(3, 10);
+    struct C {
+      int x, y, c;
+    };
+    std::vector<C> cs;
+    for (int i = 0; i < m; ++i) {
+      cs.push_back({rng.NextInt(0, n - 1), rng.NextInt(0, n - 1),
+                    rng.NextInt(-4, 4)});
+    }
+    // Ground truth: Bellman-Ford negative cycle detection.
+    std::vector<long long> dist(static_cast<size_t>(n), 0);
+    bool feasible = true;
+    for (int pass = 0; pass <= n; ++pass) {
+      bool changed = false;
+      for (const C& c : cs) {
+        if (dist[static_cast<size_t>(c.y)] + c.c < dist[static_cast<size_t>(c.x)]) {
+          dist[static_cast<size_t>(c.x)] = dist[static_cast<size_t>(c.y)] + c.c;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+      if (pass == n) feasible = false;
+    }
+    SmtSolver s;
+    for (int i = 0; i < n; ++i) s.NewTerm();
+    for (const C& c : cs) s.AssertLe(c.x, c.y, c.c);
+    EXPECT_EQ(s.Solve() == SmtSolver::Outcome::kSat, feasible)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cgra

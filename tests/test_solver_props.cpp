@@ -1,0 +1,292 @@
+// Deeper solver properties: randomized cross-checks of the exact
+// engines against brute force and against each other — the guarantees
+// Table I's "exact" column rests on.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "solver/cp.hpp"
+#include "solver/ilp.hpp"
+#include "solver/lp.hpp"
+#include "solver/sat.hpp"
+#include "solver/smt.hpp"
+#include "support/rng.hpp"
+
+namespace cgra {
+namespace {
+
+// ---- LP -----------------------------------------------------------------------
+
+TEST(LpProperty, OptimalSolutionsAreFeasible) {
+  Rng rng(404);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = rng.NextInt(2, 6);
+    LpProblem p;
+    p.num_vars = n;
+    for (int j = 0; j < n; ++j) p.objective.push_back(rng.NextInt(1, 5));
+    const int rows = rng.NextInt(2, 8);
+    for (int r = 0; r < rows; ++r) {
+      LinearConstraint c;
+      for (int j = 0; j < n; ++j) {
+        c.terms.push_back({j, static_cast<double>(rng.NextInt(0, 3))});
+      }
+      c.rel = Rel::kLe;
+      c.rhs = rng.NextInt(1, 20);
+      p.constraints.push_back(std::move(c));
+    }
+    // Bound the polytope so it can't be unbounded.
+    for (int j = 0; j < n; ++j) {
+      p.constraints.push_back({{{j, 1.0}}, Rel::kLe, 50});
+    }
+    const auto s = SolveLp(p);
+    ASSERT_EQ(s.status, LpStatus::kOptimal) << "trial " << trial;
+    for (const auto& c : p.constraints) {
+      double lhs = 0;
+      for (const auto& t : c.terms) lhs += t.coeff * s.x[static_cast<size_t>(t.var)];
+      EXPECT_LE(lhs, c.rhs + 1e-6) << "trial " << trial;
+    }
+    for (double x : s.x) EXPECT_GE(x, -1e-9);
+  }
+}
+
+TEST(LpProperty, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex (degeneracy —
+  // the Bland's-rule guard must prevent cycling).
+  LpProblem p;
+  p.num_vars = 3;
+  p.objective = {1, 1, 1};
+  for (int i = 0; i < 12; ++i) {
+    p.constraints.push_back(
+        {{{0, 1.0}, {1, 1.0}, {2, 1.0}}, Rel::kLe, 6.0});
+  }
+  p.constraints.push_back({{{0, 1.0}}, Rel::kLe, 2});
+  p.constraints.push_back({{{1, 1.0}}, Rel::kLe, 2});
+  p.constraints.push_back({{{2, 1.0}}, Rel::kLe, 2});
+  const auto s = SolveLp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6.0, 1e-6);
+}
+
+// ---- ILP vs brute force ----------------------------------------------------------
+
+TEST(IlpProperty, MatchesBruteForceOnRandomBinaries) {
+  Rng rng(505);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = rng.NextInt(3, 8);
+    std::vector<double> weight, value;
+    for (int j = 0; j < n; ++j) {
+      weight.push_back(rng.NextInt(1, 9));
+      value.push_back(rng.NextInt(1, 9));
+    }
+    const double cap = rng.NextInt(5, 25);
+    // Brute force knapsack.
+    double best = 0;
+    for (int mask = 0; mask < (1 << n); ++mask) {
+      double w = 0, v = 0;
+      for (int j = 0; j < n; ++j) {
+        if ((mask >> j) & 1) {
+          w += weight[static_cast<size_t>(j)];
+          v += value[static_cast<size_t>(j)];
+        }
+      }
+      if (w <= cap) best = std::max(best, v);
+    }
+    IlpModel m;
+    std::vector<LinearTerm> row;
+    for (int j = 0; j < n; ++j) {
+      const int var = m.AddBinary();
+      row.push_back({var, weight[static_cast<size_t>(j)]});
+    }
+    m.AddConstraint(std::move(row), Rel::kLe, cap);
+    m.SetObjective(value, true);
+    const auto s = m.Solve();
+    ASSERT_TRUE(s.ok()) << "trial " << trial;
+    EXPECT_TRUE(s->proved_optimal);
+    EXPECT_NEAR(s->objective, best, 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(IlpProperty, DeadlineYieldsResourceLimitOrIncumbent) {
+  // A big assignment with an immediate deadline: either a clean
+  // resource-limit error or an (unproven) incumbent; never a crash.
+  IlpModel m;
+  const int n = 8;
+  std::vector<double> obj;
+  for (int i = 0; i < n * n; ++i) {
+    m.AddBinary();
+    obj.push_back((i * 37) % 11);
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<LinearTerm> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.push_back({i * n + j, 1.0});
+      col.push_back({j * n + i, 1.0});
+    }
+    m.AddConstraint(std::move(row), Rel::kEq, 1);
+    m.AddConstraint(std::move(col), Rel::kEq, 1);
+  }
+  m.SetObjective(std::move(obj), false);
+  IlpModel::SolveOptions so;
+  so.deadline = Deadline::AfterSeconds(0.005);
+  const auto s = m.Solve(so);
+  // Three legitimate outcomes: solved in time (assignment polytopes are
+  // integral, so the LP relaxation can prove optimality at the root),
+  // an unproven incumbent, or a clean resource-limit error. Never a
+  // crash, never a silent wrong answer.
+  if (s.ok()) {
+    if (s->proved_optimal) {
+      // Brute-force optimum of the same cost matrix (8! = 40320 — cheap).
+      std::vector<int> perm{0, 1, 2, 3, 4, 5, 6, 7};
+      double best = 1e18;
+      do {
+        double c = 0;
+        for (int i = 0; i < 8; ++i) {
+          c += ((i * 8 + perm[static_cast<size_t>(i)]) * 37) % 11;
+        }
+        best = std::min(best, c);
+      } while (std::next_permutation(perm.begin(), perm.end()));
+      EXPECT_NEAR(s->objective, best, 1e-6);
+    }
+  } else {
+    EXPECT_EQ(s.error().code, Error::Code::kResourceLimit);
+  }
+}
+
+// ---- SAT <-> CP <-> SMT agreement -------------------------------------------------
+
+TEST(CrossSolver, GraphColoringAgreement) {
+  // Random graphs, k colors: SAT, CP and brute force must agree on
+  // colorability.
+  Rng rng(606);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.NextInt(4, 7);
+    const int k = rng.NextInt(2, 3);
+    std::vector<std::pair<int, int>> edges;
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (rng.NextBool(0.5)) edges.push_back({a, b});
+      }
+    }
+    // Brute force.
+    bool colorable = false;
+    std::vector<int> color(static_cast<size_t>(n), 0);
+    const int total = static_cast<int>(std::pow(k, n));
+    for (int code = 0; code < total && !colorable; ++code) {
+      int c = code;
+      for (int v = 0; v < n; ++v) {
+        color[static_cast<size_t>(v)] = c % k;
+        c /= k;
+      }
+      bool ok = true;
+      for (const auto& [a, b] : edges) {
+        if (color[static_cast<size_t>(a)] == color[static_cast<size_t>(b)]) ok = false;
+      }
+      colorable |= ok;
+    }
+    // SAT.
+    SatSolver sat;
+    const int base = sat.NewVars(n * k);
+    auto lit = [&](int v, int c) { return PosLit(base + v * k + c); };
+    for (int v = 0; v < n; ++v) {
+      std::vector<Lit> one;
+      for (int c = 0; c < k; ++c) one.push_back(lit(v, c));
+      sat.ExactlyOne(one);
+    }
+    for (const auto& [a, b] : edges) {
+      for (int c = 0; c < k; ++c) {
+        sat.AddClause({Negate(lit(a, c)), Negate(lit(b, c))});
+      }
+    }
+    EXPECT_EQ(sat.Solve() == SatResult::kSat, colorable) << "trial " << trial;
+    // CP.
+    CpModel cp;
+    std::vector<CpVar> vars;
+    for (int v = 0; v < n; ++v) vars.push_back(cp.AddVar(0, k - 1));
+    for (const auto& [a, b] : edges) {
+      cp.AddNotEqual(vars[static_cast<size_t>(a)], vars[static_cast<size_t>(b)]);
+    }
+    EXPECT_EQ(cp.Solve().ok(), colorable) << "trial " << trial;
+  }
+}
+
+TEST(CrossSolver, SmtSchedulesMatchCpOnChains) {
+  // Precedence chains with windows: both engines must agree on
+  // feasibility of fitting a chain of n unit tasks into L slots.
+  for (int n = 3; n <= 6; ++n) {
+    for (int L = n - 1; L <= n + 1; ++L) {
+      const bool feasible = L >= n;
+      // SMT.
+      SmtSolver smt;
+      const int zero = smt.NewTerm();
+      std::vector<int> t;
+      for (int i = 0; i < n; ++i) {
+        t.push_back(smt.NewTerm());
+        smt.AssertLe(zero, t.back(), 0);
+        smt.AssertLe(t.back(), zero, L - 1);
+      }
+      for (int i = 0; i + 1 < n; ++i) smt.AssertLe(t[static_cast<size_t>(i)], t[static_cast<size_t>(i + 1)], -1);
+      EXPECT_EQ(smt.Solve() == SmtSolver::Outcome::kSat, feasible)
+          << "n=" << n << " L=" << L;
+      // CP.
+      CpModel cp;
+      std::vector<CpVar> vars;
+      for (int i = 0; i < n; ++i) vars.push_back(cp.AddVar(0, L - 1));
+      for (int i = 0; i + 1 < n; ++i) {
+        cp.AddBinary(vars[static_cast<size_t>(i)], vars[static_cast<size_t>(i + 1)],
+                     [](int a, int b) { return b >= a + 1; });
+      }
+      EXPECT_EQ(cp.Solve().ok(), feasible) << "n=" << n << " L=" << L;
+    }
+  }
+}
+
+TEST(SatProperty, IncrementalBlockingEnumeratesAllModels) {
+  // Enumerate models of a 3-variable formula by blocking clauses; the
+  // count must equal brute force (exercises incremental re-solve).
+  SatSolver s;
+  const int v = s.NewVars(3);
+  s.AddClause({PosLit(v), PosLit(v + 1), PosLit(v + 2)});  // at least one
+  int models = 0;
+  while (s.Solve() == SatResult::kSat && models < 10) {
+    ++models;
+    std::vector<Lit> block;
+    for (int i = 0; i < 3; ++i) {
+      block.push_back(s.Value(v + i) ? NegLit(v + i) : PosLit(v + i));
+    }
+    s.AddClause(std::move(block));
+  }
+  EXPECT_EQ(models, 7);  // 2^3 - 1 assignments satisfy "at least one"
+}
+
+TEST(CpProperty, SolutionsSatisfyAllConstraints) {
+  Rng rng(707);
+  for (int trial = 0; trial < 25; ++trial) {
+    CpModel m;
+    const int n = rng.NextInt(3, 6);
+    std::vector<CpVar> vars;
+    for (int i = 0; i < n; ++i) vars.push_back(m.AddVar(0, 5));
+    struct Bin {
+      CpVar x, y;
+      int sum;
+    };
+    std::vector<Bin> bins;
+    for (int c = 0; c < n; ++c) {
+      const CpVar x = vars[rng.NextIndex(vars.size())];
+      const CpVar y = vars[rng.NextIndex(vars.size())];
+      if (x == y) continue;
+      const int sum = rng.NextInt(2, 8);
+      bins.push_back({x, y, sum});
+      m.AddBinary(x, y, [sum](int a, int b) { return a + b <= sum; });
+    }
+    const auto r = m.Solve();
+    if (!r.ok()) continue;  // infeasible combinations are fine
+    for (const Bin& b : bins) {
+      EXPECT_LE((*r)[static_cast<size_t>(b.x)] + (*r)[static_cast<size_t>(b.y)], b.sum);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cgra

@@ -1,0 +1,171 @@
+// Unit tests for the support library.
+#include <atomic>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/status.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace cgra {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(Status, CarriesError) {
+  Status s = Error::Unmappable("no dice");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kUnmappable);
+  EXPECT_EQ(s.error().message, "no dice");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BoundedRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.NextBounded(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(Rng, NextIntInclusive) {
+  Rng rng(9);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextInt(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng a(5);
+  Rng child = a.Split();
+  EXPECT_NE(a(), child());
+}
+
+TEST(Str, Format) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(Str, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Str, Pad) {
+  EXPECT_EQ(Pad("ab", 4), "ab  ");
+  EXPECT_EQ(Pad("ab", 4, true), "  ab");
+  EXPECT_EQ(Pad("abcdef", 3), "abc");
+}
+
+TEST(Table, RendersAllCells) {
+  TextTable t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRule();
+  t.AddRow({"long-name", "23"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("23"), std::string::npos);
+}
+
+TEST(Timer, DeadlineUnlimitedNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.Expired());
+  EXPECT_GT(d.RemainingSeconds(), 1e9);
+}
+
+TEST(Timer, DeadlineExpires) {
+  Deadline d = Deadline::AfterSeconds(0.0);
+  EXPECT_TRUE(d.Expired());
+}
+
+TEST(Timer, WallTimerAdvances) {
+  WallTimer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_GE(t.Seconds(), 0.0);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.ParallelFor(50, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace
+}  // namespace cgra
