@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation.dir/bench/ablation.cpp.o"
+  "CMakeFiles/ablation.dir/bench/ablation.cpp.o.d"
+  "bench/ablation"
+  "bench/ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_anatomy.dir/bench/fig2_anatomy.cpp.o"
+  "CMakeFiles/fig2_anatomy.dir/bench/fig2_anatomy.cpp.o.d"
+  "bench/fig2_anatomy"
+  "bench/fig2_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

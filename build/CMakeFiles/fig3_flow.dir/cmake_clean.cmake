@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_flow.dir/bench/fig3_flow.cpp.o"
+  "CMakeFiles/fig3_flow.dir/bench/fig3_flow.cpp.o.d"
+  "bench/fig3_flow"
+  "bench/fig3_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

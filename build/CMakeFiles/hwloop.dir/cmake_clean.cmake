@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwloop.dir/bench/hwloop.cpp.o"
+  "CMakeFiles/hwloop.dir/bench/hwloop.cpp.o.d"
+  "bench/hwloop"
+  "bench/hwloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

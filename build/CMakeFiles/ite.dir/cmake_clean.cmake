@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ite.dir/bench/ite.cpp.o"
+  "CMakeFiles/ite.dir/bench/ite.cpp.o.d"
+  "bench/ite"
+  "bench/ite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ite.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory.dir/bench/memory.cpp.o"
+  "CMakeFiles/memory.dir/bench/memory.cpp.o.d"
+  "bench/memory"
+  "bench/memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

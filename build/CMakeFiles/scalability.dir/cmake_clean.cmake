@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability.dir/bench/scalability.cpp.o"
+  "CMakeFiles/scalability.dir/bench/scalability.cpp.o.d"
+  "bench/scalability"
+  "bench/scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_micro.dir/bench/solver_micro.cpp.o"
+  "CMakeFiles/solver_micro.dir/bench/solver_micro.cpp.o.d"
+  "bench/solver_micro"
+  "bench/solver_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ai_accelerator.dir/ai_accelerator.cpp.o"
+  "CMakeFiles/ai_accelerator.dir/ai_accelerator.cpp.o.d"
+  "ai_accelerator"
+  "ai_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ai_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branchy_control.dir/branchy_control.cpp.o"
+  "CMakeFiles/branchy_control.dir/branchy_control.cpp.o.d"
+  "branchy_control"
+  "branchy_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branchy_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimedia_pipeline.dir/multimedia_pipeline.cpp.o"
+  "CMakeFiles/multimedia_pipeline.dir/multimedia_pipeline.cpp.o.d"
+  "multimedia_pipeline"
+  "multimedia_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimedia_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_arch.dir/arch.cpp.o"
+  "CMakeFiles/cgra_arch.dir/arch.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/context.cpp.o"
+  "CMakeFiles/cgra_arch.dir/context.cpp.o.d"
+  "CMakeFiles/cgra_arch.dir/mrrg.cpp.o"
+  "CMakeFiles/cgra_arch.dir/mrrg.cpp.o.d"
+  "libcgra_arch.a"
+  "libcgra_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

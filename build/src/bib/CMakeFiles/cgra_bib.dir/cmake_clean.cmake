@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_bib.dir/bib.cpp.o"
+  "CMakeFiles/cgra_bib.dir/bib.cpp.o.d"
+  "libcgra_bib.a"
+  "libcgra_bib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_bib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cf/direct_cdfg.cpp" "src/cf/CMakeFiles/cgra_cf.dir/direct_cdfg.cpp.o" "gcc" "src/cf/CMakeFiles/cgra_cf.dir/direct_cdfg.cpp.o.d"
+  "/root/repo/src/cf/hwloop.cpp" "src/cf/CMakeFiles/cgra_cf.dir/hwloop.cpp.o" "gcc" "src/cf/CMakeFiles/cgra_cf.dir/hwloop.cpp.o.d"
+  "/root/repo/src/cf/predication.cpp" "src/cf/CMakeFiles/cgra_cf.dir/predication.cpp.o" "gcc" "src/cf/CMakeFiles/cgra_cf.dir/predication.cpp.o.d"
+  "/root/repo/src/cf/unroll.cpp" "src/cf/CMakeFiles/cgra_cf.dir/unroll.cpp.o" "gcc" "src/cf/CMakeFiles/cgra_cf.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cgra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cgra_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cgra_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cgra_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_cf.dir/direct_cdfg.cpp.o"
+  "CMakeFiles/cgra_cf.dir/direct_cdfg.cpp.o.d"
+  "CMakeFiles/cgra_cf.dir/hwloop.cpp.o"
+  "CMakeFiles/cgra_cf.dir/hwloop.cpp.o.d"
+  "CMakeFiles/cgra_cf.dir/predication.cpp.o"
+  "CMakeFiles/cgra_cf.dir/predication.cpp.o.d"
+  "CMakeFiles/cgra_cf.dir/unroll.cpp.o"
+  "CMakeFiles/cgra_cf.dir/unroll.cpp.o.d"
+  "libcgra_cf.a"
+  "libcgra_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_graph.dir/algos.cpp.o"
+  "CMakeFiles/cgra_graph.dir/algos.cpp.o.d"
+  "CMakeFiles/cgra_graph.dir/clique.cpp.o"
+  "CMakeFiles/cgra_graph.dir/clique.cpp.o.d"
+  "CMakeFiles/cgra_graph.dir/digraph.cpp.o"
+  "CMakeFiles/cgra_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/cgra_graph.dir/layout.cpp.o"
+  "CMakeFiles/cgra_graph.dir/layout.cpp.o.d"
+  "CMakeFiles/cgra_graph.dir/matching.cpp.o"
+  "CMakeFiles/cgra_graph.dir/matching.cpp.o.d"
+  "CMakeFiles/cgra_graph.dir/mcs.cpp.o"
+  "CMakeFiles/cgra_graph.dir/mcs.cpp.o.d"
+  "CMakeFiles/cgra_graph.dir/partition.cpp.o"
+  "CMakeFiles/cgra_graph.dir/partition.cpp.o.d"
+  "libcgra_graph.a"
+  "libcgra_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

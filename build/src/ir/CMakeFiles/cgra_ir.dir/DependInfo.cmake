@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/cdfg.cpp" "src/ir/CMakeFiles/cgra_ir.dir/cdfg.cpp.o" "gcc" "src/ir/CMakeFiles/cgra_ir.dir/cdfg.cpp.o.d"
+  "/root/repo/src/ir/dfg.cpp" "src/ir/CMakeFiles/cgra_ir.dir/dfg.cpp.o" "gcc" "src/ir/CMakeFiles/cgra_ir.dir/dfg.cpp.o.d"
+  "/root/repo/src/ir/interp.cpp" "src/ir/CMakeFiles/cgra_ir.dir/interp.cpp.o" "gcc" "src/ir/CMakeFiles/cgra_ir.dir/interp.cpp.o.d"
+  "/root/repo/src/ir/kernels.cpp" "src/ir/CMakeFiles/cgra_ir.dir/kernels.cpp.o" "gcc" "src/ir/CMakeFiles/cgra_ir.dir/kernels.cpp.o.d"
+  "/root/repo/src/ir/op.cpp" "src/ir/CMakeFiles/cgra_ir.dir/op.cpp.o" "gcc" "src/ir/CMakeFiles/cgra_ir.dir/op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/cgra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_ir.dir/cdfg.cpp.o"
+  "CMakeFiles/cgra_ir.dir/cdfg.cpp.o.d"
+  "CMakeFiles/cgra_ir.dir/dfg.cpp.o"
+  "CMakeFiles/cgra_ir.dir/dfg.cpp.o.d"
+  "CMakeFiles/cgra_ir.dir/interp.cpp.o"
+  "CMakeFiles/cgra_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/cgra_ir.dir/kernels.cpp.o"
+  "CMakeFiles/cgra_ir.dir/kernels.cpp.o.d"
+  "CMakeFiles/cgra_ir.dir/op.cpp.o"
+  "CMakeFiles/cgra_ir.dir/op.cpp.o.d"
+  "libcgra_ir.a"
+  "libcgra_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

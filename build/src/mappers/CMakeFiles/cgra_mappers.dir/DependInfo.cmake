@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mappers/annealing.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/annealing.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/annealing.cpp.o.d"
+  "/root/repo/src/mappers/beam_backward.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/beam_backward.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/beam_backward.cpp.o.d"
+  "/root/repo/src/mappers/branch_bound.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/branch_bound.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/branch_bound.cpp.o.d"
+  "/root/repo/src/mappers/common.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/common.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/common.cpp.o.d"
+  "/root/repo/src/mappers/csp_mappers.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/csp_mappers.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/csp_mappers.cpp.o.d"
+  "/root/repo/src/mappers/edge_centric.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/edge_centric.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/edge_centric.cpp.o.d"
+  "/root/repo/src/mappers/epimap.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/epimap.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/epimap.cpp.o.d"
+  "/root/repo/src/mappers/evolutionary.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/evolutionary.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/evolutionary.cpp.o.d"
+  "/root/repo/src/mappers/graph_drawing.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/graph_drawing.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/graph_drawing.cpp.o.d"
+  "/root/repo/src/mappers/hierarchical.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/hierarchical.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/hierarchical.cpp.o.d"
+  "/root/repo/src/mappers/ilp_mappers.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/ilp_mappers.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/ilp_mappers.cpp.o.d"
+  "/root/repo/src/mappers/list_modulo.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/list_modulo.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/list_modulo.cpp.o.d"
+  "/root/repo/src/mappers/ramp.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/ramp.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/ramp.cpp.o.d"
+  "/root/repo/src/mappers/registry.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/registry.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/registry.cpp.o.d"
+  "/root/repo/src/mappers/spatial_greedy.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/spatial_greedy.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/spatial_greedy.cpp.o.d"
+  "/root/repo/src/mappers/ultrafast.cpp" "src/mappers/CMakeFiles/cgra_mappers.dir/ultrafast.cpp.o" "gcc" "src/mappers/CMakeFiles/cgra_mappers.dir/ultrafast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/cgra_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/cgra_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cgra_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cgra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/mapper.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/mapper.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/mapper.cpp.o.d"
+  "/root/repo/src/mapping/mapping.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/mapping.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/mapping.cpp.o.d"
+  "/root/repo/src/mapping/place_route.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/place_route.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/place_route.cpp.o.d"
+  "/root/repo/src/mapping/router.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/router.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/router.cpp.o.d"
+  "/root/repo/src/mapping/tracker.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/tracker.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/tracker.cpp.o.d"
+  "/root/repo/src/mapping/validator.cpp" "src/mapping/CMakeFiles/cgra_mapping.dir/validator.cpp.o" "gcc" "src/mapping/CMakeFiles/cgra_mapping.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cgra_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cgra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

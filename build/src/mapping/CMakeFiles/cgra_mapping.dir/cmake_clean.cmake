@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_mapping.dir/mapper.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/mapper.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/mapping.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/mapping.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/place_route.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/place_route.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/router.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/router.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/tracker.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/tracker.cpp.o.d"
+  "CMakeFiles/cgra_mapping.dir/validator.cpp.o"
+  "CMakeFiles/cgra_mapping.dir/validator.cpp.o.d"
+  "libcgra_mapping.a"
+  "libcgra_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_mem.dir/banking.cpp.o"
+  "CMakeFiles/cgra_mem.dir/banking.cpp.o.d"
+  "libcgra_mem.a"
+  "libcgra_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

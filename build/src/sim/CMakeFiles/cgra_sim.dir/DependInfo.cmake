@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/compile.cpp" "src/sim/CMakeFiles/cgra_sim.dir/compile.cpp.o" "gcc" "src/sim/CMakeFiles/cgra_sim.dir/compile.cpp.o.d"
+  "/root/repo/src/sim/harness.cpp" "src/sim/CMakeFiles/cgra_sim.dir/harness.cpp.o" "gcc" "src/sim/CMakeFiles/cgra_sim.dir/harness.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/cgra_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/cgra_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapping/CMakeFiles/cgra_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cgra_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cgra_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/cp.cpp" "src/solver/CMakeFiles/cgra_solver.dir/cp.cpp.o" "gcc" "src/solver/CMakeFiles/cgra_solver.dir/cp.cpp.o.d"
+  "/root/repo/src/solver/ilp.cpp" "src/solver/CMakeFiles/cgra_solver.dir/ilp.cpp.o" "gcc" "src/solver/CMakeFiles/cgra_solver.dir/ilp.cpp.o.d"
+  "/root/repo/src/solver/lp.cpp" "src/solver/CMakeFiles/cgra_solver.dir/lp.cpp.o" "gcc" "src/solver/CMakeFiles/cgra_solver.dir/lp.cpp.o.d"
+  "/root/repo/src/solver/sat.cpp" "src/solver/CMakeFiles/cgra_solver.dir/sat.cpp.o" "gcc" "src/solver/CMakeFiles/cgra_solver.dir/sat.cpp.o.d"
+  "/root/repo/src/solver/smt.cpp" "src/solver/CMakeFiles/cgra_solver.dir/smt.cpp.o" "gcc" "src/solver/CMakeFiles/cgra_solver.dir/smt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_solver.dir/cp.cpp.o"
+  "CMakeFiles/cgra_solver.dir/cp.cpp.o.d"
+  "CMakeFiles/cgra_solver.dir/ilp.cpp.o"
+  "CMakeFiles/cgra_solver.dir/ilp.cpp.o.d"
+  "CMakeFiles/cgra_solver.dir/lp.cpp.o"
+  "CMakeFiles/cgra_solver.dir/lp.cpp.o.d"
+  "CMakeFiles/cgra_solver.dir/sat.cpp.o"
+  "CMakeFiles/cgra_solver.dir/sat.cpp.o.d"
+  "CMakeFiles/cgra_solver.dir/smt.cpp.o"
+  "CMakeFiles/cgra_solver.dir/smt.cpp.o.d"
+  "libcgra_solver.a"
+  "libcgra_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgra_support.dir/str.cpp.o"
+  "CMakeFiles/cgra_support.dir/str.cpp.o.d"
+  "CMakeFiles/cgra_support.dir/table.cpp.o"
+  "CMakeFiles/cgra_support.dir/table.cpp.o.d"
+  "CMakeFiles/cgra_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/cgra_support.dir/thread_pool.cpp.o.d"
+  "libcgra_support.a"
+  "libcgra_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgra_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

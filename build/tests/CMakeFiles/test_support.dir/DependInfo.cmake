@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_support.cpp" "tests/CMakeFiles/test_support.dir/test_support.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/test_support.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cf/CMakeFiles/cgra_cf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cgra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bib/CMakeFiles/cgra_bib.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cgra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mappers/CMakeFiles/cgra_mappers.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/cgra_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/cgra_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/cgra_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cgra_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cgra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/cgra_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
