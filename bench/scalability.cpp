@@ -12,8 +12,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "engine/trace.hpp"
 #include "ir/kernels.hpp"
 #include "mappers/mappers.hpp"
+#include "mappers/registry.hpp"
 #include "sim/harness.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
@@ -37,30 +39,50 @@ void Run(const Mapper& mapper, const Kernel& kernel, const Architecture& arch,
          TextTable& table, const char* sweep_label) {
   MapperOptions options;
   options.deadline = Deadline::AfterSeconds(20);
+  // A per-run trace turns "TIMEOUT" into a diagnosis: how many IIs the
+  // mapper got through and how hard the backing solver worked before
+  // the budget ran out.
+  MapTrace trace;
+  options.observer = &trace;
   WallTimer timer;
   const auto r = RunEndToEnd(mapper, kernel, arch, options);
   const double ms = timer.Millis();
   if (r.ok()) {
     table.AddRow({sweep_label, arch.params().name, kernel.name, mapper.name(),
-                  StrFormat("%d", r->mapping.ii), StrFormat("%.1f", ms)});
-  } else {
-    const char* why = r.error().code == Error::Code::kResourceLimit
-                          ? "TIMEOUT"
-                          : "unmapped";
-    table.AddRow({sweep_label, arch.params().name, kernel.name, mapper.name(),
-                  why, StrFormat("%.1f", ms)});
+                  StrFormat("%d", r->mapping.ii), StrFormat("%.1f", ms), "-"});
+    return;
   }
+  const char* why = r.error().code == Error::Code::kResourceLimit
+                        ? "TIMEOUT"
+                        : "unmapped";
+  int max_ii = -1;
+  long long steps = 0;
+  for (const MapTrace::Attempt& a : trace.Attempts()) {
+    if (a.ii > max_ii) max_ii = a.ii;
+    if (a.solver_steps > 0) steps += a.solver_steps;
+  }
+  std::string detail = StrFormat("%d II attempts", trace.attempt_count());
+  if (max_ii >= 0) detail += StrFormat(", last II %d", max_ii);
+  if (steps > 0) detail += StrFormat(", %lld solver steps", steps);
+  table.AddRow({sweep_label, arch.params().name, kernel.name, mapper.name(),
+                why, StrFormat("%.1f", ms), detail});
 }
 
 }  // namespace
 
 int main() {
   std::printf("=== §IV-B scalability: flat vs hierarchical vs exact ===\n\n");
-  TextTable table({"sweep", "fabric", "kernel", "mapper", "II", "map ms"});
+  TextTable table(
+      {"sweep", "fabric", "kernel", "mapper", "II", "map ms", "on failure"});
 
-  auto ims = MakeIterativeModuloScheduler();
-  auto himap = MakeHierarchicalMapper();
-  auto bnb = MakeBranchBoundMapper();
+  const auto& registry = MapperRegistry::Global();
+  const Mapper* ims = registry.Find("ims");
+  const Mapper* himap = registry.Find("himap");
+  const Mapper* bnb = registry.Find("bnb");
+  if (!ims || !himap || !bnb) {
+    std::fprintf(stderr, "registry is missing an expected mapper\n");
+    return 1;
+  }
 
   // Sweep 1: fixed 16-lane kernel across fabric sizes.
   {

@@ -13,14 +13,17 @@
 //   * meta-heuristics sit between, trading compile time for quality;
 //   * the problem statement: "provide high quality solution with fast
 //     compilation time" (Chen et al. [27]).
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bib/bib.hpp"
+#include "engine/trace.hpp"
 #include "ir/kernels.hpp"
 #include "mappers/mappers.hpp"
+#include "mappers/registry.hpp"
 #include "sim/harness.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
@@ -57,7 +60,7 @@ int main() {
 
   const auto full_suite = StandardKernelSuite(16, 0xF00D);
   const auto tiny_suite = TinyKernelSuite(8, 0xF00D);
-  const auto mappers = MakeAllMappers();
+  const auto& registry = MapperRegistry::Global();
 
   std::printf("=== Table I, measured ===\n");
   std::printf("approximate mappers: %zu kernels on a 4x4 mesh;\n"
@@ -71,13 +74,24 @@ int main() {
   bool first = true;
   std::map<TechniqueClass, RowStats> class_stats;
 
-  for (const auto& mapper : mappers) {
-    const bool exact = IsExact(*mapper);
-    const bool spatial = mapper->kind() == MappingKind::kSpatial;
+  // One trace per mapper: the post-mortem section below uses it to say
+  // WHY a cell timed out (IIs attempted, failure codes, solver effort).
+  struct PostMortem {
+    int attempts = 0;
+    int max_ii = -1;
+    std::int64_t solver_steps = 0;
+    std::map<std::string, int> fail_counts;  // error code -> attempts
+  };
+  std::map<std::string, PostMortem> post;
+
+  for (const Mapper& mapper : registry) {
+    const bool exact = IsExact(mapper);
+    const bool spatial = mapper.kind() == MappingKind::kSpatial;
     const Architecture& arch = (exact && !spatial) ? arch2 : arch4;
     const auto& suite = exact ? tiny_suite : full_suite;
 
     RowStats stats;
+    MapTrace trace;
     for (const Kernel& kernel : suite) {
       if (spatial) {
         int mappable = 0;
@@ -89,8 +103,9 @@ int main() {
       ++stats.attempted;
       MapperOptions options;
       options.deadline = Deadline::AfterSeconds(10);
+      options.observer = &trace;
       WallTimer timer;
-      const auto r = RunEndToEnd(*mapper, kernel, arch, options);
+      const auto r = RunEndToEnd(mapper, kernel, arch, options);
       stats.seconds += timer.Seconds();
       if (r.ok()) {
         ++stats.mapped;
@@ -99,20 +114,30 @@ int main() {
         ++stats.timeouts;
       }
     }
-    auto& agg = class_stats[mapper->technique()];
+    auto& agg = class_stats[mapper.technique()];
     agg.attempted += stats.attempted;
     agg.mapped += stats.mapped;
     agg.timeouts += stats.timeouts;
     agg.ii_sum += stats.ii_sum;
     agg.seconds += stats.seconds;
 
-    if (!first && mapper->technique() != last_class) table.AddRule();
+    if (stats.timeouts > 0 || stats.mapped < stats.attempted) {
+      PostMortem& pm = post[mapper.name()];
+      for (const MapTrace::Attempt& a : trace.Attempts()) {
+        ++pm.attempts;
+        if (a.ii > pm.max_ii) pm.max_ii = a.ii;
+        if (a.solver_steps > 0) pm.solver_steps += a.solver_steps;
+        if (!a.ok) ++pm.fail_counts[a.error_code];
+      }
+    }
+
+    if (!first && mapper.technique() != last_class) table.AddRule();
     first = false;
-    last_class = mapper->technique();
+    last_class = mapper.technique();
     table.AddRow(
-        {std::string(TechniqueClassName(mapper->technique())),
-         std::string(MappingKindName(mapper->kind())),
-         mapper->name(),
+        {std::string(TechniqueClassName(mapper.technique())),
+         std::string(MappingKindName(mapper.kind())),
+         mapper.name(),
          StrFormat("%d/%d", stats.mapped, stats.attempted),
          stats.mapped ? StrFormat("%.2f", double(stats.ii_sum) / stats.mapped)
                       : "-",
@@ -122,6 +147,25 @@ int main() {
          StrFormat("%d", stats.timeouts)});
   }
   std::printf("%s\n", table.Render().c_str());
+
+  if (!post.empty()) {
+    std::printf("--- failure post-mortem (from MapTrace) ---\n");
+    TextTable pm_table({"mapper", "II attempts", "max II tried",
+                        "failures by cause", "solver steps"});
+    for (const auto& [name, pm] : post) {
+      std::vector<std::string> causes;
+      for (const auto& [code, count] : pm.fail_counts) {
+        causes.push_back(StrFormat("%s x%d", code.c_str(), count));
+      }
+      pm_table.AddRow({name, StrFormat("%d", pm.attempts),
+                       pm.max_ii >= 0 ? StrFormat("%d", pm.max_ii) : "-",
+                       causes.empty() ? "-" : Join(causes, ", "),
+                       pm.solver_steps > 0
+                           ? StrFormat("%lld", (long long)pm.solver_steps)
+                           : "-"});
+    }
+    std::printf("%s\n", pm_table.Render().c_str());
+  }
 
   std::printf("--- per technique class (the paper's four columns) ---\n");
   TextTable agg_table({"class", "mapped", "avg II", "avg ms/kernel"});

@@ -1,0 +1,245 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "mappers/registry.hpp"
+
+namespace cgra {
+namespace {
+
+MapperOptions EntryOptions(const EngineOptions& eo, std::size_t i,
+                           StopToken stop, MrrgCache* cache) {
+  MapperOptions mo;
+  mo.min_ii = eo.min_ii;
+  mo.max_ii = eo.max_ii;
+  mo.extra_slack = eo.extra_slack;
+  mo.deadline = eo.deadline;
+  mo.seed = eo.seed + static_cast<std::uint64_t>(i);
+  mo.stop = std::move(stop);
+  mo.observer = eo.observer;
+  mo.mrrg_cache = cache;
+  return mo;
+}
+
+void EmitMapperStart(MapObserver* obs, const Mapper& mapper) {
+  MapEvent e;
+  e.kind = MapEvent::Kind::kMapperStart;
+  e.mapper = mapper.name();
+  NotifyObserver(obs, e);
+}
+
+void EmitMapperDone(MapObserver* obs, const Mapper& mapper,
+                    const Result<Mapping>& result, double seconds) {
+  MapEvent e;
+  e.kind = MapEvent::Kind::kMapperDone;
+  e.mapper = mapper.name();
+  e.ok = result.ok();
+  e.seconds = seconds;
+  if (result.ok()) {
+    e.ii = result->ii;
+  } else {
+    e.error_code = result.error().code;
+    e.message = result.error().message;
+  }
+  NotifyObserver(obs, e);
+}
+
+EngineAttempt MakeAttempt(const Mapper& mapper, const Result<Mapping>& result,
+                          double seconds) {
+  EngineAttempt a;
+  a.mapper = mapper.name();
+  a.ok = result.ok();
+  if (result.ok()) {
+    a.ii = result->ii;
+  } else {
+    a.error = result.error();
+  }
+  a.seconds = seconds;
+  return a;
+}
+
+/// Aggregate failure: the budget was the binding constraint if any
+/// entry hit it; otherwise the problem itself is unmappable under the
+/// given limits.
+Error AggregateError(const std::vector<EngineAttempt>& attempts) {
+  std::ostringstream msg;
+  msg << "portfolio exhausted: ";
+  bool any_limit = false;
+  bool first = true;
+  for (const EngineAttempt& a : attempts) {
+    if (a.ok) continue;
+    if (!first) msg << "; ";
+    first = false;
+    msg << a.mapper << " (" << Error::CodeName(a.error.code) << ")";
+    if (a.error.code == Error::Code::kResourceLimit) any_limit = true;
+  }
+  return any_limit ? Error::ResourceLimit(msg.str())
+                   : Error::Unmappable(msg.str());
+}
+
+/// Index of the best success: lowest II, ties broken by portfolio
+/// order. npos when every entry failed.
+std::size_t BestIndex(const std::vector<EngineAttempt>& attempts) {
+  std::size_t best = attempts.size();
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (!attempts[i].ok) continue;
+    if (best == attempts.size() || attempts[i].ii < attempts[best].ii) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MappingEngine::MappingEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+Result<EngineResult> MappingEngine::Run(
+    const Dfg& dfg, const Architecture& arch,
+    const std::vector<const Mapper*>& portfolio) const {
+  if (portfolio.empty()) {
+    return Error::InvalidArgument("engine: empty portfolio");
+  }
+  for (const Mapper* m : portfolio) {
+    if (m == nullptr) {
+      return Error::InvalidArgument("engine: null mapper in portfolio");
+    }
+  }
+  MrrgCache local_cache;
+  MrrgCache& cache = options_.mrrg_cache ? *options_.mrrg_cache : local_cache;
+  if (!options_.race || portfolio.size() == 1) {
+    return RunSequential(dfg, arch, portfolio, cache);
+  }
+  return RunRacing(dfg, arch, portfolio, cache);
+}
+
+Result<EngineResult> MappingEngine::Run(
+    const Dfg& dfg, const Architecture& arch,
+    const std::vector<std::string>& mapper_names) const {
+  std::vector<const Mapper*> portfolio;
+  portfolio.reserve(mapper_names.size());
+  for (const std::string& name : mapper_names) {
+    const Mapper* m = MapperRegistry::Global().Find(name);
+    if (m == nullptr) {
+      return Error::InvalidArgument("engine: unknown mapper \"" + name + "\"");
+    }
+    portfolio.push_back(m);
+  }
+  return Run(dfg, arch, portfolio);
+}
+
+Result<EngineResult> MappingEngine::RunRacing(
+    const Dfg& dfg, const Architecture& arch,
+    const std::vector<const Mapper*>& portfolio, MrrgCache& cache) const {
+  const std::size_t n = portfolio.size();
+  WallTimer total;
+
+  // One stop source for the whole race: flipped by the first winner
+  // (under stop_on_first), by external cancellation, or by the global
+  // deadline; every cooperative mapper sees it via MapperOptions::stop.
+  StopSource race_stop;
+
+  // One worker per entry by default: a race only works when every
+  // entry actually runs. With fewer workers than entries (an explicit
+  // `threads`, a shared pool, or a 1-core host) a wedged entry would
+  // hold its worker until the deadline while later entries starve in
+  // the queue — so default to oversubscription; racers spend their
+  // lives polling stop/deadline anyway.
+  std::optional<ThreadPool> owned_pool;
+  ThreadPool* pool = options_.pool;
+  if (pool == nullptr) {
+    std::size_t threads = options_.threads > 0
+                              ? static_cast<std::size_t>(options_.threads)
+                              : n;
+    owned_pool.emplace(threads);
+    pool = &*owned_pool;
+  }
+
+  // Slot i is written only by task i and read only after its future is
+  // ready, so no extra locking is needed.
+  std::vector<std::optional<Result<Mapping>>> results(n);
+  std::vector<double> seconds(n, 0.0);
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futures.push_back(pool->Async([&, i]() {
+      const Mapper& mapper = *portfolio[i];
+      EmitMapperStart(options_.observer, mapper);
+      WallTimer timer;
+      MapperOptions mo = EntryOptions(options_, i, race_stop.token(), &cache);
+      Result<Mapping> r = mapper.Map(dfg, arch, mo);
+      seconds[i] = timer.Seconds();
+      EmitMapperDone(options_.observer, mapper, r, seconds[i]);
+      const bool won = r.ok();
+      results[i] = std::move(r);
+      if (won && options_.stop_on_first) race_stop.RequestStop();
+    }));
+  }
+
+  // Join the racers, forwarding external cancellation and the global
+  // deadline into the race so even mappers stuck between deadline
+  // checks get a second signal to poll.
+  for (std::future<void>& f : futures) {
+    while (f.wait_for(std::chrono::milliseconds(20)) !=
+           std::future_status::ready) {
+      if (options_.stop.StopRequested() || options_.deadline.Expired()) {
+        race_stop.RequestStop();
+      }
+    }
+  }
+
+  EngineResult out;
+  out.attempts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.attempts.push_back(MakeAttempt(*portfolio[i], *results[i], seconds[i]));
+  }
+  out.seconds = total.Seconds();
+
+  const std::size_t best = BestIndex(out.attempts);
+  if (best == out.attempts.size()) return AggregateError(out.attempts);
+  out.mapping = std::move(*results[best]).value();
+  out.winner = out.attempts[best].mapper;
+  return out;
+}
+
+Result<EngineResult> MappingEngine::RunSequential(
+    const Dfg& dfg, const Architecture& arch,
+    const std::vector<const Mapper*>& portfolio, MrrgCache& cache) const {
+  WallTimer total;
+  EngineResult out;
+  std::vector<std::optional<Result<Mapping>>> results;
+
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    if (options_.stop.StopRequested()) break;
+    if (options_.deadline.Expired() && !out.attempts.empty()) break;
+    const Mapper& mapper = *portfolio[i];
+    EmitMapperStart(options_.observer, mapper);
+    WallTimer timer;
+    MapperOptions mo = EntryOptions(options_, i, options_.stop, &cache);
+    Result<Mapping> r = mapper.Map(dfg, arch, mo);
+    const double secs = timer.Seconds();
+    EmitMapperDone(options_.observer, mapper, r, secs);
+    out.attempts.push_back(MakeAttempt(mapper, r, secs));
+    const bool ok = r.ok();
+    results.push_back(std::move(r));
+    if (ok && options_.stop_on_first) break;
+  }
+  out.seconds = total.Seconds();
+
+  if (out.attempts.empty()) {
+    return Error::ResourceLimit("engine: cancelled before any mapper ran");
+  }
+  const std::size_t best = BestIndex(out.attempts);
+  if (best == out.attempts.size()) return AggregateError(out.attempts);
+  out.mapping = std::move(*results[best]).value();
+  out.winner = out.attempts[best].mapper;
+  return out;
+}
+
+}  // namespace cgra

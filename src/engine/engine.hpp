@@ -1,0 +1,131 @@
+// MappingEngine: the concurrent portfolio runner.
+//
+// Twenty years of CGRA mapping produced no single winner: greedy
+// heuristics finish in microseconds but give up on congested fabrics,
+// exact ILP/SAT/CP formulations prove optimality but blow through any
+// time budget on large kernels. The practical answer — run several
+// techniques at once and take the first (or best) valid mapping — is
+// what this engine implements on top of the shared ThreadPool.
+//
+// Mechanics:
+//   * Each portfolio entry runs Mapper::Map() in its own pool task,
+//     with its own seed and the engine's global Deadline.
+//   * All entries share one StopSource; the first success (under
+//     stop_on_first) requests stop, and every cooperative mapper —
+//     heuristic escalation loops, annealers, B&B, the SAT/SMT/CP/ILP
+//     inner loops — bails out with Error::Code::kResourceLimit.
+//   * MRRG construction is memoised in a thread-safe MrrgCache so the
+//     racers don't rebuild the same resource graph N times.
+//   * Every attempt is reported to the caller's MapObserver (use a
+//     MapTrace to get a JSON post-mortem), bracketed by engine-emitted
+//     kMapperStart / kMapperDone events.
+//
+// Set race=false for a deterministic sequential sweep (same seed =>
+// same result), which is what the reproducibility tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/mrrg_cache.hpp"
+#include "mapping/mapper.hpp"
+#include "mapping/observer.hpp"
+#include "support/stop_token.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace cgra {
+
+struct EngineOptions {
+  /// Global wall-clock budget shared by the whole portfolio.
+  Deadline deadline;
+
+  /// II search window handed to every portfolio member.
+  int min_ii = 1;
+  int max_ii = 32;
+  int extra_slack = 2;
+
+  /// Base RNG seed; entry i runs with seed + i so racers diversify but
+  /// reruns reproduce.
+  std::uint64_t seed = 0xC62A5EEDULL;
+
+  /// true: run entries concurrently on the pool. false: run them one
+  /// by one on the calling thread (deterministic; losers after the
+  /// first success are skipped, not raced).
+  bool race = true;
+
+  /// Cancel still-running entries as soon as one succeeds. With
+  /// stop_on_first=false the engine lets every entry finish and picks
+  /// the best mapping (lowest II, ties by portfolio order).
+  bool stop_on_first = true;
+
+  /// Pool to race on; nullptr = engine-owned pool of `threads` workers
+  /// (0 = one per portfolio entry — deliberately NOT capped by the core
+  /// count: racers are poll-heavy, and fewer workers than entries lets
+  /// a wedged entry starve the queued ones until the deadline). Pass a
+  /// shared pool only if it has at least one thread per entry.
+  ThreadPool* pool = nullptr;
+  int threads = 0;
+
+  /// Observer for the merged event stream (e.g. a MapTrace); may be
+  /// nullptr. Must be thread-safe when race=true.
+  MapObserver* observer = nullptr;
+
+  /// MRRG memoisation shared across entries; nullptr = engine-owned
+  /// per-Run cache.
+  MrrgCache* mrrg_cache = nullptr;
+
+  /// External cancellation: the engine forwards a request on this token
+  /// to every running entry.
+  StopToken stop;
+};
+
+/// Per-entry record in the engine result.
+struct EngineAttempt {
+  std::string mapper;
+  bool ok = false;
+  int ii = -1;           ///< achieved II when ok
+  Error error;           ///< failure cause when !ok
+  double seconds = 0.0;  ///< wall time of this entry's Map() call
+};
+
+struct EngineResult {
+  Mapping mapping;         ///< valid only when the run succeeded
+  std::string winner;      ///< name of the mapper that produced it
+  double seconds = 0.0;    ///< wall time of the whole Run()
+  std::vector<EngineAttempt> attempts;  ///< one per portfolio entry, in
+                                        ///< portfolio order
+};
+
+class MappingEngine {
+ public:
+  explicit MappingEngine(EngineOptions options = {});
+
+  /// Race `portfolio` (non-owning mapper pointers, e.g. from
+  /// MapperRegistry) on `dfg` x `arch`. Returns the winning mapping or,
+  /// when every entry fails, an aggregate error: kResourceLimit if any
+  /// entry ran out of time/was cancelled (the budget, not the problem,
+  /// was the binding constraint), else kUnmappable.
+  Result<EngineResult> Run(const Dfg& dfg, const Architecture& arch,
+                           const std::vector<const Mapper*>& portfolio) const;
+
+  /// Convenience: look the portfolio up by name in MapperRegistry::
+  /// Global(). Unknown names are an error.
+  Result<EngineResult> Run(const Dfg& dfg, const Architecture& arch,
+                           const std::vector<std::string>& mapper_names) const;
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  Result<EngineResult> RunRacing(const Dfg& dfg, const Architecture& arch,
+                                 const std::vector<const Mapper*>& portfolio,
+                                 MrrgCache& cache) const;
+  Result<EngineResult> RunSequential(
+      const Dfg& dfg, const Architecture& arch,
+      const std::vector<const Mapper*>& portfolio, MrrgCache& cache) const;
+
+  EngineOptions options_;
+};
+
+}  // namespace cgra

@@ -1,0 +1,144 @@
+#include "engine/trace.hpp"
+
+#include <sstream>
+#include <string_view>
+
+#include "support/status.hpp"
+
+namespace cgra {
+namespace {
+
+void AppendJsonString(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void MapTrace::OnEvent(const MapEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+std::vector<MapEvent> MapTrace::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int MapTrace::attempt_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const MapEvent& e : events_) {
+    if (e.kind == MapEvent::Kind::kAttemptDone) ++n;
+  }
+  return n;
+}
+
+std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
+  const std::vector<MapEvent> snapshot = events();
+  std::vector<Attempt> out;
+  // Solver-effort notes arrive between an attempt's start and done
+  // events, i.e. before the Attempt row exists; buffer them and fold
+  // into the finished rows afterwards, keyed on (mapper, ii).
+  std::vector<const MapEvent*> notes;
+  for (const MapEvent& e : snapshot) {
+    if (e.kind == MapEvent::Kind::kAttemptDone) {
+      Attempt a;
+      a.mapper = e.mapper;
+      a.ii = e.ii;
+      a.ok = e.ok;
+      if (!e.ok && e.error_code) a.error_code = Error::CodeName(*e.error_code);
+      a.message = e.message;
+      a.seconds = e.seconds;
+      out.push_back(std::move(a));
+    } else if (e.kind == MapEvent::Kind::kNote && e.solver_steps >= 0) {
+      notes.push_back(&e);
+    }
+  }
+  for (const MapEvent* e : notes) {
+    for (auto& a : out) {
+      if (a.mapper == e->mapper && a.ii == e->ii) {
+        a.solver_steps =
+            (a.solver_steps < 0 ? 0 : a.solver_steps) + e->solver_steps;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MapTrace::ToJson() const {
+  const std::vector<Attempt> attempts = Attempts();
+  const std::vector<MapEvent> snapshot = events();
+
+  std::ostringstream out;
+  out << "{\"attempts\":[";
+  bool first = true;
+  for (const Attempt& a : attempts) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"mapper\":";
+    AppendJsonString(out, a.mapper);
+    out << ",\"ii\":" << a.ii << ",\"ok\":" << (a.ok ? "true" : "false");
+    out << ",\"error\":";
+    AppendJsonString(out, a.error_code);
+    out << ",\"message\":";
+    AppendJsonString(out, a.message);
+    out << ",\"seconds\":" << a.seconds;
+    if (a.solver_steps >= 0) out << ",\"solver_steps\":" << a.solver_steps;
+    out << '}';
+  }
+  out << "],\"mappers\":[";
+  first = true;
+  for (const MapEvent& e : snapshot) {
+    if (e.kind != MapEvent::Kind::kMapperDone) continue;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":";
+    AppendJsonString(out, e.mapper);
+    out << ",\"ok\":" << (e.ok ? "true" : "false");
+    out << ",\"seconds\":" << e.seconds;
+    out << ",\"error\":";
+    AppendJsonString(out,
+                     !e.ok && e.error_code ? Error::CodeName(*e.error_code)
+                                           : std::string_view());
+    out << ",\"message\":";
+    AppendJsonString(out, e.message);
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+void MapTrace::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace cgra

@@ -1,0 +1,64 @@
+// MapTrace: the recording MapObserver behind the engine's
+// observability story.
+//
+// Collects every MapEvent emitted by racing mappers — attempt starts
+// and ends, failure codes, wall times, solver effort notes, and the
+// engine's own mapper start/done brackets — and serialises them to
+// JSON so benches can report *why* a Table-I cell timed out (which II
+// attempts ran, what each died of, how many solver conflicts it
+// burned) rather than just that it did.
+//
+// Thread-safe: OnEvent locks, so one trace can be shared by the whole
+// portfolio. Events keep arrival order, which interleaves mappers
+// under racing; consumers group by (mapper, ii).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mapping/observer.hpp"
+
+namespace cgra {
+
+class MapTrace final : public MapObserver {
+ public:
+  void OnEvent(const MapEvent& event) override;
+
+  /// Snapshot of everything recorded so far, in arrival order.
+  std::vector<MapEvent> events() const;
+
+  /// Number of finished II attempts (kAttemptDone events).
+  int attempt_count() const;
+
+  /// One aggregated row per finished (mapper, II) attempt, in arrival
+  /// order; solver-effort notes for the same (mapper, II) are folded in.
+  struct Attempt {
+    std::string mapper;
+    int ii = -1;
+    bool ok = false;
+    std::string error_code;         ///< Error::CodeName, empty when ok
+    std::string message;
+    double seconds = 0.0;
+    std::int64_t solver_steps = -1; ///< summed kNote steps, -1 if none
+  };
+  std::vector<Attempt> Attempts() const;
+
+  /// The whole trace as a JSON object:
+  ///   {"attempts":[{"mapper":...,"ii":...,"ok":...,"error":...,
+  ///                 "seconds":...,"solver_steps":...}, ...],
+  ///    "mappers":[{"name":...,"ok":...,"seconds":...,"error":...,
+  ///                "message":...}, ...]}
+  /// "mappers" holds the kMapperDone brackets (present when the engine
+  /// drove the run); "attempts" the per-II records.
+  std::string ToJson() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<MapEvent> events_;
+};
+
+}  // namespace cgra

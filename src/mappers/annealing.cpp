@@ -227,7 +227,7 @@ Result<Mapping> AnnealAtIi(const Dfg& dfg, const Architecture& arch,
   double temperature = std::max(1.0, cost * cfg.t0_scale);
   const int total_iters = cfg.iterations_per_op * std::max(1, dfg.num_ops());
   for (int iter = 0; iter < total_iters; ++iter) {
-    if ((iter & 63) == 0 && options.deadline.Expired()) {
+    if ((iter & 63) == 0 && ShouldAbort(options)) {
       return Error::ResourceLimit("SA deadline expired");
     }
     if (cost < 1e-9 || (cost < 1.0 && (iter & 15) == 0)) {
@@ -266,11 +266,12 @@ class DrescAnnealingMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     SaConfig cfg;
     cfg.move_time = true;
-    return EscalateIi(dfg, arch, options, [&](int ii) {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) {
       return AnnealAtIi(dfg, arch, mrrg, ii, cfg, options, rng, nullptr);
     });
   }
@@ -290,11 +291,12 @@ class AnnealingBinder final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     SaConfig cfg;
     cfg.move_time = false;
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       // Fixed schedule: modulo-ASAP times (the decoupled "scheduling
       // then binding" split of Table I's Binding row).
       const auto times = ModuloAsap(dfg, arch, ii);
@@ -319,7 +321,8 @@ class AnnealingSpatialMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     if (Status s = CheckMappable(dfg, arch); !s.ok()) return s.error();
     SaConfig cfg;

@@ -31,7 +31,8 @@ class BackwardBeamMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     const auto candidates = CandidateCellTable(dfg, arch);
     constexpr int kBeamWidth = 6;
@@ -45,7 +46,7 @@ class BackwardBeamMapper final : public Mapper {
       if (!arch.IsFolded(dfg.op(*it).opcode)) order.push_back(*it);
     }
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -64,7 +65,7 @@ class BackwardBeamMapper final : public Mapper {
 
       const auto edges = dfg.Edges(true);
       for (OpId op : order) {
-        if (options.deadline.Expired()) {
+        if (ShouldAbort(options)) {
           return Error::ResourceLimit("beam search deadline expired");
         }
         std::vector<State> next;

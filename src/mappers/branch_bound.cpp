@@ -29,7 +29,8 @@ class BranchBoundMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const auto candidates = CandidateCellTable(dfg, arch);
     const auto topo = TopologicalOrder(dfg.ToDigraph(/*include_carried=*/false));
     if (!topo) return Error::InvalidArgument("DFG has a same-iteration cycle");
@@ -38,7 +39,7 @@ class BranchBoundMapper final : public Mapper {
       if (!arch.IsFolded(dfg.op(op).opcode)) order.push_back(op);
     }
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -51,7 +52,7 @@ class BranchBoundMapper final : public Mapper {
       // Depth-first with explicit recursion over `order`.
       std::function<bool(size_t)> dfs = [&](size_t depth) -> bool {
         if (depth == order.size()) return true;
-        if (options.deadline.Expired()) {
+        if (ShouldAbort(options)) {
           timed_out = true;
           return false;
         }

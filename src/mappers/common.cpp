@@ -205,6 +205,9 @@ Result<Mapping> ImsPlaceRoute(const Dfg& dfg, const Architecture& arch,
   std::vector<int> floor_time(est.begin(), est.end());
 
   while (!queue.empty()) {
+    if (options.stop.StopRequested()) {
+      return Error::ResourceLimit("IMS cancelled");
+    }
     if (options.deadline.Expired()) {
       return Error::ResourceLimit("IMS deadline expired");
     }
@@ -307,7 +310,8 @@ Result<Mapping> ImsPlaceRoute(const Dfg& dfg, const Architecture& arch,
 Result<Mapping> BindAtFixedTimes(const Dfg& dfg, const Architecture& arch,
                                  const Mrrg& mrrg, int ii,
                                  const std::vector<int>& times,
-                                 const Deadline& deadline, int node_budget) {
+                                 const Deadline& deadline, int node_budget,
+                                 const StopToken& stop) {
   PlaceRouteState state(dfg, arch, mrrg, ii);
   std::vector<OpId> order = state.MappableOps();
   std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
@@ -322,7 +326,7 @@ Result<Mapping> BindAtFixedTimes(const Dfg& dfg, const Architecture& arch,
 
   std::function<bool(size_t)> dfs = [&](size_t depth) -> bool {
     if (depth == order.size()) return true;
-    if (--budget <= 0 || deadline.Expired()) {
+    if (--budget <= 0 || deadline.Expired() || stop.StopRequested()) {
       timed_out = true;
       return false;
     }
@@ -362,23 +366,98 @@ Result<Mapping> BindAtFixedTimes(const Dfg& dfg, const Architecture& arch,
   return Error::Unmappable("no binding exists for this schedule");
 }
 
-Result<Mapping> EscalateIi(const Dfg& dfg, const Architecture& arch,
+std::shared_ptr<const Mrrg> AcquireMrrg(const Architecture& arch,
+                                        const MapperOptions& options) {
+  if (options.mrrg_cache) return options.mrrg_cache->Get(arch);
+  return std::make_shared<const Mrrg>(arch);
+}
+
+Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
+                           const Architecture& arch,
                            const MapperOptions& options,
                            const std::function<Result<Mapping>(int)>& attempt) {
   if (Status s = CheckMappable(dfg, arch); !s.ok()) return s.error();
   const int hi = std::min(options.max_ii, arch.MaxIi());
   const MiiBounds bounds = ComputeMii(dfg, arch, hi);
   const int lo = std::min(std::max(options.min_ii, bounds.mii()), hi);
+  const std::string name = self.name();
   Error last = Error::Unmappable("no II attempted");
   for (int ii = lo; ii <= hi; ++ii) {
+    if (options.stop.StopRequested()) {
+      return Error::ResourceLimit("mapper cancelled during II escalation");
+    }
     if (options.deadline.Expired()) {
       return Error::ResourceLimit("mapper deadline expired during II escalation");
     }
+    MapEvent start;
+    start.kind = MapEvent::Kind::kAttemptStart;
+    start.mapper = name;
+    start.ii = ii;
+    NotifyObserver(options.observer, start);
+
+    WallTimer timer;
     Result<Mapping> r = attempt(ii);
+
+    MapEvent done;
+    done.kind = MapEvent::Kind::kAttemptDone;
+    done.mapper = name;
+    done.ii = ii;
+    done.ok = r.ok();
+    done.seconds = timer.Seconds();
+    if (!r.ok()) {
+      done.error_code = r.error().code;
+      done.message = r.error().message;
+    }
+    NotifyObserver(options.observer, done);
+
     if (r.ok()) return r;
     last = r.error();
   }
   return last;
+}
+
+Result<Mapping> ObservedAttempt(const Mapper& self,
+                                const MapperOptions& options, int ii,
+                                const std::function<Result<Mapping>()>& attempt) {
+  if (options.stop.StopRequested()) {
+    return Error::ResourceLimit("mapper cancelled before its attempt");
+  }
+  if (options.deadline.Expired()) {
+    return Error::ResourceLimit("mapper deadline expired before its attempt");
+  }
+  MapEvent start;
+  start.kind = MapEvent::Kind::kAttemptStart;
+  start.mapper = self.name();
+  start.ii = ii;
+  NotifyObserver(options.observer, start);
+
+  WallTimer timer;
+  Result<Mapping> r = attempt();
+
+  MapEvent done;
+  done.kind = MapEvent::Kind::kAttemptDone;
+  done.mapper = self.name();
+  done.ii = ii;
+  done.ok = r.ok();
+  done.seconds = timer.Seconds();
+  if (!r.ok()) {
+    done.error_code = r.error().code;
+    done.message = r.error().message;
+  }
+  NotifyObserver(options.observer, done);
+  return r;
+}
+
+void NoteSolverSteps(const Mapper& self, const MapperOptions& options, int ii,
+                     std::string_view what, std::int64_t steps) {
+  if (!options.observer) return;
+  MapEvent note;
+  note.kind = MapEvent::Kind::kNote;
+  note.mapper = self.name();
+  note.ii = ii;
+  note.message = std::string(what);
+  note.solver_steps = steps;
+  NotifyObserver(options.observer, note);
 }
 
 }  // namespace cgra

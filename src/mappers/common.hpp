@@ -3,10 +3,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "arch/arch.hpp"
 #include "arch/mrrg.hpp"
+#include "arch/mrrg_cache.hpp"
 #include "ir/dfg.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/place_route.hpp"
@@ -14,6 +16,20 @@
 #include "support/status.hpp"
 
 namespace cgra {
+
+/// The time-extended resource graph for `arch`: served from
+/// options.mrrg_cache when the portfolio engine shares one, freshly
+/// built otherwise. Mappers hold the returned pointer for the duration
+/// of Map() so a cache Clear() cannot pull the graph out from under a
+/// running search.
+std::shared_ptr<const Mrrg> AcquireMrrg(const Architecture& arch,
+                                        const MapperOptions& options);
+
+/// True when options.stop or options.deadline says to give up; the
+/// standard poll long loops pair with their iteration checks.
+inline bool ShouldAbort(const MapperOptions& options) {
+  return options.stop.StopRequested() || options.deadline.Expired();
+}
 
 /// Lower bounds on the initiation interval (§II-B modulo scheduling).
 struct MiiBounds {
@@ -50,6 +66,7 @@ struct ImsOptions {
   const std::vector<std::vector<int>>* candidate_cells = nullptr;
   int extra_slack = 8;             ///< window beyond ASAP for start times
   Deadline deadline;
+  StopToken stop;                  ///< cooperative cancellation
 };
 Result<Mapping> ImsPlaceRoute(const Dfg& dfg, const Architecture& arch,
                               const Mrrg& mrrg, int ii,
@@ -64,13 +81,32 @@ Result<Mapping> BindAtFixedTimes(const Dfg& dfg, const Architecture& arch,
                                  const Mrrg& mrrg, int ii,
                                  const std::vector<int>& times,
                                  const Deadline& deadline,
-                                 int node_budget = 20000);
+                                 int node_budget = 20000,
+                                 const StopToken& stop = {});
 
 /// Runs `attempt(ii)` for ii from max(mii, 1) to min(max_ii, arch max),
-/// returning the first success; aggregates attempts into `attempts`.
-Result<Mapping> EscalateIi(const Dfg& dfg, const Architecture& arch,
+/// returning the first success. Checks options.stop / options.deadline
+/// before every attempt (this is how every escalating mapper meets the
+/// MapperOptions cancellation contract) and reports each attempt to
+/// options.observer as kAttemptStart / kAttemptDone events under
+/// `self`'s name.
+Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
+                           const Architecture& arch,
                            const MapperOptions& options,
                            const std::function<Result<Mapping>(int)>& attempt);
+
+/// Single-shot analogue of EscalateIi for mappers that try exactly one
+/// II (the spatial mappers, pinned to II = 1): checks stop/deadline,
+/// then runs `attempt()` bracketed by kAttemptStart / kAttemptDone
+/// events so single-attempt mappers appear in traces too.
+Result<Mapping> ObservedAttempt(const Mapper& self,
+                                const MapperOptions& options, int ii,
+                                const std::function<Result<Mapping>()>& attempt);
+
+/// Reports solver effort (conflicts / nodes / generations) for the
+/// attempt at `ii` to options.observer as a kNote event.
+void NoteSolverSteps(const Mapper& self, const MapperOptions& options, int ii,
+                     std::string_view what, std::int64_t steps);
 
 /// True when every op of the DFG has at least one compatible cell (a
 /// cheap pre-check that gives exact mappers their "prove infeasible"

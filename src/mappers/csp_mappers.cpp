@@ -55,8 +55,9 @@ class CpTemporalMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -120,7 +121,8 @@ class CpTemporalMapper final : public Mapper {
       }
 
       CpModel::SolveStats stats;
-      auto sol = model.Solve(options.deadline, &stats);
+      auto sol = model.Solve(options.deadline, &stats, options.stop);
+      NoteSolverSteps(*this, options, ii, "cp search nodes", stats.nodes);
       if (!sol.ok()) return sol.error();
 
       std::vector<Placement> pins(static_cast<size_t>(dfg.num_ops()));
@@ -147,8 +149,9 @@ class SatTemporalMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -218,7 +221,8 @@ class SatTemporalMapper final : public Mapper {
         }
       }
 
-      const SatResult r = solver.Solve(options.deadline);
+      const SatResult r = solver.Solve(options.deadline, options.stop);
+      NoteSolverSteps(*this, options, ii, "sat conflicts", solver.conflicts());
       if (r == SatResult::kUnknown) {
         return Error::ResourceLimit("SAT mapper hit the deadline");
       }
@@ -258,7 +262,8 @@ class SmtTemporalMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     if (Status s = CheckMappable(dfg, arch); !s.ok()) return s.error();
     // Non-pipelined: II == schedule length L; escalate L.
     const auto est0 = ModuloAsap(dfg, arch, arch.MaxIi());
@@ -270,10 +275,30 @@ class SmtTemporalMapper final : public Mapper {
     Error last = Error::Unmappable("no schedule length attempted");
     for (int len = min_len; len <= std::min(options.max_ii + min_len, arch.MaxIi());
          ++len) {
-      if (options.deadline.Expired()) {
-        return Error::ResourceLimit("SMT mapper deadline expired");
+      if (ShouldAbort(options)) {
+        return Error::ResourceLimit(
+            "SMT mapper stopped (deadline or cancellation)");
       }
+      // The SMT mapper escalates schedule length rather than II, so it
+      // reports its attempts itself (EscalateIi does this for the rest).
+      MapEvent start;
+      start.kind = MapEvent::Kind::kAttemptStart;
+      start.mapper = name();
+      start.ii = len;
+      NotifyObserver(options.observer, start);
+      WallTimer attempt_timer;
       Result<Mapping> r = TryLength(dfg, arch, mrrg, len, options);
+      MapEvent done;
+      done.kind = MapEvent::Kind::kAttemptDone;
+      done.mapper = name();
+      done.ii = len;
+      done.ok = r.ok();
+      done.seconds = attempt_timer.Seconds();
+      if (!r.ok()) {
+        done.error_code = r.error().code;
+        done.message = r.error().message;
+      }
+      NotifyObserver(options.observer, done);
       if (r.ok()) return r;
       last = r.error();
     }
@@ -351,7 +376,9 @@ class SmtTemporalMapper final : public Mapper {
       }
     }
 
-    const SmtSolver::Outcome r = smt.Solve(options.deadline);
+    const SmtSolver::Outcome r = smt.Solve(options.deadline, options.stop);
+    NoteSolverSteps(*this, options, len, "smt sat conflicts",
+                    smt.sat().conflicts());
     if (r == SmtSolver::Outcome::kUnknown) {
       return Error::ResourceLimit("SMT mapper hit the deadline");
     }

@@ -27,7 +27,8 @@ class EdgeCentricMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const auto candidates = CandidateCellTable(dfg, arch);
     // Criticality order: height first, fan-out as tie-break (edges of
     // high-fan-out ops are the hardest nets to route).
@@ -47,7 +48,7 @@ class EdgeCentricMapper final : public Mapper {
       });
     }
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -55,7 +56,7 @@ class EdgeCentricMapper final : public Mapper {
       PlaceRouteState state(dfg, arch, mrrg, ii);
       const auto edges = dfg.Edges(true);
       for (OpId op : order) {
-        if (options.deadline.Expired()) {
+        if (ShouldAbort(options)) {
           return Error::ResourceLimit("EMS deadline expired");
         }
         int t0 = est[static_cast<size_t>(op)];

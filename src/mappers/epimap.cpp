@@ -34,11 +34,12 @@ class EpimapStyleMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       Dfg work = dfg;  // transformed copy (route insertions)
       for (int transform_round = 0; transform_round < 4; ++transform_round) {
-        if (options.deadline.Expired()) {
+        if (ShouldAbort(options)) {
           return Error::ResourceLimit("EPIMap deadline expired");
         }
         Result<Mapping> r = TryBind(work, dfg, arch, mrrg, ii, options);

@@ -78,7 +78,8 @@ class GeneticSpatialMapper final : public Mapper {
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
     if (Status s = CheckMappable(dfg, arch); !s.ok()) return s.error();
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     const int ii = 1;
     const auto times = ModuloAsap(dfg, arch, ii);
@@ -120,7 +121,7 @@ class GeneticSpatialMapper final : public Mapper {
     }
 
     for (int gen = 0; gen < kGenerations; ++gen) {
-      if (options.deadline.Expired()) {
+      if (ShouldAbort(options)) {
         return Error::ResourceLimit("GA deadline expired");
       }
       auto tournament = [&]() -> const std::vector<int>& {
@@ -173,7 +174,8 @@ class QeaBinder final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     const auto candidates = CandidateCellTable(dfg, arch);
     const int n = dfg.num_ops();
@@ -181,7 +183,7 @@ class QeaBinder final : public Mapper {
     constexpr int kGenerations = 50;
     constexpr double kRotate = 0.25;  // probability mass shifted per gen
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto times = ModuloAsap(dfg, arch, ii);
       if (times.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -221,7 +223,7 @@ class QeaBinder final : public Mapper {
       std::vector<int> best_genome;
       double best_fitness = -1e18;
       for (int gen = 0; gen < kGenerations; ++gen) {
-        if (options.deadline.Expired()) {
+        if (ShouldAbort(options)) {
           return Error::ResourceLimit("QEA deadline expired");
         }
         for (int o = 0; o < kObservations; ++o) {

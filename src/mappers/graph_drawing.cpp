@@ -31,7 +31,8 @@ class GraphDrawingMapper final : public Mapper {
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
     if (Status s = CheckMappable(dfg, arch); !s.ok()) return s.error();
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
 
     std::vector<OpId> mappable;
@@ -55,9 +56,12 @@ class GraphDrawingMapper final : public Mapper {
     const auto est = ModuloAsap(dfg, arch, /*ii=*/1);
     if (est.empty()) return Error::Unmappable("recurrences infeasible at II=1");
 
+    // All layout restarts are one II=1 attempt from the trace's point
+    // of view.
+    return ObservedAttempt(*this, options, /*ii=*/1, [&]() -> Result<Mapping> {
     Error last = Error::Unmappable("no layout attempt succeeded");
     for (int attempt = 0; attempt < 8; ++attempt) {
-      if (options.deadline.Expired()) {
+      if (ShouldAbort(options)) {
         return Error::ResourceLimit("graph-drawing deadline expired");
       }
       LayoutOptions lo;
@@ -121,6 +125,7 @@ class GraphDrawingMapper final : public Mapper {
       if (ok) return state.Finalize();
     }
     return last;
+    });
   }
 };
 

@@ -30,7 +30,8 @@ class HierarchicalMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const auto order = HeightPriorityOrder(dfg, arch);
     Rng rng(options.seed);
 
@@ -70,9 +71,10 @@ class HierarchicalMapper final : public Mapper {
       }
     }
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       ImsOptions ims;
       ims.deadline = options.deadline;
+      ims.stop = options.stop;
       ims.extra_slack = options.extra_slack;
       if (split) ims.candidate_cells = &restricted;
       Result<Mapping> r = ImsPlaceRoute(dfg, arch, mrrg, ii, order, ims);

@@ -79,7 +79,8 @@ class IlpSpatialMapper final : public Mapper {
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
     if (Status s = CheckMappable(dfg, arch); !s.ok()) return s.error();
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const int ii = 1;
     const auto est = ModuloAsap(dfg, arch, ii);
     if (est.empty()) return Error::Unmappable("recurrences infeasible at II=1");
@@ -144,7 +145,12 @@ class IlpSpatialMapper final : public Mapper {
 
     IlpModel::SolveOptions so;
     so.deadline = options.deadline;
+    so.stop = options.stop;
     auto sol = model.Solve(so);
+    if (sol.ok()) {
+      NoteSolverSteps(*this, options, ii, "ilp b&b nodes",
+                      sol->nodes_explored);
+    }
     if (!sol.ok()) return sol.error();
 
     std::vector<int> cell_of(static_cast<size_t>(dfg.num_ops()), -1);
@@ -169,7 +175,7 @@ class IlpSpatialMapper final : public Mapper {
     int budget = 20000;
     std::function<bool(size_t)> realize = [&](size_t depth) -> bool {
       if (depth == order.size()) return true;
-      if (--budget <= 0 || options.deadline.Expired()) return false;
+      if (--budget <= 0 || ShouldAbort(options)) return false;
       const OpId op = order[depth];
       const int cell = cell_of[static_cast<size_t>(op)];
       int t = est[static_cast<size_t>(op)];
@@ -210,8 +216,9 @@ class IlpTemporalMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -309,7 +316,12 @@ class IlpTemporalMapper final : public Mapper {
 
       IlpModel::SolveOptions so;
       so.deadline = options.deadline;
+      so.stop = options.stop;
       auto sol = model.Solve(so);
+      if (sol.ok()) {
+        NoteSolverSteps(*this, options, ii, "ilp b&b nodes",
+                        sol->nodes_explored);
+      }
       if (!sol.ok()) return sol.error();
 
       std::vector<Placement> pins(static_cast<size_t>(dfg.num_ops()));
@@ -338,8 +350,9 @@ class IlpBinder final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto times = ModuloAsap(dfg, arch, ii);
       if (times.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -408,7 +421,12 @@ class IlpBinder final : public Mapper {
 
       IlpModel::SolveOptions so;
       so.deadline = options.deadline;
+      so.stop = options.stop;
       auto sol = model.Solve(so);
+      if (sol.ok()) {
+        NoteSolverSteps(*this, options, ii, "ilp b&b nodes",
+                        sol->nodes_explored);
+      }
       if (!sol.ok()) return sol.error();
 
       std::vector<Placement> pins(static_cast<size_t>(dfg.num_ops()));
@@ -436,8 +454,9 @@ class IlpScheduler final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");
@@ -519,7 +538,12 @@ class IlpScheduler final : public Mapper {
 
       IlpModel::SolveOptions so;
       so.deadline = options.deadline;
+      so.stop = options.stop;
       auto sol = model.Solve(so);
+      if (sol.ok()) {
+        NoteSolverSteps(*this, options, ii, "ilp b&b nodes",
+                        sol->nodes_explored);
+      }
       if (!sol.ok()) return sol.error();
 
       // Bind greedily at the solved times.
@@ -532,7 +556,8 @@ class IlpScheduler final : public Mapper {
         }
       }
       return BindAtFixedTimes(dfg, arch, mrrg, ii, solved_times,
-                              options.deadline);
+                              options.deadline, /*node_budget=*/20000,
+                              options.stop);
     });
   }
 };

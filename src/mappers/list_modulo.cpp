@@ -31,11 +31,13 @@ class IterativeModuloScheduler final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const auto order = HeightPriorityOrder(dfg, arch);
-    return EscalateIi(dfg, arch, options, [&](int ii) {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) {
       ImsOptions ims;
       ims.deadline = options.deadline;
+      ims.stop = options.stop;
       ims.extra_slack = options.extra_slack;
       return ImsPlaceRoute(dfg, arch, mrrg, ii, order, ims);
     });
@@ -53,15 +55,16 @@ class CrimsonScheduler final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     Rng rng(options.seed);
     const auto base_order = HeightPriorityOrder(dfg, arch);
     constexpr int kRestartsPerIi = 6;
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       Error last = Error::Unmappable("no randomized restart succeeded");
       for (int restart = 0; restart < kRestartsPerIi; ++restart) {
-        if (options.deadline.Expired()) {
+        if (ShouldAbort(options)) {
           return Error::ResourceLimit("CRIMSON deadline expired");
         }
         // Random priority perturbation: swap a few adjacent ranks.
@@ -74,6 +77,7 @@ class CrimsonScheduler final : public Mapper {
         Rng attempt_rng = rng.Split();
         ImsOptions ims;
         ims.deadline = options.deadline;
+        ims.stop = options.stop;
         ims.extra_slack = options.extra_slack;
         ims.rng = &attempt_rng;
         Result<Mapping> r = ImsPlaceRoute(dfg, arch, mrrg, ii, order, ims);

@@ -72,13 +72,15 @@ class RampMapper final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const auto order = HeightPriorityOrder(dfg, arch);
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       // Strategy 1: plain IMS with a tight eviction budget (cheap).
       ImsOptions tight;
       tight.deadline = options.deadline;
+      tight.stop = options.stop;
       tight.eviction_budget_factor = 2;
       tight.extra_slack = options.extra_slack;
       Result<Mapping> r = ImsPlaceRoute(dfg, arch, mrrg, ii, order, tight);
@@ -88,6 +90,7 @@ class RampMapper final : public Mapper {
       // when failures were timing-shaped).
       ImsOptions wide;
       wide.deadline = options.deadline;
+      wide.stop = options.stop;
       wide.eviction_budget_factor = 12;
       wide.extra_slack = options.extra_slack + ii;
       r = ImsPlaceRoute(dfg, arch, mrrg, ii, order, wide);

@@ -1,38 +1,96 @@
+#include "mappers/registry.hpp"
+
 #include <cstddef>
+#include <utility>
 
 #include "mappers/mappers.hpp"
 
 namespace cgra {
+namespace {
+
+// The single source of truth for "every shipped mapper, in a stable
+// order": Table I column order (heuristics, meta-heuristics, exact
+// ILP / B&B, exact CSP). Both the registry and the MakeAllMappers()
+// compatibility wrapper construct from this list.
+using MapperFactory = std::unique_ptr<Mapper> (*)();
+
+constexpr MapperFactory kFactories[] = {
+    // Heuristics.
+    &MakeSpatialGreedyMapper,
+    &MakeGraphDrawingMapper,
+    &MakeIterativeModuloScheduler,
+    &MakeUltraFastScheduler,
+    &MakeEdgeCentricMapper,
+    &MakeRampMapper,
+    &MakeEpimapStyleMapper,
+    &MakeBackwardBeamMapper,
+    &MakeCrimsonScheduler,
+    &MakeHierarchicalMapper,
+    // Meta-heuristics.
+    &MakeAnnealingSpatialMapper,
+    &MakeDrescAnnealingMapper,
+    &MakeAnnealingBinder,
+    &MakeGeneticSpatialMapper,
+    &MakeQeaBinder,
+    // Exact: ILP / B&B.
+    &MakeIlpSpatialMapper,
+    &MakeIlpTemporalMapper,
+    &MakeIlpBinder,
+    &MakeIlpScheduler,
+    &MakeBranchBoundMapper,
+    // Exact: CSP.
+    &MakeCpTemporalMapper,
+    &MakeSatTemporalMapper,
+    &MakeSmtTemporalMapper,
+};
+
+}  // namespace
+
+MapperRegistry::MapperRegistry() {
+  mappers_.reserve(std::size(kFactories));
+  for (MapperFactory make : kFactories) mappers_.push_back(make());
+}
+
+const MapperRegistry& MapperRegistry::Global() {
+  static const MapperRegistry registry;
+  return registry;
+}
+
+const Mapper* MapperRegistry::Find(std::string_view name) const {
+  for (const auto& m : mappers_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Mapper*> MapperRegistry::ByTechnique(
+    TechniqueClass technique) const {
+  std::vector<const Mapper*> out;
+  for (const auto& m : mappers_) {
+    if (m->technique() == technique) out.push_back(m.get());
+  }
+  return out;
+}
+
+std::vector<const Mapper*> MapperRegistry::ByKind(MappingKind kind) const {
+  std::vector<const Mapper*> out;
+  for (const auto& m : mappers_) {
+    if (m->kind() == kind) out.push_back(m.get());
+  }
+  return out;
+}
+
+std::vector<const Mapper*> MapperRegistry::All() const {
+  std::vector<const Mapper*> out;
+  out.reserve(mappers_.size());
+  for (const auto& m : mappers_) out.push_back(m.get());
+  return out;
+}
 
 std::vector<std::unique_ptr<Mapper>> MakeAllMappers() {
   std::vector<std::unique_ptr<Mapper>> mappers;
-  // Heuristics.
-  mappers.push_back(MakeSpatialGreedyMapper());
-  mappers.push_back(MakeGraphDrawingMapper());
-  mappers.push_back(MakeIterativeModuloScheduler());
-  mappers.push_back(MakeUltraFastScheduler());
-  mappers.push_back(MakeEdgeCentricMapper());
-  mappers.push_back(MakeRampMapper());
-  mappers.push_back(MakeEpimapStyleMapper());
-  mappers.push_back(MakeBackwardBeamMapper());
-  mappers.push_back(MakeCrimsonScheduler());
-  mappers.push_back(MakeHierarchicalMapper());
-  // Meta-heuristics.
-  mappers.push_back(MakeAnnealingSpatialMapper());
-  mappers.push_back(MakeDrescAnnealingMapper());
-  mappers.push_back(MakeAnnealingBinder());
-  mappers.push_back(MakeGeneticSpatialMapper());
-  mappers.push_back(MakeQeaBinder());
-  // Exact: ILP / B&B.
-  mappers.push_back(MakeIlpSpatialMapper());
-  mappers.push_back(MakeIlpTemporalMapper());
-  mappers.push_back(MakeIlpBinder());
-  mappers.push_back(MakeIlpScheduler());
-  mappers.push_back(MakeBranchBoundMapper());
-  // Exact: CSP.
-  mappers.push_back(MakeCpTemporalMapper());
-  mappers.push_back(MakeSatTemporalMapper());
-  mappers.push_back(MakeSmtTemporalMapper());
+  mappers.reserve(std::size(kFactories));
+  for (MapperFactory make : kFactories) mappers.push_back(make());
   return mappers;
 }
 

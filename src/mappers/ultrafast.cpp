@@ -28,13 +28,14 @@ class UltraFastScheduler final : public Mapper {
 
   Result<Mapping> Map(const Dfg& dfg, const Architecture& arch,
                       const MapperOptions& options) const override {
-    const Mrrg mrrg(arch);
+    const auto mrrg_ref = AcquireMrrg(arch, options);
+    const Mrrg& mrrg = *mrrg_ref;
     const auto candidates = CandidateCellTable(dfg, arch);
     // Dependence order (not height priority: cheapest possible order).
     const auto topo = TopologicalOrder(dfg.ToDigraph(/*include_carried=*/false));
     if (!topo) return Error::InvalidArgument("DFG has a same-iteration cycle");
 
-    return EscalateIi(dfg, arch, options, [&](int ii) -> Result<Mapping> {
+    return EscalateIi(*this, dfg, arch, options, [&](int ii) -> Result<Mapping> {
       const auto est = ModuloAsap(dfg, arch, ii);
       if (est.empty()) {
         return Error::Unmappable("recurrences infeasible at this II");

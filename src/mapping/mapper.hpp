@@ -17,10 +17,14 @@
 #include "arch/arch.hpp"
 #include "ir/dfg.hpp"
 #include "mapping/mapping.hpp"
+#include "mapping/observer.hpp"
 #include "support/status.hpp"
+#include "support/stop_token.hpp"
 #include "support/timer.hpp"
 
 namespace cgra {
+
+class MrrgCache;  // arch/mrrg_cache.hpp
 
 /// Table I taxonomy coordinates.
 enum class TechniqueClass {
@@ -48,6 +52,26 @@ struct MapperOptions {
   Deadline deadline;          ///< overall time budget
   std::uint64_t seed = 1;     ///< stochastic mappers are deterministic per seed
   bool verbose = false;
+
+  /// Cooperative cancellation. CONTRACT: Map() implementations must
+  /// check `stop` at least once per II attempt (EscalateIi does this
+  /// for every escalating mapper) and surface cancellation as
+  /// Error::Code::kResourceLimit. Long-running search loops — the
+  /// exact solvers, branch & bound, annealing/GA generations — poll it
+  /// from their inner loops so the portfolio engine can cancel losing
+  /// mappers mid-search.
+  StopToken stop;
+
+  /// Optional progress sink (see mapping/observer.hpp). May be invoked
+  /// concurrently when mappers race; implementations must be
+  /// thread-safe. Null disables observation.
+  MapObserver* observer = nullptr;
+
+  /// Optional shared MRRG memo (arch/mrrg_cache.hpp). When set,
+  /// mappers obtain the time-extended resource graph through the cache
+  /// instead of rebuilding it; the portfolio engine shares one cache
+  /// across every racing mapper. Null means build-your-own.
+  MrrgCache* mrrg_cache = nullptr;
 };
 
 struct MapOutcome {
@@ -73,8 +97,10 @@ class Mapper {
                               const MapperOptions& options) const = 0;
 };
 
-/// Registry used by benches/examples: every shipped mapper, in a
-/// stable order.
+/// Compatibility wrapper: freshly constructed instances of every
+/// shipped mapper, in the registry's stable order. New code should use
+/// MapperRegistry (mappers/registry.hpp), which adds name / technique /
+/// kind lookup on shared instances.
 std::vector<std::unique_ptr<Mapper>> MakeAllMappers();
 
 }  // namespace cgra

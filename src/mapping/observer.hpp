@@ -1,0 +1,56 @@
+// Mapping observability: a progress-event sink for mappers.
+//
+// The survey's Table I bench used to report only that an exact cell
+// timed out; with an observer attached the harness can say *why*: which
+// II attempts ran, how long each took, which error ended them, and how
+// hard the backing solver worked. MapperOptions carries an optional
+// MapObserver*; EscalateIi (mappers/common) emits one kAttemptStart /
+// kAttemptDone pair per II tried, the solver-backed mappers add kNote
+// events with their iteration counts, and the portfolio engine
+// (src/engine) brackets each mapper with kMapperStart / kMapperDone.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "support/status.hpp"
+
+namespace cgra {
+
+/// One progress event. Which fields are meaningful depends on `kind`;
+/// unused numeric fields keep their defaults.
+struct MapEvent {
+  enum class Kind {
+    kMapperStart,  ///< a mapper began (engine-emitted)
+    kAttemptStart, ///< one II attempt began
+    kAttemptDone,  ///< one II attempt finished (ok or error filled in)
+    kMapperDone,   ///< a mapper finished (ok/error + total seconds)
+    kNote,         ///< free-form detail (e.g. solver iteration counts)
+  };
+
+  Kind kind = Kind::kNote;
+  std::string mapper;                     ///< Mapper::name()
+  int ii = -1;                            ///< attempted II (-1: not an attempt)
+  bool ok = false;                        ///< kAttemptDone / kMapperDone
+  std::optional<Error::Code> error_code;  ///< failure tag when !ok
+  std::string message;                    ///< error message or note text
+  double seconds = 0.0;                   ///< wall time of the attempt/mapper
+  std::int64_t solver_steps = -1;         ///< conflicts/nodes/iterations, -1 unknown
+};
+
+/// Progress sink. The portfolio engine invokes a single observer from
+/// every racing mapper thread concurrently, so implementations MUST be
+/// thread-safe (MapTrace in src/engine locks internally).
+class MapObserver {
+ public:
+  virtual ~MapObserver() = default;
+  virtual void OnEvent(const MapEvent& event) = 0;
+};
+
+/// Null-safe notification helper used by mappers.
+inline void NotifyObserver(MapObserver* observer, const MapEvent& event) {
+  if (observer) observer->OnEvent(event);
+}
+
+}  // namespace cgra

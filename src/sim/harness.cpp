@@ -37,7 +37,12 @@ Result<EndToEndResult> RunEndToEnd(const Mapper& mapper, const Kernel& kernel,
     // 3. Compile to contexts (register allocation can reject).
     Result<ConfigImage> image = CompileToContexts(kernel.dfg, arch, *mapping);
     if (!image.ok()) {
+      // Retry with a raised II floor — but only when the mapper honours
+      // the floor. A spatial mapper is pinned to II = 1: re-mapping it
+      // with min_ii = 2 just reproduces the same rejected mapping until
+      // the deadline (tens of thousands of futile attempts in traces).
       if (image.error().code == Error::Code::kUnmappable &&
+          mapping->ii >= opts.min_ii &&
           mapping->ii < std::min(opts.max_ii, arch.MaxIi())) {
         opts.min_ii = mapping->ii + 1;
         ++out.codegen_retries;

@@ -187,8 +187,9 @@ int CpModel::PickVar() const {
   return best;
 }
 
-bool CpModel::Search(const Deadline& deadline, SolveStats* stats, int depth) {
-  if (deadline.Expired()) return false;
+bool CpModel::Search(const Deadline& deadline, const StopToken& stop,
+                     SolveStats* stats, int depth) {
+  if (deadline.Expired() || stop.StopRequested()) return false;
   const int v = PickVar();
   if (v < 0) return true;  // all assigned
   std::vector<int> values = domains_[static_cast<size_t>(v)];
@@ -197,21 +198,24 @@ bool CpModel::Search(const Deadline& deadline, SolveStats* stats, int depth) {
     if (stats) ++stats->nodes;
     const size_t mark = TrailMark();
     if (Assign(v, value) && PropagateAll()) {
-      if (Search(deadline, stats, depth + 1)) return true;
+      if (Search(deadline, stop, stats, depth + 1)) return true;
     }
     if (stats) ++stats->backtracks;
     UndoTo(mark);
-    if (deadline.Expired()) return false;
+    if (deadline.Expired() || stop.StopRequested()) return false;
   }
   return false;
 }
 
 Result<std::vector<int>> CpModel::Solve(const Deadline& deadline,
-                                        SolveStats* stats) {
+                                        SolveStats* stats,
+                                        const StopToken& stop) {
   if (!PropagateAll()) return Error::Unmappable("CSP root propagation wiped out");
-  if (!Search(deadline, stats, 0)) {
-    if (deadline.Expired()) {
-      return Error::ResourceLimit("CSP search hit the deadline");
+  if (!Search(deadline, stop, stats, 0)) {
+    if (deadline.Expired() || stop.StopRequested()) {
+      return Error::ResourceLimit(stop.StopRequested()
+                                      ? "CSP search cancelled"
+                                      : "CSP search hit the deadline");
     }
     return Error::Unmappable("CSP has no solution");
   }

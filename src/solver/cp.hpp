@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "support/status.hpp"
+#include "support/stop_token.hpp"
 #include "support/timer.hpp"
 
 namespace cgra {
@@ -67,16 +68,18 @@ class CpModel {
   };
 
   /// Finds one solution (values per variable), or kUnmappable /
-  /// kResourceLimit on deadline expiry.
+  /// kResourceLimit on deadline expiry or cancellation via `stop`.
   Result<std::vector<int>> Solve(const Deadline& deadline = {},
-                                 SolveStats* stats = nullptr);
+                                 SolveStats* stats = nullptr,
+                                 const StopToken& stop = {});
 
  private:
   friend class AllDifferentConstraint;
   friend class BinaryConstraint;
 
   bool PropagateAll();
-  bool Search(const Deadline& deadline, SolveStats* stats, int depth);
+  bool Search(const Deadline& deadline, const StopToken& stop,
+              SolveStats* stats, int depth);
   int PickVar() const;  // MRV, tie-break on degree
 
   // Trail for backtracking: (var, removed value).

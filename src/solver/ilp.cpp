@@ -83,7 +83,8 @@ Result<IlpModel::Solution> IlpModel::Solve(const SolveOptions& options) const {
   bool exhausted = true;
 
   while (!stack.empty()) {
-    if (options.deadline.Expired() || nodes >= options.max_nodes) {
+    if (options.deadline.Expired() || options.stop.StopRequested() ||
+        nodes >= options.max_nodes) {
       exhausted = false;
       break;
     }

@@ -15,6 +15,7 @@
 
 #include "solver/lp.hpp"
 #include "support/status.hpp"
+#include "support/stop_token.hpp"
 #include "support/timer.hpp"
 
 namespace cgra {
@@ -35,6 +36,7 @@ class IlpModel {
 
   struct SolveOptions {
     Deadline deadline;
+    StopToken stop;  ///< cooperative cancellation (kResourceLimit)
     int max_nodes = 1 << 20;
     double int_tolerance = 1e-6;
   };

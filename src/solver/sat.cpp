@@ -274,7 +274,7 @@ void SatSolver::ReduceLearnedDb() {
   }
 }
 
-SatResult SatSolver::Solve(const Deadline& deadline) {
+SatResult SatSolver::Solve(const Deadline& deadline, const StopToken& stop) {
   if (unsat_) return SatResult::kUnsat;
   Backtrack(0);  // make Solve incremental: clauses may arrive between calls
   qhead_ = 0;    // re-propagate the level-0 trail against any new clauses
@@ -312,12 +312,16 @@ SatResult SatSolver::Solve(const Deadline& deadline) {
         Backtrack(0);
         ReduceLearnedDb();
       }
-      if ((conflicts_ & 1023) == 0 && deadline.Expired()) {
+      if ((conflicts_ & 255) == 0 &&
+          (deadline.Expired() || stop.StopRequested())) {
         return SatResult::kUnknown;
       }
     } else {
       const int v = PickBranchVar();
       if (v < 0) return SatResult::kSat;
+      if ((decisions_ & 1023) == 0 && stop.StopRequested()) {
+        return SatResult::kUnknown;
+      }
       ++decisions_;
       trail_lim_.push_back(static_cast<int>(trail_.size()));
       // Phase saving: repeat the last polarity (default false).

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/stop_token.hpp"
 #include "support/timer.hpp"
 
 namespace cgra {
@@ -43,8 +44,10 @@ class SatSolver {
   void AtMostOneSequential(const std::vector<Lit>& lits);
   void ExactlyOne(const std::vector<Lit>& lits);
 
-  /// Solves; deterministic for a fixed clause set.
-  SatResult Solve(const Deadline& deadline = {});
+  /// Solves; deterministic for a fixed clause set. Returns kUnknown
+  /// when the deadline expires or `stop` requests cancellation (the
+  /// portfolio engine cancelling a losing mapper mid-search).
+  SatResult Solve(const Deadline& deadline = {}, const StopToken& stop = {});
 
   /// Model access after kSat.
   bool Value(int var) const { return assign_[static_cast<size_t>(var)] == 1; }

@@ -81,16 +81,17 @@ bool SmtSolver::TheoryCheck(std::vector<Lit>* blocking) {
   return false;
 }
 
-SmtSolver::Outcome SmtSolver::Solve(const Deadline& deadline) {
+SmtSolver::Outcome SmtSolver::Solve(const Deadline& deadline,
+                                    const StopToken& stop) {
   for (;;) {
-    const SatResult r = sat_.Solve(deadline);
+    const SatResult r = sat_.Solve(deadline, stop);
     if (r == SatResult::kUnsat) return Outcome::kUnsat;
     if (r == SatResult::kUnknown) return Outcome::kUnknown;
     std::vector<Lit> blocking;
     if (TheoryCheck(&blocking)) return Outcome::kSat;
     ++theory_conflicts_;
     sat_.AddClause(std::move(blocking));
-    if (deadline.Expired()) return Outcome::kUnknown;
+    if (deadline.Expired() || stop.StopRequested()) return Outcome::kUnknown;
   }
 }
 

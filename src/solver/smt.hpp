@@ -46,7 +46,8 @@ class SmtSolver {
   SatSolver& sat() { return sat_; }
 
   enum class Outcome { kSat, kUnsat, kUnknown };
-  Outcome Solve(const Deadline& deadline = {});
+  /// kUnknown on deadline expiry or cooperative cancellation.
+  Outcome Solve(const Deadline& deadline = {}, const StopToken& stop = {});
 
   /// Term valuation after kSat (a satisfying integer assignment).
   int TermValue(int term) const { return term_value_[static_cast<size_t>(term)]; }

@@ -9,6 +9,7 @@
 #include <cassert>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -25,6 +26,18 @@ struct Error {
   };
   Code code = Code::kInternal;
   std::string message;
+
+  /// Stable machine-readable name of a code ("unmappable", ...), used
+  /// by the trace serialisers and the bench tables.
+  static std::string_view CodeName(Code code) {
+    switch (code) {
+      case Code::kInvalidArgument: return "invalid-argument";
+      case Code::kUnmappable: return "unmappable";
+      case Code::kResourceLimit: return "resource-limit";
+      case Code::kInternal: return "internal";
+    }
+    return "internal";
+  }
 
   static Error InvalidArgument(std::string msg) {
     return Error{Code::kInvalidArgument, std::move(msg)};

@@ -1,0 +1,64 @@
+// Cooperative cancellation for racing mappers.
+//
+// The portfolio engine (src/engine) runs several mappers on the same
+// problem and cancels the losers the moment a winner returns. Exact
+// solvers can sit in a search loop for seconds, so cancellation must be
+// cooperative: long-running loops poll a StopToken next to their
+// Deadline check and bail out with Error::Code::kResourceLimit.
+//
+// Modelled on std::stop_token but deliberately smaller: copyable,
+// detached from any thread type, and safe to hand to pool tasks. A
+// default-constructed StopToken can never be stopped (the common
+// "no cancellation" case costs one null check).
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace cgra {
+
+class StopSource;
+
+/// A view onto a cancellation flag. Cheap to copy; thread-safe.
+class StopToken {
+ public:
+  /// A token that can never be stopped.
+  StopToken() = default;
+
+  /// True once the owning StopSource requested cancellation.
+  bool StopRequested() const {
+    return state_ && state_->load(std::memory_order_acquire);
+  }
+
+  /// True when a StopSource can still request cancellation through
+  /// this token (i.e. it is not the inert default token).
+  bool StopPossible() const { return state_ != nullptr; }
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Owns the cancellation flag; hand out tokens with token().
+class StopSource {
+ public:
+  StopSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  StopToken token() const { return StopToken(state_); }
+
+  /// Idempotent; wakes up every poller. Returns true if this call was
+  /// the one that flipped the flag.
+  bool RequestStop() {
+    return !state_->exchange(true, std::memory_order_acq_rel);
+  }
+
+  bool StopRequested() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace cgra

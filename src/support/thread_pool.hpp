@@ -10,8 +10,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cgra {
@@ -27,6 +31,18 @@ class ThreadPool {
 
   /// Enqueues a task. Tasks must not throw.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a task and returns a future for its result. The engine
+  /// uses this to join racing mappers individually instead of draining
+  /// the whole pool with WaitIdle. Tasks must not throw.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> Async(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    Submit([task]() { (*task)(); });
+    return fut;
+  }
 
   /// Blocks until every submitted task has finished.
   void WaitIdle();

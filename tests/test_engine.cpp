@@ -1,0 +1,250 @@
+// Engine suite: the portfolio runner's contract — return within the
+// budget even when a solver wedges, cancel losers cooperatively (they
+// report kResourceLimit), stay deterministic per seed when racing is
+// off, and leave a trace naming every (mapper, II) attempt.
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.hpp"
+#include "engine/trace.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/registry.hpp"
+#include "mapping/validator.hpp"
+
+namespace cgra {
+namespace {
+
+Architecture Rotating4x4() {
+  ArchParams p;
+  p.rows = p.cols = 4;
+  p.rf_kind = RfKind::kRotating;
+  p.name = "rot4x4";
+  return Architecture(p);
+}
+
+// A mapper that never terminates on its own: it spins until cancelled
+// or out of time, like an exact solver lost in its search tree. The
+// engine tests hang without working cancellation, so keep the poll
+// loop honest.
+class StuckMapper final : public Mapper {
+ public:
+  std::string name() const override { return "stuck"; }
+  TechniqueClass technique() const override { return TechniqueClass::kExactCsp; }
+  MappingKind kind() const override { return MappingKind::kTemporal; }
+  std::string lineage() const override { return "test fixture"; }
+
+  Result<Mapping> Map(const Dfg&, const Architecture&,
+                      const MapperOptions& options) const override {
+    while (!options.stop.StopRequested() && !options.deadline.Expired()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Error::ResourceLimit("stuck solver cancelled");
+  }
+};
+
+const EngineAttempt* FindAttempt(const EngineResult& r,
+                                 const std::string& mapper) {
+  for (const EngineAttempt& a : r.attempts) {
+    if (a.mapper == mapper) return &a;
+  }
+  return nullptr;
+}
+
+TEST(MappingEngine, WinnerCancelsStuckLoserWithinBudget) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const StuckMapper stuck;
+  const Mapper* ims = MapperRegistry::Global().Find("ims");
+  ASSERT_NE(ims, nullptr);
+
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+
+  WallTimer timer;
+  const auto r = engine.Run(k.dfg, arch, {&stuck, ims});
+  // The stuck fixture only stops when cancelled; finishing at all (well
+  // before the 30 s budget) proves the winner's stop request reached it.
+  EXPECT_LT(timer.Seconds(), 20.0);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->winner, "ims");
+  EXPECT_TRUE(ValidateMapping(k.dfg, arch, r->mapping).ok());
+
+  const EngineAttempt* cancelled = FindAttempt(*r, "stuck");
+  ASSERT_NE(cancelled, nullptr);
+  EXPECT_FALSE(cancelled->ok);
+  EXPECT_EQ(cancelled->error.code, Error::Code::kResourceLimit);
+}
+
+TEST(MappingEngine, AllStuckPortfolioRespectsDeadline) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const StuckMapper a, b;
+
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(0.3);
+  const MappingEngine engine(opts);
+
+  WallTimer timer;
+  const auto r = engine.Run(k.dfg, arch, std::vector<const Mapper*>{&a, &b});
+  EXPECT_LT(timer.Seconds(), 10.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kResourceLimit);
+}
+
+TEST(MappingEngine, ExternalStopCancelsTheRace) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const StuckMapper stuck;
+
+  StopSource source;
+  EngineOptions opts;
+  opts.stop = source.token();
+  const MappingEngine engine(opts);
+
+  std::thread canceller([&source]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    source.RequestStop();
+  });
+  WallTimer timer;
+  const auto r = engine.Run(k.dfg, arch, {&stuck});
+  canceller.join();
+  EXPECT_LT(timer.Seconds(), 10.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kResourceLimit);
+}
+
+TEST(MappingEngine, SequentialModeIsDeterministicPerSeed) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeFir4(8, 3);
+
+  EngineOptions opts;
+  opts.race = false;
+  opts.seed = 42;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+
+  // A stochastic portfolio: annealing first so the result depends on
+  // the seed, not just on a deterministic algorithm.
+  const std::vector<std::string> portfolio = {"dresc-sa", "ims"};
+  const auto a = engine.Run(k.dfg, arch, portfolio);
+  const auto b = engine.Run(k.dfg, arch, portfolio);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok()) << b.error().message;
+  EXPECT_EQ(a->winner, b->winner);
+  EXPECT_EQ(a->mapping.ii, b->mapping.ii);
+  ASSERT_EQ(a->mapping.place.size(), b->mapping.place.size());
+  for (size_t i = 0; i < a->mapping.place.size(); ++i) {
+    EXPECT_EQ(a->mapping.place[i].cell, b->mapping.place[i].cell) << i;
+    EXPECT_EQ(a->mapping.place[i].time, b->mapping.place[i].time) << i;
+  }
+}
+
+TEST(MappingEngine, SequentialStopsAtFirstSuccess) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const StuckMapper stuck;
+  const Mapper* ims = MapperRegistry::Global().Find("ims");
+  ASSERT_NE(ims, nullptr);
+
+  EngineOptions opts;
+  opts.race = false;
+  const MappingEngine engine(opts);
+  const auto r = engine.Run(k.dfg, arch, {ims, &stuck});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->winner, "ims");
+  // The loser was never started: sequential mode skips, not races.
+  EXPECT_EQ(r->attempts.size(), 1u);
+}
+
+TEST(MappingEngine, UnknownMapperNameIsInvalidArgument) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const MappingEngine engine;
+  const auto r = engine.Run(k.dfg, arch, {std::string("no-such-mapper")});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+}
+
+TEST(MappingEngine, EmptyPortfolioIsInvalidArgument) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const MappingEngine engine;
+  const auto r = engine.Run(k.dfg, arch, std::vector<const Mapper*>{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+}
+
+TEST(MappingEngine, TraceNamesEveryMapperAndAttempt) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  MapTrace trace;
+  EngineOptions opts;
+  opts.observer = &trace;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+  const auto r = engine.Run(
+      k.dfg, arch, std::vector<std::string>{"greedy-spatial", "ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+
+  // Both mappers got engine-emitted start/done brackets...
+  int starts = 0, dones = 0;
+  for (const MapEvent& e : trace.events()) {
+    if (e.kind == MapEvent::Kind::kMapperStart) ++starts;
+    if (e.kind == MapEvent::Kind::kMapperDone) ++dones;
+  }
+  EXPECT_EQ(starts, 2);
+  EXPECT_EQ(dones, 2);
+
+  // ...and every II attempt is in the trace with its mapper's name.
+  EXPECT_GE(trace.attempt_count(), 1);
+  for (const MapTrace::Attempt& a : trace.Attempts()) {
+    EXPECT_TRUE(a.mapper == "greedy-spatial" || a.mapper == "ims") << a.mapper;
+    EXPECT_GE(a.ii, 1);
+  }
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"attempts\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ims\""), std::string::npos);
+  EXPECT_NE(json.find("\"greedy-spatial\""), std::string::npos);
+}
+
+TEST(MappingEngine, MrrgCacheIsSharedAcrossEntries) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  MrrgCache cache;
+  EngineOptions opts;
+  opts.mrrg_cache = &cache;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+  const auto r = engine.Run(k.dfg, arch, {"greedy-spatial", "ims", "ultrafast"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  // One build, everyone else hits.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GE(cache.hits(), 1);
+}
+
+TEST(MapTrace, JsonEscapesControlAndQuoteCharacters) {
+  MapTrace trace;
+  MapEvent e;
+  e.kind = MapEvent::Kind::kAttemptDone;
+  e.mapper = "m\"1\\x";
+  e.ii = 2;
+  e.ok = false;
+  e.error_code = Error::Code::kUnmappable;
+  e.message = "line1\nline2\ttab";
+  trace.OnEvent(e);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("m\\\"1\\\\x"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("\"unmappable\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cgra

@@ -2,7 +2,9 @@
 // can handle must (a) pass the validator and (b) execute bit-exactly
 // on the simulator. This is the §II-C invariant enforced wholesale.
 #include <algorithm>
+#include <cstddef>
 #include <memory>
+#include <set>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -10,6 +12,7 @@
 #include "ir/kernels.hpp"
 #include "mappers/common.hpp"
 #include "mappers/mappers.hpp"
+#include "mappers/registry.hpp"
 #include "mapping/validator.hpp"
 #include "sim/harness.hpp"
 #include "support/rng.hpp"
@@ -64,8 +67,8 @@ struct MapperCase {
 class EveryMapperTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(EveryMapperTest, TinySuiteEndToEnd) {
-  const auto mappers = MakeAllMappers();
-  const Mapper& mapper = *mappers[static_cast<size_t>(GetParam())];
+  const Mapper& mapper =
+      MapperRegistry::Global().at(static_cast<size_t>(GetParam()));
   // Exact temporal mappers get the tiny fabric (their models explode);
   // exact spatial needs one cell per op under direct-adjacency routing,
   // so it gets the 4x4 like the heuristics.
@@ -88,9 +91,10 @@ TEST_P(EveryMapperTest, TinySuiteEndToEnd) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllMappers, EveryMapperTest,
-    ::testing::Range(0, static_cast<int>(MakeAllMappers().size())),
+    ::testing::Range(0, static_cast<int>(MapperRegistry::Global().size())),
     [](const ::testing::TestParamInfo<int>& info) {
-      std::string name = MakeAllMappers()[static_cast<size_t>(info.param)]->name();
+      std::string name =
+          MapperRegistry::Global().at(static_cast<size_t>(info.param)).name();
       for (char& c : name) {
         if (c == '-') c = '_';
       }
@@ -190,14 +194,14 @@ TEST(MapperProperty, DeterministicForFixedSeed) {
 
 // ---- taxonomy metadata --------------------------------------------------------
 
-TEST(MapperRegistry, CoversEveryTableOneCell) {
-  const auto mappers = MakeAllMappers();
-  EXPECT_GE(mappers.size(), 20u);
+TEST(MapperRegistryTest, CoversEveryTableOneCell) {
+  const auto& registry = MapperRegistry::Global();
+  EXPECT_GE(registry.size(), 20u);
   bool seen[5][4] = {};
-  for (const auto& m : mappers) {
-    seen[static_cast<int>(m->technique())][static_cast<int>(m->kind())] = true;
-    EXPECT_FALSE(m->name().empty());
-    EXPECT_FALSE(m->lineage().empty());
+  for (const Mapper& m : registry) {
+    seen[static_cast<int>(m.technique())][static_cast<int>(m.kind())] = true;
+    EXPECT_FALSE(m.name().empty());
+    EXPECT_FALSE(m.lineage().empty());
   }
   // Table I's populated cells (see DESIGN.md §3).
   EXPECT_TRUE(seen[0][0]) << "heuristic spatial";
@@ -216,11 +220,55 @@ TEST(MapperRegistry, CoversEveryTableOneCell) {
   EXPECT_TRUE(seen[4][1]) << "CSP temporal (CP/SAT/SMT)";
 }
 
-TEST(MapperRegistry, NamesAreUnique) {
-  const auto mappers = MakeAllMappers();
+TEST(MapperRegistryTest, NamesAreUnique) {
+  const auto& registry = MapperRegistry::Global();
   std::set<std::string> names;
-  for (const auto& m : mappers) names.insert(m->name());
-  EXPECT_EQ(names.size(), mappers.size());
+  for (const Mapper& m : registry) names.insert(m.name());
+  EXPECT_EQ(names.size(), registry.size());
+}
+
+TEST(MapperRegistryTest, FindLocatesEveryMapperAndRejectsUnknown) {
+  const auto& registry = MapperRegistry::Global();
+  for (const Mapper& m : registry) {
+    const Mapper* found = registry.Find(m.name());
+    ASSERT_NE(found, nullptr) << m.name();
+    EXPECT_EQ(found, &m) << "Find must return the shared instance";
+  }
+  EXPECT_EQ(registry.Find("no-such-mapper"), nullptr);
+}
+
+TEST(MapperRegistryTest, ByTechniqueAndByKindPartitionTheCatalogue) {
+  const auto& registry = MapperRegistry::Global();
+  std::size_t by_technique = 0;
+  for (TechniqueClass t :
+       {TechniqueClass::kHeuristic, TechniqueClass::kMetaPopulation,
+        TechniqueClass::kMetaLocalSearch, TechniqueClass::kExactIlp,
+        TechniqueClass::kExactCsp}) {
+    for (const Mapper* m : registry.ByTechnique(t)) {
+      EXPECT_EQ(m->technique(), t);
+      ++by_technique;
+    }
+  }
+  EXPECT_EQ(by_technique, registry.size());
+
+  std::size_t by_kind = 0;
+  for (MappingKind k : {MappingKind::kSpatial, MappingKind::kTemporal,
+                        MappingKind::kBinding, MappingKind::kScheduling}) {
+    for (const Mapper* m : registry.ByKind(k)) {
+      EXPECT_EQ(m->kind(), k);
+      ++by_kind;
+    }
+  }
+  EXPECT_EQ(by_kind, registry.size());
+}
+
+TEST(MapperRegistryTest, CompatWrapperMatchesRegistryOrder) {
+  const auto& registry = MapperRegistry::Global();
+  const auto fresh = MakeAllMappers();
+  ASSERT_EQ(fresh.size(), registry.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(fresh[i]->name(), registry.at(i).name()) << "index " << i;
+  }
 }
 
 // ---- MII bounds ---------------------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "support/rng.hpp"
 #include "support/status.hpp"
+#include "support/stop_token.hpp"
 #include "support/str.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
@@ -165,6 +166,53 @@ TEST(ThreadPool, ParallelForCoversRange) {
   std::vector<std::atomic<int>> hits(50);
   pool.ParallelFor(50, [&](std::size_t i) { hits[i].fetch_add(1); });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, AsyncReturnsTaskResults) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Async([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(StopToken, DefaultTokenCanNeverStop) {
+  StopToken token;
+  EXPECT_FALSE(token.StopPossible());
+  EXPECT_FALSE(token.StopRequested());
+}
+
+TEST(StopToken, SourceReachesEveryCopy) {
+  StopSource source;
+  StopToken a = source.token();
+  StopToken b = a;  // copies observe the same flag
+  EXPECT_TRUE(a.StopPossible());
+  EXPECT_FALSE(a.StopRequested());
+
+  EXPECT_TRUE(source.RequestStop()) << "first request flips the flag";
+  EXPECT_FALSE(source.RequestStop()) << "second request is a no-op";
+  EXPECT_TRUE(a.StopRequested());
+  EXPECT_TRUE(b.StopRequested());
+  EXPECT_TRUE(source.StopRequested());
+}
+
+TEST(StopToken, CancelsWorkOnAnotherThread) {
+  StopSource source;
+  ThreadPool pool(1);
+  std::atomic<bool> entered{false};
+  auto done = pool.Async([token = source.token(), &entered]() {
+    entered.store(true);
+    int spins = 0;
+    while (!token.StopRequested()) ++spins;
+    return spins;
+  });
+  while (!entered.load()) {
+  }
+  source.RequestStop();
+  EXPECT_GE(done.get(), 0);
 }
 
 }  // namespace
