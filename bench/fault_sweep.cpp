@@ -1,0 +1,125 @@
+// Robustness axis for the Table-I taxonomy: yield and achieved II vs.
+// number of injected hardware faults.
+//
+// The survey's techniques all bind a DFG onto a resource graph, so a
+// fabric with dead PEs is "just" a smaller MRRG — the interesting
+// question is how gracefully each technique family degrades as the
+// fabric shrinks underneath it. For k = 0..4 seeded random dead PEs on
+// the 4x4 ADRES fabric, every Table-I technique class races its
+// mappers (MappingEngine) on the derated Architecture; the table
+// reports yield (kernels mapped AND bit-exact in simulation), average
+// achieved II, and average wall time per class and fault count.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arch/fault.hpp"
+#include "engine/engine.hpp"
+#include "ir/kernels.hpp"
+#include "mappers/registry.hpp"
+#include "mapping/validator.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+#include "support/table.hpp"
+
+using namespace cgra;
+
+namespace {
+
+constexpr TechniqueClass kClasses[] = {
+    TechniqueClass::kHeuristic,     TechniqueClass::kMetaLocalSearch,
+    TechniqueClass::kMetaPopulation, TechniqueClass::kExactIlp,
+    TechniqueClass::kExactCsp,
+};
+
+struct CellStats {
+  int attempted = 0;
+  int mapped = 0;
+  int verified = 0;  ///< mapped AND bit-exact on the derated fabric
+  long long ii_sum = 0;
+  double seconds = 0;
+};
+
+}  // namespace
+
+int main() {
+  ArchParams params;
+  params.rows = params.cols = 4;
+  params.rf_kind = RfKind::kRotating;
+  params.name = "adres4x4";
+  const Architecture healthy(params);
+
+  // Exact formulations get the smallest kernels (as in the Table-I
+  // bench); everyone else runs the standard DSP/AI suite.
+  const auto full_suite = StandardKernelSuite(12, 0xF00D);
+  const auto tiny_suite = TinyKernelSuite(8, 0xF00D);
+  const auto& registry = MapperRegistry::Global();
+
+  constexpr int kMaxFaults = 4;
+  constexpr std::uint64_t kFaultSeed = 0xD1ED;
+  constexpr double kBudgetSeconds = 5.0;
+
+  std::printf("=== fault sweep: yield vs dead PEs on %s ===\n",
+              healthy.params().name.c_str());
+  std::printf(
+      "k seeded random dead PEs (seed 0x%llX); each Table-I technique\n"
+      "class races its mappers on the derated fabric, %.0f s per kernel.\n"
+      "yield counts only mappings that validate AND simulate bit-exactly.\n\n",
+      static_cast<unsigned long long>(kFaultSeed), kBudgetSeconds);
+
+  std::map<std::pair<int, TechniqueClass>, CellStats> cells;
+
+  for (int k = 0; k <= kMaxFaults; ++k) {
+    const FaultModel fm = FaultModel::RandomDeadPes(healthy, k, kFaultSeed + k);
+    const Architecture arch = healthy.WithFaults(fm);
+    std::printf("k=%d: %s\n", k, fm.ToString().c_str());
+
+    for (TechniqueClass tech : kClasses) {
+      const std::vector<const Mapper*> portfolio = registry.ByTechnique(tech);
+      const bool exact = tech == TechniqueClass::kExactIlp ||
+                         tech == TechniqueClass::kExactCsp;
+      const auto& suite = exact ? tiny_suite : full_suite;
+      CellStats& s = cells[{k, tech}];
+
+      for (const Kernel& kernel : suite) {
+        ++s.attempted;
+        EngineOptions eo;
+        eo.deadline = Deadline::AfterSeconds(kBudgetSeconds);
+        WallTimer timer;
+        const auto r = MappingEngine(eo).Run(kernel.dfg, arch, portfolio);
+        s.seconds += timer.Seconds();
+        if (!r.ok()) continue;
+        if (!ValidateMapping(kernel.dfg, arch, r->mapping).ok()) continue;
+        ++s.mapped;
+        s.ii_sum += r->mapping.ii;
+        const auto match = MappingMatchesReference(kernel, arch, r->mapping);
+        if (match.ok() && *match) ++s.verified;
+      }
+    }
+  }
+
+  std::printf("\n");
+  TextTable table({"class", "dead PEs", "mapped", "bit-exact", "avg II",
+                   "avg s/kernel"});
+  for (TechniqueClass tech : kClasses) {
+    for (int k = 0; k <= kMaxFaults; ++k) {
+      const CellStats& s = cells[{k, tech}];
+      table.AddRow(
+          {k == 0 ? std::string(TechniqueClassName(tech)) : "",
+           StrFormat("%d", k), StrFormat("%d/%d", s.mapped, s.attempted),
+           StrFormat("%d/%d", s.verified, s.attempted),
+           s.mapped ? StrFormat("%.2f", double(s.ii_sum) / s.mapped) : "-",
+           s.attempted ? StrFormat("%.2f", s.seconds / s.attempted) : "-"});
+    }
+    table.AddRule();
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf(
+      "expected shape: yield decays and II grows as the fabric shrinks —\n"
+      "heuristics degrade gracefully (they just search the smaller MRRG),\n"
+      "exact methods keep proving optimality/infeasibility on the toy\n"
+      "kernels but hit their budgets sooner as routing tightens.\n");
+  return 0;
+}

@@ -2,9 +2,11 @@
 #include "arch/arch.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <queue>
 
+#include "arch/fault.hpp"
 #include "support/str.hpp"
 
 namespace cgra {
@@ -96,7 +98,12 @@ Architecture::Architecture(ArchParams params) : params_(std::move(params)) {
     }
   }
 
+  RecomputeHopDistances();
+}
+
+void Architecture::RecomputeHopDistances() {
   // Hop distances (BFS over links).
+  const int n = num_cells();
   hop_dist_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), -1);
   for (int s = 0; s < n; ++s) {
     std::queue<int> q;
@@ -117,6 +124,99 @@ Architecture::Architecture(ArchParams params) : params_(std::move(params)) {
       }
     }
   }
+}
+
+Architecture Architecture::WithFaults(const FaultModel& faults) const {
+  auto merged = std::make_shared<FaultModel>(faults);
+  if (faults_) merged->Merge(*faults_);
+
+  // Rebuild a clean fabric from the params, then derate it: the
+  // constructor's capability/link/readable tables are the healthy
+  // baseline that ApplyFaults prunes.
+  Architecture derated(params_);
+  derated.faults_ = std::move(merged);
+  derated.ApplyFaults();
+  return derated;
+}
+
+void Architecture::ApplyFaults() {
+  const int n = num_cells();
+  const FaultModel& fm = *faults_;
+
+  cell_alive_.assign(static_cast<size_t>(n), 1);
+  hold_capacity_.assign(static_cast<size_t>(n), HoldCapacity());
+  rf_fault_mask_.assign(static_cast<size_t>(n), 0);
+  slot_fault_mask_.assign(static_cast<size_t>(n), 0);
+
+  for (int c : fm.dead_cells()) {
+    cell_alive_[static_cast<size_t>(c)] = 0;
+    hold_capacity_[static_cast<size_t>(c)] = 0;
+    // A dead PE can't execute anything: kill the capability row so
+    // CanExecute (and thus every mapper's candidate filter) excludes it.
+    CellCaps& caps = caps_[static_cast<size_t>(c)];
+    caps.alu = caps.mul = caps.mem = caps.io = false;
+    caps.bank = -1;
+  }
+
+  for (const RfEntryFault& f : fm.dead_rf_entries()) {
+    if (f.reg < 64) {
+      rf_fault_mask_[static_cast<size_t>(f.cell)] |= std::uint64_t{1} << f.reg;
+    }
+  }
+  for (const ContextSlotFault& f : fm.dead_context_slots()) {
+    if (f.slot < 64) {
+      slot_fault_mask_[static_cast<size_t>(f.cell)] |= std::uint64_t{1}
+                                                       << f.slot;
+    }
+  }
+
+  // Per-cell hold capacity. A static file just loses the dead colours;
+  // a rotating file renames logical registers through every physical
+  // entry, so one stuck entry poisons the whole cell's file.
+  for (int c = 0; c < n; ++c) {
+    if (!cell_alive_[static_cast<size_t>(c)]) continue;
+    const std::uint64_t mask = rf_fault_mask_[static_cast<size_t>(c)];
+    if (mask == 0) continue;
+    if (params_.rf_kind == RfKind::kRotating) {
+      hold_capacity_[static_cast<size_t>(c)] = 0;
+    } else {
+      hold_capacity_[static_cast<size_t>(c)] =
+          HoldCapacity() - std::popcount(mask);
+    }
+  }
+
+  // Prune the interconnect: cut dead links and every link touching a
+  // dead cell, in both directions.
+  auto link_gone = [&](int from, int to) {
+    return !cell_alive_[static_cast<size_t>(from)] ||
+           !cell_alive_[static_cast<size_t>(to)] || fm.LinkDead(from, to);
+  };
+  for (int from = 0; from < n; ++from) {
+    auto& outs = links_out_[static_cast<size_t>(from)];
+    std::erase_if(outs, [&](int to) { return link_gone(from, to); });
+  }
+
+  // Operand reachability follows the interconnect: a cut link also
+  // severs the neighbour's mux input. Each live cell keeps its own
+  // registers; a dead cell can read nothing.
+  for (int c = 0; c < n; ++c) {
+    auto& r = readable_[static_cast<size_t>(c)];
+    if (!cell_alive_[static_cast<size_t>(c)]) {
+      r.clear();
+      continue;
+    }
+    std::erase_if(r, [&](int src) {
+      if (src == c) return false;
+      if (params_.rf_kind == RfKind::kShared) {
+        // The unified RF is reachable from everywhere, but a dead
+        // cell's values no longer exist to be read.
+        return !cell_alive_[static_cast<size_t>(src)];
+      }
+      return link_gone(src, c);
+    });
+  }
+
+  RecomputeHopDistances();
 }
 
 bool Architecture::IsFolded(Opcode op) const {

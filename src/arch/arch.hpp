@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,8 @@
 #include "support/status.hpp"
 
 namespace cgra {
+
+class FaultModel;  // arch/fault.hpp
 
 /// Interconnect shapes (point-to-point neighbourhoods).
 enum class Topology {
@@ -118,9 +122,63 @@ class Architecture {
     return params_.style == ExecutionStyle::kSpatial ? 1 : params_.context_depth;
   }
 
-  /// Effective register slots per cell for routing-through-time.
+  /// Effective register slots per cell for routing-through-time (the
+  /// healthy, structural value; see HoldCapacityAt for the derated
+  /// per-cell capacity of a faulted fabric).
   int HoldCapacity() const {
     return params_.rf_kind == RfKind::kNone ? 1 : params_.rf_size;
+  }
+
+  // ---- fault awareness ----------------------------------------------------
+  // A healthy Architecture answers CellAlive == true everywhere and
+  // HoldCapacityAt == HoldCapacity(); WithFaults() returns a derated
+  // copy whose capability tables, link lists, operand-reachability
+  // lists, hop distances, and per-cell capacities all exclude the
+  // faulted resources — so every mapper consuming this interface
+  // avoids them transparently. The derated Architecture is
+  // self-consistent end to end: map, validate, compile, and simulate
+  // all against the SAME (faulted) instance.
+
+  /// Derates this fabric with `faults`, merged with any faults already
+  /// applied (how a repair loop accumulates discoveries). Faults
+  /// naming resources the fabric does not have are an error — validate
+  /// with FaultModel::Validate first when the model is untrusted.
+  Architecture WithFaults(const FaultModel& faults) const;
+
+  /// The applied fault model; nullptr when healthy.
+  const FaultModel* faults() const { return faults_.get(); }
+  bool HasFaults() const { return faults_ != nullptr; }
+
+  /// False when the whole cell (FU + RF + routing channel) is dead.
+  bool CellAlive(int cell) const {
+    return cell_alive_.empty() || cell_alive_[static_cast<size_t>(cell)] != 0;
+  }
+
+  /// Usable register slots of `cell`'s file: 0 for dead cells, reduced
+  /// by dead entries in static files, 0 for a rotating file with any
+  /// dead entry (values rotate through every physical register).
+  int HoldCapacityAt(int cell) const {
+    return hold_capacity_.empty() ? HoldCapacity()
+                                  : hold_capacity_[static_cast<size_t>(cell)];
+  }
+
+  /// Usable routing channels of `cell` (0 when the cell is dead).
+  int RouteChannelsAt(int cell) const {
+    return CellAlive(cell) ? params_.route_channels : 0;
+  }
+
+  /// True when physical register `reg` of `cell`'s file is stuck.
+  bool RfEntryFaulted(int cell, int reg) const {
+    return !rf_fault_mask_.empty() && reg < 64 &&
+           (rf_fault_mask_[static_cast<size_t>(cell)] >> reg) & 1u;
+  }
+
+  /// True when configuration word `slot` of `cell` is corrupt: the
+  /// cell's FU and routing channel cannot be configured in any cycle
+  /// with t mod II == slot.
+  bool ContextSlotFaulted(int cell, int slot) const {
+    return !slot_fault_mask_.empty() && slot < 64 &&
+           (slot_fault_mask_[static_cast<size_t>(cell)] >> slot) & 1u;
   }
 
   /// Fig. 2(a)-style ASCII rendering of the array with capability tags.
@@ -139,11 +197,21 @@ class Architecture {
   static Architecture VliwLike4();     ///< 1x4 row, shared RF only (VLIW foil)
 
  private:
+  void RecomputeHopDistances();
+  void ApplyFaults();
+
   ArchParams params_;
   std::vector<CellCaps> caps_;
   std::vector<std::vector<int>> readable_;
   std::vector<std::vector<int>> links_out_;
   std::vector<int> hop_dist_;
+
+  // Fault-derived state; all empty / null on a healthy fabric.
+  std::shared_ptr<const FaultModel> faults_;
+  std::vector<char> cell_alive_;
+  std::vector<int> hold_capacity_;
+  std::vector<std::uint64_t> rf_fault_mask_;
+  std::vector<std::uint64_t> slot_fault_mask_;
 };
 
 }  // namespace cgra

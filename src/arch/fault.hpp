@@ -1,0 +1,143 @@
+// Hardware fault model (§II robustness axis).
+//
+// Every technique in Table I ultimately binds a DFG onto a resource
+// graph, so a fabric with defective resources is "just" a different
+// MRRG: kill the faulted nodes and links and every mapper degrades
+// gracefully instead of falling over. A FaultModel enumerates the
+// permanent defects of one physical fabric:
+//
+//   * dead cells        — the whole PE (FU + RF + routing channel) is
+//                         unusable and all links to/from it are gone;
+//   * dead links        — one directional inter-cell connection is cut
+//                         (the neighbour's mux input reads garbage);
+//   * dead RF entries   — physical register `reg` of a cell's file is
+//                         stuck; static files lose that one colour, a
+//                         rotating file loses the whole cell's RF
+//                         (every value rotates through every entry);
+//   * dead context slots— configuration-memory word `slot` of a cell
+//                         is corrupt: the cell's FU and routing channel
+//                         cannot be configured in any cycle with
+//                         t mod II == slot (only relevant when II > slot).
+//
+// Apply a model with Architecture::WithFaults(): the derated fabric
+// prunes capabilities, links and capacities so existing mappers avoid
+// faulted resources transparently, and ValidateMapping rejects any
+// mapping that touches one. RF entries and context slots are tracked
+// up to index 63 (well past every preset's rf_size / context_depth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cgra {
+
+class Architecture;  // arch/arch.hpp
+
+/// One cut directional inter-cell connection.
+struct LinkFault {
+  int from = -1;
+  int to = -1;
+
+  bool operator==(const LinkFault&) const = default;
+  auto operator<=>(const LinkFault&) const = default;
+};
+
+/// One stuck physical register of one cell's file.
+struct RfEntryFault {
+  int cell = -1;
+  int reg = -1;
+
+  bool operator==(const RfEntryFault&) const = default;
+  auto operator<=>(const RfEntryFault&) const = default;
+};
+
+/// One corrupt configuration-memory word of one cell.
+struct ContextSlotFault {
+  int cell = -1;
+  int slot = -1;
+
+  bool operator==(const ContextSlotFault&) const = default;
+  auto operator<=>(const ContextSlotFault&) const = default;
+};
+
+class FaultModel {
+ public:
+  FaultModel() = default;
+
+  // Insertions keep the underlying lists sorted and deduplicated, so
+  // two models with the same faults compare equal and hash identically
+  // regardless of discovery order.
+  void KillCell(int cell);
+  void KillLink(int from, int to);
+  void KillRfEntry(int cell, int reg);
+  void KillContextSlot(int cell, int slot);
+
+  /// Union with `other` (how a repair loop accumulates discoveries).
+  void Merge(const FaultModel& other);
+
+  bool empty() const {
+    return dead_cells_.empty() && dead_links_.empty() &&
+           dead_rf_entries_.empty() && dead_context_slots_.empty();
+  }
+  int TotalFaults() const {
+    return static_cast<int>(dead_cells_.size() + dead_links_.size() +
+                            dead_rf_entries_.size() +
+                            dead_context_slots_.size());
+  }
+
+  const std::vector<int>& dead_cells() const { return dead_cells_; }
+  const std::vector<LinkFault>& dead_links() const { return dead_links_; }
+  const std::vector<RfEntryFault>& dead_rf_entries() const {
+    return dead_rf_entries_;
+  }
+  const std::vector<ContextSlotFault>& dead_context_slots() const {
+    return dead_context_slots_;
+  }
+
+  bool CellDead(int cell) const;
+  bool LinkDead(int from, int to) const;
+
+  /// Every fault must name a resource `arch` actually has.
+  Status Validate(const Architecture& arch) const;
+
+  /// Stable 16-hex-digit digest of the canonical fault list ("healthy"
+  /// for the empty model). Traces stamp it on every attempt event so a
+  /// post-mortem can tell "round 0 on a healthy fabric" from "round 2
+  /// after 3 faults".
+  std::string Digest() const;
+
+  /// Human-readable one-liner ("2 dead cells {5,9}; 1 dead link ...").
+  std::string ToString() const;
+
+  bool operator==(const FaultModel&) const = default;
+
+  /// How many faults of each kind Random() should inject.
+  struct RandomSpec {
+    int dead_cells = 0;
+    int dead_links = 0;
+    int dead_rf_entries = 0;
+    int dead_context_slots = 0;
+  };
+
+  /// Seeded random fault generation: distinct resources drawn
+  /// uniformly from what `arch` actually has (links from the live
+  /// topology, RF entries below HoldCapacity(), context slots below
+  /// min(context_depth, 64)). Deterministic per (arch, spec, seed).
+  static FaultModel Random(const Architecture& arch, const RandomSpec& spec,
+                           std::uint64_t seed);
+
+  /// The common case: `k` distinct dead PEs.
+  static FaultModel RandomDeadPes(const Architecture& arch, int k,
+                                  std::uint64_t seed);
+
+ private:
+  std::vector<int> dead_cells_;
+  std::vector<LinkFault> dead_links_;
+  std::vector<RfEntryFault> dead_rf_entries_;
+  std::vector<ContextSlotFault> dead_context_slots_;
+};
+
+}  // namespace cgra

@@ -13,9 +13,13 @@ Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
 
   const bool shared_rf = arch.params().rf_kind == RfKind::kShared;
 
+  // Capacities come from the per-cell (fault-derated) accessors: a dead
+  // cell's FU/HOLD/RT nodes exist but have capacity 0, so no mapper can
+  // ever occupy them and node numbering stays identical to the healthy
+  // fabric's.
   for (int c = 0; c < n; ++c) {
     fu_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{Kind::kFu, c, 1});
+    nodes_.push_back(Node{Kind::kFu, c, arch.CellAlive(c) ? 1 : 0});
   }
   if (shared_rf) {
     const int shared = static_cast<int>(nodes_.size());
@@ -24,13 +28,13 @@ Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
   } else {
     for (int c = 0; c < n; ++c) {
       hold_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
-      nodes_.push_back(Node{Kind::kHold, c, arch.HoldCapacity()});
+      nodes_.push_back(Node{Kind::kHold, c, arch.HoldCapacityAt(c)});
     }
   }
   if (arch.params().route_channels > 0) {
     for (int c = 0; c < n; ++c) {
       rt_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
-      nodes_.push_back(Node{Kind::kRt, c, arch.params().route_channels});
+      nodes_.push_back(Node{Kind::kRt, c, arch.RouteChannelsAt(c)});
     }
   }
 

@@ -69,6 +69,16 @@ class Mrrg {
     return readable_holds_[static_cast<size_t>(cell)];
   }
 
+  /// False when `node` cannot be configured in modulo slot `slot`
+  /// because the owning cell's configuration-memory word is faulted.
+  /// Register files retain values without a config word, so kHold (and
+  /// the shared RF, cell -1) are never slot-restricted.
+  bool SlotUsable(int n, int slot) const {
+    const Node& nd = node(n);
+    if (nd.kind == Kind::kHold || nd.cell < 0) return true;
+    return !arch_->ContextSlotFaulted(nd.cell, slot);
+  }
+
  private:
   const Architecture* arch_;
   std::vector<Node> nodes_;

@@ -2,14 +2,35 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
 
+#include "mapping/validator.hpp"
 #include "mappers/registry.hpp"
+#include "support/str.hpp"
 
 namespace cgra {
 namespace {
+
+/// Crash isolation: a portfolio entry that throws (or otherwise escapes
+/// Map() with an exception) must lose the race, not take the pool —
+/// and with it the process — down. Anything thrown is converted into a
+/// kInternal failure attributed to that mapper.
+Result<Mapping> SafeMap(const Mapper& mapper, const Dfg& dfg,
+                        const Architecture& arch, const MapperOptions& mo) {
+  try {
+    return mapper.Map(dfg, arch, mo);
+  } catch (const std::exception& e) {
+    return Error::Internal(
+        StrFormat("mapper %s threw: %s", mapper.name().c_str(), e.what()));
+  } catch (...) {
+    return Error::Internal(StrFormat("mapper %s threw a non-std exception",
+                                     mapper.name().c_str()));
+  }
+}
 
 MapperOptions EntryOptions(const EngineOptions& eo, std::size_t i,
                            StopToken stop, MrrgCache* cache) {
@@ -81,6 +102,42 @@ Error AggregateError(const std::vector<EngineAttempt>& attempts) {
                    : Error::Unmappable(msg.str());
 }
 
+/// Observer decorator for the repair loop: stamps the repair-round
+/// index and the round's fault digest on every event flowing to the
+/// user's observer, and records which mappers crashed (kInternal) so
+/// the loop can shrink the portfolio — even when the round as a whole
+/// failed and its EngineResult (with the attempts) was swallowed by
+/// the aggregate error.
+class RoundStamper final : public MapObserver {
+ public:
+  RoundStamper(MapObserver* next, int round, std::string digest)
+      : next_(next), round_(round), digest_(std::move(digest)) {}
+
+  void OnEvent(const MapEvent& event) override {
+    MapEvent e = event;
+    e.repair_round = round_;
+    e.fault_digest = digest_;
+    if (e.kind == MapEvent::Kind::kMapperDone && !e.ok && e.error_code &&
+        *e.error_code == Error::Code::kInternal) {
+      std::lock_guard<std::mutex> lock(mu_);
+      crashed_.push_back(e.mapper);
+    }
+    NotifyObserver(next_, e);
+  }
+
+  std::vector<std::string> TakeCrashed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(crashed_);
+  }
+
+ private:
+  MapObserver* next_;
+  int round_;
+  std::string digest_;
+  std::mutex mu_;
+  std::vector<std::string> crashed_;
+};
+
 /// Index of the best success: lowest II, ties broken by portfolio
 /// order. npos when every entry failed.
 std::size_t BestIndex(const std::vector<EngineAttempt>& attempts) {
@@ -133,6 +190,170 @@ Result<EngineResult> MappingEngine::Run(
   return Run(dfg, arch, portfolio);
 }
 
+Result<RepairResult> MappingEngine::RunWithRepair(
+    const Dfg& dfg, const Architecture& arch, const FaultModel& known_faults,
+    const std::vector<const Mapper*>& portfolio,
+    const RepairOptions& repair) const {
+  if (portfolio.empty()) {
+    return Error::InvalidArgument("engine: empty portfolio");
+  }
+  for (const Mapper* m : portfolio) {
+    if (m == nullptr) {
+      return Error::InvalidArgument("engine: null mapper in portfolio");
+    }
+  }
+  if (repair.max_rounds < 1) {
+    return Error::InvalidArgument("repair: max_rounds must be >= 1");
+  }
+  if (Status s = known_faults.Validate(arch); !s.ok()) return s.error();
+
+  WallTimer total;
+  RepairResult out;
+
+  // The canonical fault model: the caller's known faults plus whatever
+  // the fabric already carries, grown by every verifier diagnosis.
+  FaultModel fm = known_faults;
+  if (arch.faults()) fm.Merge(*arch.faults());
+
+  std::vector<const Mapper*> active = portfolio;
+  Error last_error =
+      Error::Internal("repair loop ended before any round ran");  // unreachable
+
+  for (int round = 0; round < repair.max_rounds; ++round) {
+    const std::string digest = fm.Digest();
+    // Per-round fabric. Each round's Architecture dies with the round,
+    // so the address-keyed MrrgCache must not be shared across rounds
+    // (a recycled heap address would alias a stale resource graph):
+    // every round builds its own graphs.
+    auto arch_r = std::make_shared<Architecture>(arch.WithFaults(fm));
+
+    RoundStamper stamper(options_.observer, round, digest);
+    {
+      MapEvent note;
+      note.kind = MapEvent::Kind::kNote;
+      note.message = StrFormat("repair round %d/%d on fabric [%s]: %s", round,
+                               repair.max_rounds, digest.c_str(),
+                               fm.ToString().c_str());
+      stamper.OnEvent(note);
+    }
+
+    EngineOptions eo = options_;
+    eo.observer = &stamper;
+    eo.mrrg_cache = nullptr;
+    // Escalating II window: a derated fabric often needs more
+    // time-sharing than the healthy ceiling allowed.
+    eo.max_ii = std::min(arch_r->MaxIi(), options_.max_ii +
+                                              round * repair.ii_step);
+    // Budget split: each round gets an equal share of what is left, so
+    // an expensive first round cannot starve the repairs (and a cheap
+    // one donates its slack to them).
+    const double remaining = options_.deadline.RemainingSeconds();
+    if (remaining < 1e17) {
+      const int rounds_left = repair.max_rounds - round;
+      eo.deadline = Deadline::AfterSeconds(std::max(
+          repair.min_round_seconds, remaining / rounds_left));
+    }
+
+    WallTimer round_timer;
+    Result<EngineResult> r = MappingEngine(eo).Run(dfg, *arch_r, active);
+
+    RepairRound rec;
+    rec.round = round;
+    rec.fault_digest = digest;
+    rec.faults = fm;
+
+    // Shrinking portfolio: a mapper that crashed this round is not
+    // given another chance to waste later rounds' budget.
+    if (repair.drop_crashed_mappers) {
+      for (const std::string& name : stamper.TakeCrashed()) {
+        std::erase_if(active,
+                      [&](const Mapper* m) { return m->name() == name; });
+      }
+      if (active.empty()) active = portfolio;  // never run an empty race
+    }
+
+    const bool out_of_time =
+        options_.deadline.Expired() || options_.stop.StopRequested();
+
+    if (!r.ok()) {
+      last_error = r.error();
+      rec.detail = r.error().message;
+      rec.seconds = round_timer.Seconds();
+      out.history.push_back(std::move(rec));
+      if (out_of_time) break;
+      continue;
+    }
+
+    rec.mapped = true;
+
+    // Defence in depth: never hand out a mapping touching a faulted
+    // resource, whatever the winning mapper believed.
+    if (Status s = ValidateMapping(dfg, *arch_r, r->mapping); !s.ok()) {
+      last_error = Error::Internal(
+          StrFormat("winner %s produced an invalid mapping: %s",
+                    r->winner.c_str(), s.error().message.c_str()));
+      rec.mapped = false;
+      rec.detail = last_error.message;
+      rec.seconds = round_timer.Seconds();
+      out.history.push_back(std::move(rec));
+      if (out_of_time) break;
+      continue;
+    }
+
+    if (repair.verifier) {
+      const FaultModel before = fm;
+      Status v = repair.verifier(*arch_r, r->mapping, fm);
+      if (!v.ok()) {
+        last_error = v.error();
+        rec.detail = v.error().message;
+        rec.seconds = round_timer.Seconds();
+        const bool diagnosed = !(fm == before);
+        out.history.push_back(std::move(rec));
+        if (!diagnosed) {
+          // No new faults: the next round would map the identical
+          // fabric and fail the identical way. Bail out now.
+          last_error.message +=
+              " (verifier diagnosed no new faults; re-mapping cannot help)";
+          break;
+        }
+        if (out_of_time) break;
+        continue;
+      }
+    }
+    rec.verified = true;
+    rec.seconds = round_timer.Seconds();
+    out.history.push_back(std::move(rec));
+
+    out.result = std::move(*r);
+    out.arch = std::move(arch_r);
+    out.faults = std::move(fm);
+    out.rounds = round + 1;
+    out.seconds = total.Seconds();
+    return out;
+  }
+
+  return Error{last_error.code,
+               StrFormat("repair exhausted after %d round(s): %s",
+                         static_cast<int>(out.history.size()),
+                         last_error.message.c_str())};
+}
+
+Result<RepairResult> MappingEngine::RunWithRepair(
+    const Dfg& dfg, const Architecture& arch, const FaultModel& known_faults,
+    const std::vector<std::string>& mapper_names,
+    const RepairOptions& repair) const {
+  std::vector<const Mapper*> portfolio;
+  portfolio.reserve(mapper_names.size());
+  for (const std::string& name : mapper_names) {
+    const Mapper* m = MapperRegistry::Global().Find(name);
+    if (m == nullptr) {
+      return Error::InvalidArgument("engine: unknown mapper \"" + name + "\"");
+    }
+    portfolio.push_back(m);
+  }
+  return RunWithRepair(dfg, arch, known_faults, portfolio, repair);
+}
+
 Result<EngineResult> MappingEngine::RunRacing(
     const Dfg& dfg, const Architecture& arch,
     const std::vector<const Mapper*>& portfolio, MrrgCache& cache) const {
@@ -173,7 +394,7 @@ Result<EngineResult> MappingEngine::RunRacing(
       EmitMapperStart(options_.observer, mapper);
       WallTimer timer;
       MapperOptions mo = EntryOptions(options_, i, race_stop.token(), &cache);
-      Result<Mapping> r = mapper.Map(dfg, arch, mo);
+      Result<Mapping> r = SafeMap(mapper, dfg, arch, mo);
       seconds[i] = timer.Seconds();
       EmitMapperDone(options_.observer, mapper, r, seconds[i]);
       const bool won = r.ok();
@@ -222,7 +443,7 @@ Result<EngineResult> MappingEngine::RunSequential(
     EmitMapperStart(options_.observer, mapper);
     WallTimer timer;
     MapperOptions mo = EntryOptions(options_, i, options_.stop, &cache);
-    Result<Mapping> r = mapper.Map(dfg, arch, mo);
+    Result<Mapping> r = SafeMap(mapper, dfg, arch, mo);
     const double secs = timer.Seconds();
     EmitMapperDone(options_.observer, mapper, r, secs);
     out.attempts.push_back(MakeAttempt(mapper, r, secs));

@@ -25,9 +25,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "arch/fault.hpp"
 #include "arch/mrrg_cache.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/observer.hpp"
@@ -98,6 +101,64 @@ struct EngineResult {
                                         ///< portfolio order
 };
 
+/// Retry/backoff policy for MappingEngine::RunWithRepair.
+struct RepairOptions {
+  /// Total mapping rounds before giving up (the first try plus up to
+  /// max_rounds - 1 repairs).
+  int max_rounds = 4;
+
+  /// The II ceiling grows by this much every round: a fabric with dead
+  /// resources often needs more time-sharing than the healthy window
+  /// allowed (SAT-MapIt-style escalation, but across repair rounds).
+  int ii_step = 2;
+
+  /// Floor on each round's share of the remaining deadline, so late
+  /// rounds are not starved into instant kResourceLimit failures.
+  double min_round_seconds = 0.25;
+
+  /// Drop portfolio entries whose Map() crashed (Error::Code::kInternal
+  /// after the engine's try/catch) from subsequent rounds — a mapper
+  /// that threw once is not owed a second chance to waste budget.
+  bool drop_crashed_mappers = true;
+
+  /// Deployment check run after a round produces a validated mapping
+  /// (e.g. compile + simulate + compare against the reference; see
+  /// MappingMatchesReference in sim/harness.hpp). Return Ok to accept
+  /// the mapping. To demand another round, return an error AND add the
+  /// newly diagnosed faults to `faults`: a verifier that rejects
+  /// without diagnosing anything new aborts the loop, because
+  /// re-mapping the unchanged fabric cannot make progress. Null: any
+  /// validated mapping is accepted.
+  std::function<Status(const Architecture& arch, const Mapping& mapping,
+                       FaultModel& faults)>
+      verifier;
+};
+
+/// What happened in one round of the repair loop.
+struct RepairRound {
+  int round = 0;
+  std::string fault_digest;  ///< FaultModel::Digest() this round mapped under
+  FaultModel faults;         ///< the fault model in force this round
+  bool mapped = false;       ///< the portfolio produced a validated mapping
+  bool verified = false;     ///< ... and the verifier accepted it
+  std::string detail;        ///< failure / miscompare note when !verified
+  double seconds = 0.0;      ///< wall time of this round
+};
+
+struct RepairResult {
+  EngineResult result;  ///< the accepted round's engine result
+
+  /// The derated fabric the accepted mapping targets. Compile, encode
+  /// and simulate against THIS architecture — not the healthy one —
+  /// or register indices and mux selects will disagree.
+  std::shared_ptr<const Architecture> arch;
+
+  FaultModel faults;  ///< the final accumulated fault model
+  int rounds = 0;     ///< rounds executed (>= 1)
+  std::vector<RepairRound> history;  ///< one record per executed round
+  double seconds = 0.0;              ///< wall time of the whole repair loop
+};
+
 class MappingEngine {
  public:
   explicit MappingEngine(EngineOptions options = {});
@@ -114,6 +175,30 @@ class MappingEngine {
   /// Global(). Unknown names are an error.
   Result<EngineResult> Run(const Dfg& dfg, const Architecture& arch,
                            const std::vector<std::string>& mapper_names) const;
+
+  /// Fault-tolerant mapping with a bounded repair loop. Each round
+  /// derates `arch` with the accumulated FaultModel (starting from
+  /// `known_faults` plus whatever `arch` already carries), races the
+  /// portfolio on the derated fabric with a per-round budget split off
+  /// the remaining deadline and an II ceiling that escalates by
+  /// `repair.ii_step` per round, validates the winner, and hands it to
+  /// `repair.verifier`. A verifier miscompare that diagnoses new
+  /// faults triggers the next round; crashed mappers are dropped from
+  /// later rounds. Every event of round k reaches the observer with
+  /// repair_round = k and the round's fault digest, and each round is
+  /// additionally announced with a kNote. Fails with the last round's
+  /// error code once max_rounds, the deadline, or an undiagnosable
+  /// miscompare exhausts the loop.
+  Result<RepairResult> RunWithRepair(
+      const Dfg& dfg, const Architecture& arch, const FaultModel& known_faults,
+      const std::vector<const Mapper*>& portfolio,
+      const RepairOptions& repair = {}) const;
+
+  /// Name-based convenience overload (MapperRegistry::Global()).
+  Result<RepairResult> RunWithRepair(
+      const Dfg& dfg, const Architecture& arch, const FaultModel& known_faults,
+      const std::vector<std::string>& mapper_names,
+      const RepairOptions& repair = {}) const;
 
   const EngineOptions& options() const { return options_; }
 

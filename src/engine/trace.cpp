@@ -76,6 +76,8 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
       if (!e.ok && e.error_code) a.error_code = Error::CodeName(*e.error_code);
       a.message = e.message;
       a.seconds = e.seconds;
+      a.round = e.repair_round;
+      a.fault_digest = e.fault_digest;
       out.push_back(std::move(a));
     } else if (e.kind == MapEvent::Kind::kNote && e.solver_steps >= 0) {
       notes.push_back(&e);
@@ -112,6 +114,9 @@ std::string MapTrace::ToJson() const {
     AppendJsonString(out, a.message);
     out << ",\"seconds\":" << a.seconds;
     if (a.solver_steps >= 0) out << ",\"solver_steps\":" << a.solver_steps;
+    out << ",\"round\":" << a.round;
+    out << ",\"fault_digest\":";
+    AppendJsonString(out, a.fault_digest);
     out << '}';
   }
   out << "],\"mappers\":[";
@@ -130,6 +135,9 @@ std::string MapTrace::ToJson() const {
                                            : std::string_view());
     out << ",\"message\":";
     AppendJsonString(out, e.message);
+    out << ",\"round\":" << e.repair_round;
+    out << ",\"fault_digest\":";
+    AppendJsonString(out, e.fault_digest);
     out << '}';
   }
   out << "]}";

@@ -42,16 +42,22 @@ class MapTrace final : public MapObserver {
     std::string message;
     double seconds = 0.0;
     std::int64_t solver_steps = -1; ///< summed kNote steps, -1 if none
+    int round = 0;                  ///< RunWithRepair round (0 = first try)
+    std::string fault_digest;       ///< fabric FaultModel digest at that round
   };
   std::vector<Attempt> Attempts() const;
 
   /// The whole trace as a JSON object:
   ///   {"attempts":[{"mapper":...,"ii":...,"ok":...,"error":...,
-  ///                 "seconds":...,"solver_steps":...}, ...],
+  ///                 "seconds":...,"solver_steps":...,
+  ///                 "round":...,"fault_digest":...}, ...],
   ///    "mappers":[{"name":...,"ok":...,"seconds":...,"error":...,
-  ///                "message":...}, ...]}
+  ///                "message":...,"round":...,"fault_digest":...}, ...]}
   /// "mappers" holds the kMapperDone brackets (present when the engine
-  /// drove the run); "attempts" the per-II records.
+  /// drove the run); "attempts" the per-II records. A plain Run stamps
+  /// round 0 and an empty digest; RunWithRepair stamps each repair
+  /// round's index and fault-model digest so post-mortems distinguish
+  /// "round 0 on a healthy fabric" from "round 2 after 3 faults".
   std::string ToJson() const;
 
   void Clear();

@@ -1,0 +1,40 @@
+// Test-fixture mappers: registered under the registry's Find-only
+// fixtures section so engine tests can assemble hostile portfolios by
+// name, without the fixtures ever appearing in All()/ByTechnique()
+// enumeration (a bench sweep must not race a booby trap by accident).
+#include <memory>
+#include <stdexcept>
+
+#include "mappers/mappers.hpp"
+
+namespace cgra {
+namespace {
+
+// A deliberately misbehaving portfolio entry: Map() throws instead of
+// returning a Result. The engine's crash isolation must convert this
+// into a failed EngineAttempt with Error::Code::kInternal and let the
+// rest of the race proceed.
+class ThrowingMapper final : public Mapper {
+ public:
+  std::string name() const override { return "throwing"; }
+  TechniqueClass technique() const override {
+    return TechniqueClass::kHeuristic;
+  }
+  MappingKind kind() const override { return MappingKind::kTemporal; }
+  std::string lineage() const override {
+    return "test fixture: the mapper that throws";
+  }
+
+  Result<Mapping> Map(const Dfg&, const Architecture&,
+                      const MapperOptions&) const override {
+    throw std::runtime_error("deliberate test-fixture crash");
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Mapper> MakeThrowingMapper() {
+  return std::make_unique<ThrowingMapper>();
+}
+
+}  // namespace cgra

@@ -41,4 +41,7 @@ std::unique_ptr<Mapper> MakeCpTemporalMapper();         ///< Raffin [43]
 std::unique_ptr<Mapper> MakeSatTemporalMapper();        ///< Miyasaka [17]
 std::unique_ptr<Mapper> MakeSmtTemporalMapper();        ///< Donovick [44]
 
+// ---- test fixtures (registry Find-only; never enumerated) -------------------
+std::unique_ptr<Mapper> MakeThrowingMapper();           ///< throws from Map()
+
 }  // namespace cgra

@@ -49,6 +49,8 @@ constexpr MapperFactory kFactories[] = {
 MapperRegistry::MapperRegistry() {
   mappers_.reserve(std::size(kFactories));
   for (MapperFactory make : kFactories) mappers_.push_back(make());
+  // Test fixtures: resolvable by name, invisible to enumeration.
+  fixtures_.push_back(MakeThrowingMapper());
 }
 
 const MapperRegistry& MapperRegistry::Global() {
@@ -58,6 +60,9 @@ const MapperRegistry& MapperRegistry::Global() {
 
 const Mapper* MapperRegistry::Find(std::string_view name) const {
   for (const auto& m : mappers_) {
+    if (m->name() == name) return m.get();
+  }
+  for (const auto& m : fixtures_) {
     if (m->name() == name) return m.get();
   }
   return nullptr;

@@ -34,7 +34,10 @@ class MapperRegistry {
   static const MapperRegistry& Global();
 
   /// Lookup by Mapper::name() ("ims", "sat", "bnb", ...); nullptr when
-  /// unknown.
+  /// unknown. Also resolves the test fixtures ("throwing"), which are
+  /// Find-only: they never appear in All()/ByTechnique()/ByKind() or
+  /// the iteration order, so benches and portfolio sweeps cannot pick
+  /// one up by accident.
   const Mapper* Find(std::string_view name) const;
 
   /// All mappers of one Table-I solution-strategy column, in stable
@@ -73,6 +76,7 @@ class MapperRegistry {
 
  private:
   std::vector<std::unique_ptr<Mapper>> mappers_;
+  std::vector<std::unique_ptr<Mapper>> fixtures_;  ///< Find-only test doubles
 };
 
 }  // namespace cgra

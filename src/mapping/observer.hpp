@@ -37,6 +37,8 @@ struct MapEvent {
   std::string message;                    ///< error message or note text
   double seconds = 0.0;                   ///< wall time of the attempt/mapper
   std::int64_t solver_steps = -1;         ///< conflicts/nodes/iterations, -1 unknown
+  int repair_round = 0;                   ///< RunWithRepair round (0 = first try)
+  std::string fault_digest;               ///< FaultModel::Digest() of the fabric
 };
 
 /// Progress sink. The portfolio engine invokes a single observer from

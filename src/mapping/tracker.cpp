@@ -13,6 +13,7 @@ ResourceTracker::ResourceTracker(const Mrrg& mrrg, int ii)
 
 bool ResourceTracker::CanOccupy(int node, int time, ValueId value) const {
   const int s = ((time % ii_) + ii_) % ii_;
+  if (!mrrg_->SlotUsable(node, s)) return false;
   const auto& entries = slot(node, s);
   int occupants = 0;
   for (const Entry& e : entries) {
@@ -55,6 +56,7 @@ int ResourceTracker::Load(int node, int s) const {
 
 int ResourceTracker::Headroom(int node, int time) const {
   const int s = ((time % ii_) + ii_) % ii_;
+  if (!mrrg_->SlotUsable(node, s)) return 0;
   return mrrg_->node(node).capacity - Load(node, s);
 }
 

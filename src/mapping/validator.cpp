@@ -49,9 +49,18 @@ Status ValidateMapping(const Dfg& dfg, const Architecture& arch,
           StrFormat("op %s scheduled at %d outside [0, %d)", o.name.c_str(),
                     p.time, m.length));
     }
+    if (!arch.CellAlive(p.cell)) {
+      return Error::InvalidArgument(
+          StrFormat("op %s bound to faulted cell %d", o.name.c_str(), p.cell));
+    }
     if (!arch.CanExecute(p.cell, o)) {
       return Error::InvalidArgument(
           StrFormat("op %s bound to incompatible cell %d", o.name.c_str(), p.cell));
+    }
+    if (arch.ContextSlotFaulted(p.cell, slot_of(p.time))) {
+      return Error::InvalidArgument(StrFormat(
+          "op %s scheduled in faulted context slot %d of cell %d",
+          o.name.c_str(), slot_of(p.time), p.cell));
     }
     const auto key = std::make_pair(p.cell, slot_of(p.time));
     auto [it, inserted] = fu_busy.emplace(key, op);
@@ -153,6 +162,18 @@ Status ValidateMapping(const Dfg& dfg, const Architecture& arch,
           from_op.name.c_str(), to_op.name.c_str(), arrive));
     }
     for (const RouteStep& step : route.steps) {
+      const Mrrg::Node& n = mrrg.node(step.node);
+      if (n.cell >= 0 && !arch.CellAlive(n.cell)) {
+        return Error::InvalidArgument(StrFormat(
+            "edge %s -> %s: route passes through faulted cell %d",
+            from_op.name.c_str(), to_op.name.c_str(), n.cell));
+      }
+      if (!mrrg.SlotUsable(step.node, slot_of(step.time))) {
+        return Error::InvalidArgument(StrFormat(
+            "edge %s -> %s: route uses faulted context slot %d of cell %d",
+            from_op.name.c_str(), to_op.name.c_str(), slot_of(step.time),
+            n.cell));
+      }
       occupancy.insert({edge.from, step.node, step.time});
     }
   }

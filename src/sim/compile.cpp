@@ -155,8 +155,13 @@ Result<RegAlloc> AllocateRegisters(const Mrrg& mrrg, const Mapping& m,
             "rotating register file",
             dfg.op(u.value).name.c_str(), len, m.ii));
       }
+      const int hold_cell = mrrg.node(u.hold).cell;
       int chosen = -1;
       for (int r = 0; r < R && chosen < 0; ++r) {
+        // A faulted physical register is not a usable colour. (A
+        // rotating RF with any fault already has hold capacity 0, so
+        // no value is ever parked there in the first place.)
+        if (hold_cell >= 0 && arch.RfEntryFaulted(hold_cell, r)) continue;
         bool ok = true;
         for (size_t j = 0; j < i && ok; ++j) {
           const LiveUnit& w = alloc.units[static_cast<size_t>(unit_ids[j])];

@@ -1,0 +1,57 @@
+// Simulator-side fault injection.
+//
+// The FaultModel (arch/fault.hpp) is the *mapper's* view: resources
+// known-bad at mapping time. This header is the *hardware's* view: a
+// fault that strikes a running fabric at a chosen cycle, so a
+// previously valid configuration silently starts computing garbage.
+// The harness detects the damage as a miscompare against RunReference
+// (sim/harness.hpp: MappingMatchesReference), at which point the
+// repair loop (engine/engine.hpp: RunWithRepair) folds the diagnosis
+// into the FaultModel and re-maps around it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cgra {
+
+/// One injected hardware fault, active from `from_cycle` onwards.
+struct SimFault {
+  enum class Kind {
+    kDeadPe,    ///< the whole cell stops: FU silent, routing channel dead
+    kStuckReg,  ///< one physical register reads back `stuck_value` forever
+  };
+
+  Kind kind = Kind::kDeadPe;
+  int cell = -1;
+  std::int64_t from_cycle = 0;  ///< first simulated cycle the fault is live
+  int reg = 0;                  ///< kStuckReg: physical register index
+  std::int64_t stuck_value = 0; ///< kStuckReg: the stuck read-back value
+
+  static SimFault DeadPe(int cell, std::int64_t from_cycle = 0) {
+    SimFault f;
+    f.kind = Kind::kDeadPe;
+    f.cell = cell;
+    f.from_cycle = from_cycle;
+    return f;
+  }
+  static SimFault StuckReg(int cell, int reg, std::int64_t stuck_value,
+                           std::int64_t from_cycle = 0) {
+    SimFault f;
+    f.kind = Kind::kStuckReg;
+    f.cell = cell;
+    f.reg = reg;
+    f.stuck_value = stuck_value;
+    f.from_cycle = from_cycle;
+    return f;
+  }
+};
+
+/// The set of faults injected into one simulation run.
+struct SimFaultPlan {
+  std::vector<SimFault> faults;
+
+  bool empty() const { return faults.empty(); }
+};
+
+}  // namespace cgra

@@ -14,6 +14,28 @@ bool SameObservableState(const ExecResult& a, const ExecResult& b) {
   return a.outputs == b.outputs && a.arrays == b.arrays;
 }
 
+Result<bool> MappingMatchesReference(const Kernel& kernel,
+                                     const Architecture& arch,
+                                     const Mapping& mapping,
+                                     const SimFaultPlan* faults) {
+  Result<ConfigImage> image = CompileToContexts(kernel.dfg, arch, mapping);
+  if (!image.ok()) return image.error();
+
+  const std::vector<std::uint8_t> bits = EncodeConfig(arch, *image);
+  Result<ConfigImage> decoded = DecodeConfig(arch, bits);
+  if (!decoded.ok()) {
+    return Error::Internal("configuration bitstream did not round-trip: " +
+                           decoded.error().message);
+  }
+
+  Result<ExecResult> ref = RunReference(kernel.dfg, kernel.input);
+  if (!ref.ok()) return ref.error();
+  Result<ExecResult> sim =
+      RunOnSimulator(arch, *decoded, kernel.input, /*stats=*/nullptr, faults);
+  if (!sim.ok()) return sim.error();
+  return SameObservableState(*ref, *sim);
+}
+
 Result<EndToEndResult> RunEndToEnd(const Mapper& mapper, const Kernel& kernel,
                                    const Architecture& arch,
                                    const MapperOptions& options) {

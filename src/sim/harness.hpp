@@ -39,4 +39,15 @@ Result<EndToEndResult> RunEndToEnd(const Mapper& mapper, const Kernel& kernel,
 /// Bit-exact comparison helper (outputs + final arrays).
 bool SameObservableState(const ExecResult& a, const ExecResult& b);
 
+/// Deployment check for an existing mapping: compile, round-trip the
+/// bitstream, simulate (optionally with injected hardware faults) and
+/// compare against the reference interpreter. Returns true when the
+/// observable state is bit-exact, false on a miscompare (how a fielded
+/// fabric's built-in self-test notices it has gone bad), and an error
+/// when the mapping cannot even be compiled or simulated.
+Result<bool> MappingMatchesReference(const Kernel& kernel,
+                                     const Architecture& arch,
+                                     const Mapping& mapping,
+                                     const SimFaultPlan* faults = nullptr);
+
 }  // namespace cgra

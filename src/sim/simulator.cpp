@@ -32,7 +32,8 @@ struct PendingOutput {
 
 Result<ExecResult> RunOnSimulator(const Architecture& arch,
                                   const ConfigImage& image,
-                                  const ExecInput& input, SimStats* stats) {
+                                  const ExecInput& input, SimStats* stats,
+                                  const SimFaultPlan* faults) {
   const int ii = image.ii;
   if (ii < 1 || static_cast<int>(image.frames.size()) != ii) {
     return Error::InvalidArgument("malformed configuration image");
@@ -99,6 +100,20 @@ Result<ExecResult> RunOnSimulator(const Architecture& arch,
   // Set CGRA_SIM_TRACE=1 for a cycle-by-cycle log on stderr (debugging).
   const bool trace = std::getenv("CGRA_SIM_TRACE") != nullptr;
 
+  // Cells silenced by an injected dead-PE fault (by first dead cycle).
+  std::vector<std::int64_t> dead_from(static_cast<size_t>(arch.num_cells()),
+                                      -1);
+  if (faults) {
+    for (const SimFault& f : faults->faults) {
+      if (f.kind != SimFault::Kind::kDeadPe) continue;
+      if (f.cell < 0 || f.cell >= arch.num_cells()) {
+        return Error::InvalidArgument("injected fault targets a nonexistent cell");
+      }
+      auto& d = dead_from[static_cast<size_t>(f.cell)];
+      d = d < 0 ? f.from_cycle : std::min(d, f.from_cycle);
+    }
+  }
+
   for (std::int64_t T = 0; T < total_cycles; ++T) {
     const int slot = static_cast<int>(T % ii);
     const ContextFrame& frame = image.frames[static_cast<size_t>(slot)];
@@ -106,7 +121,23 @@ Result<ExecResult> RunOnSimulator(const Architecture& arch,
     stores.clear();
     outs.clear();
 
+    // Stuck-at registers override whatever last latched, every cycle.
+    if (faults) {
+      for (const SimFault& f : faults->faults) {
+        if (f.kind != SimFault::Kind::kStuckReg || T < f.from_cycle) continue;
+        const int bank = shared ? 0 : f.cell;
+        if (bank < 0 || bank >= rf_banks || f.reg < 0 || f.reg >= R) {
+          return Error::InvalidArgument(
+              "injected fault targets a nonexistent register");
+        }
+        rf[static_cast<size_t>(bank)][static_cast<size_t>(f.reg)] =
+            f.stuck_value;
+      }
+    }
+
     for (int c = 0; c < arch.num_cells(); ++c) {
+      const std::int64_t dead_at = dead_from[static_cast<size_t>(c)];
+      if (dead_at >= 0 && T >= dead_at) continue;  // cell fell silent
       const CellContext& cc = frame.cells[static_cast<size_t>(c)];
       // ---- FU ----
       const FuConfig& fu = cc.fu;

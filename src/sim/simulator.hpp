@@ -18,6 +18,7 @@
 #include "arch/arch.hpp"
 #include "arch/context.hpp"
 #include "ir/interp.hpp"
+#include "sim/fault_injection.hpp"
 #include "support/status.hpp"
 
 namespace cgra {
@@ -43,9 +44,13 @@ struct SimStats {
 /// Runs `iterations` loop iterations of the configured fabric.
 /// `input.streams`/`input.arrays` as for the reference interpreter.
 /// Returns outputs/arrays for bit-exact comparison with RunReference.
+/// `faults`, when given, injects hardware faults at their chosen
+/// cycles: the run still completes (hardware does not crash, it
+/// computes garbage) so the caller can observe the miscompare.
 Result<ExecResult> RunOnSimulator(const Architecture& arch,
                                   const ConfigImage& image,
                                   const ExecInput& input,
-                                  SimStats* stats = nullptr);
+                                  SimStats* stats = nullptr,
+                                  const SimFaultPlan* faults = nullptr);
 
 }  // namespace cgra

@@ -2,13 +2,16 @@
 // budget even when a solver wedges, cancel losers cooperatively (they
 // report kResourceLimit), stay deterministic per seed when racing is
 // off, and leave a trace naming every (mapper, II) attempt.
+#include <cctype>
 #include <chrono>
+#include <cstddef>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "arch/fault.hpp"
 #include "engine/engine.hpp"
 #include "engine/trace.hpp"
 #include "ir/kernels.hpp"
@@ -228,6 +231,318 @@ TEST(MappingEngine, MrrgCacheIsSharedAcrossEntries) {
   // One build, everyone else hits.
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_GE(cache.hits(), 1);
+}
+
+// ---- crash isolation --------------------------------------------------------
+
+TEST(MappingEngine, ThrowingMapperLosesRaceButRaceCompletes) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+  // "throwing" resolves through the registry's fixtures section.
+  const auto r = engine.Run(k.dfg, arch,
+                            std::vector<std::string>{"throwing", "ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->winner, "ims");
+  EXPECT_TRUE(ValidateMapping(k.dfg, arch, r->mapping).ok());
+
+  const EngineAttempt* crashed = FindAttempt(*r, "throwing");
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_FALSE(crashed->ok);
+  EXPECT_EQ(crashed->error.code, Error::Code::kInternal);
+  EXPECT_NE(crashed->error.message.find("threw"), std::string::npos)
+      << crashed->error.message;
+}
+
+TEST(MappingEngine, ThrowingMapperIsIsolatedSequentially) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  EngineOptions opts;
+  opts.race = false;
+  const MappingEngine engine(opts);
+  const auto r = engine.Run(k.dfg, arch,
+                            std::vector<std::string>{"throwing", "ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->winner, "ims");
+
+  const EngineAttempt* crashed = FindAttempt(*r, "throwing");
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_FALSE(crashed->ok);
+  EXPECT_EQ(crashed->error.code, Error::Code::kInternal);
+}
+
+TEST(MappingEngine, AllThrowingPortfolioFailsCleanly) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+  const Mapper* throwing = MapperRegistry::Global().Find("throwing");
+  ASSERT_NE(throwing, nullptr);
+
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+  const auto r =
+      engine.Run(k.dfg, arch, std::vector<const Mapper*>{throwing, throwing});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("throwing"), std::string::npos)
+      << r.error().message;
+}
+
+TEST(MapperRegistry, FixturesResolveByNameButStayUnenumerated) {
+  const auto& registry = MapperRegistry::Global();
+  EXPECT_NE(registry.Find("throwing"), nullptr);
+  for (const Mapper* m : registry.All()) {
+    EXPECT_NE(m->name(), "throwing");
+  }
+  for (const Mapper& m : registry) {
+    EXPECT_NE(m.name(), "throwing");
+  }
+}
+
+// ---- the repair loop --------------------------------------------------------
+
+TEST(MappingEngine, RunWithRepairMapsAroundKnownDeadPes) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  FaultModel faults;
+  faults.KillCell(5);
+  faults.KillCell(10);
+
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+  const auto r = engine.RunWithRepair(k.dfg, arch, faults,
+                                      std::vector<std::string>{"ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->rounds, 1);
+  ASSERT_NE(r->arch, nullptr);
+  EXPECT_TRUE(ValidateMapping(k.dfg, *r->arch, r->result.mapping).ok());
+  for (const Placement& p : r->result.mapping.place) {
+    EXPECT_NE(p.cell, 5);
+    EXPECT_NE(p.cell, 10);
+  }
+}
+
+TEST(MappingEngine, RunWithRepairVerifierDrivesASecondRound) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  MapTrace trace;
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  opts.observer = &trace;
+  opts.race = false;
+  const MappingEngine engine(opts);
+
+  // Round 0 maps the healthy fabric; the "self-test" then reports the
+  // first used cell dead, forcing one repair round that must avoid it.
+  int victim = -1;
+  RepairOptions repair;
+  repair.verifier = [&victim](const Architecture&, const Mapping& m,
+                              FaultModel& fm) -> Status {
+    if (victim < 0) {
+      for (const Placement& p : m.place) {
+        if (p.cell >= 0) {
+          victim = p.cell;
+          break;
+        }
+      }
+      fm.KillCell(victim);
+      return Error::Internal("injected self-test miscompare");
+    }
+    return Status::Ok();
+  };
+
+  const auto r = engine.RunWithRepair(k.dfg, arch, FaultModel{},
+                                      std::vector<std::string>{"ims"}, repair);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->rounds, 2);
+  ASSERT_EQ(r->history.size(), 2u);
+  EXPECT_TRUE(r->history[0].mapped);
+  EXPECT_FALSE(r->history[0].verified);
+  EXPECT_EQ(r->history[0].fault_digest, "healthy");
+  EXPECT_TRUE(r->history[1].verified);
+  EXPECT_NE(r->history[1].fault_digest, "healthy");
+  ASSERT_GE(victim, 0);
+  for (const Placement& p : r->result.mapping.place) {
+    EXPECT_NE(p.cell, victim);
+  }
+  EXPECT_TRUE(r->faults.CellDead(victim));
+
+  // Round stamps reached the observer: round-0 events on the healthy
+  // digest, round-1 events on the faulted one.
+  bool saw_round0 = false, saw_round1 = false;
+  for (const MapEvent& e : trace.events()) {
+    if (e.repair_round == 0 && e.fault_digest == "healthy") saw_round0 = true;
+    if (e.repair_round == 1 && e.fault_digest != "healthy" &&
+        !e.fault_digest.empty()) {
+      saw_round1 = true;
+    }
+  }
+  EXPECT_TRUE(saw_round0);
+  EXPECT_TRUE(saw_round1);
+}
+
+TEST(MappingEngine, RunWithRepairAbortsWhenVerifierDiagnosesNothing) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  opts.race = false;
+  const MappingEngine engine(opts);
+
+  RepairOptions repair;
+  repair.max_rounds = 4;
+  repair.verifier = [](const Architecture&, const Mapping&,
+                       FaultModel&) -> Status {
+    return Error::Internal("always unhappy, never diagnostic");
+  };
+
+  const auto r = engine.RunWithRepair(k.dfg, arch, FaultModel{},
+                                      std::vector<std::string>{"ims"}, repair);
+  ASSERT_FALSE(r.ok());
+  // One round, not four: an undiagnosable miscompare cannot be repaired.
+  EXPECT_NE(r.error().message.find("after 1 round"), std::string::npos)
+      << r.error().message;
+}
+
+// ---- trace JSON round-trip --------------------------------------------------
+
+// A minimal JSON validator/reader: enough grammar to fully parse the
+// trace serialisation and pull out one integer/string field per
+// attempts[] element, with no third-party dependency.
+class MiniJson {
+ public:
+  explicit MiniJson(const std::string& text) : s_(text) {}
+
+  bool Parse() {
+    pos_ = 0;
+    return Value() && (SkipWs(), pos_ == s_.size());
+  }
+
+ private:
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    for (;;) {
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool String() {
+    if (!Expect('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        if (s_[pos_] == 'u') pos_ += 4;
+      }
+      ++pos_;
+    }
+    return Expect('"');
+  }
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Literal(const char* lit) {
+    const size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) { return Peek(c); }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(MapTrace, RepairTraceJsonParsesAndCarriesRoundAndDigest) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  MapTrace trace;
+  EngineOptions opts;
+  opts.deadline = Deadline::AfterSeconds(30);
+  opts.observer = &trace;
+  opts.race = false;
+  const MappingEngine engine(opts);
+
+  FaultModel faults;
+  faults.KillCell(3);
+  const auto r = engine.RunWithRepair(k.dfg, arch, faults,
+                                      std::vector<std::string>{"ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+
+  const std::string json = trace.ToJson();
+  EXPECT_TRUE(MiniJson(json).Parse()) << json;
+  EXPECT_NE(json.find("\"round\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"fault_digest\":\"" + faults.Digest() + "\""),
+            std::string::npos)
+      << json;
+
+  // The aggregated attempts carry the stamps too.
+  ASSERT_GE(trace.Attempts().size(), 1u);
+  for (const MapTrace::Attempt& a : trace.Attempts()) {
+    EXPECT_EQ(a.round, 0);
+    EXPECT_EQ(a.fault_digest, faults.Digest());
+  }
 }
 
 TEST(MapTrace, JsonEscapesControlAndQuoteCharacters) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/context.hpp"
+#include "arch/fault.hpp"
 #include "arch/mrrg.hpp"
 #include "ir/interp.hpp"
 #include "ir/kernels.hpp"
@@ -269,6 +270,169 @@ TEST(MapperAgreement, AllMappersAgreeOnObservableSemantics) {
     const auto r = RunEndToEnd(*mapper, k, arch, opts);
     if (!r.ok()) continue;  // the harness itself enforces bit-exactness
     SUCCEED();
+  }
+}
+
+// ---- validator mutation coverage -------------------------------------------------
+//
+// Start from a known-valid mapping and apply four single mutations; the
+// validator must reject each one with a DISTINCT diagnostic, proving the
+// checks fire independently rather than through one catch-all error.
+
+struct MutationFixture {
+  Architecture arch = RotatingMesh(4);
+  // MatVecRow loads A[i] and x[i]: two memory ops for the bank checks.
+  Kernel kernel = MakeMatVecRow(8, 7);
+  Mapping mapping;
+
+  MutationFixture() {
+    auto mapper = MakeIterativeModuloScheduler();
+    MapperOptions opts;
+    opts.deadline = Deadline::AfterSeconds(20);
+    auto r = mapper->Map(kernel.dfg, arch, opts);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) mapping = *r;
+    EXPECT_TRUE(ValidateMapping(kernel.dfg, arch, mapping).ok());
+  }
+
+  // First OpId whose placement occupies a real cell.
+  OpId FirstPlacedOp() const {
+    for (OpId op = 0; op < kernel.dfg.num_ops(); ++op) {
+      if (mapping.place[static_cast<size_t>(op)].cell >= 0) return op;
+    }
+    return kNoOp;
+  }
+
+  // True when no placed op other than `except_a`/`except_b` occupies
+  // (cell, slot) under the mapping's II.
+  bool FuFree(int cell, int slot, OpId except_a, OpId except_b = kNoOp) const {
+    for (OpId op = 0; op < kernel.dfg.num_ops(); ++op) {
+      if (op == except_a || op == except_b) continue;
+      const Placement& p = mapping.place[static_cast<size_t>(op)];
+      if (p.cell == cell && ((p.time % mapping.ii) + mapping.ii) % mapping.ii ==
+                                slot) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+TEST(ValidatorMutation, FourSingleMutationsFourDistinctDiagnostics) {
+  const MutationFixture fx;
+  ASSERT_TRUE(ValidateMapping(fx.kernel.dfg, fx.arch, fx.mapping).ok());
+  std::vector<std::string> diagnostics;
+
+  // (a) Rebind a memory op onto a cell without a load/store unit.
+  {
+    Mapping m = fx.mapping;
+    OpId victim = kNoOp;
+    for (OpId op = 0; op < fx.kernel.dfg.num_ops(); ++op) {
+      if (IsMemoryOp(fx.kernel.dfg.op(op).opcode) &&
+          m.place[static_cast<size_t>(op)].cell >= 0) {
+        victim = op;
+        break;
+      }
+    }
+    ASSERT_NE(victim, kNoOp);
+    Placement& p = m.place[static_cast<size_t>(victim)];
+    // Cell 5 (row 1, col 1) has no memory port under mem_on_left_col;
+    // find a slot-compatible rebinding that trips ONLY the capability
+    // check, not FU exclusivity.
+    bool rebound = false;
+    for (int t = 0; t < m.length && !rebound; ++t) {
+      const int slot = ((t % m.ii) + m.ii) % m.ii;
+      if (fx.FuFree(5, slot, victim)) {
+        p.cell = 5;
+        p.time = t;
+        rebound = true;
+      }
+    }
+    ASSERT_TRUE(rebound);
+    const Status s = ValidateMapping(fx.kernel.dfg, fx.arch, m);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("bound to incompatible cell"),
+              std::string::npos)
+        << s.error().message;
+    diagnostics.push_back(s.error().message);
+  }
+
+  // (b) Drop an interior route hop.
+  {
+    Mapping m = fx.mapping;
+    bool mutated = false;
+    for (Route& route : m.routes) {
+      if (route.steps.size() >= 3) {
+        route.steps.erase(route.steps.begin() + 1);
+        mutated = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(mutated) << "expected at least one multi-hop route";
+    const Status s = ValidateMapping(fx.kernel.dfg, fx.arch, m);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("does not follow an MRRG link"),
+              std::string::npos)
+        << s.error().message;
+    diagnostics.push_back(s.error().message);
+  }
+
+  // (c) Oversubscribe a bank port: both loads on bank 0 (cells 0 and
+  // 8 under row-round-robin banking) in the same slot, with
+  // bank_ports == 1.
+  {
+    ASSERT_EQ(fx.arch.params().bank_ports, 1);
+    ASSERT_EQ(fx.arch.caps(0).bank, fx.arch.caps(8).bank);
+    Mapping m = fx.mapping;
+    std::vector<OpId> loads;
+    for (OpId op = 0; op < fx.kernel.dfg.num_ops(); ++op) {
+      if (IsMemoryOp(fx.kernel.dfg.op(op).opcode) &&
+          m.place[static_cast<size_t>(op)].cell >= 0) {
+        loads.push_back(op);
+      }
+    }
+    ASSERT_GE(loads.size(), 2u);
+    bool rebound = false;
+    for (int t = 0; t < m.length && !rebound; ++t) {
+      const int slot = ((t % m.ii) + m.ii) % m.ii;
+      if (fx.FuFree(0, slot, loads[0], loads[1]) &&
+          fx.FuFree(8, slot, loads[0], loads[1])) {
+        m.place[static_cast<size_t>(loads[0])] = Placement{0, t};
+        m.place[static_cast<size_t>(loads[1])] = Placement{8, t};
+        rebound = true;
+      }
+    }
+    ASSERT_TRUE(rebound);
+    const Status s = ValidateMapping(fx.kernel.dfg, fx.arch, m);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("oversubscribed"), std::string::npos)
+        << s.error().message;
+    EXPECT_NE(s.error().message.find("ports"), std::string::npos)
+        << s.error().message;
+    diagnostics.push_back(s.error().message);
+  }
+
+  // (d) Same mapping, but the fabric lost the cell under the first op.
+  {
+    const OpId first = fx.FirstPlacedOp();
+    ASSERT_NE(first, kNoOp);
+    FaultModel fm;
+    fm.KillCell(fx.mapping.place[static_cast<size_t>(first)].cell);
+    const Architecture degraded = fx.arch.WithFaults(fm);
+    const Status s = ValidateMapping(fx.kernel.dfg, degraded, fx.mapping);
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("bound to faulted cell"),
+              std::string::npos)
+        << s.error().message;
+    diagnostics.push_back(s.error().message);
+  }
+
+  // All four diagnostics are pairwise distinct.
+  ASSERT_EQ(diagnostics.size(), 4u);
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    for (size_t j = i + 1; j < diagnostics.size(); ++j) {
+      EXPECT_NE(diagnostics[i], diagnostics[j]) << i << " vs " << j;
+    }
   }
 }
 
