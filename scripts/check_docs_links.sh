@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Keep docs/ honest: every file referenced from the docs must exist
+# (binaries resolve to their .cpp, directories to themselves), every
+# `path:line` pointer must point inside the file, and README must
+# actually link the doc pages. Pure grep/sed — no dependencies — so CI
+# can run it anywhere. Run from the repository root.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check_docs_links: $*" >&2; fail=1; }
+
+# 1. README links each doc page, and the pages exist.
+for doc in docs/GLOSSARY.md docs/MAPPERS.md docs/PERF.md; do
+  [ -f "$doc" ] || err "$doc is missing"
+  grep -q "$doc" README.md || err "README.md does not link $doc"
+done
+
+# 2. Every path-like reference in docs/*.md resolves. Two shapes:
+#    `src/foo/bar.hpp:123` (line-anchored) and `src/foo/bar.cpp`,
+#    plus bench/, scripts/ and tests/ paths.
+refs=$(grep -hoE '`(src|bench|scripts|tests)/[A-Za-z0-9_./-]+(:[0-9]+)?`' \
+         docs/*.md | tr -d '`' | sort -u)
+[ -n "$refs" ] || err "no path references found in docs/ (regex broke?)"
+for ref in $refs; do
+  path=${ref%%:*}
+  # Extensionless references name a built binary (bench/perf_suite ->
+  # bench/perf_suite.cpp) or a directory (src/solver/).
+  if [ ! -e "$path" ] && [ ! -f "${path%.}" ] && [ ! -f "$path.cpp" ]; then
+    err "$ref: $path does not exist (nor $path.cpp)"
+    continue
+  fi
+  case $ref in
+    *:*)
+      line=${ref##*:}
+      if [ ! -f "$path" ]; then
+        err "$ref: line-anchored reference to a non-file"
+        continue
+      fi
+      total=$(wc -l < "$path")
+      if [ "$line" -gt "$total" ]; then
+        err "$ref: $path has only $total lines"
+      fi
+      ;;
+  esac
+done
+
+# 3. Relative markdown links inside docs/ resolve.
+links=$(grep -hoE '\]\(([A-Za-z0-9_./-]+\.md)\)' docs/*.md | \
+          sed -E 's/^\]\((.*)\)$/\1/' | sort -u)
+for l in $links; do
+  [ -f "docs/$l" ] || [ -f "$l" ] || err "docs link $l does not resolve"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs_links: FAILED" >&2
+  exit 1
+fi
+echo "check_docs_links: OK ($(echo "$refs" | wc -l) path refs checked)"

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_perf.json emitted by bench/perf_suite.
+
+Schema version 1 — documented in docs/PERF.md. Stdlib only, so CI can
+run it on a bare runner. Exit 0 when valid, 1 with a pointed message
+when not.
+
+usage: check_perf_json.py BENCH_perf.json
+"""
+import json
+import sys
+
+COUNTER_KEYS = {
+    "router_queries": int,
+    "router_routed": int,
+    "router_queries_per_sec": (int, float),
+    "router_pushes": int,
+    "router_pops": int,
+    "router_expansions": int,
+    "arena_reuses": int,
+    "arena_grows": int,
+    "tracker_checks": int,
+    "tracker_check_hits": int,
+    "tracker_hit_rate": (int, float),
+    "tracker_occupies": int,
+    "tracker_releases": int,
+}
+
+errors = []
+
+
+def fail(where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def check_counters(where, obj):
+    if not isinstance(obj, dict):
+        fail(where, "counters must be an object")
+        return
+    for key, types in COUNTER_KEYS.items():
+        if key not in obj:
+            fail(where, f"missing counter '{key}'")
+        elif not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            fail(where, f"counter '{key}' has type {type(obj[key]).__name__}")
+    for key in obj:
+        if key not in COUNTER_KEYS:
+            fail(where, f"unknown counter '{key}'")
+    if isinstance(obj.get("tracker_hit_rate"), (int, float)):
+        if not 0.0 <= obj["tracker_hit_rate"] <= 1.0:
+            fail(where, f"tracker_hit_rate {obj['tracker_hit_rate']} not in [0,1]")
+    qs, rt = obj.get("router_queries"), obj.get("router_routed")
+    if isinstance(qs, int) and isinstance(rt, int) and rt > qs:
+        fail(where, f"router_routed {rt} > router_queries {qs}")
+
+
+def check_field(where, obj, key, types, predicate=None, describe=""):
+    if key not in obj:
+        fail(where, f"missing '{key}'")
+        return None
+    value = obj[key]
+    if not isinstance(value, types) or isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        fail(where, f"'{key}' has type {type(value).__name__}")
+        return None
+    if predicate and not predicate(value):
+        fail(where, f"'{key}'={value!r} {describe}")
+    return value
+
+
+def is_hex_digest(s):
+    return len(s) == 16 and all(c in "0123456789abcdef" for c in s)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = sys.argv[1]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return 1
+
+    check_field("top", doc, "schema_version", int, lambda v: v == 1, "!= 1")
+    check_field("top", doc, "preset", str, lambda v: v in ("full", "small"),
+                "not 'full'/'small'")
+    micro = check_field("top", doc, "router_micro", list, lambda v: v,
+                        "is empty")
+    suite = check_field("top", doc, "mapper_suite", list, lambda v: v,
+                        "is empty")
+    for key in doc:
+        if key not in ("schema_version", "preset", "router_micro",
+                       "mapper_suite"):
+            fail("top", f"unknown key '{key}'")
+
+    for i, row in enumerate(micro or []):
+        where = f"router_micro[{i}]"
+        check_field(where, row, "scenario", str, lambda v: v, "is empty")
+        check_field(where, row, "heuristic", bool)
+        check_field(where, row, "queries", int, lambda v: v > 0, "<= 0")
+        check_field(where, row, "routed", int, lambda v: v >= 0, "< 0")
+        check_field(where, row, "seconds", (int, float), lambda v: v > 0,
+                    "<= 0")
+        check_field(where, row, "queries_per_sec", (int, float),
+                    lambda v: v > 0, "<= 0")
+        check_field(where, row, "route_digest", str, is_hex_digest,
+                    "is not a 16-hex-digit digest")
+        if "counters" in row:
+            check_counters(where + ".counters", row["counters"])
+        else:
+            fail(where, "missing 'counters'")
+
+    for i, row in enumerate(suite or []):
+        where = f"mapper_suite[{i}]"
+        check_field(where, row, "fabric", str, lambda v: v, "is empty")
+        check_field(where, row, "mapper", str, lambda v: v, "is empty")
+        check_field(where, row, "kernel", str, lambda v: v, "is empty")
+        ok = check_field(where, row, "ok", bool)
+        check_field(where, row, "ii", int)
+        check_field(where, row, "wall_seconds", (int, float),
+                    lambda v: v >= 0, "< 0")
+        digest = check_field(where, row, "mapping_digest", str)
+        if ok and isinstance(digest, str) and not is_hex_digest(digest):
+            fail(where, f"ok row has bad mapping_digest {digest!r}")
+        attempts = check_field(where, row, "attempts", list)
+        for j, a in enumerate(attempts or []):
+            awhere = f"{where}.attempts[{j}]"
+            check_field(awhere, a, "ii", int, lambda v: v >= 1, "< 1")
+            check_field(awhere, a, "ok", bool)
+            check_field(awhere, a, "seconds", (int, float), lambda v: v >= 0,
+                        "< 0")
+            if "perf" in a:
+                check_counters(awhere + ".perf", a["perf"])
+            else:
+                fail(awhere, "missing 'perf'")
+        if "totals" in row:
+            check_counters(where + ".totals", row["totals"])
+        else:
+            fail(where, "missing 'totals'")
+
+    if errors:
+        for e in errors:
+            print(f"{path}: {e}", file=sys.stderr)
+        print(f"{path}: INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    n_micro = len(micro or [])
+    n_suite = len(suite or [])
+    print(f"{path}: valid (schema 1, {n_micro} micro rows, "
+          f"{n_suite} suite rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,10 @@ Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
     }
   }
 
+  for (const Node& node : nodes_) {
+    max_capacity_ = std::max(max_capacity_, node.capacity);
+  }
+
   readable_holds_.resize(static_cast<size_t>(n));
   for (int c = 0; c < n; ++c) {
     auto& rh = readable_holds_[static_cast<size_t>(c)];

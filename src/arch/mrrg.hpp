@@ -52,6 +52,11 @@ class Mrrg {
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const Node& node(int n) const { return nodes_[static_cast<size_t>(n)]; }
 
+  /// Largest per-slot capacity of any node (>= 1 even on an all-dead
+  /// fabric). Bounds how long a route may consecutively wait in one
+  /// node, which sizes the router's flat scratch arena.
+  int max_capacity() const { return max_capacity_; }
+
   int FuNode(int cell) const { return fu_of_[static_cast<size_t>(cell)]; }
   /// The hold (RF) node a cell's FU result lands in.
   int HoldNode(int cell) const { return hold_of_[static_cast<size_t>(cell)]; }
@@ -82,6 +87,7 @@ class Mrrg {
  private:
   const Architecture* arch_;
   std::vector<Node> nodes_;
+  int max_capacity_ = 1;
   std::vector<int> fu_of_, hold_of_, rt_of_;
   std::vector<std::vector<Link>> out_;
   std::vector<std::vector<int>> readable_holds_;

@@ -78,6 +78,7 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
       a.seconds = e.seconds;
       a.round = e.repair_round;
       a.fault_digest = e.fault_digest;
+      a.perf = e.perf;
       out.push_back(std::move(a));
     } else if (e.kind == MapEvent::Kind::kNote && e.solver_steps >= 0) {
       notes.push_back(&e);
@@ -93,6 +94,15 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
     }
   }
   return out;
+}
+
+PerfCounters MapTrace::TotalPerf() const {
+  PerfCounters total;
+  const std::vector<MapEvent> snapshot = events();
+  for (const MapEvent& e : snapshot) {
+    if (e.kind == MapEvent::Kind::kAttemptDone) total += e.perf;
+  }
+  return total;
 }
 
 std::string MapTrace::ToJson() const {
@@ -117,6 +127,19 @@ std::string MapTrace::ToJson() const {
     out << ",\"round\":" << a.round;
     out << ",\"fault_digest\":";
     AppendJsonString(out, a.fault_digest);
+    if (a.perf.Any()) {
+      out << ",\"perf\":{\"router_queries\":" << a.perf.router_queries
+          << ",\"router_routed\":" << a.perf.router_routed
+          << ",\"router_pushes\":" << a.perf.router_pushes
+          << ",\"router_pops\":" << a.perf.router_pops
+          << ",\"router_expansions\":" << a.perf.router_expansions
+          << ",\"arena_reuses\":" << a.perf.arena_reuses
+          << ",\"arena_grows\":" << a.perf.arena_grows
+          << ",\"tracker_checks\":" << a.perf.tracker_checks
+          << ",\"tracker_check_hits\":" << a.perf.tracker_check_hits
+          << ",\"tracker_occupies\":" << a.perf.tracker_occupies
+          << ",\"tracker_releases\":" << a.perf.tracker_releases << '}';
+    }
     out << '}';
   }
   out << "],\"mappers\":[";

@@ -44,13 +44,18 @@ class MapTrace final : public MapObserver {
     std::int64_t solver_steps = -1; ///< summed kNote steps, -1 if none
     int round = 0;                  ///< RunWithRepair round (0 = first try)
     std::string fault_digest;       ///< fabric FaultModel digest at that round
+    PerfCounters perf;              ///< router/tracker effort of the attempt
   };
   std::vector<Attempt> Attempts() const;
+
+  /// Sum of the router/tracker counters over every finished attempt.
+  PerfCounters TotalPerf() const;
 
   /// The whole trace as a JSON object:
   ///   {"attempts":[{"mapper":...,"ii":...,"ok":...,"error":...,
   ///                 "seconds":...,"solver_steps":...,
-  ///                 "round":...,"fault_digest":...}, ...],
+  ///                 "round":...,"fault_digest":...,
+  ///                 "perf":{"router_queries":...,...}}, ...],
   ///    "mappers":[{"name":...,"ok":...,"seconds":...,"error":...,
   ///                "message":...,"round":...,"fault_digest":...}, ...]}
   /// "mappers" holds the kMapperDone brackets (present when the engine

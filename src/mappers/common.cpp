@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "graph/algos.hpp"
+#include "mapping/perf.hpp"
 #include "support/str.hpp"
 
 namespace cgra {
@@ -395,6 +396,7 @@ Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
     start.ii = ii;
     NotifyObserver(options.observer, start);
 
+    const PerfCounters perf_before = ThreadPerfCounters();
     WallTimer timer;
     Result<Mapping> r = attempt(ii);
 
@@ -404,6 +406,7 @@ Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
     done.ii = ii;
     done.ok = r.ok();
     done.seconds = timer.Seconds();
+    done.perf = ThreadPerfCounters() - perf_before;
     if (!r.ok()) {
       done.error_code = r.error().code;
       done.message = r.error().message;
@@ -431,6 +434,7 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
   start.ii = ii;
   NotifyObserver(options.observer, start);
 
+  const PerfCounters perf_before = ThreadPerfCounters();
   WallTimer timer;
   Result<Mapping> r = attempt();
 
@@ -440,6 +444,7 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
   done.ii = ii;
   done.ok = r.ok();
   done.seconds = timer.Seconds();
+  done.perf = ThreadPerfCounters() - perf_before;
   if (!r.ok()) {
     done.error_code = r.error().code;
     done.message = r.error().message;

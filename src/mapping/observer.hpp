@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "mapping/perf.hpp"
 #include "support/status.hpp"
 
 namespace cgra {
@@ -39,6 +40,10 @@ struct MapEvent {
   std::int64_t solver_steps = -1;         ///< conflicts/nodes/iterations, -1 unknown
   int repair_round = 0;                   ///< RunWithRepair round (0 = first try)
   std::string fault_digest;               ///< FaultModel::Digest() of the fabric
+  /// Router/tracker hot-path effort behind this attempt (the delta of
+  /// the worker thread's PerfCounters across attempt(); see
+  /// mapping/perf.hpp). All-zero for events that bracket no search.
+  PerfCounters perf;
 };
 
 /// Progress sink. The portfolio engine invokes a single observer from

@@ -1,22 +1,96 @@
 #include "mapping/router.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <map>
+#include <cassert>
+#include <climits>
 #include <queue>
-#include <unordered_map>
+
+#include "mapping/perf.hpp"
 
 namespace cgra {
 namespace {
 
-// Dijkstra state key: (node, time, stay) packed into one integer.
-// `stay` counts consecutive cycles already spent in `node`; it bounds
-// how many entries one path may stack onto a single (node, slot) pair
-// — without it a long wait in one register file could silently exceed
-// the file's capacity (each II wrap is another live copy).
-std::int64_t Key(int node, int time, int stay) {
-  return (static_cast<std::int64_t>(node) << 32) |
-         (static_cast<std::int64_t>(stay) << 24) | time;
+// Search state. `stay` counts consecutive cycles already spent in
+// `node`; it bounds how many entries one path may stack onto a single
+// (node, slot) pair — without it a long wait in one register file
+// could silently exceed the file's capacity (each II wrap is another
+// live copy).
+struct State {
+  double f;  ///< g + admissible remaining-cost bound (== g without A*)
+  double g;  ///< cost so far
+  int node;
+  int time;
+  int stay;
+};
+
+struct StateCmp {
+  bool operator()(const State& a, const State& b) const { return a.f > b.f; }
+};
+
+// priority_queue subclass that exposes its container, so the heap
+// storage can be recycled across queries instead of reallocating.
+class StateQueue
+    : public std::priority_queue<State, std::vector<State>, StateCmp> {
+ public:
+  explicit StateQueue(std::vector<State>&& storage)
+      : priority_queue(StateCmp{}, std::move(storage)) {}
+  std::vector<State> TakeStorage() {
+    c.clear();
+    return std::move(c);
+  }
+};
+
+// Per-thread scratch arena: flat best/parent vectors indexed by the
+// packed (node, time - start, stay) state. Entries are epoch-stamped —
+// an entry belongs to the current query iff stamp == epoch — so reuse
+// across queries (and across II-escalation retries inside one mapper
+// run) needs no clearing and can never leak a stale parent chain into
+// a later route.
+struct Scratch {
+  std::vector<double> best;
+  std::vector<std::int32_t> parent;      ///< arena index of predecessor, -1 root
+  std::vector<std::uint32_t> stamp;      ///< per-state epoch
+  std::vector<std::uint32_t> goal_stamp; ///< per-node: is a goal this query
+  std::vector<std::uint32_t> hop_stamp;  ///< per-node: hop_lb cache validity
+  std::vector<std::int32_t> hop_lb;      ///< per-node cached hops-to-goal bound
+  std::vector<State> heap_storage;
+  std::uint32_t epoch = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t grows = 0;
+
+  /// Starts a query: bumps the epoch (clearing all stamps on the rare
+  /// uint32 wrap) and guarantees capacity for `states` packed states
+  /// and `nodes` per-node entries. Returns true when the arena had to
+  /// (re)allocate, false when the warm arrays were reused as-is.
+  bool Begin(std::size_t states, std::size_t nodes) {
+    if (++epoch == 0) {
+      std::fill(stamp.begin(), stamp.end(), 0u);
+      std::fill(goal_stamp.begin(), goal_stamp.end(), 0u);
+      std::fill(hop_stamp.begin(), hop_stamp.end(), 0u);
+      epoch = 1;
+    }
+    bool grew = false;
+    if (states > best.size()) {
+      best.resize(states);
+      parent.resize(states);
+      stamp.resize(states, 0u);  // new stamps start invalid
+      ++grows;
+      grew = true;
+    } else {
+      ++reuses;
+    }
+    if (nodes > goal_stamp.size()) {
+      goal_stamp.resize(nodes, 0u);
+      hop_stamp.resize(nodes, 0u);
+      hop_lb.resize(nodes, 0);
+    }
+    return grew;
+  }
+};
+
+Scratch& TlsScratch() {
+  static thread_local Scratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -24,6 +98,9 @@ std::int64_t Key(int node, int time, int stay) {
 Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
                          const RouteRequest& request,
                          const RouterOptions& options) {
+  PerfCounters& perf = ThreadPerfCounters();
+  ++perf.router_queries;
+
   const int ii = tracker.ii();
   const int start_time = request.from_time + 1;
   if (start_time > request.to_time) {
@@ -35,22 +112,42 @@ Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
     return Error::Unmappable("producer's register file is full at the latch cycle");
   }
 
-  const auto& goals = mrrg.ReadableHolds(request.to_cell);
-  auto is_goal = [&](int node, int time) {
-    return time == request.to_time &&
-           std::find(goals.begin(), goals.end(), node) != goals.end();
+  // ---- arena layout for this query ----------------------------------------
+  // State index = (node * horizon + (time - start_time)) * stay_bins + stay.
+  // `stay` is bounded by the tightest of: the time window itself (each
+  // waited cycle advances time), and — when capacities apply — the
+  // largest chain any register file can hold, ceil-free form
+  // max_capacity * II (a chain of that length already occupies every
+  // capacity unit of its slot).
+  const int num_nodes = mrrg.num_nodes();
+  const int horizon = request.to_time - start_time + 1;
+  const int stay_bins =
+      options.ignore_capacity
+          ? horizon
+          : std::max(1, std::min(horizon, mrrg.max_capacity() * ii));
+  const std::size_t states = static_cast<std::size_t>(num_nodes) *
+                             static_cast<std::size_t>(horizon) *
+                             static_cast<std::size_t>(stay_bins);
+  assert(states < static_cast<std::size_t>(INT32_MAX) &&
+         "route window too large for the int32 parent arena");
+
+  Scratch& scratch = TlsScratch();
+  if (scratch.Begin(states, static_cast<std::size_t>(num_nodes))) {
+    ++perf.arena_grows;
+  } else {
+    ++perf.arena_reuses;
+  }
+  const std::uint32_t epoch = scratch.epoch;
+
+  auto index = [&](int node, int time, int stay) -> std::size_t {
+    return (static_cast<std::size_t>(node) * static_cast<std::size_t>(horizon) +
+            static_cast<std::size_t>(time - start_time)) *
+               static_cast<std::size_t>(stay_bins) +
+           static_cast<std::size_t>(stay);
   };
 
-  struct State {
-    double cost;
-    int node;
-    int time;
-    int stay;
-  };
-  auto cmp = [](const State& a, const State& b) { return a.cost > b.cost; };
-  std::priority_queue<State, std::vector<State>, decltype(cmp)> pq(cmp);
-  std::unordered_map<std::int64_t, double> best;
-  std::unordered_map<std::int64_t, std::int64_t> parent;
+  const auto& goals = mrrg.ReadableHolds(request.to_cell);
+  for (int g : goals) scratch.goal_stamp[static_cast<std::size_t>(g)] = epoch;
 
   auto node_cost = [&](int node) {
     double c = options.step_cost;
@@ -59,6 +156,41 @@ Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
       c += (*options.history_cost)[static_cast<size_t>(node)];
     }
     return c;
+  };
+
+  // ---- admissible A* bound -------------------------------------------------
+  // Every remaining step costs >= step_cost (history costs are
+  // non-negative), every step advances time by at most one cycle, and
+  // reaching a goal cell from `node`'s cell needs at least the fabric
+  // hop distance in both steps and cycles. Shared-RF nodes (cell < 0)
+  // contribute no hop bound.
+  auto goal_hops = [&](int node) -> int {
+    std::uint32_t& cached = scratch.hop_stamp[static_cast<std::size_t>(node)];
+    if (cached == epoch) return scratch.hop_lb[static_cast<std::size_t>(node)];
+    int bound = 0;
+    const int cell = mrrg.node(node).cell;
+    if (cell >= 0) {
+      const Architecture& arch = mrrg.arch();
+      bound = INT_MAX;
+      for (int g : goals) {
+        const int gcell = mrrg.node(g).cell;
+        if (gcell < 0) {
+          bound = 0;
+          break;
+        }
+        bound = std::min(bound, arch.HopDistance(cell, gcell));
+      }
+      if (bound == INT_MAX) bound = 0;
+    }
+    cached = epoch;
+    scratch.hop_lb[static_cast<std::size_t>(node)] = bound;
+    return bound;
+  };
+  const bool use_h = options.use_heuristic;
+  auto heuristic = [&](int node, int time) -> double {
+    if (!use_h) return 0.0;
+    const int lb = std::max(request.to_time - time, goal_hops(node));
+    return options.step_cost * lb;
   };
 
   // True when a consecutive chain of `chain_len` cycles ending at
@@ -72,20 +204,28 @@ Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
     return tracker.Load(node, slot) + hits <= mrrg.node(node).capacity;
   };
 
-  const std::int64_t start_key = Key(start_node, start_time, 0);
-  best[start_key] = node_cost(start_node);
-  pq.push(State{best[start_key], start_node, start_time, 0});
+  std::uint64_t pushes = 0, pops = 0;
+  const std::size_t start_idx = index(start_node, start_time, 0);
+  scratch.best[start_idx] = node_cost(start_node);
+  scratch.parent[start_idx] = -1;
+  scratch.stamp[start_idx] = epoch;
+  StateQueue pq(std::move(scratch.heap_storage));
+  pq.push(State{scratch.best[start_idx] + heuristic(start_node, start_time),
+                scratch.best[start_idx], start_node, start_time, 0});
+  ++pushes;
+
   int expansions = 0;
-  std::int64_t goal_key = -1;
+  std::int64_t goal_idx = -1;
 
   while (!pq.empty()) {
     const State s = pq.top();
     pq.pop();
-    const std::int64_t k = Key(s.node, s.time, s.stay);
-    auto it = best.find(k);
-    if (it == best.end() || it->second < s.cost) continue;
-    if (is_goal(s.node, s.time)) {
-      goal_key = k;
+    ++pops;
+    const std::size_t k = index(s.node, s.time, s.stay);
+    if (scratch.stamp[k] != epoch || scratch.best[k] < s.g) continue;
+    if (s.time == request.to_time &&
+        scratch.goal_stamp[static_cast<std::size_t>(s.node)] == epoch) {
+      goal_idx = static_cast<std::int64_t>(k);
       break;
     }
     if (++expansions > options.max_expansions) break;
@@ -101,29 +241,40 @@ Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
                  !tracker.CanOccupy(link.to, nt, request.value)) {
         continue;
       }
-      const double nc = s.cost + node_cost(link.to);
-      const std::int64_t nk = Key(link.to, nt, nstay);
-      auto bit = best.find(nk);
-      if (bit == best.end() || nc < bit->second) {
-        best[nk] = nc;
-        parent[nk] = k;
-        pq.push(State{nc, link.to, nt, nstay});
+      // A state that still needs more fabric hops than it has cycles
+      // left can never make the consumer's deadline; drop it early.
+      if (use_h && goal_hops(link.to) > request.to_time - nt) continue;
+      assert(nstay < stay_bins);
+      const double nc = s.g + node_cost(link.to);
+      const std::size_t nk = index(link.to, nt, nstay);
+      if (scratch.stamp[nk] != epoch || nc < scratch.best[nk]) {
+        scratch.stamp[nk] = epoch;
+        scratch.best[nk] = nc;
+        scratch.parent[nk] = static_cast<std::int32_t>(k);
+        pq.push(State{nc + heuristic(link.to, nt), nc, link.to, nt, nstay});
+        ++pushes;
       }
     }
   }
 
-  if (goal_key < 0) {
+  scratch.heap_storage = pq.TakeStorage();
+  perf.router_pushes += pushes;
+  perf.router_pops += pops;
+  perf.router_expansions += static_cast<std::uint64_t>(expansions);
+
+  if (goal_idx < 0) {
     return Error::Unmappable("no capacity-respecting route of the required latency");
   }
 
   Route route;
-  for (std::int64_t k = goal_key;;) {
-    route.steps.push_back(
-        RouteStep{static_cast<int>(k >> 32),
-                  static_cast<int>(k & 0xFFFFFF)});
-    auto it = parent.find(k);
-    if (it == parent.end()) break;
-    k = it->second;
+  const std::size_t plane = static_cast<std::size_t>(stay_bins);
+  for (std::int64_t k = goal_idx; k >= 0;
+       k = scratch.parent[static_cast<std::size_t>(k)]) {
+    const std::size_t uk = static_cast<std::size_t>(k);
+    const int node = static_cast<int>(uk / (plane * static_cast<std::size_t>(horizon)));
+    const int time =
+        start_time + static_cast<int>((uk / plane) % static_cast<std::size_t>(horizon));
+    route.steps.push_back(RouteStep{node, time});
   }
   std::reverse(route.steps.begin(), route.steps.end());
 
@@ -142,6 +293,7 @@ Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
       }
     }
   }
+  ++perf.router_routed;
   return route;
 }
 
@@ -150,5 +302,23 @@ void ReleaseRoute(ResourceTracker& tracker, const Route& route, ValueId value) {
     tracker.Release(step.node, step.time, value);
   }
 }
+
+namespace router_internal {
+
+ScratchStats CurrentScratchStats() {
+  const Scratch& scratch = TlsScratch();
+  ScratchStats stats;
+  stats.epoch = scratch.epoch;
+  stats.capacity = scratch.best.size();
+  stats.reuses = scratch.reuses;
+  stats.grows = scratch.grows;
+  return stats;
+}
+
+void ResetScratchForTest() { TlsScratch() = Scratch{}; }
+
+void SetEpochForTest(std::uint32_t epoch) { TlsScratch().epoch = epoch; }
+
+}  // namespace router_internal
 
 }  // namespace cgra

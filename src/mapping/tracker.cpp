@@ -3,65 +3,137 @@
 #include <algorithm>
 #include <cassert>
 
+#include "mapping/perf.hpp"
+
 namespace cgra {
 
 ResourceTracker::ResourceTracker(const Mrrg& mrrg, int ii)
     : mrrg_(&mrrg), ii_(ii) {
   assert(ii >= 1);
-  occ_.resize(static_cast<size_t>(mrrg.num_nodes()) * static_cast<size_t>(ii));
+  const size_t slots =
+      static_cast<size_t>(mrrg.num_nodes()) * static_cast<size_t>(ii);
+  inline_.resize(slots * static_cast<size_t>(kInlineOccupants));
+  counts_.assign(slots, 0);
 }
 
 bool ResourceTracker::CanOccupy(int node, int time, ValueId value) const {
-  const int s = ((time % ii_) + ii_) % ii_;
+  PerfCounters& perf = ThreadPerfCounters();
+  ++perf.tracker_checks;
+  const int s = Slot(time);
   if (!mrrg_->SlotUsable(node, s)) return false;
-  const auto& entries = slot(node, s);
-  int occupants = 0;
-  for (const Entry& e : entries) {
-    if (e.value == value && e.time == time) return true;  // already ours
-    ++occupants;
+  const size_t idx = SlotIndex(node, s);
+  const std::int32_t count = counts_[idx];
+  const Entry* block = &inline_[idx * static_cast<size_t>(kInlineOccupants)];
+  const int in_block = std::min(count, kInlineOccupants);
+  for (int i = 0; i < in_block; ++i) {
+    if (block[i].value == value && block[i].time == time) {
+      ++perf.tracker_check_hits;
+      return true;  // already ours
+    }
   }
-  return occupants < mrrg_->node(node).capacity;
+  if (count > kInlineOccupants) {
+    const std::uint32_t key = static_cast<std::uint32_t>(idx);
+    for (const SpillEntry& se : spill_) {
+      if (se.slot_index == key && se.entry.value == value &&
+          se.entry.time == time) {
+        ++perf.tracker_check_hits;
+        return true;
+      }
+    }
+  }
+  const bool ok = count < mrrg_->node(node).capacity;
+  if (ok) ++perf.tracker_check_hits;
+  return ok;
 }
 
 void ResourceTracker::Occupy(int node, int time, ValueId value) {
-  const int s = ((time % ii_) + ii_) % ii_;
-  auto& entries = slot(node, s);
-  for (Entry& e : entries) {
-    if (e.value == value && e.time == time) {
-      ++e.refs;
+  ++ThreadPerfCounters().tracker_occupies;
+  const int s = Slot(time);
+  const size_t idx = SlotIndex(node, s);
+  std::int32_t& count = counts_[idx];
+  Entry* block = &inline_[idx * static_cast<size_t>(kInlineOccupants)];
+  const int in_block = std::min(count, static_cast<std::int32_t>(kInlineOccupants));
+  for (int i = 0; i < in_block; ++i) {
+    if (block[i].value == value && block[i].time == time) {
+      ++block[i].refs;
       return;
     }
   }
-  entries.push_back(Entry{value, time, 1});
+  if (count > kInlineOccupants) {
+    const std::uint32_t key = static_cast<std::uint32_t>(idx);
+    for (SpillEntry& se : spill_) {
+      if (se.slot_index == key && se.entry.value == value &&
+          se.entry.time == time) {
+        ++se.entry.refs;
+        return;
+      }
+    }
+  }
+  if (count < kInlineOccupants) {
+    block[count] = Entry{value, time, 1};
+  } else {
+    spill_.push_back(
+        SpillEntry{static_cast<std::uint32_t>(idx), Entry{value, time, 1}});
+  }
+  ++count;
 }
 
 void ResourceTracker::Release(int node, int time, ValueId value) {
-  const int s = ((time % ii_) + ii_) % ii_;
-  auto& entries = slot(node, s);
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (entries[i].value == value && entries[i].time == time) {
-      if (--entries[i].refs == 0) {
-        entries[i] = entries.back();
-        entries.pop_back();
+  ++ThreadPerfCounters().tracker_releases;
+  const int s = Slot(time);
+  const size_t idx = SlotIndex(node, s);
+  std::int32_t& count = counts_[idx];
+  Entry* block = &inline_[idx * static_cast<size_t>(kInlineOccupants)];
+  const std::uint32_t key = static_cast<std::uint32_t>(idx);
+  const int in_block = std::min(count, static_cast<std::int32_t>(kInlineOccupants));
+  for (int i = 0; i < in_block; ++i) {
+    if (block[i].value == value && block[i].time == time) {
+      if (--block[i].refs == 0) {
+        // Keep the block dense: fill the hole with the slot's last
+        // occupant — the final inline entry, or one pulled back from
+        // the shared overflow list when the slot has spilled.
+        if (count > kInlineOccupants) {
+          for (size_t j = spill_.size(); j-- > 0;) {
+            if (spill_[j].slot_index == key) {
+              block[i] = spill_[j].entry;
+              spill_[j] = spill_.back();
+              spill_.pop_back();
+              break;
+            }
+          }
+        } else if (i != count - 1) {
+          block[i] = block[count - 1];
+        }
+        --count;
       }
       return;
+    }
+  }
+  if (count > kInlineOccupants) {
+    for (size_t j = 0; j < spill_.size(); ++j) {
+      if (spill_[j].slot_index == key && spill_[j].entry.value == value &&
+          spill_[j].entry.time == time) {
+        if (--spill_[j].entry.refs == 0) {
+          spill_[j] = spill_.back();
+          spill_.pop_back();
+          --count;
+        }
+        return;
+      }
     }
   }
   assert(false && "releasing an occupancy that was never recorded");
 }
 
-int ResourceTracker::Load(int node, int s) const {
-  return static_cast<int>(slot(node, s).size());
-}
-
 int ResourceTracker::Headroom(int node, int time) const {
-  const int s = ((time % ii_) + ii_) % ii_;
+  const int s = Slot(time);
   if (!mrrg_->SlotUsable(node, s)) return 0;
   return mrrg_->node(node).capacity - Load(node, s);
 }
 
 void ResourceTracker::Reset() {
-  for (auto& v : occ_) v.clear();
+  std::fill(counts_.begin(), counts_.end(), 0);
+  spill_.clear();
 }
 
 }  // namespace cgra

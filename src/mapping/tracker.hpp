@@ -9,6 +9,15 @@
 //   * modulo self-overlap — the same value alive at absolute times t
 //     and t+II occupies the SAME slot twice (two iterations' copies are
 //     live simultaneously), so it consumes two capacity units.
+//
+// Storage is flat: one contiguous array of kInlineOccupants entries
+// per (node, slot) pair plus a contiguous occupant count, so the
+// CanOccupy/Occupy/Release inner loop — the hottest code in the whole
+// mapper portfolio after the router — touches exactly one cache line
+// per query and allocates nothing. Slots holding more occupants than
+// the inline block (a transient state the router creates while
+// double-checking a committed route, plus high-capacity shared
+// register files) spill to one shared overflow list.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +34,10 @@ using ValueId = std::int32_t;
 
 class ResourceTracker {
  public:
+  /// Occupants stored in the flat per-slot block; chosen to cover the
+  /// default register-file capacity so spilling is the exception.
+  static constexpr int kInlineOccupants = 4;
+
   ResourceTracker(const Mrrg& mrrg, int ii);
 
   int ii() const { return ii_; }
@@ -43,7 +56,9 @@ class ResourceTracker {
   void Release(int node, int time, ValueId value);
 
   /// Number of distinct (value, abs-time) occupants of the slot.
-  int Load(int node, int slot) const;
+  int Load(int node, int slot) const {
+    return counts_[SlotIndex(node, slot)];
+  }
 
   /// Remaining capacity of (node, time mod ii) for a NEW occupant.
   int Headroom(int node, int time) const;
@@ -51,24 +66,36 @@ class ResourceTracker {
   /// Clears everything (used when restarting at a different II).
   void Reset();
 
+  /// Entries currently living in the shared overflow list (testing /
+  /// diagnostics; 0 in steady state).
+  int SpilledEntries() const { return static_cast<int>(spill_.size()); }
+
  private:
   struct Entry {
     ValueId value;
-    int time;  // absolute
-    int refs;
+    std::int32_t time;  // absolute
+    std::int32_t refs;
   };
-  const std::vector<Entry>& slot(int node, int s) const {
-    return occ_[static_cast<size_t>(node) * static_cast<size_t>(ii_) +
-                static_cast<size_t>(s)];
+  struct SpillEntry {
+    std::uint32_t slot_index;  // SlotIndex(node, slot) this entry belongs to
+    Entry entry;
+  };
+
+  size_t SlotIndex(int node, int s) const {
+    return static_cast<size_t>(node) * static_cast<size_t>(ii_) +
+           static_cast<size_t>(s);
   }
-  std::vector<Entry>& slot(int node, int s) {
-    return occ_[static_cast<size_t>(node) * static_cast<size_t>(ii_) +
-                static_cast<size_t>(s)];
-  }
+  int Slot(int time) const { return ((time % ii_) + ii_) % ii_; }
 
   const Mrrg* mrrg_;
   int ii_;
-  std::vector<std::vector<Entry>> occ_;
+  /// kInlineOccupants entries per (node, slot), contiguous.
+  std::vector<Entry> inline_;
+  /// Occupant count per (node, slot) — inline entries + spilled ones.
+  std::vector<std::int32_t> counts_;
+  /// Overflow beyond the inline block, shared across all slots and
+  /// scanned linearly (it is almost always empty).
+  std::vector<SpillEntry> spill_;
 };
 
 }  // namespace cgra
