@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Validate cgra_batch reports and gate the warm-cache acceptance bar.
+
+Schema version 1 — documented in docs/CACHE.md. Stdlib only.
+
+One file: schema validation. Two files (COLD WARM — two runs of the
+same manifest sharing a --cache-dir): additionally require that every
+job succeeded in both runs, that every warm job was served from the
+cache, that every job's mapping_digest is bit-identical across the two
+runs (the cache must be invisible to the result), and that the warm
+run's wall clock beat the cold run by at least --min-speedup.
+
+usage: check_batch_report.py REPORT.json
+       check_batch_report.py COLD.json WARM.json [--min-speedup 10]
+"""
+import argparse
+import json
+import sys
+
+errors = []
+
+
+def fail(where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def is_hex_digest(s):
+    return isinstance(s, str) and len(s) == 16 and all(
+        c in "0123456789abcdef" for c in s)
+
+
+def check_report(path, doc):
+    where = f"{path}: top"
+    if doc.get("schema_version") != 1:
+        fail(where, f"schema_version {doc.get('schema_version')!r} != 1")
+    jobs = doc.get("jobs")
+    if not isinstance(jobs, list) or not jobs:
+        fail(where, "'jobs' missing, not a list, or empty")
+        jobs = []
+    agg = doc.get("aggregate")
+    if not isinstance(agg, dict):
+        fail(where, "'aggregate' missing or not an object")
+        agg = {}
+
+    names = set()
+    n_ok = 0
+    for i, job in enumerate(jobs):
+        jw = f"{path}: jobs[{i}]"
+        name = job.get("name")
+        if not isinstance(name, str) or not name:
+            fail(jw, "missing 'name'")
+        elif name in names:
+            fail(jw, f"duplicate job name {name!r}")
+        else:
+            names.add(name)
+        for key in ("fabric", "kernel"):
+            if not isinstance(job.get(key), str) or not job[key]:
+                fail(jw, f"missing '{key}'")
+        if not isinstance(job.get("mappers"), list) or not job["mappers"]:
+            fail(jw, "missing 'mappers'")
+        if not isinstance(job.get("ok"), bool):
+            fail(jw, "missing 'ok'")
+        if not isinstance(job.get("wall_seconds"), (int, float)) or \
+                isinstance(job.get("wall_seconds"), bool) or \
+                job["wall_seconds"] < 0:
+            fail(jw, "bad 'wall_seconds'")
+        if not isinstance(job.get("cache_hit"), bool):
+            fail(jw, "missing 'cache_hit'")
+        if job.get("ok"):
+            n_ok += 1
+            if not isinstance(job.get("ii"), int) or job["ii"] < 1:
+                fail(jw, f"ok job has bad ii {job.get('ii')!r}")
+            if not is_hex_digest(job.get("mapping_digest")):
+                fail(jw, f"ok job has bad mapping_digest "
+                     f"{job.get('mapping_digest')!r}")
+            if not job.get("winner"):
+                fail(jw, "ok job has no winner")
+        else:
+            if not job.get("error"):
+                fail(jw, "failed job has no error code (post-mortem lost)")
+
+    aw = f"{path}: aggregate"
+    for key in ("jobs", "ok", "failed", "cache_hits"):
+        v = agg.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            fail(aw, f"bad '{key}'")
+    if isinstance(agg.get("jobs"), int) and agg["jobs"] != len(jobs):
+        fail(aw, f"'jobs'={agg['jobs']} but {len(jobs)} job rows")
+    if isinstance(agg.get("ok"), int) and agg["ok"] != n_ok:
+        fail(aw, f"'ok'={agg['ok']} but {n_ok} ok job rows")
+    if not isinstance(agg.get("wall_seconds"), (int, float)) or \
+            agg.get("wall_seconds", -1) < 0:
+        fail(aw, "bad 'wall_seconds'")
+    cache = agg.get("cache")
+    if isinstance(cache, dict):
+        lookups = cache.get("lookups", 0)
+        split = (cache.get("mem_hits", 0) + cache.get("disk_hits", 0) +
+                 cache.get("misses", 0))
+        if lookups != split:
+            fail(aw, f"cache lookups {lookups} != mem+disk+miss {split}")
+    elif cache is not None:
+        fail(aw, "'cache' is neither null nor an object")
+    return jobs, agg
+
+
+def compare_runs(cold_path, cold_jobs, cold_agg, warm_path, warm_jobs,
+                 warm_agg, min_speedup):
+    cold = {j.get("name"): j for j in cold_jobs}
+    warm = {j.get("name"): j for j in warm_jobs}
+    if set(cold) != set(warm):
+        fail("compare", f"job sets differ: only-cold="
+             f"{sorted(set(cold) - set(warm))} only-warm="
+             f"{sorted(set(warm) - set(cold))}")
+        return
+    for name in sorted(cold):
+        c, w = cold[name], warm[name]
+        jw = f"compare[{name}]"
+        if not c.get("ok") or not w.get("ok"):
+            fail(jw, f"not ok in both runs (cold={c.get('ok')}, "
+                 f"warm={w.get('ok')})")
+            continue
+        if not w.get("cache_hit"):
+            fail(jw, "warm run was not served from the cache")
+        if c.get("mapping_digest") != w.get("mapping_digest"):
+            fail(jw, f"mapping_digest differs: cold "
+                 f"{c.get('mapping_digest')!r} vs warm "
+                 f"{w.get('mapping_digest')!r}")
+        if c.get("ii") != w.get("ii"):
+            fail(jw, f"ii differs: cold {c.get('ii')} vs warm {w.get('ii')}")
+        if c.get("cache_key") != w.get("cache_key"):
+            fail(jw, "cache_key differs between runs (unstable digest)")
+
+    cw = cold_agg.get("wall_seconds")
+    ww = warm_agg.get("wall_seconds")
+    if isinstance(cw, (int, float)) and isinstance(ww, (int, float)) and \
+            ww > 0:
+        speedup = cw / ww
+        if speedup < min_speedup:
+            fail("compare", f"warm speedup {speedup:.1f}x < required "
+                 f"{min_speedup:g}x (cold {cw:.4f}s, warm {ww:.4f}s)")
+        return speedup
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("reports", nargs="+", metavar="REPORT",
+                    help="one report to validate, or COLD WARM to compare")
+    ap.add_argument("--min-speedup", type=float, default=10.0,
+                    help="required cold/warm wall-clock ratio (default 10)")
+    args = ap.parse_args()
+    if len(args.reports) > 2:
+        print("at most two reports (COLD WARM)", file=sys.stderr)
+        return 2
+
+    parsed = []
+    for path in args.reports:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: {e}", file=sys.stderr)
+            return 1
+        parsed.append((path, *check_report(path, doc)))
+
+    speedup = None
+    if len(parsed) == 2 and not errors:
+        (cp, cj, ca), (wp, wj, wa) = parsed
+        speedup = compare_runs(cp, cj, ca, wp, wj, wa, args.min_speedup)
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    for path, jobs, _ in parsed:
+        print(f"{path}: valid ({len(jobs)} jobs)")
+    if speedup is not None:
+        print(f"warm-cache speedup {speedup:.1f}x "
+              f"(>= {args.min_speedup:g}x required), digests identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

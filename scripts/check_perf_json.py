@@ -5,8 +5,21 @@ Schema version 1 — documented in docs/PERF.md. Stdlib only, so CI can
 run it on a bare runner. Exit 0 when valid, 1 with a pointed message
 when not.
 
+With --compare the file is additionally gated against a committed
+baseline (bench/baselines/): router_micro rows are matched on
+(scenario, heuristic) and their queries_per_sec must not fall more
+than --tolerance-pct below the baseline; mapper_suite rows are matched
+on (fabric, mapper, kernel) and their wall_seconds must not rise more
+than --tolerance-pct above it. Rows present in the baseline but absent
+from the candidate are failures (a silently dropped benchmark is a
+regression too); new candidate rows are fine. Only rows ok in both
+files race the clock.
+
 usage: check_perf_json.py BENCH_perf.json
+       check_perf_json.py BENCH_perf.json --compare BASELINE \
+           [--tolerance-pct 75]
 """
+import argparse
 import json
 import sys
 
@@ -72,11 +85,65 @@ def is_hex_digest(s):
     return len(s) == 16 and all(c in "0123456789abcdef" for c in s)
 
 
+def compare_to_baseline(path, doc, base_path, baseline, tolerance_pct):
+    """Appends to `errors` for every perf regression beyond tolerance."""
+    slack = tolerance_pct / 100.0
+
+    def rate_floor(v):
+        return v * (1.0 - slack)
+
+    def time_ceiling(v):
+        return v * (1.0 + slack)
+
+    base_micro = {(r["scenario"], r["heuristic"]): r
+                  for r in baseline.get("router_micro", [])}
+    cand_micro = {(r.get("scenario"), r.get("heuristic")): r
+                  for r in doc.get("router_micro", [])}
+    for key, brow in sorted(base_micro.items()):
+        where = f"router_micro[scenario={key[0]!r}, heuristic={key[1]}]"
+        crow = cand_micro.get(key)
+        if crow is None:
+            fail(where, f"present in baseline {base_path} but missing here")
+            continue
+        base_qps, qps = brow["queries_per_sec"], crow.get("queries_per_sec")
+        if isinstance(qps, (int, float)) and qps < rate_floor(base_qps):
+            fail(where,
+                 f"queries_per_sec regressed: {qps:.0f} < {base_qps:.0f} "
+                 f"- {tolerance_pct}% (floor {rate_floor(base_qps):.0f})")
+
+    base_suite = {(r["fabric"], r["mapper"], r["kernel"]): r
+                  for r in baseline.get("mapper_suite", [])}
+    cand_suite = {(r.get("fabric"), r.get("mapper"), r.get("kernel")): r
+                  for r in doc.get("mapper_suite", [])}
+    for key, brow in sorted(base_suite.items()):
+        where = f"mapper_suite[{'/'.join(map(str, key))}]"
+        crow = cand_suite.get(key)
+        if crow is None:
+            fail(where, f"present in baseline {base_path} but missing here")
+            continue
+        if not brow.get("ok"):
+            continue  # a baseline failure cannot gate anything
+        if not crow.get("ok"):
+            fail(where, "ok in baseline but failed here")
+            continue
+        base_wall, wall = brow["wall_seconds"], crow.get("wall_seconds")
+        if isinstance(wall, (int, float)) and wall > time_ceiling(base_wall):
+            fail(where,
+                 f"wall_seconds regressed: {wall:.4f} > {base_wall:.4f} "
+                 f"+ {tolerance_pct}% (ceiling {time_ceiling(base_wall):.4f})")
+
+
 def main():
-    if len(sys.argv) != 2:
-        print(__doc__.strip(), file=sys.stderr)
-        return 2
-    path = sys.argv[1]
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("path", help="BENCH_perf.json to validate")
+    ap.add_argument("--compare", metavar="BASELINE", default=None,
+                    help="baseline BENCH_perf.json to gate against")
+    ap.add_argument("--tolerance-pct", type=float, default=75.0,
+                    help="allowed regression before failing (default 75; "
+                    "generous because CI runners are noisy)")
+    args = ap.parse_args()
+    path = args.path
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -141,6 +208,19 @@ def main():
         else:
             fail(where, "missing 'totals'")
 
+    compared = ""
+    if args.compare and not errors:
+        try:
+            with open(args.compare) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{args.compare}: {e}", file=sys.stderr)
+            return 1
+        compare_to_baseline(path, doc, args.compare, baseline,
+                            args.tolerance_pct)
+        compared = (f", within {args.tolerance_pct:g}% of "
+                    f"{args.compare}")
+
     if errors:
         for e in errors:
             print(f"{path}: {e}", file=sys.stderr)
@@ -149,7 +229,7 @@ def main():
     n_micro = len(micro or [])
     n_suite = len(suite or [])
     print(f"{path}: valid (schema 1, {n_micro} micro rows, "
-          f"{n_suite} suite rows)")
+          f"{n_suite} suite rows{compared})")
     return 0
 
 

@@ -7,6 +7,7 @@
 #include <queue>
 
 #include "arch/fault.hpp"
+#include "support/bytes.hpp"
 #include "support/str.hpp"
 
 namespace cgra {
@@ -235,6 +236,34 @@ bool Architecture::CanExecute(int c, const Op& op) const {
   if (IsIoOp(op.opcode)) return caps.io;
   if (op.opcode == Opcode::kMul || op.opcode == Opcode::kDiv) return caps.mul;
   return caps.alu;
+}
+
+void Architecture::AppendCanonicalBytes(ByteWriter& w) const {
+  w.Str("ARCH");
+  w.U32(1);  // encoding version: bump when a field is added/removed
+  w.I32(params_.rows);
+  w.I32(params_.cols);
+  w.U8(static_cast<std::uint8_t>(params_.topology));
+  w.U8(static_cast<std::uint8_t>(params_.style));
+  w.U8(static_cast<std::uint8_t>(params_.rf_kind));
+  w.I32(params_.rf_size);
+  w.I32(params_.route_channels);
+  w.I32(params_.context_depth);
+  w.I32(params_.num_banks);
+  w.I32(params_.bank_ports);
+  w.Bool(params_.mul_everywhere);
+  w.Bool(params_.mem_on_left_col);
+  w.Bool(params_.io_on_border);
+  w.Bool(params_.has_hw_loop);
+  w.Str(params_.name);
+  w.Bool(faults_ != nullptr);
+  if (faults_) faults_->AppendCanonicalBytes(w);
+}
+
+std::string Architecture::Digest() const {
+  ByteWriter w;
+  AppendCanonicalBytes(w);
+  return Hex16(Fnv1a64(w.bytes()));
 }
 
 std::string Architecture::ToAscii() const {

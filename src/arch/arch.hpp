@@ -24,6 +24,7 @@
 namespace cgra {
 
 class FaultModel;  // arch/fault.hpp
+class ByteWriter;  // support/bytes.hpp
 
 /// Interconnect shapes (point-to-point neighbourhoods).
 enum class Topology {
@@ -180,6 +181,19 @@ class Architecture {
     return !slot_fault_mask_.empty() && slot < 64 &&
            (slot_fault_mask_[static_cast<size_t>(cell)] >> slot) & 1u;
   }
+
+  /// Canonical byte encoding of everything that shapes a mapping:
+  /// every ArchParams field (in declaration order, fixed widths) plus
+  /// the applied FaultModel. Two Architectures built from equal params
+  /// and equal faults encode identically regardless of construction
+  /// history; any parameter or fault mutation changes the bytes. The
+  /// layout carries its own version tag — bump it when a field is
+  /// added so stale cache entries miss instead of aliasing.
+  void AppendCanonicalBytes(ByteWriter& w) const;
+
+  /// Stable 16-hex-digit digest of the canonical encoding; the fabric
+  /// component of the mapping-cache key (src/cache).
+  std::string Digest() const;
 
   /// Fig. 2(a)-style ASCII rendering of the array with capability tags.
   std::string ToAscii() const;

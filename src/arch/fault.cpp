@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/arch.hpp"
+#include "support/bytes.hpp"
 #include "support/rng.hpp"
 #include "support/str.hpp"
 
@@ -165,6 +166,26 @@ std::string FaultModel::ToString() const {
     out += "}";
   }
   return out;
+}
+
+void FaultModel::AppendCanonicalBytes(ByteWriter& w) const {
+  w.U32(static_cast<std::uint32_t>(dead_cells_.size()));
+  for (int c : dead_cells_) w.I32(c);
+  w.U32(static_cast<std::uint32_t>(dead_links_.size()));
+  for (const LinkFault& l : dead_links_) {
+    w.I32(l.from);
+    w.I32(l.to);
+  }
+  w.U32(static_cast<std::uint32_t>(dead_rf_entries_.size()));
+  for (const RfEntryFault& f : dead_rf_entries_) {
+    w.I32(f.cell);
+    w.I32(f.reg);
+  }
+  w.U32(static_cast<std::uint32_t>(dead_context_slots_.size()));
+  for (const ContextSlotFault& f : dead_context_slots_) {
+    w.I32(f.cell);
+    w.I32(f.slot);
+  }
 }
 
 FaultModel FaultModel::Random(const Architecture& arch, const RandomSpec& spec,

@@ -35,6 +35,7 @@
 namespace cgra {
 
 class Architecture;  // arch/arch.hpp
+class ByteWriter;    // support/bytes.hpp
 
 /// One cut directional inter-cell connection.
 struct LinkFault {
@@ -111,6 +112,11 @@ class FaultModel {
 
   /// Human-readable one-liner ("2 dead cells {5,9}; 1 dead link ...").
   std::string ToString() const;
+
+  /// Canonical byte encoding of the (sorted, deduplicated) fault lists
+  /// for content-addressed digests — Architecture::Digest folds this in
+  /// so a derated fabric never shares a cache key with the healthy one.
+  void AppendCanonicalBytes(ByteWriter& w) const;
 
   bool operator==(const FaultModel&) const = default;
 

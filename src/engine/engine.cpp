@@ -13,12 +13,10 @@
 #include "support/str.hpp"
 
 namespace cgra {
-namespace {
 
-/// Crash isolation: a portfolio entry that throws (or otherwise escapes
-/// Map() with an exception) must lose the race, not take the pool —
-/// and with it the process — down. Anything thrown is converted into a
-/// kInternal failure attributed to that mapper.
+// A portfolio entry that throws (or otherwise escapes Map() with an
+// exception) must lose the race, not take the pool — and with it the
+// process — down.
 Result<Mapping> SafeMap(const Mapper& mapper, const Dfg& dfg,
                         const Architecture& arch, const MapperOptions& mo) {
   try {
@@ -31,6 +29,8 @@ Result<Mapping> SafeMap(const Mapper& mapper, const Dfg& dfg,
                                      mapper.name().c_str()));
   }
 }
+
+namespace {
 
 MapperOptions EntryOptions(const EngineOptions& eo, std::size_t i,
                            StopToken stop, MrrgCache* cache) {
@@ -138,6 +138,30 @@ class RoundStamper final : public MapObserver {
   std::vector<std::string> crashed_;
 };
 
+/// The portfolio component of the mapping-cache key: names in
+/// portfolio order. Reordering a portfolio is a different key on
+/// purpose — under stop_on_first the order decides the winner.
+std::string PortfolioCacheName(const std::vector<const Mapper*>& portfolio) {
+  std::string out = "portfolio:";
+  for (std::size_t i = 0; i < portfolio.size(); ++i) {
+    if (i) out += ',';
+    out += portfolio[i]->name();
+  }
+  return out;
+}
+
+/// The semantic slice of the engine options that belongs in the cache
+/// key (same exclusion contract as MapperOptions::Digest — deadlines,
+/// pools and observers steer the search, not the problem).
+MapperOptions CacheKeyOptions(const EngineOptions& eo) {
+  MapperOptions mo;
+  mo.min_ii = eo.min_ii;
+  mo.max_ii = eo.max_ii;
+  mo.extra_slack = eo.extra_slack;
+  mo.seed = eo.seed;
+  return mo;
+}
+
 /// Index of the best success: lowest II, ties broken by portfolio
 /// order. npos when every entry failed.
 std::size_t BestIndex(const std::vector<EngineAttempt>& attempts) {
@@ -167,12 +191,55 @@ Result<EngineResult> MappingEngine::Run(
       return Error::InvalidArgument("engine: null mapper in portfolio");
     }
   }
+  // Mapping-cache fast path: a validated hit answers the whole race
+  // without spinning up a single mapper. Only successful mappings are
+  // ever stored, so a prior failure never pins a (dfg, arch) pair.
+  std::string cache_key;
+  if (options_.cache) {
+    WallTimer lookup_timer;
+    cache_key = MappingCacheKey(arch, dfg, CacheKeyOptions(options_),
+                                PortfolioCacheName(portfolio));
+    MappingCache::LookupInfo info;
+    std::optional<MappingCache::Entry> entry =
+        options_.cache->Get(cache_key, dfg, arch, &info);
+    MapEvent e;
+    e.kind = MapEvent::Kind::kCacheLookup;
+    e.message = cache_key;
+    e.ok = info.hit;
+    e.seconds = lookup_timer.Seconds();
+    if (info.hit) {
+      e.mapper = info.tier == MappingCache::Tier::kMemory ? "mem" : "disk";
+    } else if (info.validate_failed || info.decode_failed) {
+      e.error_code = Error::Code::kInternal;
+    }
+    NotifyObserver(options_.observer, e);
+    if (entry) {
+      EngineResult out;
+      out.mapping = std::move(entry->mapping);
+      out.winner = std::move(entry->winner);
+      out.seconds = lookup_timer.Seconds();
+      out.cache_hit = true;
+      out.cache_key = cache_key;
+      EngineAttempt a;
+      a.mapper = out.winner;
+      a.ok = true;
+      a.ii = out.mapping.ii;
+      a.seconds = out.seconds;
+      out.attempts.push_back(std::move(a));
+      return out;
+    }
+  }
+
   MrrgCache local_cache;
   MrrgCache& cache = options_.mrrg_cache ? *options_.mrrg_cache : local_cache;
-  if (!options_.race || portfolio.size() == 1) {
-    return RunSequential(dfg, arch, portfolio, cache);
+  Result<EngineResult> r = (!options_.race || portfolio.size() == 1)
+                               ? RunSequential(dfg, arch, portfolio, cache)
+                               : RunRacing(dfg, arch, portfolio, cache);
+  if (r.ok() && options_.cache) {
+    r->cache_key = cache_key;
+    options_.cache->Put(cache_key, r->mapping, r->winner);
   }
-  return RunRacing(dfg, arch, portfolio, cache);
+  return r;
 }
 
 Result<EngineResult> MappingEngine::Run(

@@ -32,6 +32,7 @@
 
 #include "arch/fault.hpp"
 #include "arch/mrrg_cache.hpp"
+#include "cache/mapping_cache.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/observer.hpp"
 #include "support/stop_token.hpp"
@@ -79,6 +80,17 @@ struct EngineOptions {
   /// per-Run cache.
   MrrgCache* mrrg_cache = nullptr;
 
+  /// Optional result memoisation (src/cache): before racing, Run()
+  /// probes the cache under a key derived from (arch ⊕ faults ⊕ dfg ⊕
+  /// the engine's II window/slack/seed ⊕ the portfolio's names, in
+  /// order); a validated hit short-circuits the whole race, and every
+  /// win is stored back. RunWithRepair shares the pointer with its
+  /// per-round engines — each round's fabric carries its fault model
+  /// in the key, so a post-fault round can never be served the
+  /// pre-fault entry. nullptr disables memoisation. The cache is
+  /// thread-safe; one instance may back any number of engines.
+  MappingCache* cache = nullptr;
+
   /// External cancellation: the engine forwards a request on this token
   /// to every running entry.
   StopToken stop;
@@ -98,7 +110,13 @@ struct EngineResult {
   std::string winner;      ///< name of the mapper that produced it
   double seconds = 0.0;    ///< wall time of the whole Run()
   std::vector<EngineAttempt> attempts;  ///< one per portfolio entry, in
-                                        ///< portfolio order
+                                        ///< portfolio order (a cache hit
+                                        ///< short-circuits: one synthetic
+                                        ///< ok attempt for the winner)
+  /// Mapping-cache interaction of this run; key is empty when
+  /// EngineOptions::cache was null.
+  bool cache_hit = false;
+  std::string cache_key;
 };
 
 /// Retry/backoff policy for MappingEngine::RunWithRepair.
@@ -158,6 +176,15 @@ struct RepairResult {
   std::vector<RepairRound> history;  ///< one record per executed round
   double seconds = 0.0;              ///< wall time of the whole repair loop
 };
+
+/// Crash isolation: runs mapper.Map() and converts anything thrown
+/// into a kInternal failure attributed to that mapper, so one broken
+/// implementation loses its race (or batch job) instead of taking the
+/// process down. The engine wraps every portfolio entry in this;
+/// tools/cgra_batch reuses it for direct single-mapper jobs.
+Result<Mapping> SafeMap(const Mapper& mapper, const Dfg& dfg,
+                        const Architecture& arch,
+                        const MapperOptions& options);
 
 class MappingEngine {
  public:

@@ -142,6 +142,31 @@ std::string MapTrace::ToJson() const {
     }
     out << '}';
   }
+  bool any_cache = false;
+  for (const MapEvent& e : snapshot) {
+    if (e.kind == MapEvent::Kind::kCacheLookup) {
+      any_cache = true;
+      break;
+    }
+  }
+  if (any_cache) {
+    out << "],\"cache\":[";
+    first = true;
+    for (const MapEvent& e : snapshot) {
+      if (e.kind != MapEvent::Kind::kCacheLookup) continue;
+      if (!first) out << ',';
+      first = false;
+      out << "{\"key\":";
+      AppendJsonString(out, e.message);
+      out << ",\"hit\":" << (e.ok ? "true" : "false");
+      out << ",\"tier\":";
+      AppendJsonString(out, e.mapper);
+      out << ",\"degraded\":" << (e.error_code ? "true" : "false");
+      out << ",\"seconds\":" << e.seconds;
+      out << ",\"round\":" << e.repair_round << '}';
+    }
+  }
+
   out << "],\"mappers\":[";
   first = true;
   for (const MapEvent& e : snapshot) {

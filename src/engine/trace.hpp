@@ -57,12 +57,18 @@ class MapTrace final : public MapObserver {
   ///                 "round":...,"fault_digest":...,
   ///                 "perf":{"router_queries":...,...}}, ...],
   ///    "mappers":[{"name":...,"ok":...,"seconds":...,"error":...,
-  ///                "message":...,"round":...,"fault_digest":...}, ...]}
+  ///                "message":...,"round":...,"fault_digest":...}, ...],
+  ///    "cache":[{"key":...,"hit":...,"tier":...,"degraded":...,
+  ///              "seconds":...,"round":...}, ...]}
   /// "mappers" holds the kMapperDone brackets (present when the engine
   /// drove the run); "attempts" the per-II records. A plain Run stamps
   /// round 0 and an empty digest; RunWithRepair stamps each repair
   /// round's index and fault-model digest so post-mortems distinguish
   /// "round 0 on a healthy fabric" from "round 2 after 3 faults".
+  /// "cache" holds one row per mapping-cache probe (kCacheLookup,
+  /// emitted when EngineOptions::cache is set): tier is "mem"/"disk"
+  /// on a hit, and degraded marks a candidate that validation or
+  /// decoding rejected into a miss. Omitted when no probe happened.
   std::string ToJson() const;
 
   void Clear();

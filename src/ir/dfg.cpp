@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "graph/algos.hpp"
+#include "support/bytes.hpp"
 #include "support/str.hpp"
 
 namespace cgra {
@@ -229,6 +230,38 @@ Status Dfg::Verify() const {
         "same-iteration dependence edges form a cycle");
   }
   return Status::Ok();
+}
+
+void Dfg::AppendCanonicalBytes(ByteWriter& w) const {
+  const auto put_operands = [&w](const std::vector<Operand>& ops) {
+    w.U32(static_cast<std::uint32_t>(ops.size()));
+    for (const Operand& o : ops) {
+      w.I32(o.producer);
+      w.I32(o.distance);
+      w.I64(o.init);
+    }
+  };
+  w.Str("DFG");
+  w.U32(1);  // encoding version: bump when a field is added/removed
+  w.I32(num_ops());
+  for (const Op& op : ops_) {
+    w.U8(static_cast<std::uint8_t>(op.opcode));
+    put_operands(op.operands);
+    w.I64(op.imm);
+    w.I32(op.slot);
+    w.I32(op.array);
+    w.I32(op.pred);
+    w.Bool(op.pred_when_true);
+    put_operands(op.order_deps);
+    w.U8(static_cast<std::uint8_t>(op.alt_opcode));
+    put_operands(op.alt_operands);
+  }
+}
+
+std::string Dfg::Digest() const {
+  ByteWriter w;
+  AppendCanonicalBytes(w);
+  return Hex16(Fnv1a64(w.bytes()));
 }
 
 std::string Dfg::ToDot(const std::string& graph_name) const {

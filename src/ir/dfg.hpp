@@ -16,6 +16,8 @@
 
 namespace cgra {
 
+class ByteWriter;  // support/bytes.hpp
+
 using OpId = std::int32_t;
 inline constexpr OpId kNoOp = -1;
 
@@ -115,6 +117,18 @@ class Dfg {
   /// same-iteration subgraph, slot/array presence on I/O and memory ops,
   /// non-negative distances.
   Status Verify() const;
+
+  /// Canonical byte encoding of every semantic field of every op —
+  /// opcode, operands (producer/distance/init), imm, slot, array,
+  /// predication, ordering deps, fused alternates — in op order.
+  /// Diagnostic names are excluded: relabelling an op must not change
+  /// the digest, while any mutation that could alter a mapping does.
+  /// Layout carries its own version tag.
+  void AppendCanonicalBytes(ByteWriter& w) const;
+
+  /// Stable 16-hex-digit digest of the canonical encoding; the kernel
+  /// component of the mapping-cache key (src/cache).
+  std::string Digest() const;
 
   /// Graphviz dot rendering (ops labelled `name:opcode`).
   std::string ToDot(const std::string& graph_name = "dfg") const;

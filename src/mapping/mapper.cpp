@@ -1,6 +1,23 @@
 #include "mapping/mapper.hpp"
 
+#include "support/bytes.hpp"
+
 namespace cgra {
+
+void MapperOptions::AppendCanonicalBytes(ByteWriter& w) const {
+  w.Str("OPTS");
+  w.U32(1);  // encoding version: bump when a semantic field is added
+  w.I32(min_ii);
+  w.I32(max_ii);
+  w.I32(extra_slack);
+  w.U64(seed);
+}
+
+std::string MapperOptions::Digest() const {
+  ByteWriter w;
+  AppendCanonicalBytes(w);
+  return Hex16(Fnv1a64(w.bytes()));
+}
 
 std::string_view TechniqueClassName(TechniqueClass c) {
   switch (c) {

@@ -24,7 +24,8 @@
 
 namespace cgra {
 
-class MrrgCache;  // arch/mrrg_cache.hpp
+class ByteWriter;  // support/bytes.hpp
+class MrrgCache;   // arch/mrrg_cache.hpp
 
 /// Table I taxonomy coordinates.
 enum class TechniqueClass {
@@ -72,6 +73,18 @@ struct MapperOptions {
   /// instead of rebuilding it; the portfolio engine shares one cache
   /// across every racing mapper. Null means build-your-own.
   MrrgCache* mrrg_cache = nullptr;
+
+  /// Canonical byte encoding of the SEMANTIC fields only — min_ii,
+  /// max_ii, extra_slack, seed. The deadline, stop token, observer and
+  /// caches steer *how long* a mapper searches, not *which problem* it
+  /// solves, and verbose only changes logging; none of them belong in
+  /// a content-addressed cache key (docs/CACHE.md spells out the
+  /// resulting staleness contract). Layout carries a version tag.
+  void AppendCanonicalBytes(ByteWriter& w) const;
+
+  /// Stable 16-hex-digit digest of the canonical encoding; the options
+  /// component of the mapping-cache key (src/cache).
+  std::string Digest() const;
 };
 
 struct MapOutcome {

@@ -11,12 +11,15 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "arch/arch.hpp"
 #include "arch/mrrg.hpp"
 #include "ir/dfg.hpp"
+#include "support/status.hpp"
 
 namespace cgra {
 
@@ -73,5 +76,28 @@ MappingStats ComputeStats(const Dfg& dfg, const Architecture& arch,
 /// and the quickstart example.
 std::string RenderSchedule(const Dfg& dfg, const Architecture& arch,
                            const Mapping& mapping);
+
+// ---- binary round-trip (the mapping cache's on-disk payload) ---------------
+
+/// Bump when the Mapping layout or the wire format changes: a blob
+/// written under any other version fails to decode, so every on-disk
+/// cache entry from before the change degrades to a clean miss.
+inline constexpr std::uint32_t kMappingFormatVersion = 1;
+
+/// Versioned, checksummed, platform-independent binary encoding
+/// (magic + version + fields + FNV-1a checksum; support/bytes.hpp).
+std::string SerializeMapping(const Mapping& mapping);
+
+/// Inverse of SerializeMapping. Rejects wrong magic, wrong version,
+/// checksum mismatch, truncation, and trailing garbage with
+/// kInvalidArgument — callers (the cache) treat any failure as a miss.
+/// A successful decode is structurally sound but NOT semantically
+/// checked; run ValidateMapping against the target fabric before
+/// trusting the result.
+Result<Mapping> DeserializeMapping(std::string_view bytes);
+
+/// Stable 16-hex-digit digest of a mapping's serialized payload; the
+/// batch report uses it to prove warm-cache runs are bit-identical.
+std::string MappingDigestHex(const Mapping& mapping);
 
 }  // namespace cgra

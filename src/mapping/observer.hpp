@@ -28,6 +28,14 @@ struct MapEvent {
     kAttemptDone,  ///< one II attempt finished (ok or error filled in)
     kMapperDone,   ///< a mapper finished (ok/error + total seconds)
     kNote,         ///< free-form detail (e.g. solver iteration counts)
+    /// One mapping-cache probe (engine-emitted, src/cache). Field
+    /// reuse: `message` holds the 16-hex cache key, `mapper` the tier
+    /// that answered ("mem"/"disk", empty on a miss), `ok` whether the
+    /// lookup was served from cache, and `error_code` is kInternal
+    /// when a candidate entry was found but degraded to a miss
+    /// (validation or decode failure). MapTrace::ToJson serialises
+    /// these as the "cache" array.
+    kCacheLookup,
   };
 
   Kind kind = Kind::kNote;

@@ -1,0 +1,138 @@
+// Canonical byte encoding + 64-bit hashing, the substrate under every
+// content-addressed digest and binary round-trip in the library.
+//
+// The mapping cache (src/cache) keys entries by a digest of
+// (Architecture ⊕ FaultModel ⊕ Dfg ⊕ MapperOptions ⊕ mapper name ⊕
+// format version); for that to be stable across processes, platforms
+// and rebuilds, every participating type writes itself through a
+// ByteWriter in a fixed field order with fixed-width little-endian
+// integers — no struct memcpy, no container internals, no pointers.
+// ByteReader is the bounds-checked inverse used by the versioned
+// Mapping deserializer: every read reports success, so a truncated or
+// corrupted blob degrades to a clean decode failure, never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cgra {
+
+/// Appends fixed-width little-endian fields to a byte string.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void I64(std::int64_t v) { U64(static_cast<std::uint64_t>(v)); }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// Length-prefixed bytes (so "ab"+"c" never collides with "a"+"bc").
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte string; every accessor returns
+/// false (leaving the output untouched) instead of reading past the
+/// end, so decoders can treat any short read as corruption.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(std::uint8_t& v) {
+    if (pos_ + 1 > data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(std::uint32_t& v) {
+    if (pos_ + 4 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+  bool U64(std::uint64_t& v) {
+    if (pos_ + 8 > data_.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+  bool I32(std::int32_t& v) {
+    std::uint32_t u;
+    if (!U32(u)) return false;
+    v = static_cast<std::int32_t>(u);
+    return true;
+  }
+  bool I64(std::int64_t& v) {
+    std::uint64_t u;
+    if (!U64(u)) return false;
+    v = static_cast<std::int64_t>(u);
+    return true;
+  }
+  bool Bool(bool& v) {
+    std::uint8_t u;
+    if (!U8(u)) return false;
+    v = u != 0;
+    return true;
+  }
+  bool Str(std::string& s) {
+    std::uint32_t n;
+    if (!U32(n)) return false;
+    if (pos_ + n > data_.size()) return false;
+    s.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a over a byte string (the same mixing every digest in the
+/// repo uses; 64-bit, collision-fine for cache keys and checksums).
+inline std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// 16-hex-digit lowercase rendering (the repo's digest format, cf.
+/// FaultModel::Digest).
+inline std::string Hex16(std::uint64_t x) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(x));
+  return std::string(buf, 16);
+}
+
+}  // namespace cgra

@@ -1,0 +1,84 @@
+// A minimal JSON reader for the batch-compile driver's manifests.
+//
+// The container this library targets has no third-party JSON
+// dependency, and the manifests tools/cgra_batch consumes are small
+// hand-written files — so this is a strict, dependency-free,
+// recursive-descent parser over the full JSON grammar (RFC 8259):
+// null/bool/number/string/array/object, escape sequences including
+// \uXXXX, a depth limit instead of unbounded recursion, and pointed
+// error messages with line:column. Writing JSON stays where it always
+// was in this repo: StrFormat directly (the emitters know their own
+// schemas; see bench/perf_suite.cpp, engine/trace.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/status.hpp"
+
+namespace cgra {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one complete JSON document (trailing garbage is an error).
+  static Result<Json> Parse(std::string_view text);
+
+  Json() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; the fallback is returned on kind mismatch, so
+  // consumers can express "field with default" in one line.
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  std::int64_t AsInt(std::int64_t fallback = 0) const {
+    return is_number() ? static_cast<std::int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  std::string AsString(std::string fallback) const {
+    return is_string() ? string_ : std::move(fallback);
+  }
+
+  /// Array elements (empty unless is_array).
+  const std::vector<Json>& items() const { return items_; }
+
+  /// Object members in document order (empty unless is_object).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// First member named `key`; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const {
+    for (const auto& [k, v] : members_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace cgra

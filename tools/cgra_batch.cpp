@@ -1,0 +1,443 @@
+// cgra_batch: the sharded batch-compile front-end of the mapping
+// service.
+//
+// Reads a JSON manifest of (fabric, kernel, mapper-set) jobs, shards
+// them across the ThreadPool, and emits one aggregate JSON report —
+// per-job II, wall time, cache interaction, mapping digest, and a
+// failure post-mortem (which mapper died of what) for every job that
+// did not produce a mapping. All jobs share one content-addressed
+// MappingCache (src/cache): point --cache-dir at a directory and the
+// second run of the same manifest is answered from disk, bit-identical
+// per-job digests included — that is the serving-system story the
+// ROADMAP asks for, measured end to end by scripts/check_batch_report.py.
+//
+// Manifest schema (see tools/manifests/batch20.json, docs/CACHE.md):
+//   {
+//     "defaults": { "mappers": ["ims"], "deadline_seconds": 10,
+//                   "seed": 42, "min_ii": 1, "max_ii": 16,
+//                   "extra_slack": 2, "iterations": 16 },
+//     "jobs": [ { "name": "...", "fabric": "adres4x4",
+//                 "kernel": "dot_product", "mappers": ["ims","ems"],
+//                 "dead_cells": [5, 9], ...default overrides... } ]
+//   }
+//
+// usage: cgra_batch --manifest FILE [--out FILE] [--cache-dir DIR]
+//                   [--cache-capacity N] [--no-cache] [--threads N]
+//                   [--traces DIR] [--quiet]
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/arch.hpp"
+#include "arch/fault.hpp"
+#include "cache/mapping_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/trace.hpp"
+#include "ir/kernels.hpp"
+#include "support/json.hpp"
+#include "support/str.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+using namespace cgra;
+
+namespace {
+
+std::optional<Architecture> FabricByName(const std::string& name) {
+  if (name == "small2x2") return Architecture::Small2x2();
+  if (name == "adres4x4") return Architecture::Adres4x4();
+  if (name == "hetero4x4") return Architecture::Hetero4x4();
+  if (name == "spatial4x4") return Architecture::Spatial4x4();
+  if (name == "torus4x4") return Architecture::Torus4x4();
+  if (name == "big8x8") return Architecture::Big8x8();
+  if (name == "mega16x16") return Architecture::Mega16x16();
+  if (name == "vliw4") return Architecture::VliwLike4();
+  return std::nullopt;
+}
+
+std::optional<Kernel> KernelByName(const std::string& name, int iterations,
+                                   std::uint64_t seed) {
+  if (name == "dot_product") return MakeDotProduct(iterations, seed);
+  if (name == "vecadd") return MakeVecAdd(iterations, seed);
+  if (name == "saxpy") return MakeSaxpy(iterations, seed);
+  if (name == "fir4") return MakeFir4(iterations, seed);
+  if (name == "iir1") return MakeIir1(iterations, seed);
+  if (name == "mavg3") return MakeMovingAvg3(iterations, seed);
+  if (name == "sobel_gx") return MakeSobelRow(iterations, seed);
+  if (name == "sad") return MakeSad(iterations, seed);
+  if (name == "butterfly") return MakeButterfly(iterations, seed);
+  if (name == "matvec_row") return MakeMatVecRow(iterations, seed);
+  if (name == "gemm_mac") return MakeGemmMac(iterations, seed);
+  if (name == "histogram8") return MakeHistogram8(iterations, seed);
+  if (name == "relu_scale") return MakeReluScale(iterations, seed);
+  if (name == "maxpool_run") return MakeRunningMaxPool(iterations, seed);
+  if (name == "mac2") return MakeMac2(iterations, seed);
+  if (name == "complex_mul") return MakeComplexMul(iterations, seed);
+  if (name == "alpha_blend") return MakeAlphaBlend(iterations, seed);
+  if (name == "dct4") return MakeDct4Stage(iterations, seed);
+  if (name.rfind("wide_dot_", 0) == 0) {
+    const int lanes = std::atoi(name.c_str() + 9);
+    if (lanes > 0) return MakeWideDotProduct(lanes, iterations, seed);
+  }
+  return std::nullopt;
+}
+
+struct JobSpec {
+  std::string name;
+  std::string fabric;
+  std::string kernel;
+  std::vector<std::string> mappers;
+  double deadline_seconds = 10.0;
+  std::uint64_t seed = 42;
+  int min_ii = 1;
+  int max_ii = 16;
+  int extra_slack = 2;
+  int iterations = 16;
+  std::vector<int> dead_cells;
+};
+
+struct JobResult {
+  bool ok = false;
+  int ii = -1;
+  double seconds = 0.0;
+  std::string winner;
+  bool cache_hit = false;
+  std::string cache_key;
+  std::string mapping_digest;
+  std::string error_code;
+  std::string error_message;
+  std::vector<EngineAttempt> attempts;
+};
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Applies `job`-level overrides from a manifest object onto a spec
+/// that starts as a copy of the defaults.
+void ApplyJobFields(const Json& obj, JobSpec& spec) {
+  if (const Json* v = obj.Find("name")) spec.name = v->AsString(spec.name);
+  if (const Json* v = obj.Find("fabric")) spec.fabric = v->AsString(spec.fabric);
+  if (const Json* v = obj.Find("kernel")) spec.kernel = v->AsString(spec.kernel);
+  if (const Json* v = obj.Find("mappers"); v && v->is_array()) {
+    spec.mappers.clear();
+    for (const Json& m : v->items()) spec.mappers.push_back(m.AsString());
+  }
+  if (const Json* v = obj.Find("deadline_seconds")) {
+    spec.deadline_seconds = v->AsDouble(spec.deadline_seconds);
+  }
+  if (const Json* v = obj.Find("seed")) {
+    spec.seed = static_cast<std::uint64_t>(v->AsInt(
+        static_cast<std::int64_t>(spec.seed)));
+  }
+  if (const Json* v = obj.Find("min_ii")) {
+    spec.min_ii = static_cast<int>(v->AsInt(spec.min_ii));
+  }
+  if (const Json* v = obj.Find("max_ii")) {
+    spec.max_ii = static_cast<int>(v->AsInt(spec.max_ii));
+  }
+  if (const Json* v = obj.Find("extra_slack")) {
+    spec.extra_slack = static_cast<int>(v->AsInt(spec.extra_slack));
+  }
+  if (const Json* v = obj.Find("iterations")) {
+    spec.iterations = static_cast<int>(v->AsInt(spec.iterations));
+  }
+  if (const Json* v = obj.Find("dead_cells"); v && v->is_array()) {
+    spec.dead_cells.clear();
+    for (const Json& c : v->items()) {
+      spec.dead_cells.push_back(static_cast<int>(c.AsInt(-1)));
+    }
+  }
+}
+
+JobResult Fail(JobResult r, std::string_view code, std::string message) {
+  r.ok = false;
+  r.error_code = std::string(code);
+  r.error_message = std::move(message);
+  return r;
+}
+
+JobResult RunJob(const JobSpec& spec, MappingCache* cache,
+                 const std::string& traces_dir) {
+  JobResult out;
+  WallTimer timer;
+
+  const std::optional<Architecture> healthy = FabricByName(spec.fabric);
+  if (!healthy) {
+    return Fail(std::move(out), "invalid-argument",
+                "unknown fabric preset \"" + spec.fabric + "\"");
+  }
+  const std::optional<Kernel> kernel =
+      KernelByName(spec.kernel, spec.iterations, spec.seed);
+  if (!kernel) {
+    return Fail(std::move(out), "invalid-argument",
+                "unknown kernel \"" + spec.kernel + "\"");
+  }
+  if (spec.mappers.empty()) {
+    return Fail(std::move(out), "invalid-argument", "job has no mappers");
+  }
+
+  Architecture arch = *healthy;
+  if (!spec.dead_cells.empty()) {
+    FaultModel fm;
+    for (int c : spec.dead_cells) fm.KillCell(c);
+    if (Status s = fm.Validate(arch); !s.ok()) {
+      return Fail(std::move(out), std::string(Error::CodeName(s.error().code)),
+                  s.error().message);
+    }
+    arch = arch.WithFaults(fm);
+  }
+
+  MapTrace trace;
+  EngineOptions eo;
+  // Sequential sweep, not a race: a batch run is already maximally
+  // parallel across jobs, and determinism is what makes the warm-run
+  // digests comparable to the cold ones.
+  eo.race = false;
+  eo.deadline = Deadline::AfterSeconds(spec.deadline_seconds);
+  eo.seed = spec.seed;
+  eo.min_ii = spec.min_ii;
+  eo.max_ii = spec.max_ii;
+  eo.extra_slack = spec.extra_slack;
+  eo.observer = &trace;
+  eo.cache = cache;
+
+  const Result<EngineResult> r =
+      MappingEngine(eo).Run(kernel->dfg, arch, spec.mappers);
+  out.seconds = timer.Seconds();
+  if (r.ok()) {
+    out.ok = true;
+    out.ii = r->mapping.ii;
+    out.winner = r->winner;
+    out.cache_hit = r->cache_hit;
+    out.cache_key = r->cache_key;
+    out.mapping_digest = MappingDigestHex(r->mapping);
+    out.attempts = r->attempts;
+  } else {
+    out.error_code = std::string(Error::CodeName(r.error().code));
+    out.error_message = r.error().message;
+  }
+
+  if (!traces_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(traces_dir, ec);
+    const std::string path = traces_dir + "/" + spec.name + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      const std::string json = trace.ToJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  return out;
+}
+
+std::string JobJson(const JobSpec& spec, const JobResult& r) {
+  std::string mappers;
+  for (std::size_t i = 0; i < spec.mappers.size(); ++i) {
+    if (i) mappers += ',';
+    mappers += '"' + JsonEscape(spec.mappers[i]) + '"';
+  }
+  std::string attempts;
+  for (std::size_t i = 0; i < r.attempts.size(); ++i) {
+    const EngineAttempt& a = r.attempts[i];
+    if (i) attempts += ',';
+    attempts += StrFormat(
+        "{\"mapper\":\"%s\",\"ok\":%s,\"ii\":%d,\"seconds\":%.6f,"
+        "\"error\":\"%s\",\"message\":\"%s\"}",
+        JsonEscape(a.mapper).c_str(), a.ok ? "true" : "false", a.ii, a.seconds,
+        a.ok ? "" : std::string(Error::CodeName(a.error.code)).c_str(),
+        a.ok ? "" : JsonEscape(a.error.message).c_str());
+  }
+  return StrFormat(
+      "{\"name\":\"%s\",\"fabric\":\"%s\",\"kernel\":\"%s\","
+      "\"mappers\":[%s],\"ok\":%s,\"ii\":%d,\"wall_seconds\":%.6f,"
+      "\"winner\":\"%s\",\"cache_hit\":%s,\"cache_key\":\"%s\","
+      "\"mapping_digest\":\"%s\",\"error\":\"%s\",\"message\":\"%s\","
+      "\"attempts\":[%s]}",
+      JsonEscape(spec.name).c_str(), JsonEscape(spec.fabric).c_str(),
+      JsonEscape(spec.kernel).c_str(), mappers.c_str(),
+      r.ok ? "true" : "false", r.ii, r.seconds, JsonEscape(r.winner).c_str(),
+      r.cache_hit ? "true" : "false", r.cache_key.c_str(),
+      r.mapping_digest.c_str(), r.error_code.c_str(),
+      JsonEscape(r.error_message).c_str(), attempts.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string manifest_path;
+  std::string out_path = "BATCH_report.json";
+  std::string cache_dir;
+  std::string traces_dir;
+  std::size_t cache_capacity = 4096;
+  bool use_cache = true;
+  bool quiet = false;
+  int threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = arg_value("--manifest")) {
+      manifest_path = v;
+    } else if (const char* v = arg_value("--out")) {
+      out_path = v;
+    } else if (const char* v = arg_value("--cache-dir")) {
+      cache_dir = v;
+    } else if (const char* v = arg_value("--traces")) {
+      traces_dir = v;
+    } else if (const char* v = arg_value("--cache-capacity")) {
+      cache_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = arg_value("--threads")) {
+      threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--no-cache") == 0) {
+      use_cache = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --manifest FILE [--out FILE] [--cache-dir DIR]\n"
+                   "          [--cache-capacity N] [--no-cache] [--threads N]\n"
+                   "          [--traces DIR] [--quiet]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (manifest_path.empty()) {
+    std::fprintf(stderr, "cgra_batch: --manifest is required\n");
+    return 2;
+  }
+
+  std::string manifest_text;
+  {
+    std::FILE* f = std::fopen(manifest_path.c_str(), "rb");
+    if (!f) {
+      std::fprintf(stderr, "cgra_batch: cannot open %s\n",
+                   manifest_path.c_str());
+      return 1;
+    }
+    char buf[1 << 14];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      manifest_text.append(buf, n);
+    }
+    std::fclose(f);
+  }
+
+  const Result<Json> doc = Json::Parse(manifest_text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cgra_batch: %s: %s\n", manifest_path.c_str(),
+                 doc.error().message.c_str());
+    return 1;
+  }
+  const Json* jobs = doc->Find("jobs");
+  if (!jobs || !jobs->is_array() || jobs->items().empty()) {
+    std::fprintf(stderr, "cgra_batch: manifest has no \"jobs\" array\n");
+    return 1;
+  }
+
+  JobSpec defaults;
+  if (const Json* d = doc->Find("defaults"); d && d->is_object()) {
+    ApplyJobFields(*d, defaults);
+  }
+  std::vector<JobSpec> specs;
+  specs.reserve(jobs->items().size());
+  for (std::size_t i = 0; i < jobs->items().size(); ++i) {
+    JobSpec spec = defaults;
+    spec.name = StrFormat("job%zu", i);
+    ApplyJobFields(jobs->items()[i], spec);
+    if (spec.name.empty() || spec.name.find('/') != std::string::npos) {
+      spec.name = StrFormat("job%zu", i);
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  std::optional<MappingCache> cache;
+  if (use_cache) {
+    MappingCacheOptions co;
+    co.capacity = cache_capacity;
+    co.disk_dir = cache_dir;
+    cache.emplace(co);
+  }
+
+  // Shard the jobs across the pool. Each job is internally sequential
+  // (engine race=false), so pool width == job-level parallelism; the
+  // engine's SafeMap keeps a crashing mapper contained to its job.
+  ThreadPool pool(threads > 0 ? static_cast<std::size_t>(threads) : 0);
+  std::vector<JobResult> results(specs.size());
+  std::atomic<int> done{0};
+  WallTimer total;
+  pool.ParallelFor(specs.size(), [&](std::size_t i) {
+    results[i] = RunJob(specs[i], cache ? &*cache : nullptr, traces_dir);
+    const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (!quiet) {
+      const JobResult& r = results[i];
+      std::printf("[%3d/%3zu] %-24s %-10s %-12s %s ii=%-3d %7.1f ms%s\n", d,
+                  specs.size(), specs[i].name.c_str(), specs[i].fabric.c_str(),
+                  specs[i].kernel.c_str(), r.ok ? "ok  " : "FAIL", r.ii,
+                  r.seconds * 1e3, r.cache_hit ? "  [cache]" : "");
+    }
+  });
+  const double wall = total.Seconds();
+
+  int ok_jobs = 0, cache_hits = 0;
+  double job_seconds_sum = 0;
+  for (const JobResult& r : results) {
+    ok_jobs += r.ok ? 1 : 0;
+    cache_hits += r.cache_hit ? 1 : 0;
+    job_seconds_sum += r.seconds;
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (!out) {
+    std::fprintf(stderr, "cgra_batch: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"schema_version\": 1,\n  \"manifest\": \"%s\",\n"
+               "  \"jobs\": [\n",
+               JsonEscape(manifest_path).c_str());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    std::fprintf(out, "    %s%s\n", JobJson(specs[i], results[i]).c_str(),
+                 i + 1 < specs.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"aggregate\": {\"jobs\": %zu, \"ok\": %d, "
+               "\"failed\": %zu, \"cache_hits\": %d, "
+               "\"wall_seconds\": %.6f, \"job_seconds_sum\": %.6f, "
+               "\"threads\": %zu, \"cache\": %s}\n}\n",
+               specs.size(), ok_jobs, specs.size() - ok_jobs, cache_hits, wall,
+               job_seconds_sum, pool.thread_count(),
+               cache ? cache->stats().ToJson().c_str() : "null");
+  std::fclose(out);
+
+  if (!quiet) {
+    std::printf("%d/%zu ok, %d cache hit(s), %.2f s wall (%.2f s of work)\n",
+                ok_jobs, specs.size(), cache_hits, wall, job_seconds_sum);
+    if (cache) std::printf("cache: %s\n", cache->stats().ToJson().c_str());
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return ok_jobs == static_cast<int>(specs.size()) ? 0 : 1;
+}
