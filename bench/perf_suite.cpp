@@ -34,6 +34,8 @@
 #include "support/rng.hpp"
 #include "support/str.hpp"
 #include "support/timer.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace cgra;
 
@@ -175,16 +177,23 @@ MicroResult RouterMicro(const Architecture& arch, int ii, int rounds,
 int main(int argc, char** argv) {
   bool small = false;
   std::string out_path = "BENCH_perf.json";
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) {
       small = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--small] [--out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--small] [--out FILE] [--trace FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
+  // Off by default: the perf gate measures the un-instrumented hot
+  // path (disabled telemetry = one relaxed load per span site).
+  if (!trace_path.empty()) telemetry::SetEnabled(true);
   const int div = small ? 8 : 1;  // small preset: 1/8 of the query rounds
 
   std::vector<std::string> micro_rows;
@@ -308,5 +317,13 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
+  if (!trace_path.empty()) {
+    if (telemetry::WriteChromeTrace(trace_path)) {
+      std::printf("wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "perf_suite: cannot write trace %s\n",
+                   trace_path.c_str());
+    }
+  }
   return 0;
 }

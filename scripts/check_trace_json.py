@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON exported by the telemetry subsystem.
+
+Checks, in order (stdlib only; schema documented in
+docs/OBSERVABILITY.md):
+  * the file parses and has a non-empty "traceEvents" array;
+  * every duration event carries ph/name/ts/pid/tid with sane types,
+    and timestamps within one thread track never go backwards;
+  * B/E events are balanced per (pid, tid) track — every E closes the
+    B on top of its stack with the same name, and no stack is left
+    open at end of file;
+  * names from --require (repeatable, comma-separable) each begin at
+    least one span somewhere in the trace — CI passes the span
+    taxonomy roots (batch.job, engine.run, mapper, attempt) so a
+    refactor cannot silently unhook the instrumentation;
+  * --max-dropped N (default 0) bounds otherData.dropped_spans, so a
+    trace that overflowed its ring buffers fails loudly.
+
+usage: check_trace_json.py TRACE.json [--require NAME ...]
+                           [--max-dropped N]
+Exit status: 0 clean, 1 any check failed, 2 usage.
+"""
+import argparse
+import json
+import sys
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check(path, required, max_dropped):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: 'traceEvents' missing, not a list, or empty")
+        return
+
+    stacks = {}  # (pid, tid) -> list of open span names
+    last_ts = {}  # (pid, tid) -> last event timestamp
+    begun = set()
+    n_duration = 0
+    for i, e in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        if ph not in ("B", "E"):
+            fail(f"{where}: unexpected ph {ph!r}")
+            continue
+        n_duration += 1
+        name = e.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing 'name'")
+            name = "?"
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"{where}: missing numeric 'ts'")
+            ts = None
+        if not isinstance(e.get("pid"), int) or not isinstance(
+                e.get("tid"), int):
+            fail(f"{where}: missing integer 'pid'/'tid'")
+        track = (e.get("pid"), e.get("tid"))
+        if ts is not None:
+            if track in last_ts and ts < last_ts[track]:
+                fail(f"{where}: ts {ts} goes backwards on track {track}")
+            last_ts[track] = ts
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append(name)
+            begun.add(name)
+        else:
+            if not stack:
+                fail(f"{where}: 'E' for {name!r} with no open span "
+                     f"on track {track}")
+            elif stack[-1] != name:
+                fail(f"{where}: 'E' for {name!r} but innermost open span "
+                     f"is {stack[-1]!r} on track {track}")
+                stack.pop()
+            else:
+                stack.pop()
+
+    if n_duration == 0:
+        fail(f"{path}: no duration (B/E) events at all")
+    for track, stack in sorted(stacks.items()):
+        if stack:
+            fail(f"{path}: track {track} ends with {len(stack)} unclosed "
+                 f"span(s): {stack}")
+
+    for name in required:
+        if name not in begun:
+            fail(f"{path}: required span {name!r} never begins "
+                 f"(have: {sorted(begun)})")
+
+    other = doc.get("otherData", {})
+    dropped = other.get("dropped_spans", 0) if isinstance(other, dict) else 0
+    if isinstance(dropped, int) and dropped > max_dropped:
+        fail(f"{path}: {dropped} span(s) dropped to ring overflow "
+             f"(max allowed {max_dropped})")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Validate a telemetry Chrome trace JSON")
+    ap.add_argument("trace")
+    ap.add_argument("--require", action="append", default=[],
+                    help="span name that must begin at least once "
+                         "(repeatable; commas split)")
+    ap.add_argument("--max-dropped", type=int, default=0,
+                    help="max tolerated otherData.dropped_spans (default 0)")
+    args = ap.parse_args()
+
+    required = [n for chunk in args.require for n in chunk.split(",") if n]
+    check(args.trace, required, args.max_dropped)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}", file=sys.stderr)
+        print(f"check_trace_json: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"check_trace_json: {args.trace} OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,11 +8,33 @@
 #include "mapping/validator.hpp"
 #include "support/bytes.hpp"
 #include "support/str.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cgra {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Cache metrics: every probe lands in exactly one of hit/miss, and
+/// hit latency is the metric the ISSUE's serving story cares about
+/// (a disk hit costing more than a re-map would be a bug).
+struct CacheMetrics {
+  telemetry::Counter& hits = telemetry::MetricsRegistry::Global().GetCounter(
+      "cgra_cache_hits_total", "mapping-cache probes answered from cache");
+  telemetry::Counter& misses = telemetry::MetricsRegistry::Global().GetCounter(
+      "cgra_cache_misses_total", "mapping-cache probes that missed");
+  telemetry::Histogram& hit_seconds =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "cgra_cache_hit_seconds",
+          {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1},
+          "wall time of probes that hit (memory or disk)");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics m;
+  return m;
+}
 
 /// On-disk envelope: magic + version + winner + the (independently
 /// versioned and checksummed) mapping blob. Bump on layout change so
@@ -21,6 +43,7 @@ constexpr std::string_view kDiskMagic = "CGRC";
 constexpr std::uint32_t kDiskEnvelopeVersion = 1;
 
 std::string EncodeDiskEntry(const MappingCache::Entry& entry) {
+  telemetry::Span span("cache.serialize");
   ByteWriter w;
   w.Str(kDiskMagic);
   w.U32(kDiskEnvelopeVersion);
@@ -30,6 +53,7 @@ std::string EncodeDiskEntry(const MappingCache::Entry& entry) {
 }
 
 std::optional<MappingCache::Entry> DecodeDiskEntry(std::string_view bytes) {
+  telemetry::Span span("cache.deserialize");
   ByteReader r(bytes);
   std::string magic;
   std::uint32_t version = 0;
@@ -167,6 +191,9 @@ std::optional<MappingCache::Entry> MappingCache::Get(const std::string& key,
                                                      const Dfg& dfg,
                                                      const Architecture& arch,
                                                      LookupInfo* info) {
+  telemetry::Span span("cache.probe");
+  const std::uint64_t probe_start =
+      telemetry::Enabled() ? telemetry::NowNs() : 0;
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.lookups;
@@ -187,6 +214,7 @@ std::optional<MappingCache::Entry> MappingCache::Get(const std::string& key,
     tier = Tier::kDisk;
   }
   if (!candidate) {
+    Metrics().misses.Add(1);
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.misses;
     return std::nullopt;
@@ -197,6 +225,7 @@ std::optional<MappingCache::Entry> MappingCache::Get(const std::string& key,
       // A cached entry the target fabric rejects is poison, not data:
       // evict it everywhere and report a miss.
       EraseEverywhere(key);
+      Metrics().misses.Add(1);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.validate_failures;
       ++stats_.misses;
@@ -217,6 +246,11 @@ std::optional<MappingCache::Entry> MappingCache::Get(const std::string& key,
   if (info) {
     info->hit = true;
     info->tier = tier;
+  }
+  Metrics().hits.Add(1);
+  if (probe_start != 0) {
+    Metrics().hit_seconds.Observe(
+        static_cast<double>(telemetry::NowNs() - probe_start) * 1e-9);
   }
   return candidate;
 }

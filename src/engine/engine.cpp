@@ -11,6 +11,7 @@
 #include "mapping/validator.hpp"
 #include "mappers/registry.hpp"
 #include "support/str.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cgra {
 
@@ -196,6 +197,8 @@ Result<EngineResult> MappingEngine::Run(
   // ever stored, so a prior failure never pins a (dfg, arch) pair.
   std::string cache_key;
   if (options_.cache) {
+    telemetry::Span probe_span(options_.telemetry ? "engine.cache_probe"
+                                                  : nullptr);
     WallTimer lookup_timer;
     cache_key = MappingCacheKey(arch, dfg, CacheKeyOptions(options_),
                                 PortfolioCacheName(portfolio));
@@ -232,6 +235,11 @@ Result<EngineResult> MappingEngine::Run(
 
   MrrgCache local_cache;
   MrrgCache& cache = options_.mrrg_cache ? *options_.mrrg_cache : local_cache;
+  telemetry::Span run_span(
+      options_.telemetry ? "engine.run" : nullptr,
+      options_.telemetry && telemetry::Enabled()
+          ? StrFormat("%zu mappers", portfolio.size())
+          : "");
   Result<EngineResult> r = (!options_.race || portfolio.size() == 1)
                                ? RunSequential(dfg, arch, portfolio, cache)
                                : RunRacing(dfg, arch, portfolio, cache);
@@ -322,7 +330,14 @@ Result<RepairResult> MappingEngine::RunWithRepair(
     }
 
     WallTimer round_timer;
-    Result<EngineResult> r = MappingEngine(eo).Run(dfg, *arch_r, active);
+    Result<EngineResult> r = [&] {
+      telemetry::Span round_span(
+          options_.telemetry ? "engine.repair_round" : nullptr,
+          options_.telemetry && telemetry::Enabled()
+              ? StrFormat("round=%d faults=%s", round, digest.c_str())
+              : "");
+      return MappingEngine(eo).Run(dfg, *arch_r, active);
+    }();
 
     RepairRound rec;
     rec.round = round;
@@ -461,7 +476,11 @@ Result<EngineResult> MappingEngine::RunRacing(
       EmitMapperStart(options_.observer, mapper);
       WallTimer timer;
       MapperOptions mo = EntryOptions(options_, i, race_stop.token(), &cache);
-      Result<Mapping> r = SafeMap(mapper, dfg, arch, mo);
+      Result<Mapping> r = [&] {
+        telemetry::Span mapper_span(options_.telemetry ? "mapper" : nullptr,
+                                    mapper.name());
+        return SafeMap(mapper, dfg, arch, mo);
+      }();
       seconds[i] = timer.Seconds();
       EmitMapperDone(options_.observer, mapper, r, seconds[i]);
       const bool won = r.ok();
@@ -510,7 +529,11 @@ Result<EngineResult> MappingEngine::RunSequential(
     EmitMapperStart(options_.observer, mapper);
     WallTimer timer;
     MapperOptions mo = EntryOptions(options_, i, options_.stop, &cache);
-    Result<Mapping> r = SafeMap(mapper, dfg, arch, mo);
+    Result<Mapping> r = [&] {
+      telemetry::Span mapper_span(options_.telemetry ? "mapper" : nullptr,
+                                  mapper.name());
+      return SafeMap(mapper, dfg, arch, mo);
+    }();
     const double secs = timer.Seconds();
     EmitMapperDone(options_.observer, mapper, r, secs);
     out.attempts.push_back(MakeAttempt(mapper, r, secs));

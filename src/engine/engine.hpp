@@ -94,6 +94,14 @@ struct EngineOptions {
   /// External cancellation: the engine forwards a request on this token
   /// to every running entry.
   StopToken stop;
+
+  /// Runtime gate for the engine's own telemetry spans (engine.run,
+  /// engine.repair_round, per-mapper "mapper" spans, engine.cache_probe).
+  /// Spans are recorded only when this is true AND the process-wide
+  /// tracer is on (telemetry::SetEnabled); with CGRA_TELEMETRY=0 the
+  /// flag is inert. Mapper-internal spans (attempt, phase.*,
+  /// solver.search) consult only the global gate.
+  bool telemetry = true;
 };
 
 /// Per-entry record in the engine result.

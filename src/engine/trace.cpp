@@ -1,45 +1,11 @@
 #include "engine/trace.hpp"
 
-#include <sstream>
 #include <string_view>
 
+#include "support/json.hpp"
 #include "support/status.hpp"
 
 namespace cgra {
-namespace {
-
-void AppendJsonString(std::ostringstream& out, std::string_view s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      case '\r':
-        out << "\\r";
-        break;
-      case '\t':
-        out << "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          static const char* hex = "0123456789abcdef";
-          out << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
-        } else {
-          out << c;
-        }
-    }
-  }
-  out << '"';
-}
-
-}  // namespace
 
 void MapTrace::OnEvent(const MapEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -79,6 +45,7 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
       a.round = e.repair_round;
       a.fault_digest = e.fault_digest;
       a.perf = e.perf;
+      a.correlation = e.correlation;
       out.push_back(std::move(a));
     } else if (e.kind == MapEvent::Kind::kNote && e.solver_steps >= 0) {
       notes.push_back(&e);
@@ -97,6 +64,9 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
 }
 
 PerfCounters MapTrace::TotalPerf() const {
+  // Saturating aggregation: PerfCounters::operator+= pegs at uint64
+  // max, so a multi-thousand-job batch sum can never wrap around into
+  // a small, plausible-looking lie.
   PerfCounters total;
   const std::vector<MapEvent> snapshot = events();
   for (const MapEvent& e : snapshot) {
@@ -109,39 +79,40 @@ std::string MapTrace::ToJson() const {
   const std::vector<Attempt> attempts = Attempts();
   const std::vector<MapEvent> snapshot = events();
 
-  std::ostringstream out;
-  out << "{\"attempts\":[";
-  bool first = true;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("attempts").BeginArray();
   for (const Attempt& a : attempts) {
-    if (!first) out << ',';
-    first = false;
-    out << "{\"mapper\":";
-    AppendJsonString(out, a.mapper);
-    out << ",\"ii\":" << a.ii << ",\"ok\":" << (a.ok ? "true" : "false");
-    out << ",\"error\":";
-    AppendJsonString(out, a.error_code);
-    out << ",\"message\":";
-    AppendJsonString(out, a.message);
-    out << ",\"seconds\":" << a.seconds;
-    if (a.solver_steps >= 0) out << ",\"solver_steps\":" << a.solver_steps;
-    out << ",\"round\":" << a.round;
-    out << ",\"fault_digest\":";
-    AppendJsonString(out, a.fault_digest);
+    w.BeginObject();
+    w.Key("mapper").String(a.mapper);
+    w.Key("ii").Int(a.ii);
+    w.Key("ok").Bool(a.ok);
+    w.Key("error").String(a.error_code);
+    w.Key("message").String(a.message);
+    w.Key("seconds").Double(a.seconds);
+    if (a.solver_steps >= 0) w.Key("solver_steps").Int(a.solver_steps);
+    w.Key("round").Int(a.round);
+    w.Key("fault_digest").String(a.fault_digest);
+    if (a.correlation != 0) w.Key("corr").Uint(a.correlation);
     if (a.perf.Any()) {
-      out << ",\"perf\":{\"router_queries\":" << a.perf.router_queries
-          << ",\"router_routed\":" << a.perf.router_routed
-          << ",\"router_pushes\":" << a.perf.router_pushes
-          << ",\"router_pops\":" << a.perf.router_pops
-          << ",\"router_expansions\":" << a.perf.router_expansions
-          << ",\"arena_reuses\":" << a.perf.arena_reuses
-          << ",\"arena_grows\":" << a.perf.arena_grows
-          << ",\"tracker_checks\":" << a.perf.tracker_checks
-          << ",\"tracker_check_hits\":" << a.perf.tracker_check_hits
-          << ",\"tracker_occupies\":" << a.perf.tracker_occupies
-          << ",\"tracker_releases\":" << a.perf.tracker_releases << '}';
+      w.Key("perf").BeginObject();
+      w.Key("router_queries").Uint(a.perf.router_queries);
+      w.Key("router_routed").Uint(a.perf.router_routed);
+      w.Key("router_pushes").Uint(a.perf.router_pushes);
+      w.Key("router_pops").Uint(a.perf.router_pops);
+      w.Key("router_expansions").Uint(a.perf.router_expansions);
+      w.Key("arena_reuses").Uint(a.perf.arena_reuses);
+      w.Key("arena_grows").Uint(a.perf.arena_grows);
+      w.Key("tracker_checks").Uint(a.perf.tracker_checks);
+      w.Key("tracker_check_hits").Uint(a.perf.tracker_check_hits);
+      w.Key("tracker_occupies").Uint(a.perf.tracker_occupies);
+      w.Key("tracker_releases").Uint(a.perf.tracker_releases);
+      w.EndObject();
     }
-    out << '}';
+    w.EndObject();
   }
+  w.EndArray();
+
   bool any_cache = false;
   for (const MapEvent& e : snapshot) {
     if (e.kind == MapEvent::Kind::kCacheLookup) {
@@ -150,46 +121,39 @@ std::string MapTrace::ToJson() const {
     }
   }
   if (any_cache) {
-    out << "],\"cache\":[";
-    first = true;
+    w.Key("cache").BeginArray();
     for (const MapEvent& e : snapshot) {
       if (e.kind != MapEvent::Kind::kCacheLookup) continue;
-      if (!first) out << ',';
-      first = false;
-      out << "{\"key\":";
-      AppendJsonString(out, e.message);
-      out << ",\"hit\":" << (e.ok ? "true" : "false");
-      out << ",\"tier\":";
-      AppendJsonString(out, e.mapper);
-      out << ",\"degraded\":" << (e.error_code ? "true" : "false");
-      out << ",\"seconds\":" << e.seconds;
-      out << ",\"round\":" << e.repair_round << '}';
+      w.BeginObject();
+      w.Key("key").String(e.message);
+      w.Key("hit").Bool(e.ok);
+      w.Key("tier").String(e.mapper);
+      w.Key("degraded").Bool(e.error_code.has_value());
+      w.Key("seconds").Double(e.seconds);
+      w.Key("round").Int(e.repair_round);
+      w.EndObject();
     }
+    w.EndArray();
   }
 
-  out << "],\"mappers\":[";
-  first = true;
+  w.Key("mappers").BeginArray();
   for (const MapEvent& e : snapshot) {
     if (e.kind != MapEvent::Kind::kMapperDone) continue;
-    if (!first) out << ',';
-    first = false;
-    out << "{\"name\":";
-    AppendJsonString(out, e.mapper);
-    out << ",\"ok\":" << (e.ok ? "true" : "false");
-    out << ",\"seconds\":" << e.seconds;
-    out << ",\"error\":";
-    AppendJsonString(out,
-                     !e.ok && e.error_code ? Error::CodeName(*e.error_code)
-                                           : std::string_view());
-    out << ",\"message\":";
-    AppendJsonString(out, e.message);
-    out << ",\"round\":" << e.repair_round;
-    out << ",\"fault_digest\":";
-    AppendJsonString(out, e.fault_digest);
-    out << '}';
+    w.BeginObject();
+    w.Key("name").String(e.mapper);
+    w.Key("ok").Bool(e.ok);
+    w.Key("seconds").Double(e.seconds);
+    w.Key("error").String(!e.ok && e.error_code
+                              ? Error::CodeName(*e.error_code)
+                              : std::string_view());
+    w.Key("message").String(e.message);
+    w.Key("round").Int(e.repair_round);
+    w.Key("fault_digest").String(e.fault_digest);
+    w.EndObject();
   }
-  out << "]}";
-  return out.str();
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
 }
 
 void MapTrace::Clear() {

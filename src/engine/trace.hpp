@@ -45,6 +45,7 @@ class MapTrace final : public MapObserver {
     int round = 0;                  ///< RunWithRepair round (0 = first try)
     std::string fault_digest;       ///< fabric FaultModel digest at that round
     PerfCounters perf;              ///< router/tracker effort of the attempt
+    std::uint64_t correlation = 0;  ///< telemetry span id; 0 = no tracing
   };
   std::vector<Attempt> Attempts() const;
 
@@ -69,6 +70,10 @@ class MapTrace final : public MapObserver {
   /// emitted when EngineOptions::cache is set): tier is "mem"/"disk"
   /// on a hit, and degraded marks a candidate that validation or
   /// decoding rejected into a miss. Omitted when no probe happened.
+  /// When span tracing was on during the run, each attempt row also
+  /// carries "corr": the telemetry correlation id shared with that
+  /// attempt's spans in the Chrome trace (join key across the two
+  /// artefacts). Serialisation goes through support/json's JsonWriter.
   std::string ToJson() const;
 
   void Clear();

@@ -7,9 +7,48 @@
 #include "graph/algos.hpp"
 #include "mapping/perf.hpp"
 #include "support/str.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cgra {
 namespace {
+
+/// Attempt-level metrics, registered once. These are the numbers the
+/// batch report's metrics snapshot and the Prometheus dump aggregate
+/// across every mapper in the process (docs/OBSERVABILITY.md).
+struct AttemptMetrics {
+  telemetry::Counter& ok = telemetry::MetricsRegistry::Global().GetCounter(
+      "cgra_attempt_ok_total", "II attempts that produced a mapping");
+  telemetry::Counter& fail = telemetry::MetricsRegistry::Global().GetCounter(
+      "cgra_attempt_fail_total", "II attempts that failed");
+  telemetry::Histogram& seconds =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "cgra_attempt_seconds",
+          {0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0},
+          "wall time of one II attempt");
+  telemetry::Histogram& ii = telemetry::MetricsRegistry::Global().GetHistogram(
+      "cgra_attempt_ii", {1, 2, 3, 4, 6, 8, 12, 16, 24, 32},
+      "achieved II of successful attempts");
+  telemetry::Histogram& router_queries =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "cgra_attempt_router_queries",
+          {10, 100, 1000, 10000, 100000, 1000000},
+          "router queries issued by one II attempt");
+};
+
+AttemptMetrics& Metrics() {
+  static AttemptMetrics m;
+  return m;
+}
+
+void ObserveAttemptMetrics(bool ok, int ii, double seconds,
+                           const PerfCounters& perf) {
+  AttemptMetrics& m = Metrics();
+  (ok ? m.ok : m.fail).Add(1);
+  m.seconds.Observe(seconds);
+  if (ok) m.ii.Observe(static_cast<double>(ii));
+  m.router_queries.Observe(static_cast<double>(perf.router_queries));
+}
 
 // Dependence edges that constrain timing (edges from folded producers
 // do not: immediates are available at every cycle).
@@ -168,7 +207,11 @@ Result<Mapping> ImsPlaceRoute(const Dfg& dfg, const Architecture& arch,
                               const Mrrg& mrrg, int ii,
                               const std::vector<OpId>& order,
                               const ImsOptions& options) {
-  const std::vector<int> est = ModuloAsap(dfg, arch, ii);
+  telemetry::Span phase_span("phase.place_route");
+  const std::vector<int> est = [&] {
+    telemetry::Span schedule_span("phase.schedule");
+    return ModuloAsap(dfg, arch, ii);
+  }();
   if (est.empty()) {
     return Error::Unmappable(StrFormat("recurrences infeasible at II=%d", ii));
   }
@@ -313,6 +356,7 @@ Result<Mapping> BindAtFixedTimes(const Dfg& dfg, const Architecture& arch,
                                  const std::vector<int>& times,
                                  const Deadline& deadline, int node_budget,
                                  const StopToken& stop) {
+  telemetry::Span phase_span("phase.bind");
   PlaceRouteState state(dfg, arch, mrrg, ii);
   std::vector<OpId> order = state.MappableOps();
   std::sort(order.begin(), order.end(), [&](OpId a, OpId b) {
@@ -398,7 +442,17 @@ Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
 
     const PerfCounters perf_before = ThreadPerfCounters();
     WallTimer timer;
-    Result<Mapping> r = attempt(ii);
+    // The span and the kAttemptDone event share one correlation id,
+    // joining the MapTrace row to its trace spans.
+    const std::uint64_t correlation =
+        telemetry::Enabled() ? telemetry::NewCorrelation() : 0;
+    Result<Mapping> r = [&] {
+      telemetry::Span span(
+          "attempt",
+          telemetry::Enabled() ? StrFormat("%s ii=%d", name.c_str(), ii) : "",
+          correlation);
+      return attempt(ii);
+    }();
 
     MapEvent done;
     done.kind = MapEvent::Kind::kAttemptDone;
@@ -407,11 +461,13 @@ Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
     done.ok = r.ok();
     done.seconds = timer.Seconds();
     done.perf = ThreadPerfCounters() - perf_before;
+    done.correlation = correlation;
     if (!r.ok()) {
       done.error_code = r.error().code;
       done.message = r.error().message;
     }
     NotifyObserver(options.observer, done);
+    ObserveAttemptMetrics(done.ok, ii, done.seconds, done.perf);
 
     if (r.ok()) return r;
     last = r.error();
@@ -436,7 +492,17 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
 
   const PerfCounters perf_before = ThreadPerfCounters();
   WallTimer timer;
-  Result<Mapping> r = attempt();
+  const std::uint64_t correlation =
+      telemetry::Enabled() ? telemetry::NewCorrelation() : 0;
+  Result<Mapping> r = [&] {
+    telemetry::Span span(
+        "attempt",
+        telemetry::Enabled()
+            ? StrFormat("%s ii=%d", self.name().c_str(), ii)
+            : "",
+        correlation);
+    return attempt();
+  }();
 
   MapEvent done;
   done.kind = MapEvent::Kind::kAttemptDone;
@@ -445,11 +511,13 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
   done.ok = r.ok();
   done.seconds = timer.Seconds();
   done.perf = ThreadPerfCounters() - perf_before;
+  done.correlation = correlation;
   if (!r.ok()) {
     done.error_code = r.error().code;
     done.message = r.error().message;
   }
   NotifyObserver(options.observer, done);
+  ObserveAttemptMetrics(done.ok, ii, done.seconds, done.perf);
   return r;
 }
 

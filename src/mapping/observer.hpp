@@ -48,6 +48,11 @@ struct MapEvent {
   std::int64_t solver_steps = -1;         ///< conflicts/nodes/iterations, -1 unknown
   int repair_round = 0;                   ///< RunWithRepair round (0 = first try)
   std::string fault_digest;               ///< FaultModel::Digest() of the fabric
+  /// Telemetry correlation id (telemetry::NewCorrelation) shared with
+  /// the span bracketing the same attempt, so a MapTrace row can be
+  /// joined against the Chrome-trace spans and metrics behind it.
+  /// 0 when tracing was off.
+  std::uint64_t correlation = 0;
   /// Router/tracker hot-path effort behind this attempt (the delta of
   /// the worker thread's PerfCounters across attempt(); see
   /// mapping/perf.hpp). All-zero for events that bracket no search.

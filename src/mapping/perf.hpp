@@ -21,6 +21,15 @@
 namespace cgra {
 
 struct PerfCounters {
+  /// Saturating add: MapTrace::TotalPerf sums counters across
+  /// thousands of batch attempts, and a wrapped uint64 would report a
+  /// tiny total instead of "a lot". Pegging at max is the honest
+  /// aggregate.
+  static std::uint64_t SatAdd(std::uint64_t a, std::uint64_t b) {
+    const std::uint64_t s = a + b;
+    return s < a ? ~std::uint64_t{0} : s;
+  }
+
   // Router (mapping/router.cpp).
   std::uint64_t router_queries = 0;     ///< RouteValue calls
   std::uint64_t router_routed = 0;      ///< ... that returned a route
@@ -36,18 +45,21 @@ struct PerfCounters {
   std::uint64_t tracker_occupies = 0;   ///< Occupy calls
   std::uint64_t tracker_releases = 0;   ///< Release calls
 
+  /// Aggregation saturates instead of wrapping (see SatAdd). The
+  /// per-thread accumulators this diffs over are nowhere near 2^64, so
+  /// only cross-attempt aggregation needed the guard.
   PerfCounters& operator+=(const PerfCounters& o) {
-    router_queries += o.router_queries;
-    router_routed += o.router_routed;
-    router_pushes += o.router_pushes;
-    router_pops += o.router_pops;
-    router_expansions += o.router_expansions;
-    arena_reuses += o.arena_reuses;
-    arena_grows += o.arena_grows;
-    tracker_checks += o.tracker_checks;
-    tracker_check_hits += o.tracker_check_hits;
-    tracker_occupies += o.tracker_occupies;
-    tracker_releases += o.tracker_releases;
+    router_queries = SatAdd(router_queries, o.router_queries);
+    router_routed = SatAdd(router_routed, o.router_routed);
+    router_pushes = SatAdd(router_pushes, o.router_pushes);
+    router_pops = SatAdd(router_pops, o.router_pops);
+    router_expansions = SatAdd(router_expansions, o.router_expansions);
+    arena_reuses = SatAdd(arena_reuses, o.arena_reuses);
+    arena_grows = SatAdd(arena_grows, o.arena_grows);
+    tracker_checks = SatAdd(tracker_checks, o.tracker_checks);
+    tracker_check_hits = SatAdd(tracker_check_hits, o.tracker_check_hits);
+    tracker_occupies = SatAdd(tracker_occupies, o.tracker_occupies);
+    tracker_releases = SatAdd(tracker_releases, o.tracker_releases);
     return *this;
   }
 

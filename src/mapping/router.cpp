@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "mapping/perf.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace cgra {
 namespace {
@@ -100,6 +101,10 @@ Result<Route> RouteValue(const Mrrg& mrrg, ResourceTracker& tracker,
                          const RouterOptions& options) {
   PerfCounters& perf = ThreadPerfCounters();
   ++perf.router_queries;
+  // Per-query spans only under the detail gate: a mapper issues
+  // thousands of these, which would swamp the rings on a normal trace.
+  telemetry::Span query_span(telemetry::DetailEnabled() ? "phase.route"
+                                                        : nullptr);
 
   const int ii = tracker.ii();
   const int start_time = request.from_time + 1;

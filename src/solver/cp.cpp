@@ -1,5 +1,7 @@
 #include "solver/cp.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <numeric>
@@ -210,6 +212,7 @@ bool CpModel::Search(const Deadline& deadline, const StopToken& stop,
 Result<std::vector<int>> CpModel::Solve(const Deadline& deadline,
                                         SolveStats* stats,
                                         const StopToken& stop) {
+  telemetry::Span span("solver.search", "cp");
   if (!PropagateAll()) return Error::Unmappable("CSP root propagation wiped out");
   if (!Search(deadline, stop, stats, 0)) {
     if (deadline.Expired() || stop.StopRequested()) {

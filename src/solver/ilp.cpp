@@ -1,5 +1,7 @@
 #include "solver/ilp.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -34,6 +36,7 @@ struct BranchNode {
 }  // namespace
 
 Result<IlpModel::Solution> IlpModel::Solve(const SolveOptions& options) const {
+  telemetry::Span span("solver.search", "ilp");
   const int n = num_vars();
   for (double lo : lo_) {
     if (lo < 0) {

@@ -1,5 +1,7 @@
 #include "solver/sat.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -275,6 +277,7 @@ void SatSolver::ReduceLearnedDb() {
 }
 
 SatResult SatSolver::Solve(const Deadline& deadline, const StopToken& stop) {
+  telemetry::Span span("solver.search", "sat");
   if (unsat_) return SatResult::kUnsat;
   Backtrack(0);  // make Solve incremental: clauses may arrive between calls
   qhead_ = 0;    // re-propagate the level-0 trail against any new clauses

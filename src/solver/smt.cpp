@@ -1,5 +1,7 @@
 #include "solver/smt.hpp"
 
+#include "telemetry/telemetry.hpp"
+
 #include <algorithm>
 
 namespace cgra {
@@ -83,6 +85,7 @@ bool SmtSolver::TheoryCheck(std::vector<Lit>* blocking) {
 
 SmtSolver::Outcome SmtSolver::Solve(const Deadline& deadline,
                                     const StopToken& stop) {
+  telemetry::Span span("solver.search", "smt");
   for (;;) {
     const SatResult r = sat_.Solve(deadline, stop);
     if (r == SatResult::kUnsat) return Outcome::kUnsat;

@@ -1,6 +1,7 @@
 #include "support/json.hpp"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 #include "support/str.hpp"
@@ -247,6 +248,152 @@ class JsonParser {
 
 Result<Json> Json::Parse(std::string_view text) {
   return JsonParser(text).Parse();
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  static const char* hex = "0123456789abcdef";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default: {
+        const unsigned char u = static_cast<unsigned char>(c);
+        if (u < 0x20) {
+          out += "\\u00";
+          out += hex[(u >> 4) & 0xF];
+          out += hex[u & 0xF];
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+}
+
+std::string JsonQuoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, s);
+  out += '"';
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already placed the comma and the colon follows it
+  }
+  if (!comma_.empty()) {
+    if (comma_.back()) out_ += ',';
+    comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  if (!comma_.empty()) comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  if (!comma_.empty()) comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  if (!comma_.empty()) {
+    if (comma_.back()) out_ += ',';
+    comma_.back() = true;
+  }
+  out_ += '"';
+  AppendJsonEscaped(out_, k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  out_ += '"';
+  AppendJsonEscaped(out_, v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t v) {
+  BeforeValue();
+  out_ += StrFormat("%lld", static_cast<long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(std::uint64_t v) {
+  BeforeValue();
+  out_ += StrFormat("%llu", static_cast<unsigned long long>(v));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+    out_ += "null";
+    return *this;
+  }
+  // Shortest representation that round-trips: try increasing precision
+  // until strtod gives the value back (17 digits always does).
+  char buf[40];
+  for (int prec = 9; prec <= 17; prec += 4) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
 }
 
 }  // namespace cgra

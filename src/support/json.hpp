@@ -1,4 +1,4 @@
-// A minimal JSON reader for the batch-compile driver's manifests.
+// Minimal JSON reading AND writing for the whole repo.
 //
 // The container this library targets has no third-party JSON
 // dependency, and the manifests tools/cgra_batch consumes are small
@@ -6,9 +6,13 @@
 // recursive-descent parser over the full JSON grammar (RFC 8259):
 // null/bool/number/string/array/object, escape sequences including
 // \uXXXX, a depth limit instead of unbounded recursion, and pointed
-// error messages with line:column. Writing JSON stays where it always
-// was in this repo: StrFormat directly (the emitters know their own
-// schemas; see bench/perf_suite.cpp, engine/trace.cpp).
+// error messages with line:column.
+//
+// Writing goes through JsonWriter (one escaping implementation for
+// every emitter in the repo: MapTrace::ToJson, the batch report, the
+// Chrome-trace exporter). Hand-rolled StrFormat emitters used to
+// disagree on which control characters they escaped, and a solver
+// error message containing a raw 0x1f could corrupt a report.
 #pragma once
 
 #include <cstdint>
@@ -79,6 +83,56 @@ class Json {
   std::vector<std::pair<std::string, Json>> members_;
 
   friend class JsonParser;
+};
+
+/// Appends `s` to `out` with JSON string escaping applied (quotes,
+/// backslashes, and every control character below 0x20 as \uXXXX).
+/// No surrounding quotes — compose with JsonQuoted for a full literal.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+/// `s` as a complete JSON string literal, quotes included.
+std::string JsonQuoted(std::string_view s);
+
+/// A small streaming JSON emitter: tracks nesting and inserts commas,
+/// so emitters state their schema (keys and values) and nothing else.
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject().Key("jobs").BeginArray();
+///   w.BeginObject().Key("ok").Bool(true).Key("ii").Int(4).EndObject();
+///   w.EndArray().EndObject();
+///   w.str()  // => {"jobs":[{"ok":true,"ii":4}]}
+/// Misuse (e.g. a value with no pending key inside an object) is a
+/// programming error; the writer keeps the output well-formed for the
+/// calls it was given and does not validate hierarchy exhaustively.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view k);
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Int(std::int64_t v);
+  JsonWriter& Uint(std::uint64_t v);
+  /// Shortest form that round-trips doubles (printf %.17g trimmed);
+  /// NaN/Inf — which JSON cannot represent — are emitted as null.
+  JsonWriter& Double(double v);
+  JsonWriter& Null();
+  /// Splices pre-serialised JSON (e.g. a nested document) as a value.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true while the next element needs a
+  /// leading comma.
+  std::vector<bool> comma_;
+  bool pending_key_ = false;
 };
 
 }  // namespace cgra

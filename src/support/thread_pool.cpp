@@ -4,7 +4,26 @@
 #include <algorithm>
 #include <atomic>
 
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace cgra {
+namespace {
+
+telemetry::Gauge& QueueDepthGauge() {
+  static telemetry::Gauge& g = telemetry::MetricsRegistry::Global().GetGauge(
+      "cgra_pool_queue_depth", "tasks queued but not yet dequeued");
+  return g;
+}
+
+telemetry::Counter& TasksCounter() {
+  static telemetry::Counter& c =
+      telemetry::MetricsRegistry::Global().GetCounter(
+          "cgra_pool_tasks_total", "tasks executed by the thread pool");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,9 +45,15 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  QueuedTask qt;
+  qt.fn = std::move(task);
+  if (telemetry::Enabled()) {
+    qt.enqueue_ns = telemetry::NowNs();
+    QueueDepthGauge().Add(1);
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(qt));
   }
   cv_task_.notify_one();
 }
@@ -54,7 +79,7 @@ void ThreadPool::ParallelFor(std::size_t n,
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -63,7 +88,20 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    if (task.enqueue_ns != 0) {
+      // The submit-side increment must be balanced even if tracing was
+      // flipped off while the task sat in the queue.
+      QueueDepthGauge().Add(-1);
+      TasksCounter().Add(1);
+      // Queue wait, drawn on the worker that finally picked the task
+      // up: the gap from Submit() to dequeue.
+      telemetry::RecordSpan("pool.wait", {}, task.enqueue_ns,
+                            telemetry::NowNs());
+      telemetry::Span span("pool.task");
+      task.fn();
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

@@ -4,10 +4,18 @@
 // population-based mappers to evaluate individuals concurrently.
 // Per the Core Guidelines (CP.4) the API is task-shaped: submit
 // closures, wait for all of them; no shared mutable state is implied.
+//
+// Telemetry: when span tracing is enabled (telemetry::SetEnabled) each
+// task's queue wait is recorded as a "pool.wait" span and its
+// execution as "pool.task" on the worker's track, and the
+// cgra_pool_queue_depth gauge follows the submit/dequeue balance —
+// that is how cgra_trace makes queue starvation visible. All of it is
+// behind one relaxed atomic load when tracing is off.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -55,10 +63,17 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// A queued task plus its enqueue timestamp (0 = tracing was off at
+  /// submit time, no wait span is emitted).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::vector<std::thread> workers_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;

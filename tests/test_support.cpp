@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
+#include "mapping/perf.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/status.hpp"
 #include "support/stop_token.hpp"
@@ -213,6 +218,79 @@ TEST(StopToken, CancelsWorkOnAnotherThread) {
   }
   source.RequestStop();
   EXPECT_GE(done.get(), 0);
+}
+
+TEST(Timer, DeadlineRemainingSecondsShrinks) {
+  const Deadline d = Deadline::AfterSeconds(100.0);
+  const double r = d.RemainingSeconds();
+  EXPECT_GT(r, 0.0);
+  EXPECT_LE(r, 100.0);
+  EXPECT_GT(Deadline::Unlimited().RemainingSeconds(), 1e17);
+}
+
+TEST(Timer, WallTimerResetRestartsTheClock) {
+  WallTimer t;
+  while (t.Seconds() <= 0.0) {
+  }
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+  EXPECT_NEAR(t.Millis(), t.Seconds() * 1e3, 1.0);
+}
+
+TEST(Json, EscapingCoversControlAndQuoteCharacters) {
+  std::string out;
+  AppendJsonEscaped(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001f");
+  EXPECT_EQ(JsonQuoted("x\"y"), "\"x\\\"y\"");
+}
+
+TEST(Json, WriterEmitsNestedDocuments) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("a\"b");
+  w.Key("ok").Bool(true);
+  w.Key("n").Int(-3);
+  w.Key("u").Uint(std::numeric_limits<std::uint64_t>::max());
+  w.Key("list").BeginArray().Int(1).Int(2).EndArray();
+  w.Key("nested").BeginObject().Key("x").Null().EndObject();
+  w.Key("raw").Raw("{\"pre\":1}");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"a\\\"b\",\"ok\":true,\"n\":-3,"
+            "\"u\":18446744073709551615,\"list\":[1,2],"
+            "\"nested\":{\"x\":null},\"raw\":{\"pre\":1}}");
+}
+
+TEST(Json, WriterOutputRoundTripsThroughTheParser) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("line1\nline2\ttab");
+  w.Key("d").Double(0.1);
+  w.Key("inf").Double(std::numeric_limits<double>::infinity());
+  w.Key("arr").BeginArray().Bool(false).String("").EndArray();
+  w.EndObject();
+  const Result<Json> doc = Json::Parse(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc->Find("s")->AsString(), "line1\nline2\ttab");
+  EXPECT_EQ(doc->Find("d")->AsDouble(), 0.1);
+  EXPECT_TRUE(doc->Find("inf")->is_null()) << "Inf must degrade to null";
+  EXPECT_EQ(doc->Find("arr")->items().size(), 2u);
+}
+
+TEST(Perf, AggregationSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(PerfCounters::SatAdd(kMax - 1, 1), kMax - 0);
+  EXPECT_EQ(PerfCounters::SatAdd(kMax, 1), kMax);
+  EXPECT_EQ(PerfCounters::SatAdd(kMax, kMax), kMax);
+
+  PerfCounters total;
+  total.router_queries = kMax - 5;
+  PerfCounters delta;
+  delta.router_queries = 100;
+  delta.tracker_checks = 7;
+  total += delta;
+  EXPECT_EQ(total.router_queries, kMax) << "sum must peg, not wrap";
+  EXPECT_EQ(total.tracker_checks, 7u);
 }
 
 }  // namespace

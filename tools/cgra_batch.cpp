@@ -21,9 +21,17 @@
 //                 "dead_cells": [5, 9], ...default overrides... } ]
 //   }
 //
+// Observability: --trace FILE turns the span tracer on and writes a
+// Chrome trace-event JSON (load in Perfetto / chrome://tracing, or
+// aggregate with tools/cgra_trace) covering every job's
+// batch.job -> engine.run -> mapper -> attempt -> phase.* span tree;
+// the report's aggregate always embeds a metrics-registry snapshot
+// (docs/OBSERVABILITY.md). All report JSON goes through support/json's
+// JsonWriter — the one escaping implementation in the repo.
+//
 // usage: cgra_batch --manifest FILE [--out FILE] [--cache-dir DIR]
 //                   [--cache-capacity N] [--no-cache] [--threads N]
-//                   [--traces DIR] [--quiet]
+//                   [--traces DIR] [--trace FILE] [--quiet]
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +50,9 @@
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace cgra;
 
@@ -113,27 +124,6 @@ struct JobResult {
   std::vector<EngineAttempt> attempts;
 };
 
-std::string JsonEscape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 /// Applies `job`-level overrides from a manifest object onto a spec
 /// that starts as a copy of the defaults.
 void ApplyJobFields(const Json& obj, JobSpec& spec) {
@@ -180,6 +170,9 @@ JobResult Fail(JobResult r, std::string_view code, std::string message) {
 
 JobResult RunJob(const JobSpec& spec, MappingCache* cache,
                  const std::string& traces_dir) {
+  // Root of this job's span tree; every engine/mapper/attempt span the
+  // job emits nests under it on the worker thread's track.
+  telemetry::Span job_span("batch.job", spec.name);
   JobResult out;
   WallTimer timer;
 
@@ -239,6 +232,17 @@ JobResult RunJob(const JobSpec& spec, MappingCache* cache,
     out.error_message = r.error().message;
   }
 
+  {
+    auto& reg = telemetry::MetricsRegistry::Global();
+    static telemetry::Counter& jobs =
+        reg.GetCounter("cgra_batch_jobs_total", "Batch jobs executed");
+    static telemetry::Counter& failed =
+        reg.GetCounter("cgra_batch_jobs_failed_total",
+                       "Batch jobs that produced no mapping");
+    jobs.Add(1);
+    if (!out.ok) failed.Add(1);
+  }
+
   if (!traces_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(traces_dir, ec);
@@ -253,34 +257,39 @@ JobResult RunJob(const JobSpec& spec, MappingCache* cache,
 }
 
 std::string JobJson(const JobSpec& spec, const JobResult& r) {
-  std::string mappers;
-  for (std::size_t i = 0; i < spec.mappers.size(); ++i) {
-    if (i) mappers += ',';
-    mappers += '"' + JsonEscape(spec.mappers[i]) + '"';
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String(spec.name);
+  w.Key("fabric").String(spec.fabric);
+  w.Key("kernel").String(spec.kernel);
+  w.Key("mappers").BeginArray();
+  for (const std::string& m : spec.mappers) w.String(m);
+  w.EndArray();
+  w.Key("ok").Bool(r.ok);
+  w.Key("ii").Int(r.ii);
+  w.Key("wall_seconds").Double(r.seconds);
+  w.Key("winner").String(r.winner);
+  w.Key("cache_hit").Bool(r.cache_hit);
+  w.Key("cache_key").String(r.cache_key);
+  w.Key("mapping_digest").String(r.mapping_digest);
+  w.Key("error").String(r.error_code);
+  w.Key("message").String(r.error_message);
+  w.Key("attempts").BeginArray();
+  for (const EngineAttempt& a : r.attempts) {
+    w.BeginObject();
+    w.Key("mapper").String(a.mapper);
+    w.Key("ok").Bool(a.ok);
+    w.Key("ii").Int(a.ii);
+    w.Key("seconds").Double(a.seconds);
+    w.Key("error").String(a.ok ? std::string_view()
+                               : Error::CodeName(a.error.code));
+    w.Key("message").String(a.ok ? std::string_view()
+                                 : std::string_view(a.error.message));
+    w.EndObject();
   }
-  std::string attempts;
-  for (std::size_t i = 0; i < r.attempts.size(); ++i) {
-    const EngineAttempt& a = r.attempts[i];
-    if (i) attempts += ',';
-    attempts += StrFormat(
-        "{\"mapper\":\"%s\",\"ok\":%s,\"ii\":%d,\"seconds\":%.6f,"
-        "\"error\":\"%s\",\"message\":\"%s\"}",
-        JsonEscape(a.mapper).c_str(), a.ok ? "true" : "false", a.ii, a.seconds,
-        a.ok ? "" : std::string(Error::CodeName(a.error.code)).c_str(),
-        a.ok ? "" : JsonEscape(a.error.message).c_str());
-  }
-  return StrFormat(
-      "{\"name\":\"%s\",\"fabric\":\"%s\",\"kernel\":\"%s\","
-      "\"mappers\":[%s],\"ok\":%s,\"ii\":%d,\"wall_seconds\":%.6f,"
-      "\"winner\":\"%s\",\"cache_hit\":%s,\"cache_key\":\"%s\","
-      "\"mapping_digest\":\"%s\",\"error\":\"%s\",\"message\":\"%s\","
-      "\"attempts\":[%s]}",
-      JsonEscape(spec.name).c_str(), JsonEscape(spec.fabric).c_str(),
-      JsonEscape(spec.kernel).c_str(), mappers.c_str(),
-      r.ok ? "true" : "false", r.ii, r.seconds, JsonEscape(r.winner).c_str(),
-      r.cache_hit ? "true" : "false", r.cache_key.c_str(),
-      r.mapping_digest.c_str(), r.error_code.c_str(),
-      JsonEscape(r.error_message).c_str(), attempts.c_str());
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
 }
 
 }  // namespace
@@ -290,6 +299,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BATCH_report.json";
   std::string cache_dir;
   std::string traces_dir;
+  std::string trace_path;
   std::size_t cache_capacity = 4096;
   bool use_cache = true;
   bool quiet = false;
@@ -308,6 +318,8 @@ int main(int argc, char** argv) {
       cache_dir = v;
     } else if (const char* v = arg_value("--traces")) {
       traces_dir = v;
+    } else if (const char* v = arg_value("--trace")) {
+      trace_path = v;
     } else if (const char* v = arg_value("--cache-capacity")) {
       cache_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = arg_value("--threads")) {
@@ -320,7 +332,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s --manifest FILE [--out FILE] [--cache-dir DIR]\n"
                    "          [--cache-capacity N] [--no-cache] [--threads N]\n"
-                   "          [--traces DIR] [--quiet]\n",
+                   "          [--traces DIR] [--trace FILE] [--quiet]\n",
                    argv[0]);
       return 2;
     }
@@ -329,6 +341,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cgra_batch: --manifest is required\n");
     return 2;
   }
+  if (!trace_path.empty()) telemetry::SetEnabled(true);
 
   std::string manifest_text;
   {
@@ -415,23 +428,47 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cgra_batch: cannot open %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n  \"schema_version\": 1,\n  \"manifest\": \"%s\",\n"
-               "  \"jobs\": [\n",
-               JsonEscape(manifest_path).c_str());
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("manifest").String(manifest_path);
+  w.Key("jobs").BeginArray();
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    std::fprintf(out, "    %s%s\n", JobJson(specs[i], results[i]).c_str(),
-                 i + 1 < specs.size() ? "," : "");
+    w.Raw(JobJson(specs[i], results[i]));
   }
-  std::fprintf(out,
-               "  ],\n  \"aggregate\": {\"jobs\": %zu, \"ok\": %d, "
-               "\"failed\": %zu, \"cache_hits\": %d, "
-               "\"wall_seconds\": %.6f, \"job_seconds_sum\": %.6f, "
-               "\"threads\": %zu, \"cache\": %s}\n}\n",
-               specs.size(), ok_jobs, specs.size() - ok_jobs, cache_hits, wall,
-               job_seconds_sum, pool.thread_count(),
-               cache ? cache->stats().ToJson().c_str() : "null");
+  w.EndArray();
+  w.Key("aggregate").BeginObject();
+  w.Key("jobs").Uint(specs.size());
+  w.Key("ok").Int(ok_jobs);
+  w.Key("failed").Uint(specs.size() - ok_jobs);
+  w.Key("cache_hits").Int(cache_hits);
+  w.Key("wall_seconds").Double(wall);
+  w.Key("job_seconds_sum").Double(job_seconds_sum);
+  w.Key("threads").Uint(pool.thread_count());
+  if (cache) {
+    w.Key("cache").Raw(cache->stats().ToJson());
+  } else {
+    w.Key("cache").Null();
+  }
+  // Process-wide metrics snapshot: attempt/cache/pool/batch counters
+  // and histograms accumulated over the whole run ("{}" when compiled
+  // with CGRA_TELEMETRY=0).
+  w.Key("metrics").Raw(telemetry::MetricsRegistry::Global().ToJson());
+  w.EndObject();
+  w.EndObject();
+  const std::string report = w.Take();
+  std::fwrite(report.data(), 1, report.size(), out);
+  std::fputc('\n', out);
   std::fclose(out);
+
+  if (!trace_path.empty()) {
+    if (telemetry::WriteChromeTrace(trace_path)) {
+      if (!quiet) std::printf("wrote %s\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cgra_batch: cannot write trace %s\n",
+                   trace_path.c_str());
+    }
+  }
 
   if (!quiet) {
     std::printf("%d/%zu ok, %d cache hit(s), %.2f s wall (%.2f s of work)\n",

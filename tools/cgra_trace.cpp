@@ -1,0 +1,201 @@
+// cgra_trace: inspect a Chrome trace-event JSON exported by the
+// telemetry subsystem (cgra_batch --trace, perf_suite --trace, or any
+// WriteChromeTrace call) without leaving the terminal.
+//
+// Default mode prints a per-span-name aggregate table — count, total
+// and self wall time (self = total minus time spent in nested spans),
+// min/mean/max — sorted by self time, which answers "where did the
+// batch actually spend its wall clock" in one glance. --collapse
+// prints collapsed-stack lines ("batch.job;engine.run;mapper;attempt
+// <self_us>") in the format flamegraph.pl and speedscope consume
+// directly. Both modes reconstruct the span stacks from the balanced
+// B/E duration events per thread track; an unbalanced file is a bug
+// (scripts/check_trace_json.py gates that in CI).
+//
+// usage: cgra_trace TRACE.json [--collapse] [--tid N]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+using namespace cgra;
+
+namespace {
+
+struct Frame {
+  std::string name;
+  double start_us = 0.0;
+  double child_us = 0.0;  ///< time covered by completed nested spans
+};
+
+struct NameStats {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+  double self_us = 0.0;
+  double min_us = 0.0;
+  double max_us = 0.0;
+};
+
+std::string ReadFile(const char* path, bool& ok) {
+  std::string text;
+  std::FILE* f = std::fopen(path, "rb");
+  ok = f != nullptr;
+  if (!f) return text;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool collapse = false;
+  long only_tid = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--collapse") == 0) {
+      collapse = true;
+    } else if (std::strcmp(argv[i], "--tid") == 0 && i + 1 < argc) {
+      only_tid = std::atol(argv[++i]);
+    } else if (argv[i][0] != '-' && !path) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s TRACE.json [--collapse] [--tid N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!path) {
+    std::fprintf(stderr, "usage: %s TRACE.json [--collapse] [--tid N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  bool ok = false;
+  const std::string text = ReadFile(path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "cgra_trace: cannot open %s\n", path);
+    return 1;
+  }
+  const Result<Json> doc = Json::Parse(text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "cgra_trace: %s: %s\n", path,
+                 doc.error().message.c_str());
+    return 1;
+  }
+  const Json* events = doc->Find("traceEvents");
+  if (!events || !events->is_array()) {
+    std::fprintf(stderr, "cgra_trace: %s has no traceEvents array\n", path);
+    return 1;
+  }
+
+  // Replay each thread track's B/E stream. Export order within a track
+  // is already chronological with nesting-correct tie-breaks, so a
+  // simple stack replay reconstructs the span tree exactly.
+  std::map<long, std::vector<Frame>> stacks;
+  std::map<std::string, NameStats> by_name;
+  std::map<std::string, double> by_stack;  // collapsed-stack self time
+  std::uint64_t unbalanced = 0;
+
+  for (const Json& e : events->items()) {
+    const Json* ph = e.Find("ph");
+    if (!ph || !ph->is_string()) continue;
+    const std::string& kind = ph->AsString();
+    if (kind != "B" && kind != "E") continue;
+    const long tid = e.Find("tid") ? static_cast<long>(e.Find("tid")->AsInt())
+                                   : 0;
+    if (only_tid >= 0 && tid != only_tid) continue;
+    const double ts = e.Find("ts") ? e.Find("ts")->AsDouble() : 0.0;
+    std::vector<Frame>& stack = stacks[tid];
+    if (kind == "B") {
+      Frame f;
+      if (const Json* name = e.Find("name")) f.name = name->AsString();
+      f.start_us = ts;
+      stack.push_back(std::move(f));
+      continue;
+    }
+    if (stack.empty()) {
+      ++unbalanced;
+      continue;
+    }
+    const Frame done = stack.back();
+    stack.pop_back();
+    const double total = ts - done.start_us;
+    const double self = total > done.child_us ? total - done.child_us : 0.0;
+    if (!stack.empty()) stack.back().child_us += total;
+
+    NameStats& s = by_name[done.name];
+    if (s.count == 0) {
+      s.min_us = s.max_us = total;
+    } else {
+      s.min_us = std::min(s.min_us, total);
+      s.max_us = std::max(s.max_us, total);
+    }
+    ++s.count;
+    s.total_us += total;
+    s.self_us += self;
+
+    if (collapse) {
+      std::string key;
+      for (const Frame& f : stack) {
+        key += f.name;
+        key += ';';
+      }
+      key += done.name;
+      by_stack[key] += self;
+    }
+  }
+  for (const auto& [tid, stack] : stacks) unbalanced += stack.size();
+  if (unbalanced) {
+    std::fprintf(stderr, "cgra_trace: warning: %llu unbalanced B/E event(s)\n",
+                 static_cast<unsigned long long>(unbalanced));
+  }
+
+  if (collapse) {
+    // flamegraph.pl wants integer sample counts; microseconds of self
+    // time serve as the counts.
+    for (const auto& [key, self_us] : by_stack) {
+      const long long us = static_cast<long long>(self_us + 0.5);
+      if (us > 0) std::printf("%s %lld\n", key.c_str(), us);
+    }
+    return 0;
+  }
+
+  std::vector<std::pair<std::string, NameStats>> rows(by_name.begin(),
+                                                      by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_us > b.second.self_us;
+  });
+  double total_self = 0.0;
+  for (const auto& [name, s] : rows) total_self += s.self_us;
+
+  if (const Json* other = doc->Find("otherData")) {
+    const std::int64_t dropped =
+        other->Find("dropped_spans") ? other->Find("dropped_spans")->AsInt()
+                                     : 0;
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "cgra_trace: warning: trace lost %lld span(s) to ring "
+                   "overflow\n",
+                   static_cast<long long>(dropped));
+    }
+  }
+
+  std::printf("%-24s %8s %12s %12s %7s %10s %10s %10s\n", "span", "count",
+              "total ms", "self ms", "self%", "min ms", "mean ms", "max ms");
+  for (const auto& [name, s] : rows) {
+    std::printf("%-24s %8llu %12.3f %12.3f %6.1f%% %10.3f %10.3f %10.3f\n",
+                name.c_str(), static_cast<unsigned long long>(s.count),
+                s.total_us / 1e3, s.self_us / 1e3,
+                total_self > 0 ? 100.0 * s.self_us / total_self : 0.0,
+                s.min_us / 1e3, s.total_us / 1e3 / s.count, s.max_us / 1e3);
+  }
+  if (rows.empty()) std::printf("(no duration events)\n");
+  return 0;
+}
