@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate cgra_loadgen's BENCH_serve.json and gate serving SLOs.
+
+Schema version 1 — documented in docs/API.md. Stdlib only.
+
+The bench is two open-loop phases of the same request set against one
+cgra_serve daemon: "cold" (distinct seeds, real portfolio work) and
+"warm" (the same bodies again, answered from the daemon's shared
+mapping cache). CI gates on:
+
+  * zero dropped connections in either phase — overload must surface
+    as explicit 429/503 rejections, never as a hung or reset socket;
+  * p99 latency <= --max-p99-ms in both phases (scheduled-start
+    latency, so server-side queueing is included);
+  * the warm phase is majority cache hits — the daemon actually keeps
+    its cache warm across requests;
+  * achieved QPS within --qps-tolerance of the target — if the
+    generator could not sustain the offered load the latencies are
+    measuring the wrong thing;
+  * no rejections by default (--allow-rejections for overload tests).
+
+usage: check_serve_bench.py BENCH_serve.json [--max-p99-ms 2000]
+"""
+import argparse
+import json
+import sys
+
+errors = []
+
+
+def fail(where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def number(doc, where, key, minimum=0):
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v < minimum:
+        fail(where, f"bad '{key}': {v!r}")
+        return None
+    return v
+
+
+def check_phase(path, phase, i, args):
+    where = f"{path}: phases[{i}]"
+    name = phase.get("name")
+    if name not in ("cold", "warm"):
+        fail(where, f"unexpected phase name {name!r}")
+    where = f"{path}: {name or i}"
+
+    sent = number(phase, where, "sent", minimum=1)
+    ok = number(phase, where, "ok")
+    rejected = number(phase, where, "rejected")
+    failed = number(phase, where, "failed")
+    dropped = number(phase, where, "dropped")
+    cache_hits = number(phase, where, "cache_hits")
+    qps = number(phase, where, "achieved_qps")
+    lat = phase.get("latency_ms")
+    if not isinstance(lat, dict):
+        fail(where, "'latency_ms' missing or not an object")
+        lat = {}
+    p99 = number(lat, f"{where}: latency_ms", "p99")
+    for key in ("mean", "p50", "p90", "max"):
+        number(lat, f"{where}: latency_ms", key)
+
+    if None in (sent, ok, rejected, failed, dropped, cache_hits, qps, p99):
+        return
+
+    if ok + rejected + failed + dropped != sent:
+        fail(where, f"ok+rejected+failed+dropped = "
+             f"{ok + rejected + failed + dropped} != sent {sent}")
+
+    # The gates.
+    if dropped > 0:
+        fail(where, f"{dropped} dropped connection(s) — overload must be "
+             f"an explicit rejection, not a reset socket")
+    if failed > 0:
+        fail(where, f"{failed} request(s) failed to map")
+    if rejected > 0 and not args.allow_rejections:
+        fail(where, f"{rejected} rejection(s) (pass --allow-rejections if "
+             f"this bench offers deliberate overload)")
+    if p99 > args.max_p99_ms:
+        fail(where, f"p99 {p99:.1f} ms > limit {args.max_p99_ms:g} ms")
+    if name == "warm" and ok > 0 and cache_hits * 2 <= ok:
+        fail(where, f"only {cache_hits}/{ok} warm requests were cache hits "
+             f"— the daemon's cache is not warm")
+    return name, qps, p99
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("bench", metavar="BENCH_serve.json")
+    ap.add_argument("--max-p99-ms", type=float, default=2000.0,
+                    help="p99 latency ceiling per phase (default 2000)")
+    ap.add_argument("--qps-tolerance", type=float, default=0.5,
+                    help="required achieved/target QPS ratio (default 0.5)")
+    ap.add_argument("--allow-rejections", action="store_true",
+                    help="do not fail on 429/503 rejections")
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.bench}: {e}", file=sys.stderr)
+        return 1
+
+    top = f"{args.bench}: top"
+    if doc.get("schema_version") != 1:
+        fail(top, f"schema_version {doc.get('schema_version')!r} != 1")
+    target_qps = number(doc, top, "qps", minimum=0)
+    number(doc, top, "requests_per_phase", minimum=1)
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or len(phases) != 2:
+        fail(top, "'phases' must be a [cold, warm] pair")
+        phases = []
+
+    summaries = []
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            fail(f"{args.bench}: phases[{i}]", "not an object")
+            continue
+        s = check_phase(args.bench, phase, i, args)
+        if s:
+            summaries.append(s)
+
+    if target_qps:
+        for name, qps, _ in summaries:
+            if qps < target_qps * args.qps_tolerance:
+                fail(f"{args.bench}: {name}",
+                     f"achieved {qps:.1f} qps < {args.qps_tolerance:g}x "
+                     f"target {target_qps:g} — generator could not sustain "
+                     f"the offered load")
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    for name, qps, p99 in summaries:
+        print(f"{args.bench}: {name} ok ({qps:.1f} qps, p99 {p99:.1f} ms "
+              f"<= {args.max_p99_ms:g} ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+// The one place the mapping service's response wire format is defined.
+//
+// MapResponse is the canonical "what happened to this job" record:
+// tools/cgra_serve sends one as every /v1/map response body and
+// tools/cgra_batch writes one per job row in its aggregate report —
+// the same struct, the same ToJson, byte for byte. Consumers (the
+// load generator, scripts/check_batch_report.py, dashboards) parse a
+// single shape regardless of which front-end produced it.
+//
+// The JSON keys intentionally keep the historical cgra_batch report
+// names (ok / wall_seconds / cache_hit / error / message) so existing
+// tooling keeps working, and add the service-era fields: a
+// schema_version, a "status" that is "ok" or the structured error
+// code, wall_ms for latency dashboards, and "corr" — the telemetry
+// correlation id joining this response to its spans in a Chrome trace
+// (docs/API.md documents every field; docs/OBSERVABILITY.md the join).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/request.hpp"
+#include "engine/engine.hpp"
+#include "support/json.hpp"
+#include "support/status.hpp"
+
+namespace cgra::api {
+
+struct MapResponse {
+  int schema_version = kSchemaVersion;
+  std::string name;
+  std::string fabric;
+  std::string kernel;
+  std::vector<std::string> mappers;
+
+  bool ok = false;
+  std::string status;  ///< "ok" or the Error::CodeName of the failure
+  int ii = -1;
+  double wall_seconds = 0.0;
+  std::string winner;       ///< mapper that produced the mapping
+  bool cache_hit = false;
+  std::string cache_key;    ///< 16-hex MappingCacheKey; empty, no cache
+  std::string mapping_digest;
+  std::uint64_t correlation = 0;  ///< telemetry span join key; 0 = none
+  std::string error_code;    ///< empty when ok
+  std::string error_message;
+
+  /// Failure post-mortem: one row per portfolio entry the engine ran.
+  struct Attempt {
+    std::string mapper;
+    bool ok = false;
+    int ii = -1;
+    double seconds = 0.0;
+    std::string error_code;
+    std::string message;
+  };
+  std::vector<Attempt> attempts;
+};
+
+/// Builds the response for an engine run (success or aggregate
+/// failure). `wall_seconds` is the request's end-to-end wall time as
+/// the front-end measured it; `correlation` the request's telemetry id
+/// (0 when tracing was off).
+MapResponse BuildMapResponse(const MapRequest& request,
+                             const Result<EngineResult>& result,
+                             double wall_seconds,
+                             std::uint64_t correlation = 0);
+
+/// Builds a failure response for an error raised before (or instead
+/// of) an engine run — validation failures, bad fabric, draining.
+MapResponse BuildErrorResponse(const MapRequest& request, const Error& error,
+                               double wall_seconds = 0.0,
+                               std::uint64_t correlation = 0);
+
+/// Canonical serialization of the one wire shape.
+std::string ToJson(const MapResponse& response);
+
+/// Parses a response document (the load generator and the round-trip
+/// tests). Structure-only: unknown fields are ignored, missing fields
+/// keep defaults; "schema_version" follows the same policy as
+/// requests (absent => 1, unknown => error).
+Result<MapResponse> ParseMapResponse(const Json& doc);
+Result<MapResponse> ParseMapResponseText(std::string_view text);
+
+/// A minimal canonical error body for protocol-level failures that
+/// have no MapRequest to echo (404, malformed JSON, overload):
+///   {"schema_version":1,"status":"<status>","message":"<message>"}
+std::string ErrorJson(std::string_view status, std::string_view message);
+
+}  // namespace cgra::api

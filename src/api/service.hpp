@@ -1,0 +1,92 @@
+// MappingService: the HTTP-facing application logic of cgra_serve,
+// kept in the library so tests can hit it on a loopback HttpServer
+// in-process and the daemon binary stays a thin flag-parsing main().
+//
+// One MappingService instance owns the serving policy:
+//   * admission control — at most `max_inflight` mapping requests run
+//     at once; the excess is answered 429 immediately (the HTTP
+//     layer's bounded accept queue already 503s hard overload before
+//     it gets here). A request with priority >= urgent_priority
+//     bypasses the soft limit: deadline-critical recompiles (e.g. a
+//     fault just took out a PE) must not queue behind bulk traffic.
+//   * per-request deadline — the client's deadline_seconds, clamped to
+//     max_deadline_seconds, becomes EngineOptions::deadline; a client
+//     cannot pin a worker for longer than the operator allows.
+//   * a shared warm MappingCache + MrrgCache across every request —
+//     the whole point of serving from a daemon instead of forking a
+//     batch compile per request.
+//   * request-scoped telemetry: every mapping request runs under a
+//     "serve.request" span with a fresh correlation id that is echoed
+//     in the response body ("corr") and the X-Correlation-Id header.
+//   * drain — once `stop` fires (SIGTERM), new mapping requests get
+//     503 "draining" while in-flight ones run to completion; the
+//     token is also forwarded into the engine so a drain with
+//     --drain-grace exceeded cancels cooperatively.
+//
+// Endpoints: POST /v1/map, GET /healthz, GET /metrics (Prometheus
+// text). Everything else is a canonical 404/405 ErrorJson body.
+// docs/API.md is the wire contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "api/request.hpp"
+#include "api/response.hpp"
+#include "arch/mrrg_cache.hpp"
+#include "cache/mapping_cache.hpp"
+#include "support/http.hpp"
+#include "support/stop_token.hpp"
+
+namespace cgra::api {
+
+struct ServiceOptions {
+  /// Soft concurrency limit: mapping requests beyond this many in
+  /// flight are answered 429 (urgent priority bypasses, see below).
+  std::size_t max_inflight = 8;
+
+  /// Requests with priority >= this value skip the soft limit.
+  int urgent_priority = 10;
+
+  /// Upper clamp on a request's deadline_seconds.
+  double max_deadline_seconds = 30.0;
+
+  /// Run each request's portfolio as a race on a pool (true) or as a
+  /// deterministic sequential sweep on the HTTP worker (false, the
+  /// default — request-level parallelism comes from concurrent HTTP
+  /// workers, and determinism keeps warm-cache digests bit-identical).
+  bool engine_race = false;
+
+  /// Shared caches; may be nullptr (no memoisation).
+  MappingCache* cache = nullptr;
+  MrrgCache* mrrg_cache = nullptr;
+
+  /// Drain signal: once it fires, new mapping work is refused and the
+  /// engine is told to stop cooperatively.
+  StopToken stop;
+};
+
+class MappingService {
+ public:
+  explicit MappingService(ServiceOptions options);
+
+  /// The HttpServer handler: routes by (method, path). Thread-safe;
+  /// called concurrently from every HTTP worker.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Mapping requests currently executing (for /healthz and tests).
+  int inflight() const { return inflight_.load(std::memory_order_relaxed); }
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  HttpResponse HandleMap(const HttpRequest& request);
+  HttpResponse HandleHealth() const;
+  HttpResponse HandleMetrics() const;
+
+  ServiceOptions options_;
+  std::atomic<int> inflight_{0};
+};
+
+}  // namespace cgra::api

@@ -2,24 +2,24 @@
 // service.
 //
 // Reads a JSON manifest of (fabric, kernel, mapper-set) jobs, shards
-// them across the ThreadPool, and emits one aggregate JSON report —
-// per-job II, wall time, cache interaction, mapping digest, and a
-// failure post-mortem (which mapper died of what) for every job that
-// did not produce a mapping. All jobs share one content-addressed
-// MappingCache (src/cache): point --cache-dir at a directory and the
-// second run of the same manifest is answered from disk, bit-identical
-// per-job digests included — that is the serving-system story the
-// ROADMAP asks for, measured end to end by scripts/check_batch_report.py.
+// them across the ThreadPool, and emits one aggregate JSON report.
+// Both sides of the wire go through the versioned src/api layer shared
+// with tools/cgra_serve: each manifest entry is parsed as an
+// api::MapRequest (the single definition of a job — docs/API.md), and
+// each job row in the report is an api::MapResponse serialised by the
+// same ToJson that cgra_serve uses for its response bodies, so there
+// is exactly one place the wire format is defined. Manifests without
+// a "schema_version" are accepted as v1 (the pre-API format, e.g.
+// tools/manifests/batch20.json) — the compatibility shim lives in
+// api::ParseManifest, and an empty "jobs" array is an explicit
+// structured error instead of a bare stderr line.
 //
-// Manifest schema (see tools/manifests/batch20.json, docs/CACHE.md):
-//   {
-//     "defaults": { "mappers": ["ims"], "deadline_seconds": 10,
-//                   "seed": 42, "min_ii": 1, "max_ii": 16,
-//                   "extra_slack": 2, "iterations": 16 },
-//     "jobs": [ { "name": "...", "fabric": "adres4x4",
-//                 "kernel": "dot_product", "mappers": ["ims","ems"],
-//                 "dead_cells": [5, 9], ...default overrides... } ]
-//   }
+// All jobs share one content-addressed MappingCache (src/cache): point
+// --cache-dir at a directory and the second run of the same manifest
+// is answered from disk, bit-identical per-job digests included — that
+// is the serving-system story the ROADMAP asks for, measured end to
+// end by scripts/check_batch_report.py (and live, behind HTTP, by
+// tools/cgra_serve + tools/cgra_loadgen).
 //
 // Observability: --trace FILE turns the span tracer on and writes a
 // Chrome trace-event JSON (load in Perfetto / chrome://tracing, or
@@ -40,12 +40,13 @@
 #include <string>
 #include <vector>
 
+#include "api/request.hpp"
+#include "api/response.hpp"
 #include "arch/arch.hpp"
 #include "arch/fault.hpp"
 #include "cache/mapping_cache.hpp"
 #include "engine/engine.hpp"
 #include "engine/trace.hpp"
-#include "ir/kernels.hpp"
 #include "support/json.hpp"
 #include "support/str.hpp"
 #include "support/thread_pool.hpp"
@@ -58,146 +59,30 @@ using namespace cgra;
 
 namespace {
 
-std::optional<Architecture> FabricByName(const std::string& name) {
-  if (name == "small2x2") return Architecture::Small2x2();
-  if (name == "adres4x4") return Architecture::Adres4x4();
-  if (name == "hetero4x4") return Architecture::Hetero4x4();
-  if (name == "spatial4x4") return Architecture::Spatial4x4();
-  if (name == "torus4x4") return Architecture::Torus4x4();
-  if (name == "big8x8") return Architecture::Big8x8();
-  if (name == "mega16x16") return Architecture::Mega16x16();
-  if (name == "vliw4") return Architecture::VliwLike4();
-  return std::nullopt;
-}
-
-std::optional<Kernel> KernelByName(const std::string& name, int iterations,
-                                   std::uint64_t seed) {
-  if (name == "dot_product") return MakeDotProduct(iterations, seed);
-  if (name == "vecadd") return MakeVecAdd(iterations, seed);
-  if (name == "saxpy") return MakeSaxpy(iterations, seed);
-  if (name == "fir4") return MakeFir4(iterations, seed);
-  if (name == "iir1") return MakeIir1(iterations, seed);
-  if (name == "mavg3") return MakeMovingAvg3(iterations, seed);
-  if (name == "sobel_gx") return MakeSobelRow(iterations, seed);
-  if (name == "sad") return MakeSad(iterations, seed);
-  if (name == "butterfly") return MakeButterfly(iterations, seed);
-  if (name == "matvec_row") return MakeMatVecRow(iterations, seed);
-  if (name == "gemm_mac") return MakeGemmMac(iterations, seed);
-  if (name == "histogram8") return MakeHistogram8(iterations, seed);
-  if (name == "relu_scale") return MakeReluScale(iterations, seed);
-  if (name == "maxpool_run") return MakeRunningMaxPool(iterations, seed);
-  if (name == "mac2") return MakeMac2(iterations, seed);
-  if (name == "complex_mul") return MakeComplexMul(iterations, seed);
-  if (name == "alpha_blend") return MakeAlphaBlend(iterations, seed);
-  if (name == "dct4") return MakeDct4Stage(iterations, seed);
-  if (name.rfind("wide_dot_", 0) == 0) {
-    const int lanes = std::atoi(name.c_str() + 9);
-    if (lanes > 0) return MakeWideDotProduct(lanes, iterations, seed);
-  }
-  return std::nullopt;
-}
-
-struct JobSpec {
-  std::string name;
-  std::string fabric;
-  std::string kernel;
-  std::vector<std::string> mappers;
-  double deadline_seconds = 10.0;
-  std::uint64_t seed = 42;
-  int min_ii = 1;
-  int max_ii = 16;
-  int extra_slack = 2;
-  int iterations = 16;
-  std::vector<int> dead_cells;
-};
-
-struct JobResult {
-  bool ok = false;
-  int ii = -1;
-  double seconds = 0.0;
-  std::string winner;
-  bool cache_hit = false;
-  std::string cache_key;
-  std::string mapping_digest;
-  std::string error_code;
-  std::string error_message;
-  std::vector<EngineAttempt> attempts;
-};
-
-/// Applies `job`-level overrides from a manifest object onto a spec
-/// that starts as a copy of the defaults.
-void ApplyJobFields(const Json& obj, JobSpec& spec) {
-  if (const Json* v = obj.Find("name")) spec.name = v->AsString(spec.name);
-  if (const Json* v = obj.Find("fabric")) spec.fabric = v->AsString(spec.fabric);
-  if (const Json* v = obj.Find("kernel")) spec.kernel = v->AsString(spec.kernel);
-  if (const Json* v = obj.Find("mappers"); v && v->is_array()) {
-    spec.mappers.clear();
-    for (const Json& m : v->items()) spec.mappers.push_back(m.AsString());
-  }
-  if (const Json* v = obj.Find("deadline_seconds")) {
-    spec.deadline_seconds = v->AsDouble(spec.deadline_seconds);
-  }
-  if (const Json* v = obj.Find("seed")) {
-    spec.seed = static_cast<std::uint64_t>(v->AsInt(
-        static_cast<std::int64_t>(spec.seed)));
-  }
-  if (const Json* v = obj.Find("min_ii")) {
-    spec.min_ii = static_cast<int>(v->AsInt(spec.min_ii));
-  }
-  if (const Json* v = obj.Find("max_ii")) {
-    spec.max_ii = static_cast<int>(v->AsInt(spec.max_ii));
-  }
-  if (const Json* v = obj.Find("extra_slack")) {
-    spec.extra_slack = static_cast<int>(v->AsInt(spec.extra_slack));
-  }
-  if (const Json* v = obj.Find("iterations")) {
-    spec.iterations = static_cast<int>(v->AsInt(spec.iterations));
-  }
-  if (const Json* v = obj.Find("dead_cells"); v && v->is_array()) {
-    spec.dead_cells.clear();
-    for (const Json& c : v->items()) {
-      spec.dead_cells.push_back(static_cast<int>(c.AsInt(-1)));
-    }
-  }
-}
-
-JobResult Fail(JobResult r, std::string_view code, std::string message) {
-  r.ok = false;
-  r.error_code = std::string(code);
-  r.error_message = std::move(message);
-  return r;
-}
-
-JobResult RunJob(const JobSpec& spec, MappingCache* cache,
-                 const std::string& traces_dir) {
+api::MapResponse RunJob(const api::MapRequest& request, MappingCache* cache,
+                        const std::string& traces_dir) {
   // Root of this job's span tree; every engine/mapper/attempt span the
   // job emits nests under it on the worker thread's track.
-  telemetry::Span job_span("batch.job", spec.name);
-  JobResult out;
+  telemetry::Span job_span("batch.job", request.name);
   WallTimer timer;
 
-  const std::optional<Architecture> healthy = FabricByName(spec.fabric);
-  if (!healthy) {
-    return Fail(std::move(out), "invalid-argument",
-                "unknown fabric preset \"" + spec.fabric + "\"");
-  }
-  const std::optional<Kernel> kernel =
-      KernelByName(spec.kernel, spec.iterations, spec.seed);
-  if (!kernel) {
-    return Fail(std::move(out), "invalid-argument",
-                "unknown kernel \"" + spec.kernel + "\"");
-  }
-  if (spec.mappers.empty()) {
-    return Fail(std::move(out), "invalid-argument", "job has no mappers");
+  // An invalid manifest entry becomes a failed job row, not a failed
+  // run: the other jobs still execute (cgra_serve instead answers 400
+  // before doing any work — same validator, different policy).
+  if (Status s = api::ValidateMapRequest(request); !s.ok()) {
+    return api::BuildErrorResponse(request, s.error(), timer.Seconds());
   }
 
+  const std::optional<Architecture> healthy =
+      api::FabricByName(request.fabric);
+  const std::optional<Kernel> kernel =
+      api::KernelByName(request.kernel, request.iterations, request.seed);
   Architecture arch = *healthy;
-  if (!spec.dead_cells.empty()) {
+  if (!request.dead_cells.empty()) {
     FaultModel fm;
-    for (int c : spec.dead_cells) fm.KillCell(c);
+    for (int c : request.dead_cells) fm.KillCell(c);
     if (Status s = fm.Validate(arch); !s.ok()) {
-      return Fail(std::move(out), std::string(Error::CodeName(s.error().code)),
-                  s.error().message);
+      return api::BuildErrorResponse(request, s.error(), timer.Seconds());
     }
     arch = arch.WithFaults(fm);
   }
@@ -208,29 +93,17 @@ JobResult RunJob(const JobSpec& spec, MappingCache* cache,
   // parallel across jobs, and determinism is what makes the warm-run
   // digests comparable to the cold ones.
   eo.race = false;
-  eo.deadline = Deadline::AfterSeconds(spec.deadline_seconds);
-  eo.seed = spec.seed;
-  eo.min_ii = spec.min_ii;
-  eo.max_ii = spec.max_ii;
-  eo.extra_slack = spec.extra_slack;
+  eo.deadline = Deadline::AfterSeconds(request.deadline_seconds);
+  eo.seed = request.seed;
+  eo.min_ii = request.min_ii;
+  eo.max_ii = request.max_ii;
+  eo.extra_slack = request.extra_slack;
   eo.observer = &trace;
   eo.cache = cache;
 
   const Result<EngineResult> r =
-      MappingEngine(eo).Run(kernel->dfg, arch, spec.mappers);
-  out.seconds = timer.Seconds();
-  if (r.ok()) {
-    out.ok = true;
-    out.ii = r->mapping.ii;
-    out.winner = r->winner;
-    out.cache_hit = r->cache_hit;
-    out.cache_key = r->cache_key;
-    out.mapping_digest = MappingDigestHex(r->mapping);
-    out.attempts = r->attempts;
-  } else {
-    out.error_code = std::string(Error::CodeName(r.error().code));
-    out.error_message = r.error().message;
-  }
+      MappingEngine(eo).Run(kernel->dfg, arch, request.mappers);
+  api::MapResponse out = api::BuildMapResponse(request, r, timer.Seconds());
 
   {
     auto& reg = telemetry::MetricsRegistry::Global();
@@ -246,7 +119,7 @@ JobResult RunJob(const JobSpec& spec, MappingCache* cache,
   if (!traces_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(traces_dir, ec);
-    const std::string path = traces_dir + "/" + spec.name + ".json";
+    const std::string path = traces_dir + "/" + request.name + ".json";
     if (std::FILE* f = std::fopen(path.c_str(), "w")) {
       const std::string json = trace.ToJson();
       std::fwrite(json.data(), 1, json.size(), f);
@@ -254,42 +127,6 @@ JobResult RunJob(const JobSpec& spec, MappingCache* cache,
     }
   }
   return out;
-}
-
-std::string JobJson(const JobSpec& spec, const JobResult& r) {
-  JsonWriter w;
-  w.BeginObject();
-  w.Key("name").String(spec.name);
-  w.Key("fabric").String(spec.fabric);
-  w.Key("kernel").String(spec.kernel);
-  w.Key("mappers").BeginArray();
-  for (const std::string& m : spec.mappers) w.String(m);
-  w.EndArray();
-  w.Key("ok").Bool(r.ok);
-  w.Key("ii").Int(r.ii);
-  w.Key("wall_seconds").Double(r.seconds);
-  w.Key("winner").String(r.winner);
-  w.Key("cache_hit").Bool(r.cache_hit);
-  w.Key("cache_key").String(r.cache_key);
-  w.Key("mapping_digest").String(r.mapping_digest);
-  w.Key("error").String(r.error_code);
-  w.Key("message").String(r.error_message);
-  w.Key("attempts").BeginArray();
-  for (const EngineAttempt& a : r.attempts) {
-    w.BeginObject();
-    w.Key("mapper").String(a.mapper);
-    w.Key("ok").Bool(a.ok);
-    w.Key("ii").Int(a.ii);
-    w.Key("seconds").Double(a.seconds);
-    w.Key("error").String(a.ok ? std::string_view()
-                               : Error::CodeName(a.error.code));
-    w.Key("message").String(a.ok ? std::string_view()
-                                 : std::string_view(a.error.message));
-    w.EndObject();
-  }
-  w.EndArray();
-  w.EndObject();
-  return w.Take();
 }
 
 }  // namespace
@@ -359,33 +196,19 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
-  const Result<Json> doc = Json::Parse(manifest_text);
-  if (!doc.ok()) {
-    std::fprintf(stderr, "cgra_batch: %s: %s\n", manifest_path.c_str(),
-                 doc.error().message.c_str());
+  // One parser for the whole wire surface (src/api): v1 manifests
+  // (no schema_version) are accepted via the documented shim; a parse
+  // or structure failure — including an empty "jobs" array — is a
+  // structured error with a code, not a silent nonzero exit.
+  const Result<std::vector<api::MapRequest>> manifest =
+      api::ParseManifestText(manifest_text);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "cgra_batch: %s: %s: %s\n", manifest_path.c_str(),
+                 std::string(Error::CodeName(manifest.error().code)).c_str(),
+                 manifest.error().message.c_str());
     return 1;
   }
-  const Json* jobs = doc->Find("jobs");
-  if (!jobs || !jobs->is_array() || jobs->items().empty()) {
-    std::fprintf(stderr, "cgra_batch: manifest has no \"jobs\" array\n");
-    return 1;
-  }
-
-  JobSpec defaults;
-  if (const Json* d = doc->Find("defaults"); d && d->is_object()) {
-    ApplyJobFields(*d, defaults);
-  }
-  std::vector<JobSpec> specs;
-  specs.reserve(jobs->items().size());
-  for (std::size_t i = 0; i < jobs->items().size(); ++i) {
-    JobSpec spec = defaults;
-    spec.name = StrFormat("job%zu", i);
-    ApplyJobFields(jobs->items()[i], spec);
-    if (spec.name.empty() || spec.name.find('/') != std::string::npos) {
-      spec.name = StrFormat("job%zu", i);
-    }
-    specs.push_back(std::move(spec));
-  }
+  const std::vector<api::MapRequest>& specs = *manifest;
 
   std::optional<MappingCache> cache;
   if (use_cache) {
@@ -399,28 +222,28 @@ int main(int argc, char** argv) {
   // (engine race=false), so pool width == job-level parallelism; the
   // engine's SafeMap keeps a crashing mapper contained to its job.
   ThreadPool pool(threads > 0 ? static_cast<std::size_t>(threads) : 0);
-  std::vector<JobResult> results(specs.size());
+  std::vector<api::MapResponse> results(specs.size());
   std::atomic<int> done{0};
   WallTimer total;
   pool.ParallelFor(specs.size(), [&](std::size_t i) {
     results[i] = RunJob(specs[i], cache ? &*cache : nullptr, traces_dir);
     const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
     if (!quiet) {
-      const JobResult& r = results[i];
+      const api::MapResponse& r = results[i];
       std::printf("[%3d/%3zu] %-24s %-10s %-12s %s ii=%-3d %7.1f ms%s\n", d,
                   specs.size(), specs[i].name.c_str(), specs[i].fabric.c_str(),
                   specs[i].kernel.c_str(), r.ok ? "ok  " : "FAIL", r.ii,
-                  r.seconds * 1e3, r.cache_hit ? "  [cache]" : "");
+                  r.wall_seconds * 1e3, r.cache_hit ? "  [cache]" : "");
     }
   });
   const double wall = total.Seconds();
 
   int ok_jobs = 0, cache_hits = 0;
   double job_seconds_sum = 0;
-  for (const JobResult& r : results) {
+  for (const api::MapResponse& r : results) {
     ok_jobs += r.ok ? 1 : 0;
     cache_hits += r.cache_hit ? 1 : 0;
-    job_seconds_sum += r.seconds;
+    job_seconds_sum += r.wall_seconds;
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -433,8 +256,8 @@ int main(int argc, char** argv) {
   w.Key("schema_version").Int(1);
   w.Key("manifest").String(manifest_path);
   w.Key("jobs").BeginArray();
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    w.Raw(JobJson(specs[i], results[i]));
+  for (const api::MapResponse& r : results) {
+    w.Raw(api::ToJson(r));
   }
   w.EndArray();
   w.Key("aggregate").BeginObject();

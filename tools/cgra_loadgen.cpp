@@ -1,0 +1,317 @@
+// cgra_loadgen: open-loop load generator for cgra_serve.
+//
+// "Heavy traffic" is a number, not an adjective: this tool fires
+// MapRequests at a running daemon at a fixed target QPS — OPEN loop,
+// i.e. request start times come off a precomputed schedule and are
+// never delayed by earlier responses, so server-side queueing shows up
+// as client-observed latency instead of silently throttling the
+// offered load (the coordinated-omission trap closed-loop generators
+// fall into). Latency is measured from the SCHEDULED start time:
+// connect + queue + map + response, the number a client actually
+// experiences.
+//
+// Two phases of the same request set run back to back against the
+// daemon's shared cache: "cold" (every request a distinct seed =>
+// cache misses, real portfolio work) and "warm" (the same seeds again
+// => served from the warm cache) — the cold/warm split in
+// BENCH_serve.json is the measured value of keeping the cache in a
+// long-running daemon. scripts/check_serve_bench.py validates the
+// schema and gates p99 + zero dropped connections in CI (docs/API.md
+// documents both).
+//
+// usage: cgra_loadgen --port P [--host H] [--qps N] [--seconds S]
+//                     [--threads N] [--preset small] [--out FILE]
+//                     [--deadline-seconds S] [--quiet]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/request.hpp"
+#include "api/response.hpp"
+#include "support/http.hpp"
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+using namespace cgra;
+
+namespace {
+
+/// Kernels cycled across requests — small enough to map in
+/// milliseconds with "ims" so the generator, not the fabric, sets the
+/// pace on the small preset.
+const char* kKernels[] = {"dot_product", "vecadd", "saxpy", "fir4"};
+
+struct ShotResult {
+  double latency_ms = -1.0;  ///< scheduled-start -> response, <0 = dropped
+  int status = 0;            ///< HTTP status, 0 = connection failed
+  bool ok = false;           ///< 200 with "ok":true body
+  bool cache_hit = false;
+};
+
+struct PhaseStats {
+  std::string name;
+  std::size_t sent = 0, ok = 0, rejected = 0, failed = 0, dropped = 0;
+  std::size_t cache_hits = 0;
+  double wall_seconds = 0.0;
+  double achieved_qps = 0.0;
+  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+};
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+PhaseStats Summarize(const std::string& name,
+                     const std::vector<ShotResult>& shots,
+                     double wall_seconds) {
+  PhaseStats s;
+  s.name = name;
+  s.sent = shots.size();
+  s.wall_seconds = wall_seconds;
+  s.achieved_qps =
+      wall_seconds > 0 ? static_cast<double>(shots.size()) / wall_seconds : 0;
+  std::vector<double> lat;
+  lat.reserve(shots.size());
+  for (const ShotResult& r : shots) {
+    if (r.status == 0) {
+      ++s.dropped;
+      continue;
+    }
+    lat.push_back(r.latency_ms);
+    if (r.status == 429 || r.status == 503) {
+      ++s.rejected;
+    } else if (r.ok) {
+      ++s.ok;
+      if (r.cache_hit) ++s.cache_hits;
+    } else {
+      ++s.failed;
+    }
+  }
+  std::sort(lat.begin(), lat.end());
+  if (!lat.empty()) {
+    double sum = 0;
+    for (const double v : lat) sum += v;
+    s.mean = sum / static_cast<double>(lat.size());
+    s.p50 = Percentile(lat, 0.50);
+    s.p90 = Percentile(lat, 0.90);
+    s.p99 = Percentile(lat, 0.99);
+    s.max = lat.back();
+  }
+  return s;
+}
+
+void PhaseJson(JsonWriter& w, const PhaseStats& s) {
+  w.BeginObject();
+  w.Key("name").String(s.name);
+  w.Key("sent").Uint(s.sent);
+  w.Key("ok").Uint(s.ok);
+  w.Key("rejected").Uint(s.rejected);
+  w.Key("failed").Uint(s.failed);
+  w.Key("dropped").Uint(s.dropped);
+  w.Key("cache_hits").Uint(s.cache_hits);
+  w.Key("wall_seconds").Double(s.wall_seconds);
+  w.Key("achieved_qps").Double(s.achieved_qps);
+  w.Key("latency_ms").BeginObject();
+  w.Key("mean").Double(s.mean);
+  w.Key("p50").Double(s.p50);
+  w.Key("p90").Double(s.p90);
+  w.Key("p99").Double(s.p99);
+  w.Key("max").Double(s.max);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string out_path = "BENCH_serve.json";
+  int port = 0;
+  double qps = 40.0;
+  double seconds = 5.0;
+  double deadline_seconds = 10.0;
+  std::size_t threads = 32;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* flag) -> const char* {
+      if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
+    if (const char* v = arg_value("--host")) {
+      host = v;
+    } else if (const char* v = arg_value("--port")) {
+      port = std::atoi(v);
+    } else if (const char* v = arg_value("--qps")) {
+      qps = std::atof(v);
+    } else if (const char* v = arg_value("--seconds")) {
+      seconds = std::atof(v);
+    } else if (const char* v = arg_value("--threads")) {
+      threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = arg_value("--deadline-seconds")) {
+      deadline_seconds = std::atof(v);
+    } else if (const char* v = arg_value("--out")) {
+      out_path = v;
+    } else if (std::strcmp(argv[i], "--preset") == 0 && i + 1 < argc) {
+      const char* preset = argv[++i];
+      if (std::strcmp(preset, "small") == 0) {
+        qps = 20.0;
+        seconds = 3.0;
+      } else {
+        std::fprintf(stderr, "cgra_loadgen: unknown preset %s\n", preset);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --port P [--host H] [--qps N] [--seconds S]\n"
+                   "          [--threads N] [--preset small] [--out FILE]\n"
+                   "          [--deadline-seconds S] [--quiet]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::fprintf(stderr, "cgra_loadgen: --port is required\n");
+    return 2;
+  }
+  if (qps <= 0 || seconds <= 0) {
+    std::fprintf(stderr, "cgra_loadgen: --qps and --seconds must be > 0\n");
+    return 2;
+  }
+
+  const std::size_t total =
+      std::max<std::size_t>(1, static_cast<std::size_t>(qps * seconds));
+  threads = std::max<std::size_t>(1, std::min(threads, total));
+
+  // Precompute the request bodies once; the send loop only does I/O.
+  // Cold phase: seed varies per shot => every cache key distinct.
+  // Warm phase: the exact same bodies again => served from the cache.
+  std::vector<std::string> bodies(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    api::MapRequest r;
+    r.name = StrFormat("lg%zu", i);
+    r.fabric = "adres4x4";
+    r.kernel = kKernels[i % (sizeof(kKernels) / sizeof(kKernels[0]))];
+    r.mappers = {"ims"};
+    r.deadline_seconds = deadline_seconds;
+    r.seed = 1000 + i;
+    bodies[i] = api::ToJson(r);
+  }
+
+  // /healthz gate: fail fast (and clearly) when the daemon is absent.
+  {
+    const Result<HttpResponse> health =
+        HttpFetch(host, port, "GET", "/healthz", {}, 5.0);
+    if (!health.ok() || health->status != 200) {
+      std::fprintf(stderr, "cgra_loadgen: %s:%d/healthz not live: %s\n",
+                   host.c_str(), port,
+                   health.ok() ? StrFormat("HTTP %d", health->status).c_str()
+                               : health.error().message.c_str());
+      return 1;
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / qps));
+
+  const auto run_phase = [&](const std::string& name) -> PhaseStats {
+    std::vector<ShotResult> shots(total);
+    std::atomic<std::size_t> next{0};
+    const Clock::time_point start = Clock::now();
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i =
+              next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= total) return;
+          const Clock::time_point scheduled = start + interval * i;
+          std::this_thread::sleep_until(scheduled);
+          const Result<HttpResponse> resp = HttpFetch(
+              host, port, "POST", "/v1/map", bodies[i],
+              deadline_seconds + 10.0);
+          const double latency_ms =
+              std::chrono::duration<double, std::milli>(Clock::now() -
+                                                        scheduled)
+                  .count();
+          ShotResult& out = shots[i];
+          if (!resp.ok()) {
+            out.status = 0;  // dropped connection
+            continue;
+          }
+          out.status = resp->status;
+          out.latency_ms = latency_ms;
+          if (resp->status == 200) {
+            const Result<api::MapResponse> body =
+                api::ParseMapResponseText(resp->body);
+            if (body.ok()) {
+              out.ok = body->ok;
+              out.cache_hit = body->cache_hit;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    PhaseStats s = Summarize(name, shots, wall);
+    if (!quiet) {
+      std::printf(
+          "%-5s %4zu sent  %4zu ok  %3zu rejected  %3zu failed  "
+          "%3zu dropped  %4zu cached | qps %.1f | ms p50 %.1f p90 %.1f "
+          "p99 %.1f max %.1f\n",
+          s.name.c_str(), s.sent, s.ok, s.rejected, s.failed, s.dropped,
+          s.cache_hits, s.achieved_qps, s.p50, s.p90, s.p99, s.max);
+    }
+    return s;
+  };
+
+  const PhaseStats cold = run_phase("cold");
+  const PhaseStats warm = run_phase("warm");
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("target").BeginObject();
+  w.Key("host").String(host);
+  w.Key("port").Int(port);
+  w.EndObject();
+  w.Key("qps").Double(qps);
+  w.Key("seconds").Double(seconds);
+  w.Key("requests_per_phase").Uint(total);
+  w.Key("threads").Uint(threads);
+  w.Key("phases").BeginArray();
+  PhaseJson(w, cold);
+  PhaseJson(w, warm);
+  w.EndArray();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cgra_loadgen: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  const std::string json = w.Take();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  if (!quiet) std::printf("wrote %s\n", out_path.c_str());
+
+  return (cold.dropped + warm.dropped) == 0 ? 0 : 1;
+}
