@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Gate the chaos harness: crashy mappers must not hurt the service.
+
+Inputs come from one cgra_serve daemon run with --isolation all and
+hammered by cgra_loadgen --chaos (every 4th request leads with a segv /
+spin / allocbomb registry fixture, backed by a healthy mapper):
+
+  * BENCH_chaos.json — the loadgen report. Well-formed traffic keeps
+    its own counters; chaos shots are tallied in a per-phase "chaos"
+    object (docs/ROBUSTNESS.md documents the split).
+  * --metrics metrics.txt — a /metrics snapshot taken before the
+    daemon drained, carrying the engine_sandbox_* counters.
+  * --compare-digests A.json B.json — two /v1/map response bodies for
+    the SAME healthy request, one from an --isolation all daemon and
+    one from an --isolation none daemon; their mapping digests must be
+    bit-identical (the sandbox's determinism contract).
+
+Gates:
+  * zero dropped connections and zero failures for well-formed
+    requests, in both phases — a crashing mapper in someone else's
+    request must never take out a healthy one;
+  * every chaos shot answered (no drops, no failures — the healthy
+    trailing mapper makes even crashy portfolios mappable);
+  * the sandbox actually saw crashes (sandbox_fatal >= 1 across
+    phases) and the quarantine tracker actually benched someone
+    (quarantined >= 1), so a silently-disabled sandbox cannot pass;
+  * the metrics snapshot agrees: engine_sandbox_runs_total > 0,
+    engine_sandbox_crash_total >= 1, engine_sandbox_signal_total >= 1
+    (Release builds classify a child SIGSEGV precisely), and
+    engine_mapper_quarantined_total >= 1.
+
+The "zero daemon restarts" half of the gate lives in the CI job
+itself: a single daemon PID serves the whole run and must still be
+alive (kill -0) after the load, then exit 0 on SIGTERM.
+
+usage: check_chaos.py BENCH_chaos.json --metrics metrics.txt \
+           [--compare-digests A.json B.json]
+"""
+import argparse
+import json
+import sys
+
+errors = []
+
+
+def fail(where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def count(doc, where, key):
+    v = doc.get(key)
+    if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+        fail(where, f"bad '{key}': {v!r}")
+        return None
+    return v
+
+
+def parse_metrics(path):
+    """Prometheus text -> {name: summed value across label sets}."""
+    values = {}
+    try:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) < 2:
+                    continue
+                name = parts[0].split("{")[0]
+                try:
+                    values[name] = values.get(name, 0.0) + float(parts[-1])
+                except ValueError:
+                    continue
+    except OSError as e:
+        fail(path, str(e))
+    return values
+
+
+def check_phase(path, phase, i):
+    name = phase.get("name") or f"phases[{i}]"
+    where = f"{path}: {name}"
+
+    sent = count(phase, where, "sent")
+    failed = count(phase, where, "failed")
+    dropped = count(phase, where, "dropped")
+    chaos = phase.get("chaos")
+    if not isinstance(chaos, dict):
+        fail(where, "no 'chaos' object — was the loadgen run with --chaos?")
+        return None
+    cw = f"{where}: chaos"
+    c_sent = count(chaos, cw, "sent")
+    c_failed = count(chaos, cw, "failed")
+    c_dropped = count(chaos, cw, "dropped")
+    c_fatal = count(chaos, cw, "sandbox_fatal")
+    c_quar = count(chaos, cw, "quarantined")
+    if None in (sent, failed, dropped, c_sent, c_failed, c_dropped,
+                c_fatal, c_quar):
+        return None
+
+    # The headline gates: a crashing mapper is SOMEONE ELSE'S problem.
+    if dropped > 0:
+        fail(where, f"{dropped} well-formed request(s) dropped — a mapper "
+             f"crash leaked out of its sandbox")
+    if failed > 0:
+        fail(where, f"{failed} well-formed request(s) failed to map")
+    if sent <= 0:
+        fail(where, "no well-formed requests were sent")
+    if c_sent <= 0:
+        fail(cw, "no chaos requests were sent")
+    if c_dropped > 0:
+        fail(cw, f"{c_dropped} chaos request(s) dropped the connection")
+    if c_failed > 0:
+        fail(cw, f"{c_failed} chaos request(s) failed — the healthy "
+             f"trailing mapper should have answered")
+    return {"sandbox_fatal": c_fatal, "quarantined": c_quar}
+
+
+def check_digests(path_a, path_b):
+    digests = []
+    for path in (path_a, path_b):
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, str(e))
+            return
+        if not doc.get("ok"):
+            fail(path, f"response not ok: {doc.get('status')!r} "
+                 f"{doc.get('message')!r}")
+            return
+        digest = doc.get("mapping_digest")
+        if not isinstance(digest, str) or not digest:
+            fail(path, f"bad 'mapping_digest': {digest!r}")
+            return
+        digests.append(digest)
+    if digests[0] != digests[1]:
+        fail(f"{path_a} vs {path_b}",
+             f"sandboxed digest {digests[0]} != in-process digest "
+             f"{digests[1]} — the fork boundary perturbed the mapping")
+    else:
+        print(f"digest match: {digests[0]} (sandboxed == in-process)")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("bench", metavar="BENCH_chaos.json")
+    ap.add_argument("--metrics", metavar="metrics.txt",
+                    help="/metrics snapshot from the chaos daemon")
+    ap.add_argument("--compare-digests", nargs=2,
+                    metavar=("SANDBOXED.json", "PLAIN.json"),
+                    help="two /v1/map responses whose digests must match")
+    args = ap.parse_args()
+
+    try:
+        with open(args.bench) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.bench}: {e}", file=sys.stderr)
+        return 1
+
+    top = f"{args.bench}: top"
+    if doc.get("schema_version") != 1:
+        fail(top, f"schema_version {doc.get('schema_version')!r} != 1")
+    if doc.get("chaos") is not True:
+        fail(top, "'chaos' is not true — wrong bench file?")
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(top, "'phases' missing or empty")
+        phases = []
+
+    total_fatal = 0
+    total_quarantined = 0
+    for i, phase in enumerate(phases):
+        if not isinstance(phase, dict):
+            fail(f"{args.bench}: phases[{i}]", "not an object")
+            continue
+        summary = check_phase(args.bench, phase, i)
+        if summary:
+            total_fatal += summary["sandbox_fatal"]
+            total_quarantined += summary["quarantined"]
+
+    # A chaos run in which nothing crashed proves nothing.
+    if not errors and total_fatal < 1:
+        fail(args.bench, "no sandboxed crash was observed in any attempt "
+             "row — is --isolation all actually on?")
+    if not errors and total_quarantined < 1:
+        fail(args.bench, "no attempt row was stamped 'quarantined' — the "
+             "tracker never benched a repeat offender")
+
+    if args.metrics:
+        m = parse_metrics(args.metrics)
+        for name, minimum in (("engine_sandbox_runs_total", 1),
+                              ("engine_sandbox_crash_total", 1),
+                              ("engine_sandbox_signal_total", 1),
+                              ("engine_mapper_quarantined_total", 1)):
+            v = m.get(name, 0.0)
+            if v < minimum:
+                fail(args.metrics, f"{name} = {v:g}, expected >= {minimum}")
+
+    if args.compare_digests:
+        check_digests(*args.compare_digests)
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"CHAOS GATE FAILED ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{args.bench}: chaos gate ok — {total_fatal} sandboxed "
+          f"crash(es), {total_quarantined} quarantined row(s), zero "
+          f"well-formed casualties")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ MapResponse BuildMapResponse(const MapRequest& request,
       row.ok = a.ok;
       row.ii = a.ii;
       row.seconds = a.seconds;
+      row.sandbox = a.sandbox;
       if (!a.ok) {
         row.error_code = std::string(Error::CodeName(a.error.code));
         row.message = a.error.message;
@@ -96,6 +97,7 @@ std::string ToJson(const MapResponse& r) {
     w.Key("seconds").Double(a.seconds);
     w.Key("error").String(a.error_code);
     w.Key("message").String(a.message);
+    if (!a.sandbox.empty()) w.Key("sandbox").String(a.sandbox);
     w.EndObject();
   }
   w.EndArray();
@@ -154,6 +156,7 @@ Result<MapResponse> ParseMapResponse(const Json& doc) {
       if (const Json* f = a.Find("seconds")) row.seconds = f->AsDouble();
       if (const Json* f = a.Find("error")) row.error_code = f->AsString();
       if (const Json* f = a.Find("message")) row.message = f->AsString();
+      if (const Json* f = a.Find("sandbox")) row.sandbox = f->AsString();
       r.attempts.push_back(std::move(row));
     }
   }

@@ -54,6 +54,10 @@ struct MapResponse {
     double seconds = 0.0;
     std::string error_code;
     std::string message;
+    /// Process-isolation outcome (EngineAttempt::sandbox): "" when the
+    /// entry ran in-process, else "ok" / "signal:SIGSEGV" / "oom" /
+    /// "timeout" / "wire-corrupt" / "quarantined" / ...
+    std::string sandbox;
   };
   std::vector<Attempt> attempts;
 };

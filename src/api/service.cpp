@@ -118,13 +118,21 @@ HttpResponse MappingService::Handle(const HttpRequest& request) {
 }
 
 HttpResponse MappingService::HandleHealth() const {
+  const bool draining =
+      options_.draining.StopRequested() || options_.stop.StopRequested();
   JsonWriter w;
   w.BeginObject();
-  w.Key("status").String(options_.stop.StopRequested() ? "draining" : "ok");
+  w.Key("status").String(draining ? "draining" : "ok");
   w.Key("inflight").Int(inflight());
-  w.Key("draining").Bool(options_.stop.StopRequested());
+  w.Key("draining").Bool(draining);
   w.EndObject();
-  return JsonResponse(200, w.Take());
+  // During drain the health check goes 503, not 200: a load balancer
+  // probing /healthz must stop routing to this instance BEFORE the
+  // listener closes, or the tail of the drain window turns into
+  // connection-refused errors for clients.
+  HttpResponse r = JsonResponse(draining ? 503 : 200, w.Take());
+  if (draining) r.headers.emplace_back("Retry-After", "1");
+  return r;
 }
 
 HttpResponse MappingService::HandleMetrics() const {
@@ -157,7 +165,7 @@ HttpResponse MappingService::HandleMap(const HttpRequest& http) {
 
   // Drain: in-flight requests finish, new ones are turned away so the
   // daemon converges to idle.
-  if (options_.stop.StopRequested()) {
+  if (options_.draining.StopRequested() || options_.stop.StopRequested()) {
     metrics.rejected_draining.Add(1);
     HttpResponse r = JsonResponse(
         503, ToJson(BuildErrorResponse(
@@ -231,6 +239,8 @@ HttpResponse MappingService::HandleMap(const HttpRequest& http) {
   eo.cache = options_.cache;
   eo.mrrg_cache = options_.mrrg_cache;
   eo.stop = options_.stop;
+  eo.isolation = options_.isolation;
+  eo.sandbox_limits = options_.sandbox_limits;
 
   const Result<EngineResult> result =
       MappingEngine(eo).Run(kernel->dfg, arch, request.mappers);

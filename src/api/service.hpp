@@ -36,6 +36,7 @@
 #include "api/response.hpp"
 #include "arch/mrrg_cache.hpp"
 #include "cache/mapping_cache.hpp"
+#include "engine/engine.hpp"
 #include "support/http.hpp"
 #include "support/stop_token.hpp"
 
@@ -62,9 +63,28 @@ struct ServiceOptions {
   MappingCache* cache = nullptr;
   MrrgCache* mrrg_cache = nullptr;
 
+  /// Process-level crash isolation for every request's engine run
+  /// (--isolation). kAll is the safe setting for untrusted portfolios:
+  /// a SIGSEGV, alloc bomb, or hard infinite loop in one mapper kills
+  /// a fork()ed child, not the daemon. Crash history feeds the
+  /// process-wide QuarantineTracker::Global(), so repeat offenders are
+  /// benched across requests.
+  IsolationMode isolation = IsolationMode::kNone;
+
+  /// Per-attempt rlimits inside each sandboxed child (--rlimit-*).
+  SandboxLimits sandbox_limits;
+
   /// Drain signal: once it fires, new mapping work is refused and the
   /// engine is told to stop cooperatively.
   StopToken stop;
+
+  /// Soft drain announcement, flipped at the START of the SIGTERM
+  /// sequence: /healthz goes 503 "draining" and new mapping requests
+  /// are refused, but in-flight engines keep running (only `stop`
+  /// cancels them). Lets a load balancer route away while the listener
+  /// is still up and the grace window still protects running work.
+  /// Unset (default token) means `stop` alone decides.
+  StopToken draining;
 };
 
 class MappingService {

@@ -8,12 +8,36 @@
 #include <sstream>
 #include <thread>
 
+#include "engine/sandbox.hpp"
 #include "mapping/validator.hpp"
 #include "mappers/registry.hpp"
 #include "support/str.hpp"
+#include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cgra {
+
+std::string_view IsolationModeName(IsolationMode mode) {
+  switch (mode) {
+    case IsolationMode::kNone: return "none";
+    case IsolationMode::kCrashyOnly: return "crashy_only";
+    case IsolationMode::kAll: return "all";
+  }
+  return "none";
+}
+
+bool ParseIsolationMode(std::string_view name, IsolationMode* out) {
+  if (name == "none") {
+    *out = IsolationMode::kNone;
+  } else if (name == "crashy_only" || name == "crashy-only") {
+    *out = IsolationMode::kCrashyOnly;
+  } else if (name == "all") {
+    *out = IsolationMode::kAll;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 // A portfolio entry that throws (or otherwise escapes Map() with an
 // exception) must lose the race, not take the pool — and with it the
@@ -55,12 +79,14 @@ void EmitMapperStart(MapObserver* obs, const Mapper& mapper) {
 }
 
 void EmitMapperDone(MapObserver* obs, const Mapper& mapper,
-                    const Result<Mapping>& result, double seconds) {
+                    const Result<Mapping>& result, double seconds,
+                    const std::string& sandbox = {}) {
   MapEvent e;
   e.kind = MapEvent::Kind::kMapperDone;
   e.mapper = mapper.name();
   e.ok = result.ok();
   e.seconds = seconds;
+  e.sandbox = sandbox;
   if (result.ok()) {
     e.ii = result->ii;
   } else {
@@ -70,17 +96,177 @@ void EmitMapperDone(MapObserver* obs, const Mapper& mapper,
   NotifyObserver(obs, e);
 }
 
-EngineAttempt MakeAttempt(const Mapper& mapper, const Result<Mapping>& result,
-                          double seconds) {
+/// A sandboxed child maps with a nulled observer, so its per-II
+/// attempt events die with it. The parent synthesises one summary
+/// kAttemptDone carrying the isolation classification instead — the
+/// row the chaos gate greps MapTrace JSON for.
+void EmitSandboxAttempt(MapObserver* obs, const Mapper& mapper,
+                        const Result<Mapping>& result, double seconds,
+                        const std::string& sandbox) {
+  MapEvent e;
+  e.kind = MapEvent::Kind::kAttemptDone;
+  e.mapper = mapper.name();
+  e.ok = result.ok();
+  e.seconds = seconds;
+  e.sandbox = sandbox;
+  if (result.ok()) {
+    e.ii = result->ii;
+  } else {
+    e.error_code = result.error().code;
+    e.message = result.error().message;
+  }
+  NotifyObserver(obs, e);
+}
+
+/// What one portfolio entry produced, however it ran.
+struct EntryOutcome {
+  Result<Mapping> result;
+  double seconds = 0.0;
+  std::string sandbox;  ///< "" in-process; see EngineAttempt::sandbox
+
+  EntryOutcome() : result(Error::Internal("entry did not run")) {}
+};
+
+/// Runs one portfolio entry under the engine's isolation policy:
+/// quarantine check, sandbox-or-in-process dispatch, crash accounting,
+/// observer events and metrics. Called from a pool task when racing
+/// and from the calling thread when sequential.
+EntryOutcome ExecuteEntry(const EngineOptions& eo, const Mapper& mapper,
+                          const Dfg& dfg, const Architecture& arch,
+                          const MapperOptions& mo) {
+  auto& metrics = telemetry::MetricsRegistry::Global();
+  QuarantineTracker* quarantine =
+      eo.isolation == IsolationMode::kNone
+          ? nullptr
+          : (eo.quarantine ? eo.quarantine : &QuarantineTracker::Global());
+
+  EntryOutcome out;
+  EmitMapperStart(eo.observer, mapper);
+  WallTimer timer;
+
+  // Benched mappers don't run at all: the whole point of quarantine is
+  // to stop paying the fork + deadline-kill tax for known offenders.
+  double bench_left = 0.0;
+  if (quarantine && quarantine->IsQuarantined(mapper.name(), &bench_left)) {
+    metrics
+        .GetCounter("engine_mapper_quarantined_total",
+                    "portfolio entries skipped because the mapper is "
+                    "quarantined after repeated crashes")
+        .Add();
+    out.sandbox = "quarantined";
+    out.result = Error::ResourceLimit(
+        StrFormat("mapper %s quarantined after repeated crashes "
+                  "(%.1fs until probation)",
+                  mapper.name().c_str(), bench_left));
+    out.seconds = timer.Seconds();
+    EmitSandboxAttempt(eo.observer, mapper, out.result, out.seconds,
+                       out.sandbox);
+    EmitMapperDone(eo.observer, mapper, out.result, out.seconds, out.sandbox);
+    return out;
+  }
+
+  const bool sandboxed =
+      eo.isolation == IsolationMode::kAll ||
+      (eo.isolation == IsolationMode::kCrashyOnly && quarantine &&
+       quarantine->HasCrashHistory(mapper.name()));
+
+  telemetry::Span mapper_span(eo.telemetry ? "mapper" : nullptr,
+                              mapper.name());
+  if (sandboxed) {
+    telemetry::Span sandbox_span(eo.telemetry ? "sandbox" : nullptr,
+                                 mapper.name());
+    SandboxedMapResult sr =
+        SandboxedMap(mapper, dfg, arch, mo, eo.sandbox_limits);
+    out.result = std::move(sr.result);
+    out.sandbox = SandboxLabel(sr.outcome);
+    out.seconds = timer.Seconds();
+
+    metrics
+        .GetCounter("engine_sandbox_runs_total",
+                    "mapper attempts executed in a sandboxed child")
+        .Add();
+    switch (sr.outcome.crash) {
+      case SandboxCrash::kSignal:
+        metrics
+            .GetCounter("engine_sandbox_signal_total",
+                        "sandboxed attempts killed by a signal")
+            .Add();
+        break;
+      case SandboxCrash::kOom:
+        metrics
+            .GetCounter("engine_sandbox_oom_total",
+                        "sandboxed attempts that exhausted the memory rlimit")
+            .Add();
+        break;
+      case SandboxCrash::kTimeout:
+        metrics
+            .GetCounter("engine_sandbox_timeout_total",
+                        "sandboxed attempts killed by the watchdog or "
+                        "CPU rlimit")
+            .Add();
+        break;
+      case SandboxCrash::kWireCorrupt:
+        metrics
+            .GetCounter("engine_sandbox_wire_corrupt_total",
+                        "sandboxed attempts whose result frame failed to "
+                        "decode")
+            .Add();
+        break;
+      default:
+        break;
+    }
+    if (sr.fatal()) {
+      metrics
+          .GetCounter("engine_sandbox_crash_total",
+                      "sandboxed attempts that died of a mapper bug "
+                      "(signal/oom/wire-corrupt/exit)")
+          .Add();
+      if (quarantine) quarantine->RecordCrash(mapper.name());
+    } else if (!out.result.ok() && sr.outcome.ok() &&
+               out.result.error().code == Error::Code::kInternal &&
+               quarantine) {
+      // The child survived but SafeMap (running inside it) caught a
+      // crash — e.g. an alloc bomb whose bad_alloc was intercepted
+      // before it escaped the closure. Same verdict the in-process
+      // path gives kInternal: the mapper is broken, count it.
+      quarantine->RecordCrash(mapper.name());
+    } else if (out.result.ok() && quarantine) {
+      quarantine->RecordSuccess(mapper.name());
+    }
+    EmitSandboxAttempt(eo.observer, mapper, out.result, out.seconds,
+                       out.sandbox);
+    EmitMapperDone(eo.observer, mapper, out.result, out.seconds, out.sandbox);
+    return out;
+  }
+
+  out.result = SafeMap(mapper, dfg, arch, mo);
+  out.seconds = timer.Seconds();
+  if (quarantine) {
+    // An in-process kInternal is SafeMap's "this mapper is broken"
+    // verdict; recording it is what escalates a thrower into the
+    // sandbox under kCrashyOnly.
+    if (!out.result.ok() &&
+        out.result.error().code == Error::Code::kInternal) {
+      quarantine->RecordCrash(mapper.name());
+    } else if (out.result.ok()) {
+      quarantine->RecordSuccess(mapper.name());
+    }
+  }
+  EmitMapperDone(eo.observer, mapper, out.result, out.seconds);
+  return out;
+}
+
+EngineAttempt MakeAttempt(const Mapper& mapper, const EntryOutcome& outcome) {
   EngineAttempt a;
   a.mapper = mapper.name();
-  a.ok = result.ok();
-  if (result.ok()) {
-    a.ii = result->ii;
+  a.ok = outcome.result.ok();
+  if (a.ok) {
+    a.ii = outcome.result->ii;
   } else {
-    a.error = result.error();
+    a.error = outcome.result.error();
   }
-  a.seconds = seconds;
+  a.seconds = outcome.seconds;
+  a.sandbox = outcome.sandbox;
   return a;
 }
 
@@ -465,26 +651,17 @@ Result<EngineResult> MappingEngine::RunRacing(
 
   // Slot i is written only by task i and read only after its future is
   // ready, so no extra locking is needed.
-  std::vector<std::optional<Result<Mapping>>> results(n);
-  std::vector<double> seconds(n, 0.0);
+  std::vector<EntryOutcome> results(n);
 
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(pool->Async([&, i]() {
       const Mapper& mapper = *portfolio[i];
-      EmitMapperStart(options_.observer, mapper);
-      WallTimer timer;
       MapperOptions mo = EntryOptions(options_, i, race_stop.token(), &cache);
-      Result<Mapping> r = [&] {
-        telemetry::Span mapper_span(options_.telemetry ? "mapper" : nullptr,
-                                    mapper.name());
-        return SafeMap(mapper, dfg, arch, mo);
-      }();
-      seconds[i] = timer.Seconds();
-      EmitMapperDone(options_.observer, mapper, r, seconds[i]);
-      const bool won = r.ok();
-      results[i] = std::move(r);
+      EntryOutcome outcome = ExecuteEntry(options_, mapper, dfg, arch, mo);
+      const bool won = outcome.result.ok();
+      results[i] = std::move(outcome);
       if (won && options_.stop_on_first) race_stop.RequestStop();
     }));
   }
@@ -504,13 +681,13 @@ Result<EngineResult> MappingEngine::RunRacing(
   EngineResult out;
   out.attempts.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    out.attempts.push_back(MakeAttempt(*portfolio[i], *results[i], seconds[i]));
+    out.attempts.push_back(MakeAttempt(*portfolio[i], results[i]));
   }
   out.seconds = total.Seconds();
 
   const std::size_t best = BestIndex(out.attempts);
   if (best == out.attempts.size()) return AggregateError(out.attempts);
-  out.mapping = std::move(*results[best]).value();
+  out.mapping = std::move(results[best].result).value();
   out.winner = out.attempts[best].mapper;
   return out;
 }
@@ -520,25 +697,17 @@ Result<EngineResult> MappingEngine::RunSequential(
     const std::vector<const Mapper*>& portfolio, MrrgCache& cache) const {
   WallTimer total;
   EngineResult out;
-  std::vector<std::optional<Result<Mapping>>> results;
+  std::vector<EntryOutcome> results;
 
   for (std::size_t i = 0; i < portfolio.size(); ++i) {
     if (options_.stop.StopRequested()) break;
     if (options_.deadline.Expired() && !out.attempts.empty()) break;
     const Mapper& mapper = *portfolio[i];
-    EmitMapperStart(options_.observer, mapper);
-    WallTimer timer;
     MapperOptions mo = EntryOptions(options_, i, options_.stop, &cache);
-    Result<Mapping> r = [&] {
-      telemetry::Span mapper_span(options_.telemetry ? "mapper" : nullptr,
-                                  mapper.name());
-      return SafeMap(mapper, dfg, arch, mo);
-    }();
-    const double secs = timer.Seconds();
-    EmitMapperDone(options_.observer, mapper, r, secs);
-    out.attempts.push_back(MakeAttempt(mapper, r, secs));
-    const bool ok = r.ok();
-    results.push_back(std::move(r));
+    EntryOutcome outcome = ExecuteEntry(options_, mapper, dfg, arch, mo);
+    out.attempts.push_back(MakeAttempt(mapper, outcome));
+    const bool ok = outcome.result.ok();
+    results.push_back(std::move(outcome));
     if (ok && options_.stop_on_first) break;
   }
   out.seconds = total.Seconds();
@@ -548,7 +717,7 @@ Result<EngineResult> MappingEngine::RunSequential(
   }
   const std::size_t best = BestIndex(out.attempts);
   if (best == out.attempts.size()) return AggregateError(out.attempts);
-  out.mapping = std::move(*results[best]).value();
+  out.mapping = std::move(results[best].result).value();
   out.winner = out.attempts[best].mapper;
   return out;
 }

@@ -33,13 +33,36 @@
 #include "arch/fault.hpp"
 #include "arch/mrrg_cache.hpp"
 #include "cache/mapping_cache.hpp"
+#include "engine/quarantine.hpp"
 #include "mapping/mapper.hpp"
 #include "mapping/observer.hpp"
 #include "support/stop_token.hpp"
+#include "support/subprocess.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace cgra {
+
+/// How hard the engine isolates portfolio entries from the process.
+enum class IsolationMode {
+  /// In-process try/catch only (SafeMap). A segfaulting or wedged
+  /// mapper takes the process down / holds its thread to the deadline.
+  kNone,
+  /// Mappers with a crash on record (QuarantineTracker::
+  /// HasCrashHistory) run sandboxed; everyone else stays in-process.
+  /// An in-process kInternal crash records history, so a thrower
+  /// escalates itself into the sandbox on its next run.
+  kCrashyOnly,
+  /// Every attempt runs in a fork()ed, rlimit-capped child
+  /// (SandboxedMap). The safe default for serving untrusted portfolios;
+  /// costs one fork + a private MRRG build per attempt.
+  kAll,
+};
+
+/// "none" / "crashy_only" / "all".
+std::string_view IsolationModeName(IsolationMode mode);
+/// Inverse of IsolationModeName; false on unknown names.
+bool ParseIsolationMode(std::string_view name, IsolationMode* out);
 
 struct EngineOptions {
   /// Global wall-clock budget shared by the whole portfolio.
@@ -95,6 +118,22 @@ struct EngineOptions {
   /// to every running entry.
   StopToken stop;
 
+  /// Process-level crash isolation (see IsolationMode). With anything
+  /// other than kNone, crashes are classified (signal / OOM / timeout /
+  /// wire corruption), stamped on the attempt ("sandbox" in MapTrace
+  /// JSON), counted in telemetry, and fed to the quarantine tracker,
+  /// which benches repeat offenders with exponential backoff.
+  IsolationMode isolation = IsolationMode::kNone;
+
+  /// Resource caps applied inside each sandboxed child (0 = inherit).
+  SandboxLimits sandbox_limits;
+
+  /// Crash-history / quarantine state. nullptr = the process-wide
+  /// QuarantineTracker::Global(), which is what a long-running daemon
+  /// wants (state survives across requests); tests point this at a
+  /// private tracker. Ignored when isolation == kNone.
+  QuarantineTracker* quarantine = nullptr;
+
   /// Runtime gate for the engine's own telemetry spans (engine.run,
   /// engine.repair_round, per-mapper "mapper" spans, engine.cache_probe).
   /// Spans are recorded only when this is true AND the process-wide
@@ -111,6 +150,11 @@ struct EngineAttempt {
   int ii = -1;           ///< achieved II when ok
   Error error;           ///< failure cause when !ok
   double seconds = 0.0;  ///< wall time of this entry's Map() call
+  /// Process-isolation outcome: empty when the entry ran in-process,
+  /// "ok" for a clean sandboxed run, "signal:SIGSEGV" / "oom" /
+  /// "timeout" / "wire-corrupt" / "exit" / "cancelled" for sandbox
+  /// deaths, "quarantined" when the entry was skipped on the bench.
+  std::string sandbox;
 };
 
 struct EngineResult {

@@ -1,0 +1,153 @@
+#include "engine/sandbox.hpp"
+
+#include <utility>
+
+#include "support/str.hpp"
+
+namespace cgra {
+
+namespace {
+
+constexpr char kFrameMapping = 'M';
+constexpr char kFrameError = 'E';
+
+Error::Code CodeFromByte(unsigned char b, bool* valid) {
+  *valid = true;
+  switch (b) {
+    case 0: return Error::Code::kInvalidArgument;
+    case 1: return Error::Code::kUnmappable;
+    case 2: return Error::Code::kResourceLimit;
+    case 3: return Error::Code::kInternal;
+    default:
+      *valid = false;
+      return Error::Code::kInternal;
+  }
+}
+
+unsigned char ByteFromCode(Error::Code c) {
+  switch (c) {
+    case Error::Code::kInvalidArgument: return 0;
+    case Error::Code::kUnmappable: return 1;
+    case Error::Code::kResourceLimit: return 2;
+    case Error::Code::kInternal: return 3;
+  }
+  return 3;
+}
+
+}  // namespace
+
+std::string EncodeSandboxFrame(const Result<Mapping>& result) {
+  std::string out;
+  if (result.ok()) {
+    out.push_back(kFrameMapping);
+    out += SerializeMapping(*result);
+  } else {
+    out.push_back(kFrameError);
+    out.push_back(static_cast<char>(ByteFromCode(result.error().code)));
+    out += result.error().message;
+  }
+  return out;
+}
+
+Result<Mapping> DecodeSandboxFrame(std::string_view bytes,
+                                   bool* wire_corrupt) {
+  *wire_corrupt = false;
+  if (bytes.empty()) {
+    *wire_corrupt = true;
+    return Error::Internal("sandbox: empty result frame");
+  }
+  const char tag = bytes[0];
+  bytes.remove_prefix(1);
+  if (tag == kFrameMapping) {
+    Result<Mapping> m = DeserializeMapping(bytes);
+    if (!m.ok()) {
+      // SerializeMapping's checksum turns child heap corruption into a
+      // detectable decode failure instead of a wrong answer.
+      *wire_corrupt = true;
+      return Error::Internal(StrFormat("sandbox: mapping frame corrupt: %s",
+                                       m.error().message.c_str()));
+    }
+    return m;
+  }
+  if (tag == kFrameError) {
+    if (bytes.empty()) {
+      *wire_corrupt = true;
+      return Error::Internal("sandbox: truncated error frame");
+    }
+    bool valid = false;
+    Error::Code code =
+        CodeFromByte(static_cast<unsigned char>(bytes[0]), &valid);
+    if (!valid) {
+      *wire_corrupt = true;
+      return Error::Internal("sandbox: error frame carries unknown code");
+    }
+    bytes.remove_prefix(1);
+    return Error{code, std::string(bytes)};
+  }
+  *wire_corrupt = true;
+  return Error::Internal(
+      StrFormat("sandbox: unknown frame tag 0x%02x", tag & 0xff));
+}
+
+std::string SandboxLabel(const SandboxOutcome& outcome) {
+  if (outcome.crash == SandboxCrash::kNone) return "ok";
+  if (outcome.crash == SandboxCrash::kSignal) {
+    return StrFormat("signal:%s", SignalName(outcome.signal).c_str());
+  }
+  return std::string(SandboxCrashName(outcome.crash));
+}
+
+SandboxedMapResult SandboxedMap(const Mapper& mapper, const Dfg& dfg,
+                                const Architecture& arch,
+                                const MapperOptions& options,
+                                const SandboxLimits& limits) {
+  // The child's copy of these options must not reach back into parent
+  // state whose locks other threads may hold at the fork instant: the
+  // observer and the shared MrrgCache both lock internally. Nulling
+  // them costs the child a private MRRG rebuild — the price of the
+  // process boundary.
+  MapperOptions child_options = options;
+  child_options.observer = nullptr;
+  child_options.mrrg_cache = nullptr;
+
+  SandboxedMapResult out;
+  out.outcome = RunInSandbox(
+      [&]() {
+        return EncodeSandboxFrame(
+            SafeMap(mapper, dfg, arch, child_options));
+      },
+      limits, options.deadline, options.stop);
+
+  switch (out.outcome.crash) {
+    case SandboxCrash::kNone: {
+      bool wire_corrupt = false;
+      out.result = DecodeSandboxFrame(out.outcome.payload, &wire_corrupt);
+      if (wire_corrupt) {
+        out.outcome.crash = SandboxCrash::kWireCorrupt;
+        out.outcome.detail = out.result.error().message;
+      }
+      break;
+    }
+    case SandboxCrash::kSignal:
+    case SandboxCrash::kOom:
+    case SandboxCrash::kWireCorrupt:
+    case SandboxCrash::kExit:
+      out.result = Error::Internal(StrFormat(
+          "mapper %s crashed in sandbox: %s", mapper.name().c_str(),
+          out.outcome.detail.c_str()));
+      break;
+    case SandboxCrash::kTimeout:
+    case SandboxCrash::kCancelled:
+      out.result = Error::ResourceLimit(StrFormat(
+          "mapper %s: %s", mapper.name().c_str(), out.outcome.detail.c_str()));
+      break;
+    case SandboxCrash::kSpawnFailed:
+      out.result = Error::ResourceLimit(StrFormat(
+          "mapper %s: sandbox unavailable: %s", mapper.name().c_str(),
+          out.outcome.detail.c_str()));
+      break;
+  }
+  return out;
+}
+
+}  // namespace cgra

@@ -46,6 +46,7 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
       a.fault_digest = e.fault_digest;
       a.perf = e.perf;
       a.correlation = e.correlation;
+      a.sandbox = e.sandbox;
       out.push_back(std::move(a));
     } else if (e.kind == MapEvent::Kind::kNote && e.solver_steps >= 0) {
       notes.push_back(&e);
@@ -94,6 +95,7 @@ std::string MapTrace::ToJson() const {
     w.Key("round").Int(a.round);
     w.Key("fault_digest").String(a.fault_digest);
     if (a.correlation != 0) w.Key("corr").Uint(a.correlation);
+    if (!a.sandbox.empty()) w.Key("sandbox").String(a.sandbox);
     if (a.perf.Any()) {
       w.Key("perf").BeginObject();
       w.Key("router_queries").Uint(a.perf.router_queries);
@@ -149,6 +151,7 @@ std::string MapTrace::ToJson() const {
     w.Key("message").String(e.message);
     w.Key("round").Int(e.repair_round);
     w.Key("fault_digest").String(e.fault_digest);
+    if (!e.sandbox.empty()) w.Key("sandbox").String(e.sandbox);
     w.EndObject();
   }
   w.EndArray();

@@ -46,6 +46,7 @@ class MapTrace final : public MapObserver {
     std::string fault_digest;       ///< fabric FaultModel digest at that round
     PerfCounters perf;              ///< router/tracker effort of the attempt
     std::uint64_t correlation = 0;  ///< telemetry span id; 0 = no tracing
+    std::string sandbox;            ///< isolation outcome; "" = in-process
   };
   std::vector<Attempt> Attempts() const;
 
@@ -73,7 +74,12 @@ class MapTrace final : public MapObserver {
   /// When span tracing was on during the run, each attempt row also
   /// carries "corr": the telemetry correlation id shared with that
   /// attempt's spans in the Chrome trace (join key across the two
-  /// artefacts). Serialisation goes through support/json's JsonWriter.
+  /// artefacts). With process isolation on (EngineOptions::isolation)
+  /// attempt and mapper rows additionally carry "sandbox": "ok" for a
+  /// clean sandboxed run, "signal:SIGSEGV" / "oom" / "timeout" /
+  /// "wire-corrupt" for classified deaths, and "quarantined" for
+  /// entries the bench skipped; absent for in-process runs.
+  /// Serialisation goes through support/json's JsonWriter.
   std::string ToJson() const;
 
   void Clear();

@@ -2,8 +2,19 @@
 // fixtures section so engine tests can assemble hostile portfolios by
 // name, without the fixtures ever appearing in All()/ByTechnique()
 // enumeration (a bench sweep must not race a booby trap by accident).
+//
+// The `crashy` family (segv / spin / allocbomb) fails harder than
+// try/catch can contain — each one models a real failure mode of the
+// survey's exact mappers (wild pointer in monomorphism enumeration, a
+// search loop that never polls its StopToken, unbounded clause
+// learning) and is only survivable behind the process sandbox
+// (EngineOptions::isolation, engine/sandbox.hpp). The chaos CI job
+// races all three against healthy mappers through cgra_serve.
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "mappers/mappers.hpp"
 
@@ -31,10 +42,95 @@ class ThrowingMapper final : public Mapper {
   }
 };
 
+// Dereferences a null pointer: SIGSEGV, no exception to catch. Only
+// the process boundary survives this one.
+class SegvMapper final : public Mapper {
+ public:
+  std::string name() const override { return "segv"; }
+  TechniqueClass technique() const override {
+    return TechniqueClass::kHeuristic;
+  }
+  MappingKind kind() const override { return MappingKind::kTemporal; }
+  std::string lineage() const override {
+    return "test fixture: the mapper that segfaults";
+  }
+
+  Result<Mapping> Map(const Dfg&, const Architecture&,
+                      const MapperOptions&) const override {
+    // volatile so the write cannot be optimised out (a compiler is
+    // allowed to delete UB it can prove).
+    volatile int* p = nullptr;
+    *p = 42;  // NOLINT: deliberate crash
+    return Error::Internal("unreachable");
+  }
+};
+
+// A hard infinite loop that never polls the deadline or the stop
+// token — the wedge that motivates the parent-side watchdog and the
+// CPU rlimit. The loop body does real atomic work so the optimiser
+// cannot collapse it.
+class SpinMapper final : public Mapper {
+ public:
+  std::string name() const override { return "spin"; }
+  TechniqueClass technique() const override {
+    return TechniqueClass::kHeuristic;
+  }
+  MappingKind kind() const override { return MappingKind::kTemporal; }
+  std::string lineage() const override {
+    return "test fixture: the mapper that never returns";
+  }
+
+  Result<Mapping> Map(const Dfg&, const Architecture&,
+                      const MapperOptions&) const override {
+    std::atomic<std::uint64_t> x{0};
+    for (;;) {
+      x.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Allocates without bound until std::bad_alloc (under a sandbox
+// memory rlimit) or the OOM killer intervenes. Touches every page so
+// the memory is actually resident, not just reserved.
+class AllocBombMapper final : public Mapper {
+ public:
+  std::string name() const override { return "allocbomb"; }
+  TechniqueClass technique() const override {
+    return TechniqueClass::kHeuristic;
+  }
+  MappingKind kind() const override { return MappingKind::kTemporal; }
+  std::string lineage() const override {
+    return "test fixture: the mapper that eats all memory";
+  }
+
+  Result<Mapping> Map(const Dfg&, const Architecture&,
+                      const MapperOptions&) const override {
+    std::vector<std::unique_ptr<char[]>> hoard;
+    constexpr std::size_t kChunk = 16u << 20;  // 16 MiB per step
+    for (;;) {
+      auto chunk = std::make_unique<char[]>(kChunk);
+      for (std::size_t i = 0; i < kChunk; i += 4096) chunk[i] = 1;
+      hoard.push_back(std::move(chunk));
+    }
+  }
+};
+
 }  // namespace
 
 std::unique_ptr<Mapper> MakeThrowingMapper() {
   return std::make_unique<ThrowingMapper>();
+}
+
+std::unique_ptr<Mapper> MakeSegvMapper() {
+  return std::make_unique<SegvMapper>();
+}
+
+std::unique_ptr<Mapper> MakeSpinMapper() {
+  return std::make_unique<SpinMapper>();
+}
+
+std::unique_ptr<Mapper> MakeAllocBombMapper() {
+  return std::make_unique<AllocBombMapper>();
 }
 
 }  // namespace cgra

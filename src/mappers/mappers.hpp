@@ -43,5 +43,10 @@ std::unique_ptr<Mapper> MakeSmtTemporalMapper();        ///< Donovick [44]
 
 // ---- test fixtures (registry Find-only; never enumerated) -------------------
 std::unique_ptr<Mapper> MakeThrowingMapper();           ///< throws from Map()
+// The `crashy` family: survivable only behind the process sandbox
+// (EngineOptions::isolation); the chaos harness races them by name.
+std::unique_ptr<Mapper> MakeSegvMapper();               ///< SIGSEGVs in Map()
+std::unique_ptr<Mapper> MakeSpinMapper();               ///< never returns
+std::unique_ptr<Mapper> MakeAllocBombMapper();          ///< allocates forever
 
 }  // namespace cgra

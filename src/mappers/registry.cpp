@@ -51,6 +51,9 @@ MapperRegistry::MapperRegistry() {
   for (MapperFactory make : kFactories) mappers_.push_back(make());
   // Test fixtures: resolvable by name, invisible to enumeration.
   fixtures_.push_back(MakeThrowingMapper());
+  fixtures_.push_back(MakeSegvMapper());
+  fixtures_.push_back(MakeSpinMapper());
+  fixtures_.push_back(MakeAllocBombMapper());
 }
 
 const MapperRegistry& MapperRegistry::Global() {

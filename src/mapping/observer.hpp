@@ -57,6 +57,10 @@ struct MapEvent {
   /// the worker thread's PerfCounters across attempt(); see
   /// mapping/perf.hpp). All-zero for events that bracket no search.
   PerfCounters perf;
+  /// Process-isolation outcome of the bracketing entry (engine-emitted;
+  /// see EngineAttempt::sandbox for the vocabulary). Empty for
+  /// in-process runs, so existing traces are unchanged.
+  std::string sandbox;
 };
 
 /// Progress sink. The portfolio engine invokes a single observer from

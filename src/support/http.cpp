@@ -131,6 +131,11 @@ int ReadRequest(int fd, std::size_t max_body, HttpRequest& req) {
     req.headers.emplace_back(std::string(name), std::string(value));
     if (IEquals(name, "Content-Length")) {
       const std::string text(value);
+      // strtoull accepts "-1" and wraps it to ULLONG_MAX — a negative
+      // length must be malformed (400), not "oversized" (413).
+      if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+        return 400;
+      }
       char* parse_end = nullptr;
       const unsigned long long v = std::strtoull(text.c_str(), &parse_end, 10);
       if (parse_end == text.c_str() || *parse_end != '\0') return 400;

@@ -1,0 +1,266 @@
+#include "support/subprocess.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <exception>
+#include <new>
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/str.hpp"
+
+namespace cgra {
+
+namespace {
+
+// Reserved child exit codes. Ordinary mapper code never _exit()s, so
+// collisions only matter against other harness paths.
+constexpr int kExitOk = 0;
+constexpr int kExitOom = 42;        // std::bad_alloc escaped the closure
+constexpr int kExitException = 43;  // any other exception escaped
+constexpr int kExitWriteFailed = 44;  // pipe write failed (parent gone)
+
+void ApplyLimit(int resource, long value) {
+  if (value <= 0) return;
+  struct rlimit rl;
+  rl.rlim_cur = static_cast<rlim_t>(value);
+  rl.rlim_max = static_cast<rlim_t>(value);
+  if (resource == RLIMIT_CPU) {
+    // Soft limit fires SIGXCPU (catchable, classified kTimeout); give
+    // the hard limit one extra second so the kernel's SIGKILL is the
+    // backstop, not the first responder.
+    rl.rlim_max = static_cast<rlim_t>(value) + 1;
+  }
+  // Best-effort: a container may already hold a tighter hard limit, in
+  // which case raising it fails with EPERM and the tighter cap simply
+  // stays in force.
+  (void)setrlimit(resource, &rl);
+}
+
+/// Write the whole buffer, riding out EINTR and short writes. The
+/// parent drains the pipe concurrently, so payloads larger than the
+/// pipe buffer make progress instead of deadlocking.
+bool WriteAll(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    ssize_t n = write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+[[noreturn]] void ChildMain(const std::function<std::string()>& work,
+                            const SandboxLimits& limits, int write_fd) {
+  // If the parent dies first, write() gets EPIPE instead of a
+  // process-killing SIGPIPE.
+  signal(SIGPIPE, SIG_IGN);
+  ApplyLimit(RLIMIT_CPU, limits.cpu_seconds);
+  ApplyLimit(RLIMIT_AS, limits.memory_bytes);
+  ApplyLimit(RLIMIT_STACK, limits.stack_bytes);
+
+  std::string payload;
+  try {
+    payload = work();
+  } catch (const std::bad_alloc&) {
+    _exit(kExitOom);
+  } catch (...) {
+    _exit(kExitException);
+  }
+  if (!WriteAll(write_fd, payload.data(), payload.size())) {
+    _exit(kExitWriteFailed);
+  }
+  // _exit, not exit: atexit handlers and static destructors belong to
+  // the parent's lifetime, and flushing inherited stdio buffers here
+  // would duplicate the parent's pending output.
+  _exit(kExitOk);
+}
+
+}  // namespace
+
+std::string_view SandboxCrashName(SandboxCrash crash) {
+  switch (crash) {
+    case SandboxCrash::kNone: return "none";
+    case SandboxCrash::kSignal: return "signal";
+    case SandboxCrash::kOom: return "oom";
+    case SandboxCrash::kTimeout: return "timeout";
+    case SandboxCrash::kWireCorrupt: return "wire-corrupt";
+    case SandboxCrash::kExit: return "exit";
+    case SandboxCrash::kCancelled: return "cancelled";
+    case SandboxCrash::kSpawnFailed: return "spawn-failed";
+  }
+  return "spawn-failed";
+}
+
+std::string SignalName(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGFPE: return "SIGFPE";
+    case SIGILL: return "SIGILL";
+    case SIGKILL: return "SIGKILL";
+    case SIGTERM: return "SIGTERM";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGXFSZ: return "SIGXFSZ";
+    case SIGPIPE: return "SIGPIPE";
+    case SIGTRAP: return "SIGTRAP";
+    case SIGSYS: return "SIGSYS";
+    default: return StrFormat("SIG%d", sig);
+  }
+}
+
+SandboxOutcome RunInSandbox(const std::function<std::string()>& work,
+                            const SandboxLimits& limits,
+                            const Deadline& deadline, StopToken stop) {
+  SandboxOutcome out;
+  WallTimer timer;
+
+  int fds[2];
+  if (pipe(fds) != 0) {
+    out.crash = SandboxCrash::kSpawnFailed;
+    out.detail = StrFormat("pipe() failed: %s", std::strerror(errno));
+    return out;
+  }
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    out.crash = SandboxCrash::kSpawnFailed;
+    out.detail = StrFormat("fork() failed: %s", std::strerror(errno));
+    out.seconds = timer.Seconds();
+    return out;
+  }
+
+  if (pid == 0) {
+    close(fds[0]);
+    ChildMain(work, limits, fds[1]);  // never returns
+  }
+
+  close(fds[1]);
+
+  // Drain-then-reap, in that order. The child can block writing a
+  // payload bigger than the pipe buffer, so the parent MUST keep
+  // reading until EOF before it waits — waitpid first would deadlock.
+  // The poll loop doubles as the watchdog: every tick re-checks the
+  // deadline and the stop token and escalates to SIGKILL.
+  bool killed_deadline = false;
+  bool killed_cancel = false;
+  char buf[4096];
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fds[0];
+    pfd.events = POLLIN;
+    int pr = poll(&pfd, 1, /*timeout_ms=*/20);
+    if (pr < 0 && errno != EINTR) break;
+    if (pr > 0) {
+      ssize_t n = read(fds[0], buf, sizeof(buf));
+      if (n > 0) {
+        out.payload.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) break;  // EOF: the child closed its end (exit or kill)
+      if (errno != EINTR) break;
+    }
+    if (!killed_deadline && !killed_cancel) {
+      if (stop.StopRequested()) {
+        killed_cancel = true;
+        kill(pid, SIGKILL);
+      } else if (deadline.Expired()) {
+        killed_deadline = true;
+        kill(pid, SIGKILL);
+      }
+    }
+  }
+  close(fds[0]);
+
+  int status = 0;
+  pid_t reaped;
+  do {
+    reaped = waitpid(pid, &status, 0);
+  } while (reaped < 0 && errno == EINTR);
+  out.seconds = timer.Seconds();
+
+  if (reaped != pid) {
+    out.crash = SandboxCrash::kSpawnFailed;
+    out.detail = StrFormat("waitpid() failed: %s", std::strerror(errno));
+    return out;
+  }
+
+  if (killed_cancel) {
+    out.crash = SandboxCrash::kCancelled;
+    out.detail = "cancelled: stop requested, child killed";
+    return out;
+  }
+  if (killed_deadline) {
+    out.crash = SandboxCrash::kTimeout;
+    out.signal = SIGKILL;
+    out.detail = StrFormat("timeout: wall deadline expired after %.3fs, child killed",
+                           out.seconds);
+    return out;
+  }
+
+  if (WIFSIGNALED(status)) {
+    out.signal = WTERMSIG(status);
+    if (out.signal == SIGXCPU) {
+      // The CPU rlimit, not a bug, ended the attempt.
+      out.crash = SandboxCrash::kTimeout;
+      out.detail = StrFormat("timeout: CPU limit (%lds) exceeded (SIGXCPU)",
+                             limits.cpu_seconds);
+    } else {
+      out.crash = SandboxCrash::kSignal;
+      out.detail = StrFormat("killed by %s", SignalName(out.signal).c_str());
+    }
+    return out;
+  }
+
+  if (WIFEXITED(status)) {
+    out.exit_code = WEXITSTATUS(status);
+    switch (out.exit_code) {
+      case kExitOk:
+        if (out.payload.empty()) {
+          out.crash = SandboxCrash::kWireCorrupt;
+          out.detail = "wire-corrupt: clean exit but empty payload";
+        } else {
+          out.crash = SandboxCrash::kNone;
+        }
+        return out;
+      case kExitOom:
+        out.crash = SandboxCrash::kOom;
+        out.detail =
+            limits.memory_bytes > 0
+                ? StrFormat("oom: allocation failed under %ld-byte rlimit",
+                            limits.memory_bytes)
+                : "oom: allocation failed";
+        return out;
+      case kExitException:
+        out.crash = SandboxCrash::kExit;
+        out.detail = "exit: exception escaped the sandbox closure";
+        return out;
+      case kExitWriteFailed:
+        out.crash = SandboxCrash::kExit;
+        out.detail = "exit: child could not write its payload";
+        return out;
+      default:
+        out.crash = SandboxCrash::kExit;
+        out.detail = StrFormat("exit: status %d", out.exit_code);
+        return out;
+    }
+  }
+
+  out.crash = SandboxCrash::kExit;
+  out.detail = "exit: unrecognised wait status";
+  return out;
+}
+
+}  // namespace cgra

@@ -238,6 +238,60 @@ TEST(ApiManifest, V2ManifestRejected) {
   EXPECT_NE(m.error().message.find("\"schema_version\""), std::string::npos);
 }
 
+TEST(ApiManifest, MalformedManifestTable) {
+  // Every broken input is a structured kInvalidArgument — never a
+  // crash, never a silently-empty job list.
+  struct Case {
+    const char* name;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"empty input", ""},
+      {"whitespace only", "   \n\t "},
+      {"unterminated object", R"({"jobs": [{"kernel": "dot_product"})"},
+      {"unterminated array", R"({"jobs": [{"kernel": "dot_product"})"},
+      {"unterminated string", R"({"jobs": [{"kernel": "dot_prod)"},
+      {"truncated mid-key", R"({"jobs": [{"ker)"},
+      {"bare value", "42"},
+      {"array at top level", R"([{"kernel": "dot_product"}])"},
+      {"trailing garbage", R"({"jobs": [{"kernel": "vecadd"}]} extra)"},
+      {"jobs is not an array", R"({"jobs": {"kernel": "vecadd"}})"},
+      {"job entry is a string", R"({"jobs": ["dot_product"]})"},
+  };
+  for (const Case& c : cases) {
+    const Result<std::vector<api::MapRequest>> m =
+        api::ParseManifestText(c.text);
+    ASSERT_FALSE(m.ok()) << c.name;
+    EXPECT_EQ(m.error().code, Error::Code::kInvalidArgument) << c.name;
+    EXPECT_FALSE(m.error().message.empty()) << c.name;
+  }
+}
+
+TEST(ApiManifest, DuplicateFieldsResolveFirstWinsDeterministically) {
+  // JSON with duplicate keys is legal per RFC 8259 but ambiguous; the
+  // parser resolves it deterministically (first occurrence wins), so
+  // the same manifest text can never produce two different batches.
+  const Result<std::vector<api::MapRequest>> m = api::ParseManifestText(R"({
+    "jobs": [{"name": "a", "name": "b",
+              "kernel": "dot_product", "kernel": "vecadd",
+              "seed": 1, "seed": 2}]
+  })");
+  ASSERT_TRUE(m.ok()) << m.error().message;
+  ASSERT_EQ(m->size(), 1u);
+  EXPECT_EQ((*m)[0].name, "a");
+  EXPECT_EQ((*m)[0].kernel, "dot_product");
+  EXPECT_EQ((*m)[0].seed, 1u);
+
+  // Same rule one level up: a duplicated "jobs" array is read once.
+  const Result<std::vector<api::MapRequest>> dup = api::ParseManifestText(R"({
+    "jobs": [{"kernel": "dot_product"}],
+    "jobs": [{"kernel": "vecadd"}, {"kernel": "saxpy"}]
+  })");
+  ASSERT_TRUE(dup.ok()) << dup.error().message;
+  ASSERT_EQ(dup->size(), 1u);
+  EXPECT_EQ((*dup)[0].kernel, "dot_product");
+}
+
 // ---- response -------------------------------------------------------------
 
 TEST(ApiResponse, ErrorResponseRoundTrips) {

@@ -13,9 +13,11 @@
 
 #include "arch/fault.hpp"
 #include "engine/engine.hpp"
+#include "engine/quarantine.hpp"
 #include "engine/trace.hpp"
 #include "ir/kernels.hpp"
 #include "mappers/registry.hpp"
+#include "mapping/mapping.hpp"
 #include "mapping/validator.hpp"
 
 namespace cgra {
@@ -300,6 +302,210 @@ TEST(MapperRegistry, FixturesResolveByNameButStayUnenumerated) {
   for (const Mapper& m : registry) {
     EXPECT_NE(m.name(), "throwing");
   }
+}
+
+TEST(MapperRegistry, CrashyFixtureFamilyResolvesByName) {
+  const auto& registry = MapperRegistry::Global();
+  for (const char* name : {"segv", "spin", "allocbomb"}) {
+    EXPECT_NE(registry.Find(name), nullptr) << name;
+    for (const Mapper* m : registry.All()) EXPECT_NE(m->name(), name);
+  }
+}
+
+// ---- process-level isolation ------------------------------------------------
+//
+// The segv fixture dereferences nullptr inside Map(): without a
+// sandbox it would take the test binary down, so these tests ARE the
+// proof that --isolation all moves the crash boundary out of process.
+// Classification caveat: ASan turns the child's SIGSEGV into a
+// reporting exit, so assertions accept any fatal sandbox label and
+// only the Release chaos job pins the exact "signal:SIGSEGV" string.
+
+bool LooksFatal(const std::string& sandbox_label) {
+  return sandbox_label == "oom" || sandbox_label == "wire-corrupt" ||
+         sandbox_label == "exit" || sandbox_label.rfind("signal:", 0) == 0;
+}
+
+TEST(MappingEngine, SandboxIsolatesSegfaultingMapper) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  QuarantineTracker tracker;
+  MapTrace trace;
+  EngineOptions opts;
+  opts.race = false;
+  opts.isolation = IsolationMode::kAll;
+  opts.quarantine = &tracker;
+  opts.observer = &trace;
+  opts.deadline = Deadline::AfterSeconds(30);
+  const MappingEngine engine(opts);
+  const auto r =
+      engine.Run(k.dfg, arch, std::vector<std::string>{"segv", "ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->winner, "ims");
+  EXPECT_TRUE(ValidateMapping(k.dfg, arch, r->mapping).ok());
+
+  const EngineAttempt* crashed = FindAttempt(*r, "segv");
+  ASSERT_NE(crashed, nullptr);
+  EXPECT_FALSE(crashed->ok);
+  EXPECT_EQ(crashed->error.code, Error::Code::kInternal);
+  EXPECT_TRUE(LooksFatal(crashed->sandbox)) << crashed->sandbox;
+  EXPECT_TRUE(tracker.HasCrashHistory("segv"));
+
+  // The healthy winner ran in a sandbox too, and says so.
+  const EngineAttempt* won = FindAttempt(*r, "ims");
+  ASSERT_NE(won, nullptr);
+  EXPECT_EQ(won->sandbox, "ok");
+
+  // The crash classification reaches the trace JSON.
+  EXPECT_NE(trace.ToJson().find("\"sandbox\""), std::string::npos);
+}
+
+TEST(MappingEngine, SandboxContainsWedgedMapperViaDeadline) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  QuarantineTracker tracker;
+  EngineOptions opts;
+  opts.race = false;
+  opts.isolation = IsolationMode::kAll;
+  opts.quarantine = &tracker;
+  opts.deadline = Deadline::AfterSeconds(2.0);
+  const MappingEngine engine(opts);
+  WallTimer timer;
+  const auto r =
+      engine.Run(k.dfg, arch, std::vector<std::string>{"spin"});
+  // The spin fixture ignores StopToken entirely; only the watchdog's
+  // SIGKILL ends it. The engine must come back near the deadline.
+  EXPECT_LT(timer.Seconds(), 20.0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kResourceLimit);
+  // A timeout is the budget's fault, not the mapper's: no crash mark.
+  EXPECT_FALSE(tracker.HasCrashHistory("spin"));
+}
+
+TEST(MappingEngine, SandboxedWinIsDigestIdenticalToInProcess) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  EngineOptions plain;
+  plain.race = false;
+  plain.seed = 7;
+  plain.deadline = Deadline::AfterSeconds(30);
+  const auto in_process =
+      MappingEngine(plain).Run(k.dfg, arch, {"ims"});
+  ASSERT_TRUE(in_process.ok()) << in_process.error().message;
+
+  QuarantineTracker tracker;
+  EngineOptions sandboxed = plain;
+  sandboxed.deadline = Deadline::AfterSeconds(30);
+  sandboxed.isolation = IsolationMode::kAll;
+  sandboxed.quarantine = &tracker;
+  const auto forked =
+      MappingEngine(sandboxed).Run(k.dfg, arch, {"ims"});
+  ASSERT_TRUE(forked.ok()) << forked.error().message;
+
+  // Same code, same seed, one SerializeMapping round-trip: the
+  // process boundary must not perturb the mapping bit for bit.
+  EXPECT_EQ(MappingDigestHex(in_process->mapping),
+            MappingDigestHex(forked->mapping));
+  EXPECT_EQ(in_process->mapping.ii, forked->mapping.ii);
+}
+
+TEST(MappingEngine, QuarantineBenchesRepeatOffender) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  QuarantinePolicy policy;
+  policy.crash_threshold = 2;
+  policy.base_backoff_seconds = 1000.0;
+  QuarantineTracker tracker(policy);
+
+  EngineOptions opts;
+  opts.race = false;
+  opts.isolation = IsolationMode::kAll;
+  opts.quarantine = &tracker;
+  opts.deadline = Deadline::AfterSeconds(30);
+
+  // Two crashing runs trip the threshold...
+  for (int i = 0; i < 2; ++i) {
+    const auto r = MappingEngine(opts).Run(
+        k.dfg, arch, std::vector<std::string>{"segv", "ims"});
+    ASSERT_TRUE(r.ok()) << r.error().message;
+    opts.deadline = Deadline::AfterSeconds(30);
+  }
+  EXPECT_TRUE(tracker.IsQuarantined("segv"));
+
+  // ...and the third run benches segv without forking at all: the
+  // attempt is stamped "quarantined" and fails kResourceLimit.
+  MapTrace trace;
+  opts.observer = &trace;
+  const auto r = MappingEngine(opts).Run(
+      k.dfg, arch, std::vector<std::string>{"segv", "ims"});
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->winner, "ims");
+  const EngineAttempt* benched = FindAttempt(*r, "segv");
+  ASSERT_NE(benched, nullptr);
+  EXPECT_FALSE(benched->ok);
+  EXPECT_EQ(benched->error.code, Error::Code::kResourceLimit);
+  EXPECT_EQ(benched->sandbox, "quarantined");
+  EXPECT_NE(benched->error.message.find("quarantined"), std::string::npos);
+  EXPECT_NE(trace.ToJson().find("\"quarantined\""), std::string::npos);
+}
+
+TEST(MappingEngine, CrashyOnlyEscalatesAfterFirstCrash) {
+  const Architecture arch = Rotating4x4();
+  const Kernel k = MakeDotProduct(8, 7);
+
+  QuarantineTracker tracker;
+  EngineOptions opts;
+  opts.race = false;
+  opts.isolation = IsolationMode::kCrashyOnly;
+  opts.quarantine = &tracker;
+  opts.deadline = Deadline::AfterSeconds(30);
+
+  // First run: "throwing" has no history, so it runs in-process and
+  // SafeMap catches the throw (kInternal, no sandbox label) — which
+  // records the crash.
+  const auto first = MappingEngine(opts).Run(
+      k.dfg, arch, std::vector<std::string>{"throwing", "ims"});
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  const EngineAttempt* a1 = FindAttempt(*first, "throwing");
+  ASSERT_NE(a1, nullptr);
+  EXPECT_TRUE(a1->sandbox.empty()) << a1->sandbox;
+  EXPECT_TRUE(tracker.HasCrashHistory("throwing"));
+
+  // Second run: the history promotes it into a sandbox. The child's
+  // SafeMap still catches the exception, so the sandbox itself is
+  // clean ("ok") and the error comes back over the wire.
+  opts.deadline = Deadline::AfterSeconds(30);
+  const auto second = MappingEngine(opts).Run(
+      k.dfg, arch, std::vector<std::string>{"throwing", "ims"});
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  const EngineAttempt* a2 = FindAttempt(*second, "throwing");
+  ASSERT_NE(a2, nullptr);
+  EXPECT_EQ(a2->sandbox, "ok");
+  EXPECT_FALSE(a2->ok);
+  EXPECT_EQ(a2->error.code, Error::Code::kInternal);
+
+  // Healthy mappers never pay the fork tax under kCrashyOnly.
+  const EngineAttempt* healthy = FindAttempt(*second, "ims");
+  ASSERT_NE(healthy, nullptr);
+  EXPECT_TRUE(healthy->sandbox.empty()) << healthy->sandbox;
+}
+
+TEST(MappingEngine, IsolationModeNamesRoundTrip) {
+  for (const IsolationMode m :
+       {IsolationMode::kNone, IsolationMode::kCrashyOnly,
+        IsolationMode::kAll}) {
+    IsolationMode parsed;
+    ASSERT_TRUE(ParseIsolationMode(IsolationModeName(m), &parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  IsolationMode parsed;
+  EXPECT_TRUE(ParseIsolationMode("crashy-only", &parsed));
+  EXPECT_EQ(parsed, IsolationMode::kCrashyOnly);
+  EXPECT_FALSE(ParseIsolationMode("paranoid", &parsed));
 }
 
 // ---- the repair loop --------------------------------------------------------

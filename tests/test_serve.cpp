@@ -4,6 +4,9 @@
 // (CGRA_SERVE_BIN, injected by tests/CMakeLists.txt).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -236,6 +239,96 @@ TEST(Serve, QueueFullIs503) {
   EXPECT_GE(d.server->stats().rejected_queue_full, 1u);
 }
 
+// ---- malformed HTTP input ---------------------------------------------------
+//
+// HttpFetch always emits well-formed requests, so these go over a raw
+// socket: write arbitrary bytes, optionally half-close, read whatever
+// comes back. An empty reply means the server dropped the connection
+// without answering (the correct response to a request it cannot
+// frame).
+std::string RawExchange(int port, const std::string& bytes,
+                        bool half_close = true) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed";
+    return {};
+  }
+  struct timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+            static_cast<ssize_t>(bytes.size()));
+  // Half-close tells the server no more bytes are coming — a recv()
+  // that would otherwise block on an incomplete request returns 0.
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+int RawStatus(const std::string& reply) {
+  // "HTTP/1.1 NNN ..."
+  const std::size_t sp = reply.find(' ');
+  if (sp == std::string::npos) return -1;
+  return std::atoi(reply.c_str() + sp + 1);
+}
+
+TEST(Serve, MalformedHttpRequestTable) {
+  TestDaemon d;
+  ASSERT_TRUE(d.start_status.ok());
+  const int port = d.server->port();
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+    int want_status;  // -1 = connection closed with no response
+  };
+  const Case cases[] = {
+      {"garbage request line", "GARBAGE\r\n\r\n", 400},
+      {"missing target", "GET \r\n\r\n", 400},
+      {"relative target", "GET healthz HTTP/1.1\r\n\r\n", 400},
+      {"header without colon",
+       "POST /v1/map HTTP/1.1\r\nContent-Length\r\n\r\n", 400},
+      {"non-numeric content-length",
+       "POST /v1/map HTTP/1.1\r\nContent-Length: abc\r\n\r\n", 400},
+      {"trailing junk content-length",
+       "POST /v1/map HTTP/1.1\r\nContent-Length: 12x\r\n\r\n", 400},
+      {"negative content-length",
+       "POST /v1/map HTTP/1.1\r\nContent-Length: -1\r\n\r\n", 400},
+      {"oversized content-length",
+       "POST /v1/map HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n", 413},
+      {"truncated header block", "POST /v1/map HTTP/1.1\r\nContent-", -1},
+      {"truncated body",
+       "POST /v1/map HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"par", -1},
+  };
+  for (const Case& c : cases) {
+    const std::string reply = RawExchange(port, c.bytes);
+    if (c.want_status < 0) {
+      EXPECT_TRUE(reply.empty())
+          << c.name << ": expected a silent close, got: " << reply;
+    } else {
+      EXPECT_EQ(RawStatus(reply), c.want_status) << c.name << ": " << reply;
+    }
+  }
+
+  // None of that abuse keeps the server from answering a well-formed
+  // request afterwards.
+  const Result<HttpResponse> r = d.Fetch("GET", "/healthz");
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r->status, 200);
+}
+
 TEST(Serve, DrainingRejectsNewMapRequests) {
   StopSource stop;
   api::ServiceOptions so;
@@ -253,12 +346,46 @@ TEST(Serve, DrainingRejectsNewMapRequests) {
   }
   EXPECT_TRUE(have_retry_after);
 
-  // /healthz reports the drain so a balancer can eject the instance.
+  // /healthz reports the drain so a balancer can eject the instance —
+  // and it must be an UNHEALTHY status code: probes key off the code,
+  // not the body.
   const Result<HttpResponse> health = d.Fetch("GET", "/healthz");
   ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
   const Result<Json> doc = Json::Parse(health->body);
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->Find("status")->AsString(), "draining");
+  EXPECT_EQ(doc->Find("draining")->AsBool(false), true);
+}
+
+TEST(Serve, SoftDrainingTokenAnnouncesWithoutCancelling) {
+  // The soft token flips /healthz and refuses new maps while the hard
+  // stop token (which cancels running engines) has NOT fired — the
+  // window in which a load balancer routes away while in-flight work
+  // finishes untouched.
+  StopSource draining;
+  api::ServiceOptions so;
+  so.draining = draining.token();
+  TestDaemon d(std::move(so));
+  ASSERT_TRUE(d.start_status.ok());
+
+  Result<HttpResponse> health = d.Fetch("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+
+  draining.RequestStop();
+  health = d.Fetch("GET", "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 503);
+  bool have_retry_after = false;
+  for (const auto& [k, v] : health->headers) {
+    if (k == "Retry-After") have_retry_after = true;
+  }
+  EXPECT_TRUE(have_retry_after);
+
+  const Result<HttpResponse> map = d.Fetch("POST", "/v1/map", MapBody());
+  ASSERT_TRUE(map.ok());
+  EXPECT_EQ(map->status, 503);
 }
 
 // ---- end-to-end SIGTERM drain against the real binary ---------------------

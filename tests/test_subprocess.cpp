@@ -1,0 +1,304 @@
+// Unit tests for the process-level sandbox (support/subprocess), the
+// sandbox wire frame (engine/sandbox) and the crash quarantine
+// tracker (engine/quarantine).
+//
+// Sanitizer caveat: ASan intercepts a child's SIGSEGV and turns it
+// into a reporting exit (code 1), so the crash classification tests
+// assert "fatal, not clean" rather than the precise kSignal kind; the
+// Release CI chaos job asserts the precise classification end-to-end.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/quarantine.hpp"
+#include "engine/sandbox.hpp"
+#include "support/stop_token.hpp"
+#include "support/subprocess.hpp"
+#include "support/timer.hpp"
+
+namespace cgra {
+namespace {
+
+bool IsFatal(SandboxCrash c) {
+  return c == SandboxCrash::kSignal || c == SandboxCrash::kOom ||
+         c == SandboxCrash::kWireCorrupt || c == SandboxCrash::kExit;
+}
+
+TEST(RunInSandbox, CleanRunShipsPayload) {
+  const SandboxOutcome out = RunInSandbox(
+      [] { return std::string("forty-two"); }, SandboxLimits{},
+      Deadline::AfterSeconds(30.0));
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(out.crash, SandboxCrash::kNone);
+  EXPECT_EQ(out.payload, "forty-two");
+  EXPECT_EQ(out.exit_code, 0);
+  EXPECT_GE(out.seconds, 0.0);
+}
+
+TEST(RunInSandbox, LargePayloadDoesNotDeadlock) {
+  // Bigger than any pipe buffer: the parent must drain concurrently
+  // or the child blocks in write() forever.
+  const std::string big(4u << 20, 'x');
+  const SandboxOutcome out = RunInSandbox(
+      [&] { return big; }, SandboxLimits{}, Deadline::AfterSeconds(30.0));
+  ASSERT_TRUE(out.ok()) << out.detail;
+  EXPECT_EQ(out.payload.size(), big.size());
+  EXPECT_EQ(out.payload, big);
+}
+
+TEST(RunInSandbox, SegfaultDoesNotKillTheParent) {
+  const SandboxOutcome out = RunInSandbox(
+      []() -> std::string {
+        volatile int* p = nullptr;
+        *p = 42;
+        return "unreachable";
+      },
+      SandboxLimits{}, Deadline::AfterSeconds(30.0));
+  // Plain build: kSignal/SIGSEGV. Under ASan the child exits with the
+  // sanitizer's report code instead, classified kExit.
+  EXPECT_TRUE(IsFatal(out.crash)) << out.detail;
+  if (out.crash == SandboxCrash::kSignal) {
+    EXPECT_EQ(SignalName(out.signal), "SIGSEGV");
+  }
+}
+
+TEST(RunInSandbox, EscapedBadAllocIsOom) {
+  const SandboxOutcome out = RunInSandbox(
+      []() -> std::string { throw std::bad_alloc(); }, SandboxLimits{},
+      Deadline::AfterSeconds(30.0));
+  EXPECT_EQ(out.crash, SandboxCrash::kOom) << out.detail;
+  EXPECT_EQ(out.exit_code, 42);
+}
+
+TEST(RunInSandbox, EscapedExceptionIsExit) {
+  const SandboxOutcome out = RunInSandbox(
+      []() -> std::string { throw std::runtime_error("boom"); },
+      SandboxLimits{}, Deadline::AfterSeconds(30.0));
+  EXPECT_EQ(out.crash, SandboxCrash::kExit) << out.detail;
+  EXPECT_EQ(out.exit_code, 43);
+}
+
+TEST(RunInSandbox, EmptyPayloadIsWireCorrupt) {
+  const SandboxOutcome out = RunInSandbox(
+      [] { return std::string(); }, SandboxLimits{},
+      Deadline::AfterSeconds(30.0));
+  EXPECT_EQ(out.crash, SandboxCrash::kWireCorrupt) << out.detail;
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(RunInSandbox, WatchdogKillsWedgedChild) {
+  WallTimer timer;
+  std::atomic<bool> spin{true};
+  const SandboxOutcome out = RunInSandbox(
+      [&]() -> std::string {
+        // Hard loop: no StopToken polling, no allocation, no I/O. Only
+        // the parent's SIGKILL ends it.
+        while (spin.load(std::memory_order_relaxed)) {
+        }
+        return "unreachable";
+      },
+      SandboxLimits{}, Deadline::AfterSeconds(0.3));
+  EXPECT_EQ(out.crash, SandboxCrash::kTimeout) << out.detail;
+  EXPECT_EQ(SignalName(out.signal), "SIGKILL");
+  // Killed promptly, not after some longer internal timeout.
+  EXPECT_LT(timer.Seconds(), 10.0);
+}
+
+TEST(RunInSandbox, StopTokenKillsChild) {
+  StopSource source;
+  source.RequestStop();
+  const SandboxOutcome out = RunInSandbox(
+      []() -> std::string {
+        for (;;) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      },
+      SandboxLimits{}, Deadline::AfterSeconds(30.0), source.token());
+  EXPECT_EQ(out.crash, SandboxCrash::kCancelled) << out.detail;
+}
+
+TEST(RunInSandbox, CpuLimitIsClassifiedTimeout) {
+  const SandboxLimits limits{/*cpu_seconds=*/1, 0, 0};
+  const SandboxOutcome out = RunInSandbox(
+      []() -> std::string {
+        volatile std::uint64_t x = 0;
+        for (;;) x = x + 1;
+      },
+      limits, Deadline::AfterSeconds(30.0));
+  EXPECT_EQ(out.crash, SandboxCrash::kTimeout) << out.detail;
+}
+
+TEST(RunInSandbox, MemoryLimitContainsAllocBomb) {
+  SandboxLimits limits;
+  limits.memory_bytes = 512l << 20;
+  const SandboxOutcome out = RunInSandbox(
+      []() -> std::string {
+        std::vector<char*> hoard;
+        for (;;) {
+          char* chunk = new char[16u << 20];
+          for (std::size_t i = 0; i < (16u << 20); i += 4096) chunk[i] = 1;
+          hoard.push_back(chunk);
+        }
+      },
+      limits, Deadline::AfterSeconds(30.0));
+  // Plain build: bad_alloc under the RLIMIT_AS cap => kOom. Sanitizer
+  // allocators may abort instead; either way the parent survives and
+  // the outcome is fatal.
+  EXPECT_TRUE(IsFatal(out.crash)) << out.detail;
+}
+
+TEST(RunInSandbox, Names) {
+  EXPECT_EQ(SandboxCrashName(SandboxCrash::kOom), "oom");
+  EXPECT_EQ(SandboxCrashName(SandboxCrash::kWireCorrupt), "wire-corrupt");
+  EXPECT_EQ(SignalName(SIGSEGV), "SIGSEGV");
+  EXPECT_EQ(SignalName(SIGXCPU), "SIGXCPU");
+  EXPECT_EQ(SignalName(64), "SIG64");
+}
+
+// ---------------------------------------------------------------- //
+// Wire frame (engine/sandbox)
+
+TEST(SandboxFrame, ErrorRoundTrips) {
+  const Result<Mapping> in = Error::Unmappable("II 4: no feasible slot");
+  bool corrupt = true;
+  const Result<Mapping> out = DecodeSandboxFrame(EncodeSandboxFrame(in),
+                                                 &corrupt);
+  EXPECT_FALSE(corrupt);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.error().code, Error::Code::kUnmappable);
+  EXPECT_EQ(out.error().message, "II 4: no feasible slot");
+}
+
+TEST(SandboxFrame, AllErrorCodesRoundTrip) {
+  const Error errors[] = {
+      Error::InvalidArgument("a"), Error::Unmappable("b"),
+      Error::ResourceLimit("c"), Error::Internal("d")};
+  for (const Error& e : errors) {
+    bool corrupt = true;
+    const Result<Mapping> out =
+        DecodeSandboxFrame(EncodeSandboxFrame(Result<Mapping>(e)), &corrupt);
+    EXPECT_FALSE(corrupt);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.error().code, e.code);
+    EXPECT_EQ(out.error().message, e.message);
+  }
+}
+
+TEST(SandboxFrame, CorruptionIsDetectedNotTrusted) {
+  bool corrupt = false;
+  DecodeSandboxFrame("", &corrupt);
+  EXPECT_TRUE(corrupt) << "empty frame";
+
+  corrupt = false;
+  DecodeSandboxFrame("Xgarbage", &corrupt);
+  EXPECT_TRUE(corrupt) << "unknown tag";
+
+  corrupt = false;
+  DecodeSandboxFrame("E", &corrupt);
+  EXPECT_TRUE(corrupt) << "truncated error frame";
+
+  corrupt = false;
+  DecodeSandboxFrame(std::string("E\xff oops", 7), &corrupt);
+  EXPECT_TRUE(corrupt) << "unknown error code byte";
+
+  corrupt = false;
+  DecodeSandboxFrame("Mnot-a-serialized-mapping", &corrupt);
+  EXPECT_TRUE(corrupt) << "mapping frame failing the checksum";
+}
+
+TEST(SandboxFrame, TruncatedMappingFrameIsCorrupt) {
+  // A valid error frame truncated mid-flight must not decode.
+  const std::string frame =
+      EncodeSandboxFrame(Result<Mapping>(Error::Internal("x")));
+  bool corrupt = false;
+  DecodeSandboxFrame(std::string_view(frame).substr(0, 1), &corrupt);
+  EXPECT_TRUE(corrupt);
+}
+
+// ---------------------------------------------------------------- //
+// Quarantine tracker
+
+TEST(Quarantine, ThresholdBenchesTheMapper) {
+  QuarantinePolicy policy;
+  policy.crash_threshold = 3;
+  policy.base_backoff_seconds = 1000.0;  // never released in this test
+  QuarantineTracker tracker(policy);
+
+  EXPECT_FALSE(tracker.RecordCrash("segv"));
+  EXPECT_FALSE(tracker.RecordCrash("segv"));
+  EXPECT_FALSE(tracker.IsQuarantined("segv"));
+  EXPECT_TRUE(tracker.HasCrashHistory("segv"));
+
+  EXPECT_TRUE(tracker.RecordCrash("segv"));  // third crash trips it
+  double remaining = 0.0;
+  EXPECT_TRUE(tracker.IsQuarantined("segv", &remaining));
+  EXPECT_GT(remaining, 0.0);
+  EXPECT_FALSE(tracker.IsQuarantined("ims"));  // others unaffected
+}
+
+TEST(Quarantine, SuccessIsAFullPardon) {
+  QuarantineTracker tracker;
+  tracker.RecordCrash("flaky");
+  tracker.RecordCrash("flaky");
+  EXPECT_TRUE(tracker.HasCrashHistory("flaky"));
+  tracker.RecordSuccess("flaky");
+  EXPECT_FALSE(tracker.HasCrashHistory("flaky"));
+  EXPECT_TRUE(tracker.Dump().empty());
+}
+
+TEST(Quarantine, CrashWhileBenchedDoesNotReTrip) {
+  QuarantinePolicy policy;
+  policy.crash_threshold = 1;
+  policy.base_backoff_seconds = 1000.0;
+  QuarantineTracker tracker(policy);
+  EXPECT_TRUE(tracker.RecordCrash("segv"));
+  EXPECT_FALSE(tracker.RecordCrash("segv"));  // already benched
+  const std::vector<QuarantineTracker::Snapshot> dump = tracker.Dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].mapper, "segv");
+  EXPECT_EQ(dump[0].trips, 1);
+  EXPECT_TRUE(dump[0].quarantined);
+}
+
+TEST(Quarantine, ProbationRetainsTripCountAndBackoffDoubles) {
+  QuarantinePolicy policy;
+  policy.crash_threshold = 1;
+  policy.base_backoff_seconds = 0.05;
+  QuarantineTracker tracker(policy);
+
+  EXPECT_TRUE(tracker.RecordCrash("segv"));  // trip 1: 0.05s bench
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  EXPECT_FALSE(tracker.IsQuarantined("segv"));  // probation
+  EXPECT_TRUE(tracker.HasCrashHistory("segv"));
+
+  EXPECT_TRUE(tracker.RecordCrash("segv"));  // trip 2: 0.1s bench
+  const std::vector<QuarantineTracker::Snapshot> dump = tracker.Dump();
+  ASSERT_EQ(dump.size(), 1u);
+  EXPECT_EQ(dump[0].trips, 2);
+  EXPECT_TRUE(dump[0].quarantined);
+  EXPECT_GT(dump[0].release_in_seconds, policy.base_backoff_seconds);
+}
+
+TEST(Quarantine, WindowForgetsOldCrashes) {
+  QuarantinePolicy policy;
+  policy.crash_threshold = 2;
+  policy.window_seconds = 0.05;  // crashes age out almost immediately
+  QuarantineTracker tracker(policy);
+  EXPECT_FALSE(tracker.RecordCrash("slowburn"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // The first crash is outside the window now: this one is #1 again.
+  EXPECT_FALSE(tracker.RecordCrash("slowburn"));
+}
+
+TEST(Quarantine, GlobalIsASingleton) {
+  EXPECT_EQ(&QuarantineTracker::Global(), &QuarantineTracker::Global());
+}
+
+}  // namespace
+}  // namespace cgra

@@ -31,6 +31,8 @@
 //
 // usage: cgra_batch --manifest FILE [--out FILE] [--cache-dir DIR]
 //                   [--cache-capacity N] [--no-cache] [--threads N]
+//                   [--isolation none|crashy_only|all]
+//                   [--rlimit-cpu SEC] [--rlimit-mem MB] [--rlimit-stack MB]
 //                   [--traces DIR] [--trace FILE] [--quiet]
 #include <atomic>
 #include <cstdio>
@@ -59,8 +61,14 @@ using namespace cgra;
 
 namespace {
 
+struct JobIsolation {
+  IsolationMode mode = IsolationMode::kNone;
+  SandboxLimits limits;
+};
+
 api::MapResponse RunJob(const api::MapRequest& request, MappingCache* cache,
-                        const std::string& traces_dir) {
+                        const std::string& traces_dir,
+                        const JobIsolation& isolation) {
   // Root of this job's span tree; every engine/mapper/attempt span the
   // job emits nests under it on the worker thread's track.
   telemetry::Span job_span("batch.job", request.name);
@@ -100,6 +108,8 @@ api::MapResponse RunJob(const api::MapRequest& request, MappingCache* cache,
   eo.extra_slack = request.extra_slack;
   eo.observer = &trace;
   eo.cache = cache;
+  eo.isolation = isolation.mode;
+  eo.sandbox_limits = isolation.limits;
 
   const Result<EngineResult> r =
       MappingEngine(eo).Run(kernel->dfg, arch, request.mappers);
@@ -141,6 +151,7 @@ int main(int argc, char** argv) {
   bool use_cache = true;
   bool quiet = false;
   int threads = 0;
+  JobIsolation isolation;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg_value = [&](const char* flag) -> const char* {
@@ -161,6 +172,20 @@ int main(int argc, char** argv) {
       cache_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = arg_value("--threads")) {
       threads = std::atoi(v);
+    } else if (const char* v = arg_value("--isolation")) {
+      if (!ParseIsolationMode(v, &isolation.mode)) {
+        std::fprintf(stderr,
+                     "cgra_batch: --isolation must be none, crashy_only or "
+                     "all (got \"%s\")\n",
+                     v);
+        return 2;
+      }
+    } else if (const char* v = arg_value("--rlimit-cpu")) {
+      isolation.limits.cpu_seconds = std::atol(v);
+    } else if (const char* v = arg_value("--rlimit-mem")) {
+      isolation.limits.memory_bytes = std::atol(v) * (1l << 20);
+    } else if (const char* v = arg_value("--rlimit-stack")) {
+      isolation.limits.stack_bytes = std::atol(v) * (1l << 20);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       use_cache = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
@@ -169,6 +194,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s --manifest FILE [--out FILE] [--cache-dir DIR]\n"
                    "          [--cache-capacity N] [--no-cache] [--threads N]\n"
+                   "          [--isolation none|crashy_only|all]\n"
+                   "          [--rlimit-cpu SEC] [--rlimit-mem MB] "
+                   "[--rlimit-stack MB]\n"
                    "          [--traces DIR] [--trace FILE] [--quiet]\n",
                    argv[0]);
       return 2;
@@ -226,7 +254,8 @@ int main(int argc, char** argv) {
   std::atomic<int> done{0};
   WallTimer total;
   pool.ParallelFor(specs.size(), [&](std::size_t i) {
-    results[i] = RunJob(specs[i], cache ? &*cache : nullptr, traces_dir);
+    results[i] =
+        RunJob(specs[i], cache ? &*cache : nullptr, traces_dir, isolation);
     const int d = done.fetch_add(1, std::memory_order_relaxed) + 1;
     if (!quiet) {
       const api::MapResponse& r = results[i];

@@ -19,15 +19,35 @@
 // schema and gates p99 + zero dropped connections in CI (docs/API.md
 // documents both).
 //
+// Chaos mode (--chaos): every 4th shot swaps in a request whose
+// mapper list leads with a crashy registry fixture (segv / spin /
+// allocbomb) followed by a healthy mapper, so a daemon running
+// --isolation all should still answer 200 with the crash recorded as
+// a sandbox-labelled attempt row. Chaos shots are tallied in a
+// separate per-phase "chaos" object — the main counters keep the
+// ok+rejected+failed+dropped == sent invariant that
+// scripts/check_serve_bench.py gates, and scripts/check_chaos.py
+// gates the chaos object (zero drops, zero well-formed failures).
+//
+// Backpressure: a shot answered 429/503 honors the server's
+// Retry-After header with ONE jittered retry (the server asks for a
+// pause; hammering it back defeats admission control). Retries are
+// counted per phase ("retries" in BENCH_serve.json) and latency stays
+// scheduled-start -> final response, so the backoff wait is visible.
+//
 // usage: cgra_loadgen --port P [--host H] [--qps N] [--seconds S]
 //                     [--threads N] [--preset small] [--out FILE]
-//                     [--deadline-seconds S] [--quiet]
+//                     [--deadline-seconds S] [--chaos] [--quiet]
+#include <strings.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,21 +67,64 @@ namespace {
 /// pace on the small preset.
 const char* kKernels[] = {"dot_product", "vecadd", "saxpy", "fir4"};
 
+/// Crashy registry fixtures injected by --chaos (see
+/// src/mappers/fixtures.cpp): one segfault, one hard infinite loop,
+/// one allocation bomb.
+const char* kChaosMappers[] = {"segv", "spin", "allocbomb"};
+
 struct ShotResult {
   double latency_ms = -1.0;  ///< scheduled-start -> response, <0 = dropped
   int status = 0;            ///< HTTP status, 0 = connection failed
   bool ok = false;           ///< 200 with "ok":true body
   bool cache_hit = false;
+  bool chaos = false;    ///< crashy-mapper shot (tallied separately)
+  bool retried = false;  ///< answered 429/503, retried after Retry-After
+  std::size_t sandbox_fatal = 0;  ///< attempts with a fatal sandbox label
+  std::size_t quarantined = 0;    ///< attempts labelled "quarantined"
+};
+
+/// Chaos shots get their own tally so the main phase counters keep
+/// the ok+rejected+failed+dropped == sent invariant for well-formed
+/// traffic (scripts/check_serve_bench.py gates on it).
+struct ChaosStats {
+  std::size_t sent = 0, ok = 0, rejected = 0, failed = 0, dropped = 0;
+  std::size_t sandbox_fatal = 0;  ///< signal:*/oom/wire-corrupt/exit rows
+  std::size_t quarantined = 0;    ///< "quarantined" rows
 };
 
 struct PhaseStats {
   std::string name;
   std::size_t sent = 0, ok = 0, rejected = 0, failed = 0, dropped = 0;
   std::size_t cache_hits = 0;
+  std::size_t retries = 0;  ///< shots retried once after Retry-After
   double wall_seconds = 0.0;
   double achieved_qps = 0.0;
   double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  ChaosStats chaos;
 };
+
+/// True for attempt labels that mean the mapper died in its sandbox
+/// (as opposed to "ok", "timeout", "cancelled", "spawn-failed",
+/// "quarantined" — vocabulary in EngineAttempt::sandbox).
+bool IsFatalSandboxLabel(const std::string& label) {
+  return label == "oom" || label == "wire-corrupt" || label == "exit" ||
+         label.rfind("signal:", 0) == 0;
+}
+
+/// Retry-After value in seconds from a 429/503 response; <0 if the
+/// header is absent or unparsable (then: no retry — the server did
+/// not ask for one).
+double RetryAfterSeconds(const HttpResponse& resp) {
+  for (const auto& [name, value] : resp.headers) {
+    if (name.size() == 11 && strncasecmp(name.c_str(), "Retry-After", 11) == 0) {
+      char* end = nullptr;
+      const double s = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() && s >= 0) return s;
+      return -1.0;
+    }
+  }
+  return -1.0;
+}
 
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -77,13 +140,30 @@ PhaseStats Summarize(const std::string& name,
                      double wall_seconds) {
   PhaseStats s;
   s.name = name;
-  s.sent = shots.size();
   s.wall_seconds = wall_seconds;
-  s.achieved_qps =
-      wall_seconds > 0 ? static_cast<double>(shots.size()) / wall_seconds : 0;
   std::vector<double> lat;
   lat.reserve(shots.size());
   for (const ShotResult& r : shots) {
+    if (r.chaos) {
+      // Chaos shots live in their own tally; their latency does not
+      // pollute the well-formed percentiles either.
+      ++s.chaos.sent;
+      s.chaos.sandbox_fatal += r.sandbox_fatal;
+      s.chaos.quarantined += r.quarantined;
+      if (r.status == 0) {
+        ++s.chaos.dropped;
+      } else if (r.status == 429 || r.status == 503) {
+        ++s.chaos.rejected;
+      } else if (r.ok) {
+        ++s.chaos.ok;
+      } else {
+        ++s.chaos.failed;
+      }
+      if (r.retried) ++s.retries;
+      continue;
+    }
+    ++s.sent;
+    if (r.retried) ++s.retries;
     if (r.status == 0) {
       ++s.dropped;
       continue;
@@ -98,6 +178,8 @@ PhaseStats Summarize(const std::string& name,
       ++s.failed;
     }
   }
+  s.achieved_qps =
+      wall_seconds > 0 ? static_cast<double>(s.sent) / wall_seconds : 0;
   std::sort(lat.begin(), lat.end());
   if (!lat.empty()) {
     double sum = 0;
@@ -111,7 +193,7 @@ PhaseStats Summarize(const std::string& name,
   return s;
 }
 
-void PhaseJson(JsonWriter& w, const PhaseStats& s) {
+void PhaseJson(JsonWriter& w, const PhaseStats& s, bool chaos_enabled) {
   w.BeginObject();
   w.Key("name").String(s.name);
   w.Key("sent").Uint(s.sent);
@@ -120,6 +202,7 @@ void PhaseJson(JsonWriter& w, const PhaseStats& s) {
   w.Key("failed").Uint(s.failed);
   w.Key("dropped").Uint(s.dropped);
   w.Key("cache_hits").Uint(s.cache_hits);
+  w.Key("retries").Uint(s.retries);
   w.Key("wall_seconds").Double(s.wall_seconds);
   w.Key("achieved_qps").Double(s.achieved_qps);
   w.Key("latency_ms").BeginObject();
@@ -129,6 +212,17 @@ void PhaseJson(JsonWriter& w, const PhaseStats& s) {
   w.Key("p99").Double(s.p99);
   w.Key("max").Double(s.max);
   w.EndObject();
+  if (chaos_enabled) {
+    w.Key("chaos").BeginObject();
+    w.Key("sent").Uint(s.chaos.sent);
+    w.Key("ok").Uint(s.chaos.ok);
+    w.Key("rejected").Uint(s.chaos.rejected);
+    w.Key("failed").Uint(s.chaos.failed);
+    w.Key("dropped").Uint(s.chaos.dropped);
+    w.Key("sandbox_fatal").Uint(s.chaos.sandbox_fatal);
+    w.Key("quarantined").Uint(s.chaos.quarantined);
+    w.EndObject();
+  }
   w.EndObject();
 }
 
@@ -142,6 +236,7 @@ int main(int argc, char** argv) {
   double seconds = 5.0;
   double deadline_seconds = 10.0;
   std::size_t threads = 32;
+  bool chaos = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -172,13 +267,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cgra_loadgen: unknown preset %s\n", preset);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s --port P [--host H] [--qps N] [--seconds S]\n"
                    "          [--threads N] [--preset small] [--out FILE]\n"
-                   "          [--deadline-seconds S] [--quiet]\n",
+                   "          [--deadline-seconds S] [--chaos] [--quiet]\n",
                    argv[0]);
       return 2;
     }
@@ -199,7 +296,14 @@ int main(int argc, char** argv) {
   // Precompute the request bodies once; the send loop only does I/O.
   // Cold phase: seed varies per shot => every cache key distinct.
   // Warm phase: the exact same bodies again => served from the cache.
+  // With --chaos every 4th shot leads its mapper list with a crashy
+  // fixture; the healthy mapper behind it keeps the engine run
+  // succeeding (a 200 whose attempt rows carry the sandbox labels) on
+  // a daemon running --isolation all.
   std::vector<std::string> bodies(total);
+  std::vector<bool> is_chaos(total, false);
+  const std::size_t n_chaos =
+      sizeof(kChaosMappers) / sizeof(kChaosMappers[0]);
   for (std::size_t i = 0; i < total; ++i) {
     api::MapRequest r;
     r.name = StrFormat("lg%zu", i);
@@ -208,6 +312,11 @@ int main(int argc, char** argv) {
     r.mappers = {"ims"};
     r.deadline_seconds = deadline_seconds;
     r.seed = 1000 + i;
+    if (chaos && i % 4 == 3) {
+      is_chaos[i] = true;
+      r.name = StrFormat("chaos%zu", i);
+      r.mappers = {kChaosMappers[(i / 4) % n_chaos], "ims"};
+    }
     bodies[i] = api::ToJson(r);
   }
 
@@ -242,14 +351,35 @@ int main(int argc, char** argv) {
           if (i >= total) return;
           const Clock::time_point scheduled = start + interval * i;
           std::this_thread::sleep_until(scheduled);
-          const Result<HttpResponse> resp = HttpFetch(
+          ShotResult& out = shots[i];
+          out.chaos = is_chaos[i];
+          Result<HttpResponse> resp = HttpFetch(
               host, port, "POST", "/v1/map", bodies[i],
               deadline_seconds + 10.0);
+          // Backpressure: 429/503 with Retry-After gets ONE jittered
+          // retry. The jitter decorrelates retries across shots that
+          // were rejected in the same burst (otherwise they all come
+          // back at the same instant and bounce again); the wait is
+          // capped so a long server hint cannot stall the open loop.
+          if (resp.ok() &&
+              (resp->status == 429 || resp->status == 503)) {
+            const double hint = RetryAfterSeconds(*resp);
+            if (hint >= 0) {
+              std::minstd_rand rng(static_cast<unsigned>(i * 2654435761u));
+              const double jitter_ms =
+                  std::uniform_real_distribution<double>(0, 250)(rng);
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(std::min(hint, 2.0) +
+                                                jitter_ms / 1e3));
+              out.retried = true;
+              resp = HttpFetch(host, port, "POST", "/v1/map", bodies[i],
+                               deadline_seconds + 10.0);
+            }
+          }
           const double latency_ms =
               std::chrono::duration<double, std::milli>(Clock::now() -
                                                         scheduled)
                   .count();
-          ShotResult& out = shots[i];
           if (!resp.ok()) {
             out.status = 0;  // dropped connection
             continue;
@@ -262,6 +392,13 @@ int main(int argc, char** argv) {
             if (body.ok()) {
               out.ok = body->ok;
               out.cache_hit = body->cache_hit;
+              for (const api::MapResponse::Attempt& a : body->attempts) {
+                if (a.sandbox == "quarantined") {
+                  ++out.quarantined;
+                } else if (IsFatalSandboxLabel(a.sandbox)) {
+                  ++out.sandbox_fatal;
+                }
+              }
             }
           }
         }
@@ -274,10 +411,19 @@ int main(int argc, char** argv) {
     if (!quiet) {
       std::printf(
           "%-5s %4zu sent  %4zu ok  %3zu rejected  %3zu failed  "
-          "%3zu dropped  %4zu cached | qps %.1f | ms p50 %.1f p90 %.1f "
-          "p99 %.1f max %.1f\n",
+          "%3zu dropped  %4zu cached  %3zu retried | qps %.1f | ms "
+          "p50 %.1f p90 %.1f p99 %.1f max %.1f\n",
           s.name.c_str(), s.sent, s.ok, s.rejected, s.failed, s.dropped,
-          s.cache_hits, s.achieved_qps, s.p50, s.p90, s.p99, s.max);
+          s.cache_hits, s.retries, s.achieved_qps, s.p50, s.p90, s.p99,
+          s.max);
+      if (chaos) {
+        std::printf(
+            "      chaos %zu sent  %zu ok  %zu rejected  %zu failed  "
+            "%zu dropped | %zu sandboxed crash(es), %zu quarantined "
+            "row(s)\n",
+            s.chaos.sent, s.chaos.ok, s.chaos.rejected, s.chaos.failed,
+            s.chaos.dropped, s.chaos.sandbox_fatal, s.chaos.quarantined);
+      }
     }
     return s;
   };
@@ -296,9 +442,10 @@ int main(int argc, char** argv) {
   w.Key("seconds").Double(seconds);
   w.Key("requests_per_phase").Uint(total);
   w.Key("threads").Uint(threads);
+  w.Key("chaos").Bool(chaos);
   w.Key("phases").BeginArray();
-  PhaseJson(w, cold);
-  PhaseJson(w, warm);
+  PhaseJson(w, cold, chaos);
+  PhaseJson(w, warm, chaos);
   w.EndArray();
   w.EndObject();
 
@@ -313,5 +460,8 @@ int main(int argc, char** argv) {
   std::fclose(f);
   if (!quiet) std::printf("wrote %s\n", out_path.c_str());
 
-  return (cold.dropped + warm.dropped) == 0 ? 0 : 1;
+  return (cold.dropped + warm.dropped + cold.chaos.dropped +
+          warm.chaos.dropped) == 0
+             ? 0
+             : 1;
 }

@@ -30,10 +30,19 @@
 //     curl -s localhost:8080/v1/map -d @-
 //   curl -s localhost:8080/metrics | grep cgra_serve
 //
+// Crash isolation (--isolation none|crashy_only|all): with "all",
+// every mapper attempt runs in a fork()ed child under --rlimit-cpu /
+// --rlimit-mem / --rlimit-stack caps, so a segfaulting or wedged
+// mapper kills its sandbox, not the daemon; repeat offenders are
+// quarantined process-wide (docs/ROBUSTNESS.md). The CI chaos job
+// runs exactly this configuration against the crashy fixture family.
+//
 // usage: cgra_serve [--host H] [--port P] [--port-file FILE]
 //                   [--workers N] [--queue-limit N] [--max-inflight N]
 //                   [--urgent-priority N] [--max-deadline-seconds S]
 //                   [--cache-dir DIR] [--cache-capacity N] [--no-cache]
+//                   [--isolation none|crashy_only|all]
+//                   [--rlimit-cpu SEC] [--rlimit-mem MB] [--rlimit-stack MB]
 //                   [--race] [--drain-seconds S] [--trace FILE] [--quiet]
 #include <csignal>
 #include <cstdio>
@@ -78,6 +87,8 @@ int main(int argc, char** argv) {
   bool use_cache = true;
   bool race = false;
   bool quiet = false;
+  IsolationMode isolation = IsolationMode::kNone;
+  SandboxLimits sandbox_limits;
 
   for (int i = 1; i < argc; ++i) {
     const auto arg_value = [&](const char* flag) -> const char* {
@@ -108,6 +119,20 @@ int main(int argc, char** argv) {
       cache_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = arg_value("--trace")) {
       trace_path = v;
+    } else if (const char* v = arg_value("--isolation")) {
+      if (!ParseIsolationMode(v, &isolation)) {
+        std::fprintf(stderr,
+                     "cgra_serve: --isolation must be none, crashy_only or "
+                     "all (got \"%s\")\n",
+                     v);
+        return 2;
+      }
+    } else if (const char* v = arg_value("--rlimit-cpu")) {
+      sandbox_limits.cpu_seconds = std::atol(v);
+    } else if (const char* v = arg_value("--rlimit-mem")) {
+      sandbox_limits.memory_bytes = std::atol(v) * (1l << 20);
+    } else if (const char* v = arg_value("--rlimit-stack")) {
+      sandbox_limits.stack_bytes = std::atol(v) * (1l << 20);
     } else if (std::strcmp(argv[i], "--no-cache") == 0) {
       use_cache = false;
     } else if (std::strcmp(argv[i], "--race") == 0) {
@@ -121,6 +146,9 @@ int main(int argc, char** argv) {
           "          [--workers N] [--queue-limit N] [--max-inflight N]\n"
           "          [--urgent-priority N] [--max-deadline-seconds S]\n"
           "          [--cache-dir DIR] [--cache-capacity N] [--no-cache]\n"
+          "          [--isolation none|crashy_only|all]\n"
+          "          [--rlimit-cpu SEC] [--rlimit-mem MB] "
+          "[--rlimit-stack MB]\n"
           "          [--race] [--drain-seconds S] [--trace FILE] [--quiet]\n",
           argv[0]);
       return 2;
@@ -137,7 +165,8 @@ int main(int argc, char** argv) {
     cache.emplace(co);
   }
   MrrgCache mrrg_cache;
-  StopSource drain_source;
+  StopSource drain_source;       // hard cancel: stragglers past the grace
+  StopSource draining_source;    // soft announcement: healthz 503, no new maps
 
   api::ServiceOptions so;
   so.max_inflight = max_inflight;
@@ -147,6 +176,9 @@ int main(int argc, char** argv) {
   so.cache = cache ? &*cache : nullptr;
   so.mrrg_cache = &mrrg_cache;
   so.stop = drain_source.token();
+  so.draining = draining_source.token();
+  so.isolation = isolation;
+  so.sandbox_limits = sandbox_limits;
   api::MappingService service(std::move(so));
 
   HttpServerOptions ho;
@@ -191,15 +223,18 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
-  // Drain: stop accepting first, so /healthz flips and the load
-  // balancer (or the test) sees the daemon leave the pool; then give
-  // in-flight requests their grace before cancelling cooperatively.
+  // Drain, in load-balancer-friendly order: announce first (healthz
+  // flips to 503 "draining" and new mapping requests are refused while
+  // the listener is STILL accepting, so probes route traffic away
+  // instead of hitting connection-refused), give in-flight requests
+  // their grace, then cancel stragglers and close the listener.
   if (!quiet) std::printf("cgra_serve: draining...\n");
-  server.BeginDrain();
+  draining_source.RequestStop();
   const Deadline grace = Deadline::AfterSeconds(drain_seconds);
   while (service.inflight() > 0 && !grace.Expired()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+  server.BeginDrain();
   if (service.inflight() > 0) {
     // Stragglers past the grace window: cancel cooperatively. They
     // still produce (resource-limit) responses before the join below.
