@@ -12,9 +12,21 @@ err() { echo "check_docs_links: $*" >&2; fail=1; }
 
 # 1. README links each doc page, and the pages exist.
 for doc in docs/GLOSSARY.md docs/MAPPERS.md docs/PERF.md docs/CACHE.md \
-           docs/OBSERVABILITY.md docs/API.md docs/ROBUSTNESS.md; do
+           docs/OBSERVABILITY.md docs/API.md docs/ROBUSTNESS.md \
+           docs/MRRG.md; do
   [ -f "$doc" ] || err "$doc is missing"
   grep -q "$doc" README.md || err "README.md does not link $doc"
+done
+
+# 1b. No dangling doc pages: every docs/*.md must be reachable — named
+# in README.md or linked from a sibling doc page. A page nobody links
+# is a page nobody maintains.
+for doc in docs/*.md; do
+  base=$(basename "$doc")
+  if grep -q "$doc" README.md; then continue; fi
+  if grep -lE "\]\(($base|docs/$base)\)" docs/*.md | \
+       grep -qv "^$doc\$"; then continue; fi
+  err "$doc is dangling: not linked from README.md or any other doc page"
 done
 
 # 2. Every path-like reference in docs/*.md resolves. Two shapes:

@@ -1,10 +1,15 @@
-#include <cstddef>
 #include "arch/mrrg.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace cgra {
 
+// Builds the SoA columns in the contract's block order (docs/MRRG.md):
+// FU nodes [0, C), then HOLD nodes, then RT nodes. The per-node link
+// lists are assembled in a temporary nested form and flattened to CSR,
+// preserving the exact per-node ordering the router's tie-breaking
+// depends on.
 Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
   const int n = arch.num_cells();
   fu_of_.assign(static_cast<size_t>(n), -1);
@@ -13,34 +18,45 @@ Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
 
   const bool shared_rf = arch.params().rf_kind == RfKind::kShared;
 
+  auto push_node = [&](Kind kind, int cell, int capacity) -> int {
+    const int id = static_cast<int>(kind_.size());
+    kind_.push_back(static_cast<std::uint8_t>(kind));
+    cell_.push_back(cell);
+    capacity_.push_back(capacity);
+    return id;
+  };
+
   // Capacities come from the per-cell (fault-derated) accessors: a dead
   // cell's FU/HOLD/RT nodes exist but have capacity 0, so no mapper can
   // ever occupy them and node numbering stays identical to the healthy
   // fabric's.
   for (int c = 0; c < n; ++c) {
-    fu_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{Kind::kFu, c, arch.CellAlive(c) ? 1 : 0});
+    fu_of_[static_cast<size_t>(c)] =
+        push_node(Kind::kFu, c, arch.CellAlive(c) ? 1 : 0);
   }
+  hold_begin_ = static_cast<int>(kind_.size());
   if (shared_rf) {
-    const int shared = static_cast<int>(nodes_.size());
-    nodes_.push_back(Node{Kind::kHold, -1, arch.HoldCapacity()});
+    const int shared = push_node(Kind::kHold, -1, arch.HoldCapacity());
     for (int c = 0; c < n; ++c) hold_of_[static_cast<size_t>(c)] = shared;
   } else {
     for (int c = 0; c < n; ++c) {
-      hold_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
-      nodes_.push_back(Node{Kind::kHold, c, arch.HoldCapacityAt(c)});
+      hold_of_[static_cast<size_t>(c)] =
+          push_node(Kind::kHold, c, arch.HoldCapacityAt(c));
     }
   }
+  hold_count_ = static_cast<int>(kind_.size()) - hold_begin_;
+  rt_begin_ = static_cast<int>(kind_.size());
   if (arch.params().route_channels > 0) {
     for (int c = 0; c < n; ++c) {
-      rt_of_[static_cast<size_t>(c)] = static_cast<int>(nodes_.size());
-      nodes_.push_back(Node{Kind::kRt, c, arch.RouteChannelsAt(c)});
+      rt_of_[static_cast<size_t>(c)] =
+          push_node(Kind::kRt, c, arch.RouteChannelsAt(c));
     }
   }
+  rt_count_ = static_cast<int>(kind_.size()) - rt_begin_;
 
-  out_.resize(nodes_.size());
+  std::vector<std::vector<Link>> out(kind_.size());
   auto add_link = [&](int from, int to, int latency) {
-    out_[static_cast<size_t>(from)].push_back(Link{to, latency});
+    out[static_cast<size_t>(from)].push_back(Link{to, latency});
   };
 
   if (shared_rf) {
@@ -61,17 +77,31 @@ Mrrg::Mrrg(const Architecture& arch) : arch_(&arch) {
     }
   }
 
-  for (const Node& node : nodes_) {
-    max_capacity_ = std::max(max_capacity_, node.capacity);
+  out_offset_.assign(kind_.size() + 1, 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out_offset_[i + 1] =
+        out_offset_[i] + static_cast<std::uint32_t>(out[i].size());
+  }
+  out_links_.reserve(out_offset_.back());
+  for (const auto& links : out) {
+    out_links_.insert(out_links_.end(), links.begin(), links.end());
   }
 
-  readable_holds_.resize(static_cast<size_t>(n));
+  for (int capacity : capacity_) {
+    max_capacity_ = std::max(max_capacity_, capacity);
+  }
+
+  readable_offset_.assign(static_cast<size_t>(n) + 1, 0);
   for (int c = 0; c < n; ++c) {
-    auto& rh = readable_holds_[static_cast<size_t>(c)];
+    std::vector<std::int32_t> rh;
     for (int src : arch.ReadableFrom(c)) {
-      const int h = hold_of_[static_cast<size_t>(src)];
+      const std::int32_t h = hold_of_[static_cast<size_t>(src)];
       if (std::find(rh.begin(), rh.end(), h) == rh.end()) rh.push_back(h);
     }
+    readable_offset_[static_cast<size_t>(c) + 1] =
+        readable_offset_[static_cast<size_t>(c)] +
+        static_cast<std::uint32_t>(rh.size());
+    readable_holds_.insert(readable_holds_.end(), rh.begin(), rh.end());
   }
 }
 

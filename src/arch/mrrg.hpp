@@ -4,7 +4,9 @@
 // extended CGRA (TEC), or the time-space graph" (§II-C). Resources are
 // replicated conceptually per cycle modulo II; this class holds the
 // *static* resource graph (nodes, capacities, latency-annotated
-// links); the router and validator pair each node with a time slot.
+// links); the router and validator pair each node with a time slot,
+// and the ResourceTracker materialises the time axis as per-slot
+// occupancy bitsets.
 //
 // Resource kinds per cell:
 //   kFu   — executes one operation per slot (capacity 1);
@@ -22,19 +24,35 @@
 // HOLD in the same cycle (combinational operand fetch), so the minimum
 // producer->consumer latency is 1 cycle — matching Fig. 3's modulo
 // schedule where dependent ops sit in consecutive cycles.
+//
+// Storage is structure-of-arrays: parallel kind/cell/capacity arrays
+// indexed by the dense node id, and CSR adjacency for out-links and
+// readable-hold sets, so the router's expansion loop walks contiguous
+// memory. The layout — id blocks, array invariants, and their
+// stability guarantees — is a documented contract: see docs/MRRG.md.
+// Node ids are dense and assigned in construction order (FU block,
+// then HOLD block, then RT block), identical to the ids the previous
+// array-of-structs build assigned, so `Mapping` contents,
+// `SerializeMapping` digests, and MapTrace output are bit-identical
+// across the layout change (the old-id -> dense-id mapping is the
+// identity; tests/test_arch.cpp asserts the block formulas).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "arch/arch.hpp"
+#include "support/span.hpp"
 
 namespace cgra {
 
 class Mrrg {
  public:
-  enum class Kind { kFu, kHold, kRt };
+  enum class Kind : std::uint8_t { kFu, kHold, kRt };
 
+  /// Materialised per-node view (compat with the pre-SoA API). The
+  /// hot paths use the column accessors (kind/cell/capacity) instead.
   struct Node {
     Kind kind;
     int cell;      ///< owning cell (kShared hold uses cell -1)
@@ -42,20 +60,45 @@ class Mrrg {
   };
 
   struct Link {
-    int to;
-    int latency;  ///< cycles consumed by traversing this link
+    std::int32_t to;
+    std::int32_t latency;  ///< cycles consumed by traversing this link
   };
 
   explicit Mrrg(const Architecture& arch);
 
   const Architecture& arch() const { return *arch_; }
-  int num_nodes() const { return static_cast<int>(nodes_.size()); }
-  const Node& node(int n) const { return nodes_[static_cast<size_t>(n)]; }
+  int num_nodes() const { return static_cast<int>(kind_.size()); }
+  Node node(int n) const {
+    const size_t i = static_cast<size_t>(n);
+    return Node{static_cast<Kind>(kind_[i]), cell_[i], capacity_[i]};
+  }
+
+  // SoA column accessors — one contiguous array load each.
+  Kind kind(int n) const {
+    return static_cast<Kind>(kind_[static_cast<size_t>(n)]);
+  }
+  int cell(int n) const { return cell_[static_cast<size_t>(n)]; }
+  int capacity(int n) const { return capacity_[static_cast<size_t>(n)]; }
+  /// The full capacity column (tracker bitset initialisation).
+  Span<std::int32_t> capacities() const {
+    return Span<std::int32_t>(capacity_.data(), capacity_.size());
+  }
 
   /// Largest per-slot capacity of any node (>= 1 even on an all-dead
   /// fabric). Bounds how long a route may consecutively wait in one
   /// node, which sizes the router's flat scratch arena.
   int max_capacity() const { return max_capacity_; }
+
+  // Dense-id block layout (see docs/MRRG.md): FU nodes first, then
+  // HOLD, then RT. Each range is contiguous, so a kind's candidate
+  // set is an id interval — which is what lets the tracker answer
+  // occupancy for a whole candidate set word-parallel.
+  int fu_begin() const { return 0; }
+  int fu_count() const { return arch_->num_cells(); }
+  int hold_begin() const { return hold_begin_; }
+  int hold_count() const { return hold_count_; }
+  int rt_begin() const { return rt_begin_; }
+  int rt_count() const { return rt_count_; }
 
   int FuNode(int cell) const { return fu_of_[static_cast<size_t>(cell)]; }
   /// The hold (RF) node a cell's FU result lands in.
@@ -64,14 +107,21 @@ class Mrrg {
   int RtNode(int cell) const { return rt_of_[static_cast<size_t>(cell)]; }
 
   /// Outgoing routing links of a node (HOLD/RT only; FU->HOLD is
-  /// modelled separately because it starts a net rather than routes it).
-  const std::vector<Link>& OutLinks(int n) const {
-    return out_[static_cast<size_t>(n)];
+  /// modelled separately because it starts a net rather than routes
+  /// it). CSR view: contiguous, ordered as constructed.
+  Span<Link> OutLinks(int n) const {
+    const std::uint32_t b = out_offset_[static_cast<size_t>(n)];
+    const std::uint32_t e = out_offset_[static_cast<size_t>(n) + 1];
+    return Span<Link>(out_links_.data() + b, e - b);
   }
+  /// Total link count across all nodes (CSR tail offset).
+  int num_links() const { return static_cast<int>(out_links_.size()); }
 
   /// Hold nodes whose values `cell`'s FU can read combinationally.
-  const std::vector<int>& ReadableHolds(int cell) const {
-    return readable_holds_[static_cast<size_t>(cell)];
+  Span<std::int32_t> ReadableHolds(int cell) const {
+    const std::uint32_t b = readable_offset_[static_cast<size_t>(cell)];
+    const std::uint32_t e = readable_offset_[static_cast<size_t>(cell) + 1];
+    return Span<std::int32_t>(readable_holds_.data() + b, e - b);
   }
 
   /// False when `node` cannot be configured in modulo slot `slot`
@@ -79,18 +129,28 @@ class Mrrg {
   /// Register files retain values without a config word, so kHold (and
   /// the shared RF, cell -1) are never slot-restricted.
   bool SlotUsable(int n, int slot) const {
-    const Node& nd = node(n);
-    if (nd.kind == Kind::kHold || nd.cell < 0) return true;
-    return !arch_->ContextSlotFaulted(nd.cell, slot);
+    const size_t i = static_cast<size_t>(n);
+    if (static_cast<Kind>(kind_[i]) == Kind::kHold || cell_[i] < 0) return true;
+    return !arch_->ContextSlotFaulted(cell_[i], slot);
   }
 
  private:
   const Architecture* arch_;
-  std::vector<Node> nodes_;
+  // Parallel per-node columns, indexed by the dense node id.
+  std::vector<std::uint8_t> kind_;
+  std::vector<std::int32_t> cell_;
+  std::vector<std::int32_t> capacity_;
   int max_capacity_ = 1;
+  int hold_begin_ = 0, hold_count_ = 0;
+  int rt_begin_ = 0, rt_count_ = 0;
   std::vector<int> fu_of_, hold_of_, rt_of_;
-  std::vector<std::vector<Link>> out_;
-  std::vector<std::vector<int>> readable_holds_;
+  // CSR adjacency: out_offset_[n] .. out_offset_[n+1] indexes
+  // out_links_. Same per-node link order as the old nested vectors.
+  std::vector<std::uint32_t> out_offset_;
+  std::vector<Link> out_links_;
+  // CSR readable-hold sets per cell.
+  std::vector<std::uint32_t> readable_offset_;
+  std::vector<std::int32_t> readable_holds_;
 };
 
 }  // namespace cgra

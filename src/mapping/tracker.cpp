@@ -8,19 +8,49 @@
 namespace cgra {
 
 ResourceTracker::ResourceTracker(const Mrrg& mrrg, int ii)
-    : mrrg_(&mrrg), ii_(ii) {
+    : mrrg_(&mrrg),
+      ii_(ii),
+      words_per_slot_((mrrg.num_nodes() + 63) / 64),
+      capacity_(mrrg.capacities()) {
   assert(ii >= 1);
   const size_t slots =
       static_cast<size_t>(mrrg.num_nodes()) * static_cast<size_t>(ii);
   inline_.resize(slots * static_cast<size_t>(kInlineOccupants));
   counts_.assign(slots, 0);
+
+  // The usable plane is derived once from the (immutable) fault state;
+  // the avail plane starts as "usable with any capacity at all" and is
+  // maintained incrementally from there.
+  const size_t words =
+      static_cast<size_t>(ii) * static_cast<size_t>(words_per_slot_);
+  usable_.assign(words, 0);
+  avail_.assign(words, 0);
+  for (int s = 0; s < ii; ++s) {
+    for (int n = 0; n < mrrg.num_nodes(); ++n) {
+      if (!mrrg.SlotUsable(n, s)) continue;
+      const size_t w = RowIndex(s) + static_cast<size_t>(n >> 6);
+      const std::uint64_t bit = std::uint64_t{1} << (n & 63);
+      usable_[w] |= bit;
+      if (capacity_[static_cast<size_t>(n)] > 0) avail_[w] |= bit;
+    }
+  }
 }
 
 bool ResourceTracker::CanOccupy(int node, int time, ValueId value) const {
   PerfCounters& perf = ThreadPerfCounters();
   ++perf.tracker_checks;
   const int s = Slot(time);
-  if (!mrrg_->SlotUsable(node, s)) return false;
+  // Fast path: one bit answers "usable slot with headroom" — yes for
+  // any value, already an occupant or not.
+  const std::uint64_t word =
+      avail_[RowIndex(s) + static_cast<size_t>(node >> 6)];
+  if ((word >> (node & 63)) & 1u) {
+    ++perf.tracker_check_hits;
+    return true;
+  }
+  if (!UsableBit(node, s)) return false;
+  // Slot is full (or capacity 0): admissible only if this (value,
+  // absolute time) already holds an entry.
   const size_t idx = SlotIndex(node, s);
   const std::int32_t count = counts_[idx];
   const Entry* block = &inline_[idx * static_cast<size_t>(kInlineOccupants)];
@@ -41,7 +71,7 @@ bool ResourceTracker::CanOccupy(int node, int time, ValueId value) const {
       }
     }
   }
-  const bool ok = count < mrrg_->node(node).capacity;
+  const bool ok = count < capacity_[static_cast<size_t>(node)];
   if (ok) ++perf.tracker_check_hits;
   return ok;
 }
@@ -76,6 +106,7 @@ void ResourceTracker::Occupy(int node, int time, ValueId value) {
         SpillEntry{static_cast<std::uint32_t>(idx), Entry{value, time, 1}});
   }
   ++count;
+  RefreshAvail(node, s);
 }
 
 void ResourceTracker::Release(int node, int time, ValueId value) {
@@ -105,6 +136,7 @@ void ResourceTracker::Release(int node, int time, ValueId value) {
           block[i] = block[count - 1];
         }
         --count;
+        RefreshAvail(node, s);
       }
       return;
     }
@@ -117,6 +149,7 @@ void ResourceTracker::Release(int node, int time, ValueId value) {
           spill_[j] = spill_.back();
           spill_.pop_back();
           --count;
+          RefreshAvail(node, s);
         }
         return;
       }
@@ -127,13 +160,39 @@ void ResourceTracker::Release(int node, int time, ValueId value) {
 
 int ResourceTracker::Headroom(int node, int time) const {
   const int s = Slot(time);
-  if (!mrrg_->SlotUsable(node, s)) return 0;
-  return mrrg_->node(node).capacity - Load(node, s);
+  if (!UsableBit(node, s)) return 0;
+  return capacity_[static_cast<size_t>(node)] - Load(node, s);
+}
+
+int ResourceTracker::CountAvailable(int time, int node_begin,
+                                    int node_end) const {
+  const size_t row = RowIndex(Slot(time));
+  const int wb = node_begin >> 6, we = (node_end + 63) >> 6;
+  int total = 0;
+  for (int w = wb; w < we; ++w) {
+    const std::uint64_t bits = avail_[row + static_cast<size_t>(w)] &
+                               RangeMask(w, node_begin, node_end);
+    total += __builtin_popcountll(bits);
+  }
+  return total;
 }
 
 void ResourceTracker::Reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   spill_.clear();
+  // Empty tracker: avail returns to "usable with nonzero capacity".
+  for (int s = 0; s < ii_; ++s) {
+    const size_t row = RowIndex(s);
+    for (int n = 0; n < mrrg_->num_nodes(); ++n) {
+      const size_t w = row + static_cast<size_t>(n >> 6);
+      const std::uint64_t bit = std::uint64_t{1} << (n & 63);
+      if ((usable_[w] & bit) && capacity_[static_cast<size_t>(n)] > 0) {
+        avail_[w] |= bit;
+      } else {
+        avail_[w] &= ~bit;
+      }
+    }
+  }
 }
 
 }  // namespace cgra

@@ -10,14 +10,20 @@
 //     and t+II occupies the SAME slot twice (two iterations' copies are
 //     live simultaneously), so it consumes two capacity units.
 //
-// Storage is flat: one contiguous array of kInlineOccupants entries
-// per (node, slot) pair plus a contiguous occupant count, so the
-// CanOccupy/Occupy/Release inner loop — the hottest code in the whole
-// mapper portfolio after the router — touches exactly one cache line
-// per query and allocates nothing. Slots holding more occupants than
-// the inline block (a transient state the router creates while
-// double-checking a committed route, plus high-capacity shared
-// register files) spill to one shared overflow list.
+// Storage is two-layer (the word layout is part of the documented
+// memory contract, docs/MRRG.md):
+//   * occupancy bitsets — one slot-major bit plane (bit = node) per
+//     derived fact: `usable` (config word not faulted; immutable) and
+//     `avail` (usable AND occupant count < capacity; maintained on
+//     every Occupy/Release). The common CanOccupy — a
+//     slot with headroom — is answered by ONE bit test, and a whole
+//     candidate id range (kind blocks are contiguous, see Mrrg) is
+//     answered word-parallel, 64 nodes per AND+mask.
+//   * occupant entries — kInlineOccupants (value, time, refs) entries
+//     per (node, slot) plus a shared spill list, consulted only on the
+//     slow path (slot full: is the value already ours?) and for
+//     reference-counted release. The inline block no longer sits on
+//     the admission fast path.
 #pragma once
 
 #include <cstddef>
@@ -70,6 +76,43 @@ class ResourceTracker {
   /// diagnostics; 0 in steady state).
   int SpilledEntries() const { return static_cast<int>(spill_.size()); }
 
+  // ---- word-parallel candidate-set queries ---------------------------------
+  // Bit layout (the contract in docs/MRRG.md): row = time mod II,
+  // bit `node` of word `node / 64` in that row. A set `avail` bit
+  // means a NEW occupant is admissible (usable slot with headroom) —
+  // exactly CanOccupy() for a value not already holding the slot.
+
+  /// Words per slot row: ceil(num_nodes / 64).
+  int words_per_slot() const { return words_per_slot_; }
+
+  /// The availability word covering nodes [word*64, word*64+64) at
+  /// `time`'s modulo slot.
+  std::uint64_t AvailWord(int time, int word) const {
+    return avail_[RowIndex(Slot(time)) + static_cast<size_t>(word)];
+  }
+
+  /// Number of nodes in [node_begin, node_end) that can admit a new
+  /// occupant at `time` (word-parallel popcount).
+  int CountAvailable(int time, int node_begin, int node_end) const;
+
+  /// Calls fn(node) for every node in [node_begin, node_end) whose
+  /// avail bit is set at `time`'s slot, in ascending id order.
+  template <typename Fn>
+  void ForEachAvailable(int time, int node_begin, int node_end,
+                        Fn&& fn) const {
+    const size_t row = RowIndex(Slot(time));
+    const int wb = node_begin >> 6, we = (node_end + 63) >> 6;
+    for (int w = wb; w < we; ++w) {
+      std::uint64_t bits = avail_[row + static_cast<size_t>(w)];
+      bits &= RangeMask(w, node_begin, node_end);
+      while (bits) {
+        const int node = (w << 6) + __builtin_ctzll(bits);
+        bits &= bits - 1;
+        fn(node);
+      }
+    }
+  }
+
  private:
   struct Entry {
     ValueId value;
@@ -85,10 +128,43 @@ class ResourceTracker {
     return static_cast<size_t>(node) * static_cast<size_t>(ii_) +
            static_cast<size_t>(s);
   }
+  size_t RowIndex(int s) const {
+    return static_cast<size_t>(s) * static_cast<size_t>(words_per_slot_);
+  }
   int Slot(int time) const { return ((time % ii_) + ii_) % ii_; }
+
+  /// Mask selecting the bits of word `w` that fall in [begin, end).
+  static std::uint64_t RangeMask(int w, int begin, int end) {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (begin > (w << 6)) mask &= ~std::uint64_t{0} << (begin - (w << 6));
+    if (end < ((w + 1) << 6)) {
+      mask &= ~std::uint64_t{0} >> (((w + 1) << 6) - end);
+    }
+    return mask;
+  }
+
+  bool UsableBit(int node, int s) const {
+    return (usable_[RowIndex(s) + static_cast<size_t>(node >> 6)] >>
+            (node & 63)) &
+           1u;
+  }
+  /// Re-derives the avail bit of (node, s) after a count change.
+  void RefreshAvail(int node, int s) {
+    const size_t w = RowIndex(s) + static_cast<size_t>(node >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (node & 63);
+    const bool avail = (usable_[w] & bit) &&
+                       counts_[SlotIndex(node, s)] < capacity_[node];
+    if (avail) {
+      avail_[w] |= bit;
+    } else {
+      avail_[w] &= ~bit;
+    }
+  }
 
   const Mrrg* mrrg_;
   int ii_;
+  int words_per_slot_;
+  Span<std::int32_t> capacity_;  ///< Mrrg's SoA capacity column
   /// kInlineOccupants entries per (node, slot), contiguous.
   std::vector<Entry> inline_;
   /// Occupant count per (node, slot) — inline entries + spilled ones.
@@ -96,6 +172,9 @@ class ResourceTracker {
   /// Overflow beyond the inline block, shared across all slots and
   /// scanned linearly (it is almost always empty).
   std::vector<SpillEntry> spill_;
+  /// Slot-major bit planes (see class comment).
+  std::vector<std::uint64_t> usable_;  ///< Mrrg::SlotUsable (immutable)
+  std::vector<std::uint64_t> avail_;   ///< usable && count < capacity
 };
 
 }  // namespace cgra

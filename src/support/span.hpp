@@ -1,0 +1,33 @@
+// Minimal read-only span (C++17; std::span is C++20).
+//
+// The SoA/CSR containers (Mrrg adjacency, tracker bitset rows) hand
+// out views into their contiguous arrays instead of references to
+// per-node std::vectors; this is the view type they hand out. Only
+// the operations the hot paths need — no subspans, no mutation.
+#pragma once
+
+#include <cstddef>
+
+namespace cgra {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, std::size_t size) : data_(data), size_(size) {}
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cgra

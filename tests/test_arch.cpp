@@ -7,6 +7,7 @@
 
 #include "arch/arch.hpp"
 #include "arch/context.hpp"
+#include "arch/fault.hpp"
 #include "arch/mrrg.hpp"
 #include "support/rng.hpp"
 
@@ -172,6 +173,126 @@ TEST(Mrrg, ReadableHoldsMatchLinks) {
   const Mrrg mrrg(arch);
   const int centre = arch.CellAt(1, 1);
   EXPECT_EQ(mrrg.ReadableHolds(centre).size(), 5u);
+}
+
+// ---- SoA layout contract ----------------------------------------------------
+// Every invariant docs/MRRG.md states about the dense-id blocks, the
+// parallel columns, and the CSR adjacency, asserted over all preset
+// fabrics (including the shared-RF one, whose HOLD block degenerates
+// to a single node).
+
+void CheckSoaLayout(const Architecture& arch) {
+  const Mrrg mrrg(arch);
+  const int n_nodes = mrrg.num_nodes();
+  const int cells = arch.num_cells();
+
+  // Block partition: FU ids first, then HOLD, then RT; contiguous,
+  // disjoint, covering [0, num_nodes) exactly.
+  EXPECT_EQ(mrrg.fu_begin(), 0);
+  EXPECT_EQ(mrrg.fu_count(), cells);
+  EXPECT_EQ(mrrg.hold_begin(), mrrg.fu_begin() + mrrg.fu_count());
+  EXPECT_EQ(mrrg.rt_begin(), mrrg.hold_begin() + mrrg.hold_count());
+  EXPECT_EQ(mrrg.rt_begin() + mrrg.rt_count(), n_nodes);
+
+  // Dense-id stability: the FU node of cell c IS id c (identity
+  // mapping — what keeps Mapping contents and SerializeMapping digests
+  // stable across the SoA restructuring), and each per-cell lookup
+  // lands inside its kind's block.
+  for (int c = 0; c < cells; ++c) {
+    EXPECT_EQ(mrrg.FuNode(c), c);
+    const int h = mrrg.HoldNode(c);
+    EXPECT_GE(h, mrrg.hold_begin());
+    EXPECT_LT(h, mrrg.hold_begin() + mrrg.hold_count());
+    const int rt = mrrg.RtNode(c);
+    if (rt >= 0) {
+      EXPECT_GE(rt, mrrg.rt_begin());
+      EXPECT_LT(rt, mrrg.rt_begin() + mrrg.rt_count());
+    }
+  }
+
+  // Kind column agrees with the block an id falls in, and the compat
+  // node() view agrees with every column accessor.
+  ASSERT_EQ(mrrg.capacities().size(), static_cast<size_t>(n_nodes));
+  int max_cap = 1;
+  for (int n = 0; n < n_nodes; ++n) {
+    const Mrrg::Kind expected = n < mrrg.hold_begin() ? Mrrg::Kind::kFu
+                                : n < mrrg.rt_begin() ? Mrrg::Kind::kHold
+                                                      : Mrrg::Kind::kRt;
+    EXPECT_EQ(mrrg.kind(n), expected) << "node " << n;
+    const Mrrg::Node view = mrrg.node(n);
+    EXPECT_EQ(view.kind, mrrg.kind(n)) << "node " << n;
+    EXPECT_EQ(view.cell, mrrg.cell(n)) << "node " << n;
+    EXPECT_EQ(view.capacity, mrrg.capacity(n)) << "node " << n;
+    EXPECT_EQ(mrrg.capacities()[static_cast<size_t>(n)], mrrg.capacity(n))
+        << "node " << n;
+    EXPECT_GE(mrrg.capacity(n), 0) << "node " << n;
+    max_cap = std::max(max_cap, mrrg.capacity(n));
+  }
+  EXPECT_EQ(mrrg.max_capacity(), max_cap);
+
+  // CSR adjacency: per-node spans are contiguous, in id order, and
+  // tile the link array exactly (no gap, no overlap).
+  std::size_t total = 0;
+  const Mrrg::Link* expected_begin = mrrg.OutLinks(0).data();
+  for (int n = 0; n < n_nodes; ++n) {
+    const auto links = mrrg.OutLinks(n);
+    EXPECT_EQ(links.data(), expected_begin) << "node " << n;
+    expected_begin = links.data() + links.size();
+    total += links.size();
+    for (const Mrrg::Link& l : links) {
+      EXPECT_GE(l.to, 0);
+      EXPECT_LT(l.to, n_nodes);
+      EXPECT_GE(l.latency, 0);
+      // FU nodes start nets rather than route them: no out-links.
+      EXPECT_NE(mrrg.kind(n), Mrrg::Kind::kFu);
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(mrrg.num_links()), total);
+
+  // Readable-hold CSR: every entry is a HOLD id, deduplicated, and
+  // includes the cell's own hold.
+  for (int c = 0; c < cells; ++c) {
+    const auto holds = mrrg.ReadableHolds(c);
+    std::set<int> seen;
+    bool own = false;
+    for (int h : holds) {
+      EXPECT_EQ(mrrg.kind(h), Mrrg::Kind::kHold) << "cell " << c;
+      EXPECT_TRUE(seen.insert(h).second) << "cell " << c << " dup " << h;
+      own |= h == mrrg.HoldNode(c);
+    }
+    EXPECT_TRUE(own) << "cell " << c;
+  }
+}
+
+TEST(MrrgSoa, LayoutInvariantsAdres4x4) {
+  CheckSoaLayout(Architecture::Adres4x4());
+}
+
+TEST(MrrgSoa, LayoutInvariantsHetero4x4) {
+  CheckSoaLayout(Architecture::Hetero4x4());
+}
+
+TEST(MrrgSoa, LayoutInvariantsBig8x8) { CheckSoaLayout(Architecture::Big8x8()); }
+
+TEST(MrrgSoa, LayoutInvariantsSharedRf) {
+  CheckSoaLayout(Architecture::VliwLike4());
+  // The shared RF collapses the HOLD block to one node.
+  const Mrrg mrrg(Architecture::VliwLike4());
+  EXPECT_EQ(mrrg.hold_count(), 1);
+  EXPECT_EQ(mrrg.cell(mrrg.hold_begin()), -1);  // shared: owned by no cell
+}
+
+TEST(MrrgSoa, SlotUsableReadsFaultColumns) {
+  FaultModel fm;
+  fm.KillContextSlot(/*cell=*/7, /*slot=*/2);
+  const Architecture arch = Architecture::Adres4x4().WithFaults(fm);
+  const Mrrg mrrg(arch);
+  // FU and RT of the faulted cell lose slot 2; HOLD never gates.
+  EXPECT_FALSE(mrrg.SlotUsable(mrrg.FuNode(7), 2));
+  EXPECT_TRUE(mrrg.SlotUsable(mrrg.FuNode(7), 1));
+  EXPECT_FALSE(mrrg.SlotUsable(mrrg.RtNode(7), 2));
+  EXPECT_TRUE(mrrg.SlotUsable(mrrg.HoldNode(7), 2));
+  EXPECT_TRUE(mrrg.SlotUsable(mrrg.FuNode(6), 2));
 }
 
 TEST(Context, LayoutBitsArePositive) {

@@ -518,6 +518,307 @@ TEST(TrackerProperty, RefcountsSharedOccupancy) {
   EXPECT_EQ(tracker.Load(node, 0), 0);
 }
 
+// ---- RouteFanout equivalence ------------------------------------------------
+// RouteFanout documents bit-identical semantics to the sequential
+// RouteValue loop it batches (same tie-breaking, same tracker
+// evolution) plus atomic all-or-nothing commitment. These tests hold
+// it to that over a randomized fanout-set stream and targeted edges.
+
+// Drives `rounds` random fanout sets (the bench's shape: a few
+// consumer cells, 1..3 edges each) through two trackers, one routed
+// with RouteFanout and one with the sequential loop + reverse-order
+// rollback, asserting identical routes and identical end loads.
+void CheckFanoutMatchesSequential(const Architecture& arch, int ii,
+                                  int rounds, bool use_heuristic,
+                                  std::uint64_t seed) {
+  const Mrrg mrrg(arch);
+  ResourceTracker batched(mrrg, ii);
+  ResourceTracker sequential(mrrg, ii);
+  Rng rng(seed);
+  RouterOptions opts;
+  opts.use_heuristic = use_heuristic;
+  int committed_batches = 0, failed_batches = 0;
+  for (int r = 0; r < rounds; ++r) {
+    if ((r & 15) == 0) {
+      batched.Reset();
+      sequential.Reset();
+    }
+    const int from_cell =
+        static_cast<int>(rng.NextIndex(static_cast<size_t>(arch.num_cells())));
+    const int from_time = static_cast<int>(rng.NextIndex(static_cast<size_t>(ii)));
+    const ValueId value = static_cast<ValueId>(r & 255);
+    std::vector<RouteRequest> reqs;
+    const int consumers = 1 + static_cast<int>(rng.NextIndex(2));
+    for (int c = 0; c < consumers; ++c) {
+      const int to_cell = static_cast<int>(
+          rng.NextIndex(static_cast<size_t>(arch.num_cells())));
+      const int hops = arch.HopDistance(from_cell, to_cell);
+      const int edges = 1 + static_cast<int>(rng.NextIndex(3));
+      for (int e = 0; e < edges; ++e) {
+        RouteRequest req;
+        req.from_cell = from_cell;
+        req.from_time = from_time;
+        req.to_cell = to_cell;
+        req.to_time =
+            from_time + 1 + hops + static_cast<int>(rng.NextIndex(4));
+        req.value = value;
+        reqs.push_back(req);
+      }
+    }
+
+    auto batch = RouteFanout(mrrg, batched, reqs.data(), reqs.size(), opts);
+
+    std::vector<Route> seq;
+    bool seq_ok = true;
+    for (const RouteRequest& req : reqs) {
+      auto route = RouteValue(mrrg, sequential, req, opts);
+      if (!route.ok()) {
+        seq_ok = false;
+        break;
+      }
+      seq.push_back(std::move(route).value());
+    }
+    if (!seq_ok) {
+      for (size_t i = seq.size(); i-- > 0;) {
+        ReleaseRoute(sequential, seq[i], value);
+      }
+    }
+
+    ASSERT_EQ(batch.ok(), seq_ok) << "round " << r;
+    if (batch.ok()) {
+      ++committed_batches;
+      ASSERT_EQ(batch->size(), seq.size()) << "round " << r;
+      for (size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ((*batch)[i].steps, seq[i].steps)
+            << "round " << r << " sink " << i;
+      }
+    } else {
+      ++failed_batches;
+    }
+    // Tracker evolution must match whether the batch committed or
+    // rolled back.
+    for (int n = 0; n < mrrg.num_nodes(); ++n) {
+      for (int s = 0; s < ii; ++s) {
+        ASSERT_EQ(batched.Load(n, s), sequential.Load(n, s))
+            << "round " << r << " node " << n << " slot " << s;
+      }
+    }
+  }
+  // The stream must exercise both the commit and the rollback path.
+  EXPECT_GT(committed_batches, rounds / 4);
+  EXPECT_GT(failed_batches, 0);
+}
+
+TEST(RouteFanout, MatchesSequentialAdres4x4) {
+  CheckFanoutMatchesSequential(Architecture::Adres4x4(), 2, 600,
+                               /*use_heuristic=*/false, 0xFA2201ull);
+}
+
+TEST(RouteFanout, MatchesSequentialAdres4x4AStar) {
+  CheckFanoutMatchesSequential(Architecture::Adres4x4(), 3, 600,
+                               /*use_heuristic=*/true, 0xFA2202ull);
+}
+
+TEST(RouteFanout, MatchesSequentialBig8x8) {
+  CheckFanoutMatchesSequential(Architecture::Big8x8(), 2, 150,
+                               /*use_heuristic=*/false, 0xFA2203ull);
+}
+
+TEST(RouteFanout, MatchesSequentialHetero4x4) {
+  CheckFanoutMatchesSequential(Architecture::Hetero4x4(), 4, 400,
+                               /*use_heuristic=*/false, 0xFA2204ull);
+}
+
+TEST(RouteFanout, AtomicRollbackLeavesTrackerUntouched) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  const int ii = 2;
+  ResourceTracker tracker(mrrg, ii);
+  // First sink trivially routable, second impossible (deadline before
+  // the producer latches): the whole batch must fail and release the
+  // first sink's committed steps.
+  RouteRequest good;
+  good.from_cell = 0;
+  good.from_time = 0;
+  good.to_cell = 1;
+  good.to_time = 1 + arch.HopDistance(0, 1);
+  good.value = 11;
+  RouteRequest bad = good;
+  bad.to_cell = arch.num_cells() - 1;
+  bad.to_time = 1;  // cannot cross the fabric in one cycle
+  const RouteRequest reqs[] = {good, bad};
+  auto result = RouteFanout(mrrg, tracker, reqs, 2);
+  ASSERT_FALSE(result.ok());
+  for (int n = 0; n < mrrg.num_nodes(); ++n) {
+    for (int s = 0; s < ii; ++s) {
+      ASSERT_EQ(tracker.Load(n, s), 0) << "node " << n << " slot " << s;
+    }
+  }
+  // The same batch with a feasible second sink commits every route.
+  bad.to_time = 1 + arch.HopDistance(0, bad.to_cell);
+  const RouteRequest fixed[] = {good, bad};
+  auto ok = RouteFanout(mrrg, tracker, fixed, 2);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 2u);
+  EXPECT_GT(tracker.Load(mrrg.HoldNode(0), 1 % ii), 0);
+}
+
+TEST(RouteFanout, RejectsMixedSources) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  ResourceTracker tracker(mrrg, 2);
+  RouteRequest a;
+  a.from_cell = 0;
+  a.from_time = 0;
+  a.to_cell = 1;
+  a.to_time = 2;
+  a.value = 1;
+  RouteRequest b = a;
+  b.from_cell = 2;  // different producer cell: not a fanout set
+  const RouteRequest reqs[] = {a, b};
+  auto result = RouteFanout(mrrg, tracker, reqs, 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, Error::Code::kInternal);
+}
+
+// ---- word-parallel availability queries -------------------------------------
+// The bitset planes must agree bit for bit with first-principles
+// recomputation from SlotUsable/Load/capacity as traffic mutates them.
+
+// What the avail bit is defined to mean, computed the slow way.
+bool ReferenceAvail(const Mrrg& mrrg, const ResourceTracker& tracker,
+                    int node, int slot) {
+  return mrrg.SlotUsable(node, slot) &&
+         tracker.Load(node, slot) < mrrg.capacity(node);
+}
+
+void CheckWordQueriesMatchReference(const Mrrg& mrrg,
+                                    const ResourceTracker& tracker, int ii,
+                                    const char* context) {
+  const int n_nodes = mrrg.num_nodes();
+  for (int t = 0; t < ii; ++t) {
+    // Per-bit: AvailWord against the reference predicate.
+    for (int n = 0; n < n_nodes; ++n) {
+      const bool bit =
+          (tracker.AvailWord(t, n >> 6) >> (n & 63)) & 1u;
+      ASSERT_EQ(bit, ReferenceAvail(mrrg, tracker, n, t))
+          << context << ": node " << n << " slot " << t;
+    }
+    // Range queries over every kind block and a few odd sub-ranges
+    // (word-straddling begins/ends exercise RangeMask edges).
+    const std::pair<int, int> ranges[] = {
+        {mrrg.fu_begin(), mrrg.fu_begin() + mrrg.fu_count()},
+        {mrrg.hold_begin(), mrrg.hold_begin() + mrrg.hold_count()},
+        {mrrg.rt_begin(), mrrg.rt_begin() + mrrg.rt_count()},
+        {0, n_nodes},
+        {1, std::min(63, n_nodes)},
+        {3, std::min(67, n_nodes)},
+        {std::min(65, n_nodes), std::min(129, n_nodes)},
+    };
+    for (const auto& [b, e] : ranges) {
+      if (b >= e) continue;
+      int expected = 0;
+      std::vector<int> expected_ids;
+      for (int n = b; n < e; ++n) {
+        if (ReferenceAvail(mrrg, tracker, n, t)) {
+          ++expected;
+          expected_ids.push_back(n);
+        }
+      }
+      EXPECT_EQ(tracker.CountAvailable(t, b, e), expected)
+          << context << ": range [" << b << "," << e << ") slot " << t;
+      std::vector<int> got;
+      tracker.ForEachAvailable(t, b, e, [&](int n) { got.push_back(n); });
+      EXPECT_EQ(got, expected_ids)
+          << context << ": range [" << b << "," << e << ") slot " << t;
+    }
+  }
+}
+
+TEST(TrackerBitset, WordQueriesMatchReferenceUnderRandomTraffic) {
+  const Architecture arch = Architecture::Big8x8();  // >64 nodes: multi-word
+  const Mrrg mrrg(arch);
+  const int ii = 3;
+  ResourceTracker tracker(mrrg, ii);
+  ASSERT_GT(mrrg.num_nodes(), 64);  // the test must straddle words
+  ASSERT_EQ(tracker.words_per_slot(), (mrrg.num_nodes() + 63) / 64);
+  Rng rng(0xB17511ull);
+  std::vector<std::tuple<int, int, ValueId>> live;
+  CheckWordQueriesMatchReference(mrrg, tracker, ii, "initial");
+  for (int step = 0; step < 4000; ++step) {
+    const int node =
+        static_cast<int>(rng.NextIndex(static_cast<size_t>(mrrg.num_nodes())));
+    const int time = static_cast<int>(rng.NextIndex(9));
+    const ValueId value = static_cast<ValueId>(rng.NextIndex(5));
+    if (!live.empty() && rng.NextBool(0.45)) {
+      const size_t pick = rng.NextIndex(live.size());
+      auto [n, t, v] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      tracker.Release(n, t, v);
+    } else {
+      tracker.Occupy(node, time, value);
+      live.emplace_back(node, time, value);
+    }
+    if ((step & 511) == 0) {
+      CheckWordQueriesMatchReference(mrrg, tracker, ii, "traffic");
+    }
+  }
+  tracker.Reset();
+  CheckWordQueriesMatchReference(mrrg, tracker, ii, "after Reset");
+}
+
+TEST(TrackerBitset, AvailClearsExactlyAtCapacity) {
+  const Architecture arch = Architecture::Adres4x4();
+  const Mrrg mrrg(arch);
+  const int ii = 2;
+  ResourceTracker tracker(mrrg, ii);
+  const int hold = mrrg.HoldNode(0);
+  const int cap = mrrg.capacity(hold);
+  ASSERT_GE(cap, 2);
+  for (int v = 0; v < cap; ++v) {
+    EXPECT_TRUE((tracker.AvailWord(0, hold >> 6) >> (hold & 63)) & 1u)
+        << "after " << v << " occupants";
+    tracker.Occupy(hold, 0, static_cast<ValueId>(v));
+  }
+  // Full: the avail bit drops, but existing occupants still pass the
+  // slow path (already-ours) while new values are rejected.
+  EXPECT_FALSE((tracker.AvailWord(0, hold >> 6) >> (hold & 63)) & 1u);
+  EXPECT_TRUE(tracker.CanOccupy(hold, 0, 0));
+  EXPECT_FALSE(tracker.CanOccupy(hold, 0, static_cast<ValueId>(cap)));
+  // Over-fill past capacity (router commit transient), then drain: the
+  // bit must come back exactly when the count re-crosses capacity.
+  tracker.Occupy(hold, 0, static_cast<ValueId>(cap));
+  EXPECT_FALSE((tracker.AvailWord(0, hold >> 6) >> (hold & 63)) & 1u);
+  for (int v = cap; v >= 0; --v) {
+    tracker.Release(hold, 0, static_cast<ValueId>(v));
+    const bool bit = (tracker.AvailWord(0, hold >> 6) >> (hold & 63)) & 1u;
+    EXPECT_EQ(bit, tracker.Load(hold, 0) < cap) << "after releasing " << v;
+  }
+  EXPECT_TRUE((tracker.AvailWord(0, hold >> 6) >> (hold & 63)) & 1u);
+}
+
+TEST(TrackerBitset, FaultGatedSlotsNeverBecomeAvailable) {
+  FaultModel fm;
+  fm.KillContextSlot(/*cell=*/2, /*slot=*/0);
+  const Architecture arch = Architecture::Adres4x4().WithFaults(fm);
+  const Mrrg mrrg(arch);
+  const int ii = 2;
+  ResourceTracker tracker(mrrg, ii);
+  const int fu = mrrg.FuNode(2);
+  EXPECT_FALSE((tracker.AvailWord(0, fu >> 6) >> (fu & 63)) & 1u);
+  EXPECT_TRUE((tracker.AvailWord(1, fu >> 6) >> (fu & 63)) & 1u);
+  EXPECT_EQ(tracker.CountAvailable(0, fu, fu + 1), 0);
+  EXPECT_EQ(tracker.CountAvailable(1, fu, fu + 1), 1);
+  // Occupy/Release churn on the dead slot must not resurrect it.
+  tracker.Occupy(fu, 0, 1);
+  tracker.Release(fu, 0, 1);
+  EXPECT_FALSE((tracker.AvailWord(0, fu >> 6) >> (fu & 63)) & 1u);
+  tracker.Reset();
+  EXPECT_FALSE((tracker.AvailWord(0, fu >> 6) >> (fu & 63)) & 1u);
+  CheckWordQueriesMatchReference(mrrg, tracker, ii, "faulted fabric");
+}
+
 TEST(TrackerProperty, FaultGatedSlotUnusable) {
   FaultModel fm;
   fm.KillContextSlot(/*cell=*/5, /*slot=*/1);
