@@ -13,7 +13,7 @@ err() { echo "check_docs_links: $*" >&2; fail=1; }
 # 1. README links each doc page, and the pages exist.
 for doc in docs/GLOSSARY.md docs/MAPPERS.md docs/PERF.md docs/CACHE.md \
            docs/OBSERVABILITY.md docs/API.md docs/ROBUSTNESS.md \
-           docs/MRRG.md; do
+           docs/MRRG.md docs/FRONTEND.md; do
   [ -f "$doc" ] || err "$doc is missing"
   grep -q "$doc" README.md || err "README.md does not link $doc"
 done

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate cgra_fuzz reports and gate the differential-fuzz bar.
+
+Schema version 1 — documented in docs/FRONTEND.md. Stdlib only.
+
+Default mode (the CI gate): every report must be well-formed, its
+counts must sum to `cases`, and it must contain ZERO miscompares, ZERO
+crashes, and ZERO infra failures. Any crash cgra_fuzz could not
+classify as a budget outcome (unmappable / resource-limit) lands in
+`crash` or `infra`, so "zero unclassified crashes" is exactly
+crash == 0 and infra == 0. Every listed failure must carry a repro
+manifest path (so the artifact upload has something to save).
+
+--expect-miscompares (the fixture leg): flip the gate — the report
+MUST contain at least one miscompare (a fuzzer that cannot catch the
+deliberately broken lowering is a broken fuzzer), every failure must
+be a miscompare, and each must have been shrunk (shrink_runs > 0) with
+a repro path recorded.
+
+--summary OUT.json: write an aggregated corpus summary (totals across
+all reports plus per-report rows) for long-horizon artifacts.
+
+usage: check_fuzz_report.py REPORT.json [REPORT2.json ...]
+           [--expect-miscompares] [--summary OUT.json]
+"""
+import argparse
+import json
+import sys
+
+errors = []
+
+
+def fail(where, msg):
+    errors.append(f"{where}: {msg}")
+
+
+def is_hex_digest(s):
+    return isinstance(s, str) and len(s) == 16 and all(
+        c in "0123456789abcdef" for c in s)
+
+
+COUNT_KEYS = ("ok", "rejected", "unmapped", "miscompare", "crash", "infra")
+VERDICTS = ("ok", "rejected", "unmapped", "miscompare", "crash", "infra")
+PHASES = ("", "generate", "transform", "lowering", "cdfg", "map", "mapped")
+
+
+def check_report(path, doc, expect_miscompares):
+    where = f"{path}: top"
+    if doc.get("tool") != "cgra_fuzz":
+        fail(where, f"tool {doc.get('tool')!r} != 'cgra_fuzz'")
+    if doc.get("schema_version") != 1:
+        fail(where, f"schema_version {doc.get('schema_version')!r} != 1")
+    cases = doc.get("cases")
+    if not isinstance(cases, int) or cases <= 0:
+        fail(where, f"cases {cases!r} is not a positive int")
+        cases = 0
+    counts = doc.get("counts")
+    if not isinstance(counts, dict):
+        fail(where, "'counts' missing or not an object")
+        counts = {}
+    for k in COUNT_KEYS:
+        v = counts.get(k)
+        if not isinstance(v, int) or v < 0:
+            fail(where, f"counts.{k} {v!r} is not a non-negative int")
+    total = sum(counts.get(k, 0) for k in COUNT_KEYS
+                if isinstance(counts.get(k), int))
+    if cases and total != cases:
+        fail(where, f"counts sum to {total}, report says {cases} cases")
+
+    failures = doc.get("failures")
+    if not isinstance(failures, list):
+        fail(where, "'failures' missing or not a list")
+        failures = []
+    reported = counts.get("miscompare", 0) + counts.get("crash", 0) + \
+        counts.get("infra", 0)
+    if isinstance(reported, int) and len(failures) != reported:
+        fail(where, f"{len(failures)} failure rows but counts say "
+             f"{reported} failing cases")
+    for i, f in enumerate(failures):
+        fwhere = f"{path}: failures[{i}]"
+        if not isinstance(f, dict):
+            fail(fwhere, "not an object")
+            continue
+        if not is_hex_digest(f.get("digest")):
+            fail(fwhere, f"digest {f.get('digest')!r} is not a 16-hex digest")
+        if f.get("verdict") not in ("miscompare", "crash", "infra"):
+            fail(fwhere, f"verdict {f.get('verdict')!r} is not a failure "
+                 "verdict")
+        if f.get("phase") not in PHASES:
+            fail(fwhere, f"phase {f.get('phase')!r} unknown")
+        if not f.get("repro"):
+            fail(fwhere, "no repro manifest path recorded")
+        if expect_miscompares:
+            if f.get("verdict") != "miscompare":
+                fail(fwhere, "fixture run produced a non-miscompare failure: "
+                     f"{f.get('verdict')!r} @ {f.get('phase')!r}")
+            if not isinstance(f.get("shrink_runs"), int) or \
+                    f.get("shrink_runs") <= 0:
+                fail(fwhere, "fixture failure was not shrunk "
+                     f"(shrink_runs={f.get('shrink_runs')!r})")
+
+    if expect_miscompares:
+        if counts.get("miscompare", 0) == 0:
+            fail(where, "fixture run caught ZERO miscompares: the injected "
+                 "lowering bug went undetected")
+    else:
+        for k in ("miscompare", "crash", "infra"):
+            if counts.get(k, 0):
+                fail(where, f"{counts[k]} {k} case(s) — see 'failures' rows "
+                     "and the uploaded repro manifests")
+    return counts
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reports", nargs="+")
+    ap.add_argument("--expect-miscompares", action="store_true",
+                    help="fixture leg: require >=1 miscompare instead of 0")
+    ap.add_argument("--summary", metavar="OUT.json",
+                    help="write an aggregated corpus summary")
+    args = ap.parse_args()
+
+    rows = []
+    totals = {k: 0 for k in COUNT_KEYS}
+    total_cases = 0
+    for path in args.reports:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            fail(path, f"unreadable: {e}")
+            continue
+        counts = check_report(path, doc, args.expect_miscompares)
+        cases = doc.get("cases", 0) if isinstance(doc.get("cases"), int) else 0
+        total_cases += cases
+        for k in COUNT_KEYS:
+            if isinstance(counts.get(k), int):
+                totals[k] += counts[k]
+        rows.append({
+            "report": path,
+            "seed": doc.get("seed"),
+            "config": doc.get("config"),
+            "cases": cases,
+            "counts": counts,
+            "failures": len(doc.get("failures") or []),
+        })
+
+    if args.summary:
+        with open(args.summary, "w") as f:
+            json.dump({"schema_version": 1, "reports": rows,
+                       "total_cases": total_cases, "totals": totals},
+                      f, indent=2)
+            f.write("\n")
+
+    if errors:
+        for e in errors:
+            print(f"check_fuzz_report: {e}", file=sys.stderr)
+        print("check_fuzz_report: FAILED", file=sys.stderr)
+        return 1
+    mode = "fixture" if args.expect_miscompares else "gate"
+    print(f"check_fuzz_report: OK ({mode}: {total_cases} cases across "
+          f"{len(args.reports)} report(s): " +
+          ", ".join(f"{totals[k]} {k}" for k in COUNT_KEYS) + ")")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,16 @@ Result<Kernel> UnrollKernel(const Kernel& kernel, int factor) {
   if (factor < 1) return Error::InvalidArgument("unroll factor must be >= 1");
   if (factor == 1) return kernel;
   const Dfg& src = kernel.dfg;
+  if (kernel.input.iterations <= 0) {
+    return Error::InvalidArgument(
+        StrFormat("cannot unroll a zero-trip kernel (iterations=%d)",
+                  kernel.input.iterations));
+  }
+  if (factor > kernel.input.iterations) {
+    return Error::InvalidArgument(
+        StrFormat("unroll factor (%d) exceeds trip count (%d)", factor,
+                  kernel.input.iterations));
+  }
   if (kernel.input.iterations % factor != 0) {
     return Error::InvalidArgument(
         StrFormat("iterations (%d) not divisible by unroll factor (%d)",

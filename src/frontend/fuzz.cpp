@@ -1,0 +1,444 @@
+#include "frontend/fuzz.hpp"
+
+#include <algorithm>
+
+#include "api/request.hpp"
+#include "arch/fault.hpp"
+#include "engine/engine.hpp"
+#include "engine/sandbox.hpp"
+#include "mappers/registry.hpp"
+#include "sim/harness.hpp"
+#include "support/str.hpp"
+
+namespace cgra::frontend {
+namespace {
+
+using ArrayState = std::vector<std::vector<std::int64_t>>;
+
+// First difference between two array states, or empty.
+std::string DiffArrays(const ArrayState& want, const ArrayState& got,
+                       const NestProgram& program) {
+  if (want.size() != got.size()) {
+    return StrFormat("array count %zu vs %zu", want.size(), got.size());
+  }
+  for (size_t a = 0; a < want.size(); ++a) {
+    if (want[a].size() != got[a].size()) {
+      return StrFormat("array %zu size %zu vs %zu", a, want[a].size(),
+                       got[a].size());
+    }
+    for (size_t i = 0; i < want[a].size(); ++i) {
+      if (want[a][i] != got[a][i]) {
+        const char* name = a < program.arrays.size()
+                               ? program.arrays[a].name.c_str()
+                               : "?";
+        return StrFormat("%s[%zu]: want %lld, got %lld", name, i,
+                         static_cast<long long>(want[a][i]),
+                         static_cast<long long>(got[a][i]));
+      }
+    }
+  }
+  return {};
+}
+
+FuzzOutcome Outcome(FuzzVerdict v, std::string phase, std::string detail) {
+  return FuzzOutcome{v, std::move(phase), std::move(detail)};
+}
+
+}  // namespace
+
+std::string_view FuzzVerdictName(FuzzVerdict v) {
+  switch (v) {
+    case FuzzVerdict::kOk: return "ok";
+    case FuzzVerdict::kRejected: return "rejected";
+    case FuzzVerdict::kUnmapped: return "unmapped";
+    case FuzzVerdict::kMiscompare: return "miscompare";
+    case FuzzVerdict::kCrash: return "crash";
+    case FuzzVerdict::kInfra: return "infra";
+  }
+  return "infra";
+}
+
+FuzzOutcome RunFuzzCase(const NestProgram& program,
+                        const std::vector<TransformStep>& transforms,
+                        const FuzzConfig& config) {
+  // Oracle 0: the untransformed nest.
+  Result<NestEvalResult> base = EvaluateProgram(program);
+  if (!base.ok()) {
+    return Outcome(FuzzVerdict::kInfra, "generate", base.error().message);
+  }
+
+  // Phase 1: transforms preserve semantics (inapplicable steps skip).
+  Result<NestProgram> transformed_r =
+      ApplyTransforms(program, transforms, nullptr);
+  if (!transformed_r.ok()) {
+    return Outcome(FuzzVerdict::kInfra, "transform",
+                   transformed_r.error().message);
+  }
+  const NestProgram& transformed = *transformed_r;
+  Result<NestEvalResult> eval = EvaluateProgram(transformed);
+  if (!eval.ok()) {
+    return Outcome(FuzzVerdict::kInfra, "transform", eval.error().message);
+  }
+  if (std::string diff = DiffArrays(base->arrays, eval->arrays, transformed);
+      !diff.empty()) {
+    return Outcome(FuzzVerdict::kMiscompare, "transform", diff);
+  }
+
+  // Phase 2: flat lowering vs the evaluator, band by band, with the
+  // evaluator's state threaded in so each band is checked in isolation.
+  Result<std::vector<Kernel>> kernels_r =
+      LowerProgram(transformed, config.lowering);
+  if (!kernels_r.ok()) {
+    if (kernels_r.error().code == Error::Code::kInternal) {
+      return Outcome(FuzzVerdict::kInfra, "lowering",
+                     kernels_r.error().message);
+    }
+    return Outcome(FuzzVerdict::kRejected, "lowering",
+                   kernels_r.error().message);
+  }
+  std::vector<Kernel>& kernels = kernels_r.value();
+  for (int b = 0; b < static_cast<int>(kernels.size()); ++b) {
+    Kernel& kernel = kernels[static_cast<size_t>(b)];
+    if (b > 0) {
+      kernel.input.arrays =
+          eval->after_band[static_cast<size_t>(b) - 1];
+    }
+    Result<ExecResult> ref = RunReference(kernel.dfg, kernel.input);
+    if (!ref.ok()) {
+      return Outcome(FuzzVerdict::kInfra, "lowering",
+                     StrFormat("band %d: %s", b, ref.error().message.c_str()));
+    }
+    if (std::string diff =
+            DiffArrays(eval->after_band[static_cast<size_t>(b)], ref->arrays,
+                       transformed);
+        !diff.empty()) {
+      return Outcome(FuzzVerdict::kMiscompare, "lowering",
+                     StrFormat("band %d: %s", b, diff.c_str()));
+    }
+  }
+
+  // Phase 3: the CDFG lowering (direct-cdfg's input shape).
+  if (config.check_cdfg) {
+    Result<CdfgLowering> cl = LowerProgramToCdfg(transformed, config.lowering);
+    if (!cl.ok()) {
+      return Outcome(FuzzVerdict::kInfra, "cdfg", cl.error().message);
+    }
+    Result<CdfgExecResult> run = RunCdfgReference(cl->cdfg, cl->input);
+    if (!run.ok()) {
+      return Outcome(FuzzVerdict::kInfra, "cdfg", run.error().message);
+    }
+    if (std::string diff = DiffArrays(eval->arrays, run->arrays, transformed);
+        !diff.empty()) {
+      return Outcome(FuzzVerdict::kMiscompare, "cdfg", diff);
+    }
+  }
+
+  if (!config.map_and_simulate) return Outcome(FuzzVerdict::kOk, "", "");
+
+  // Phase 4/5: map and simulate each band on the (possibly derated)
+  // fabric.
+  std::optional<Architecture> arch = api::FabricByName(config.fabric);
+  if (!arch.has_value()) {
+    return Outcome(FuzzVerdict::kInfra, "map",
+                   StrFormat("unknown fabric '%s'", config.fabric.c_str()));
+  }
+  if (config.fault_cells > 0) {
+    FaultModel::RandomSpec spec;
+    spec.dead_cells = config.fault_cells;
+    const FaultModel faults =
+        FaultModel::Random(*arch, spec, config.fault_seed);
+    *arch = arch->WithFaults(faults);
+  }
+  const Mapper* mapper = MapperRegistry::Global().Find(config.mapper);
+  if (mapper == nullptr) {
+    return Outcome(FuzzVerdict::kInfra, "map",
+                   StrFormat("unknown mapper '%s'", config.mapper.c_str()));
+  }
+
+  bool any_unmapped = false;
+  std::string unmapped_detail;
+  for (int b = 0; b < static_cast<int>(kernels.size()); ++b) {
+    const Kernel& kernel = kernels[static_cast<size_t>(b)];
+    MapperOptions mo;
+    mo.min_ii = config.min_ii;
+    mo.max_ii = config.max_ii;
+    mo.deadline = Deadline::AfterSeconds(config.map_deadline_s);
+    mo.seed = config.map_seed;
+
+    Result<Mapping> mapped = Error::Internal("not run");
+    if (config.use_sandbox) {
+      SandboxedMapResult sr =
+          SandboxedMap(*mapper, kernel.dfg, *arch, mo, config.sandbox_limits);
+      if (sr.fatal()) {
+        return Outcome(FuzzVerdict::kCrash, "map",
+                       StrFormat("band %d: sandbox %s", b,
+                                 SandboxLabel(sr.outcome).c_str()));
+      }
+      mapped = std::move(sr.result);
+    } else {
+      mapped = SafeMap(*mapper, kernel.dfg, *arch, mo);
+    }
+    if (!mapped.ok()) {
+      switch (mapped.error().code) {
+        case Error::Code::kInternal:
+          return Outcome(
+              FuzzVerdict::kCrash, "map",
+              StrFormat("band %d: %s", b, mapped.error().message.c_str()));
+        case Error::Code::kInvalidArgument:
+          return Outcome(
+              FuzzVerdict::kRejected, "map",
+              StrFormat("band %d: %s", b, mapped.error().message.c_str()));
+        default:  // kUnmappable / kResourceLimit: the budget's fault.
+          any_unmapped = true;
+          unmapped_detail =
+              StrFormat("band %d: %s", b, mapped.error().message.c_str());
+          continue;
+      }
+    }
+
+    Result<bool> match = MappingMatchesReference(kernel, *arch, *mapped);
+    if (!match.ok()) {
+      // The bitstream compiler rejects some valid mappings for fabric
+      // capability reasons (static RF lifetimes, one-imm-per-word).
+      // Those are budget outcomes like an unmappable kernel, not bugs.
+      if (match.error().code == Error::Code::kUnmappable ||
+          match.error().code == Error::Code::kResourceLimit) {
+        any_unmapped = true;
+        unmapped_detail =
+            StrFormat("band %d: %s", b, match.error().message.c_str());
+        continue;
+      }
+      return Outcome(
+          FuzzVerdict::kInfra, "mapped",
+          StrFormat("band %d: %s", b, match.error().message.c_str()));
+    }
+    if (!*match) {
+      return Outcome(FuzzVerdict::kMiscompare, "mapped",
+                     StrFormat("band %d: simulated state diverges from the "
+                               "reference (II search window %d..%d)",
+                               b, config.min_ii, config.max_ii));
+    }
+  }
+  if (any_unmapped) {
+    return Outcome(FuzzVerdict::kUnmapped, "map", unmapped_detail);
+  }
+  return Outcome(FuzzVerdict::kOk, "", "");
+}
+
+namespace {
+
+// One shrink candidate: a smaller (program, transforms) pair.
+struct Candidate {
+  NestProgram program;
+  std::vector<TransformStep> transforms;
+};
+
+std::vector<Candidate> ShrinkCandidates(
+    const NestProgram& p, const std::vector<TransformStep>& t) {
+  std::vector<Candidate> out;
+  // 1. Drop one transform.
+  for (size_t i = 0; i < t.size(); ++i) {
+    Candidate c{p, t};
+    c.transforms.erase(c.transforms.begin() + static_cast<long>(i));
+    out.push_back(std::move(c));
+  }
+  // 2. Drop one band (later bands reading its outputs fail Verify and
+  // are filtered by the caller).
+  if (p.bands.size() > 1) {
+    for (size_t b = 0; b < p.bands.size(); ++b) {
+      Candidate c{p, t};
+      c.program.bands.erase(c.program.bands.begin() + static_cast<long>(b));
+      out.push_back(std::move(c));
+    }
+  }
+  // 3. Drop one statement.
+  for (size_t b = 0; b < p.bands.size(); ++b) {
+    if (p.bands[b].stmts.size() < 2) continue;
+    for (size_t s = 0; s < p.bands[b].stmts.size(); ++s) {
+      Candidate c{p, t};
+      c.program.bands[b].stmts.erase(c.program.bands[b].stmts.begin() +
+                                     static_cast<long>(s));
+      out.push_back(std::move(c));
+    }
+  }
+  // 4. Replace a statement's expression with a single constant, or
+  // hoist the root's child.
+  for (size_t b = 0; b < p.bands.size(); ++b) {
+    for (size_t s = 0; s < p.bands[b].stmts.size(); ++s) {
+      const Statement& stmt = p.bands[b].stmts[s];
+      if (stmt.nodes.size() > 1) {
+        Candidate c{p, t};
+        Statement& cs = c.program.bands[b].stmts[s];
+        ExprNode konst;
+        konst.kind = ExprKind::kConst;
+        konst.imm = 1;
+        cs.nodes = {konst};
+        cs.root = 0;
+        out.push_back(std::move(c));
+      }
+      const ExprNode& root = stmt.nodes[static_cast<size_t>(stmt.root)];
+      for (const int child : {root.a, root.b}) {
+        if (child < 0) continue;
+        Candidate c{p, t};
+        c.program.bands[b].stmts[s].root = child;
+        out.push_back(std::move(c));
+      }
+    }
+  }
+  // 5. Shrink a variable's extent (identity-scheduled variables only:
+  // one loop, coefficient 1 — always true for generated programs).
+  for (int v = 0; v < p.num_vars; ++v) {
+    const std::int64_t extent = p.var_extent[static_cast<size_t>(v)];
+    if (extent <= 1) continue;
+    for (const std::int64_t target : {std::int64_t{1}, extent / 2}) {
+      if (target < 1 || target >= extent) continue;
+      Candidate c{p, t};
+      bool identity = false;
+      for (Band& band : c.program.bands) {
+        if (static_cast<int>(band.recover.size()) <= v) continue;
+        const std::vector<int> support =
+            band.recover[static_cast<size_t>(v)].Support();
+        if (support.empty()) continue;
+        if (support.size() != 1 ||
+            band.recover[static_cast<size_t>(v)].Coeff(support[0]) != 1) {
+          break;  // tiled/fused shape; skip this variable
+        }
+        for (Loop& loop : band.loops) {
+          if (loop.id == support[0]) {
+            loop.trip = target;
+            identity = true;
+          }
+        }
+      }
+      if (!identity) continue;
+      c.program.var_extent[static_cast<size_t>(v)] = target;
+      out.push_back(std::move(c));
+    }
+  }
+  // 6. Zero one array's contents.
+  for (size_t a = 0; a < p.arrays.size(); ++a) {
+    const auto& init = p.arrays[a].init;
+    if (std::all_of(init.begin(), init.end(),
+                    [](std::int64_t v) { return v == 0; })) {
+      continue;
+    }
+    Candidate c{p, t};
+    std::fill(c.program.arrays[a].init.begin(),
+              c.program.arrays[a].init.end(), 0);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkCase(const NestProgram& program,
+                        const std::vector<TransformStep>& transforms,
+                        const FuzzConfig& config, const FuzzOutcome& target,
+                        int max_runs) {
+  ShrinkResult result{program, transforms, 0};
+  bool changed = true;
+  while (changed && result.runs < max_runs) {
+    changed = false;
+    for (Candidate& c :
+         ShrinkCandidates(result.program, result.transforms)) {
+      if (result.runs >= max_runs) break;
+      if (!c.program.Verify().ok()) continue;  // free filter, no run
+      ++result.runs;
+      const FuzzOutcome outcome =
+          RunFuzzCase(c.program, c.transforms, config);
+      if (outcome.verdict == target.verdict && outcome.phase == target.phase) {
+        result.program = std::move(c.program);
+        result.transforms = std::move(c.transforms);
+        changed = true;
+        break;  // re-enumerate against the smaller case
+      }
+    }
+  }
+  return result;
+}
+
+ReproManifest MakeReproManifest(const NestProgram& program,
+                                const std::vector<TransformStep>& transforms,
+                                const FuzzConfig& config,
+                                const FuzzOutcome& outcome) {
+  ReproManifest m;
+  m.program = program;
+  m.transforms = transforms;
+  m.fabric = config.fabric;
+  m.mapper = config.mapper;
+  m.sandbox = config.use_sandbox;
+  m.inject_bug = config.lowering.inject_bug;
+  m.fault_seed = config.fault_seed;
+  m.fault_cells = config.fault_cells;
+  m.verdict = std::string(FuzzVerdictName(outcome.verdict));
+  m.phase = outcome.phase;
+  m.detail = outcome.detail;
+  return m;
+}
+
+FuzzOutcome ReplayManifest(const ReproManifest& manifest, bool* reproduced) {
+  FuzzConfig config;
+  config.fabric = manifest.fabric;
+  config.mapper = manifest.mapper;
+  config.use_sandbox = manifest.sandbox;
+  config.lowering.inject_bug = manifest.inject_bug;
+  config.fault_seed = manifest.fault_seed;
+  config.fault_cells = manifest.fault_cells;
+  const FuzzOutcome outcome =
+      RunFuzzCase(manifest.program, manifest.transforms, config);
+  if (reproduced != nullptr) {
+    *reproduced = FuzzVerdictName(outcome.verdict) == manifest.verdict &&
+                  outcome.phase == manifest.phase;
+  }
+  return outcome;
+}
+
+FuzzCampaignResult RunFuzzCampaign(
+    const FuzzConfig& config, std::uint64_t seed, int count, bool shrink,
+    const std::function<void(int, const FuzzOutcome&)>& progress) {
+  FuzzCampaignResult result;
+  for (int i = 0; i < count; ++i) {
+    // Case i depends on (seed, i) alone: reruns and partial reruns of
+    // a campaign generate identical cases.
+    Rng rng(seed ^ (0x9E3779B97F4A7C15ull *
+                    (static_cast<std::uint64_t>(i) + 1)));
+    const GeneratedCase gc = GenerateCase(rng, config.gen);
+    const FuzzOutcome outcome =
+        RunFuzzCase(gc.program, gc.transforms, config);
+    ++result.cases;
+    switch (outcome.verdict) {
+      case FuzzVerdict::kOk: ++result.ok; break;
+      case FuzzVerdict::kRejected: ++result.rejected; break;
+      case FuzzVerdict::kUnmapped: ++result.unmapped; break;
+      case FuzzVerdict::kMiscompare: ++result.miscompare; break;
+      case FuzzVerdict::kCrash: ++result.crash; break;
+      case FuzzVerdict::kInfra: ++result.infra; break;
+    }
+    if (outcome.failed()) {
+      FuzzCampaignResult::Failure failure;
+      failure.case_index = i;
+      failure.digest = gc.program.Digest();
+      failure.outcome = outcome;
+      NestProgram small = gc.program;
+      std::vector<TransformStep> small_t = gc.transforms;
+      FuzzOutcome small_outcome = outcome;
+      if (shrink && outcome.verdict != FuzzVerdict::kInfra) {
+        ShrinkResult shrunk =
+            ShrinkCase(gc.program, gc.transforms, config, outcome);
+        small = std::move(shrunk.program);
+        small_t = std::move(shrunk.transforms);
+        failure.shrink_runs = shrunk.runs;
+        // The manifest's detail should describe the case it carries.
+        small_outcome = RunFuzzCase(small, small_t, config);
+      }
+      failure.manifest =
+          MakeReproManifest(small, small_t, config, small_outcome);
+      result.failures.push_back(std::move(failure));
+    }
+    if (progress) progress(i, outcome);
+  }
+  return result;
+}
+
+}  // namespace cgra::frontend

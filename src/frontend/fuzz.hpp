@@ -1,0 +1,142 @@
+// Differential fuzzing over generated loop nests.
+//
+// One fuzz case is (program, transforms). The harness runs it through
+// every execution the repo has and compares them pairwise, stopping at
+// the first disagreement:
+//
+//   phase "transform":  EvaluateProgram(original) vs
+//                       EvaluateProgram(transformed) — schedule
+//                       transforms must preserve semantics.
+//   phase "lowering":   per band, RunReference over the lowered
+//                       loop-body DFG (previous bands' state threaded
+//                       in from the evaluator) vs the evaluator's
+//                       after-band snapshot.
+//   phase "cdfg":       RunCdfgReference over the CDFG lowering vs the
+//                       evaluator's final state.
+//   phase "map":        SafeMap / SandboxedMap of each band kernel —
+//                       kInternal results and fatal sandbox outcomes
+//                       are crashes; kUnmappable / kResourceLimit are
+//                       counted, not failed.
+//   phase "mapped":     MappingMatchesReference — compile the mapping,
+//                       round-trip the bitstream, simulate, compare.
+//
+// Any miscompare or crash is shrunk (drop transforms / bands /
+// statements, simplify expressions, shrink extents, zero data — kept
+// only while the SAME verdict+phase reproduces) and dumped as a
+// self-contained repro manifest (frontend/serialize.hpp) that
+// `cgra_fuzz --replay` re-runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "frontend/generate.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/serialize.hpp"
+#include "support/subprocess.hpp"
+
+namespace cgra::frontend {
+
+struct FuzzConfig {
+  std::string fabric = "adres4x4";
+  std::string mapper = "ims";
+  int min_ii = 1;
+  int max_ii = 16;
+  double map_deadline_s = 5.0;  ///< per-band mapping budget
+  std::uint64_t map_seed = 1;
+  /// Run mappers in a fork()ed rlimit-capped child (survives SIGSEGV
+  /// and alloc bombs; slower). Off for smoke runs, on when fuzzing
+  /// hostile/fixture mappers.
+  bool use_sandbox = false;
+  SandboxLimits sandbox_limits;
+  /// Map + simulate each band (the expensive phases). Off = oracle-only
+  /// fuzzing of the frontend itself.
+  bool map_and_simulate = true;
+  /// Compare the CDFG lowering too (cheap, no mapping involved).
+  bool check_cdfg = true;
+  /// Derate the fabric with FaultModel::Random(dead_cells=fault_cells,
+  /// seed=fault_seed) before mapping AND simulating; 0 cells = pristine.
+  std::uint64_t fault_seed = 0;
+  int fault_cells = 0;
+  /// The deliberately-broken fixture: mis-lower every store by +1.
+  LoweringOptions lowering;
+  GeneratorOptions gen;
+};
+
+enum class FuzzVerdict {
+  kOk,          ///< every execution agreed
+  kRejected,    ///< structured rejection (lowering/mapper said no)
+  kUnmapped,    ///< mapper gave up within its budget — not a failure
+  kMiscompare,  ///< two executions disagree: a real bug somewhere
+  kCrash,       ///< mapper threw / died / was killed
+  kInfra,       ///< the harness itself failed (unknown fabric, ...)
+};
+std::string_view FuzzVerdictName(FuzzVerdict v);
+
+struct FuzzOutcome {
+  FuzzVerdict verdict = FuzzVerdict::kOk;
+  std::string phase;  ///< "", "transform", "lowering", "cdfg", "map", "mapped"
+  std::string detail;
+
+  bool failed() const {
+    return verdict == FuzzVerdict::kMiscompare ||
+           verdict == FuzzVerdict::kCrash || verdict == FuzzVerdict::kInfra;
+  }
+};
+
+/// Runs one case through every phase; returns at the first failure.
+FuzzOutcome RunFuzzCase(const NestProgram& program,
+                        const std::vector<TransformStep>& transforms,
+                        const FuzzConfig& config);
+
+/// Greedy shrink to a (near-)minimal case with the same verdict+phase.
+/// Bounded by `max_runs` re-executions.
+struct ShrinkResult {
+  NestProgram program;
+  std::vector<TransformStep> transforms;
+  int runs = 0;  ///< re-executions spent
+};
+ShrinkResult ShrinkCase(const NestProgram& program,
+                        const std::vector<TransformStep>& transforms,
+                        const FuzzConfig& config, const FuzzOutcome& target,
+                        int max_runs = 150);
+
+/// Manifest for a (possibly shrunk) failing case.
+ReproManifest MakeReproManifest(const NestProgram& program,
+                                const std::vector<TransformStep>& transforms,
+                                const FuzzConfig& config,
+                                const FuzzOutcome& outcome);
+
+/// Re-runs a manifest under its recorded configuration. `reproduced`
+/// is true when verdict AND phase match the manifest's.
+FuzzOutcome ReplayManifest(const ReproManifest& manifest, bool* reproduced);
+
+struct FuzzCampaignResult {
+  int cases = 0;
+  int ok = 0;
+  int rejected = 0;
+  int unmapped = 0;
+  int miscompare = 0;
+  int crash = 0;
+  int infra = 0;
+
+  struct Failure {
+    int case_index = 0;
+    std::string digest;  ///< original program digest
+    FuzzOutcome outcome;
+    ReproManifest manifest;  ///< shrunk when shrinking was enabled
+    int shrink_runs = 0;
+  };
+  std::vector<Failure> failures;
+};
+
+/// `count` cases from `seed` (case i is deterministic in (seed, i)
+/// alone, so a campaign can be re-run partially). Failures are shrunk
+/// when `shrink`. `progress` (may be empty) is called after each case.
+FuzzCampaignResult RunFuzzCampaign(
+    const FuzzConfig& config, std::uint64_t seed, int count, bool shrink,
+    const std::function<void(int, const FuzzOutcome&)>& progress = {});
+
+}  // namespace cgra::frontend

@@ -1,0 +1,377 @@
+#include "frontend/generate.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "support/str.hpp"
+
+namespace cgra::frontend {
+namespace {
+
+constexpr Opcode kBinaryOps[] = {
+    Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kMin, Opcode::kMax,
+    Opcode::kAnd, Opcode::kOr,  Opcode::kXor, Opcode::kCmpLt, Opcode::kCmpEq,
+};
+constexpr Opcode kUnaryOps[] = {Opcode::kNeg, Opcode::kAbs, Opcode::kNot};
+constexpr Opcode kReductionOps[] = {
+    Opcode::kAdd, Opcode::kMul, Opcode::kMin, Opcode::kMax,
+    Opcode::kAnd, Opcode::kOr,  Opcode::kXor,
+};
+
+std::int64_t RandValue(Rng& rng, std::int64_t bound) {
+  return static_cast<std::int64_t>(rng.NextBounded(
+             static_cast<std::uint64_t>(2 * bound + 1))) -
+         bound;
+}
+
+// Row-major address over `vars` (ordered outer to inner): the
+// coefficient of each variable is the product of the extents of the
+// variables after it. Returns the affine and the spanned size.
+Affine RowMajor(const std::vector<int>& vars,
+                const std::vector<std::int64_t>& var_extent,
+                std::int64_t* size) {
+  Affine a;
+  std::int64_t stride = 1;
+  for (int i = static_cast<int>(vars.size()) - 1; i >= 0; --i) {
+    const int v = vars[static_cast<size_t>(i)];
+    a.SetCoeff(v, stride);
+    stride *= var_extent[static_cast<size_t>(v)];
+  }
+  *size = stride;
+  return a;
+}
+
+struct BandScratch {
+  std::vector<int> vars;  ///< this band's variables, loop order
+  /// Input arrays created for this band: (array id, address affine) —
+  /// reusable by later loads of the same band.
+  std::vector<std::pair<int, Affine>> input_addrs;
+  /// Non-reduction statements already emitted in this band:
+  /// (array id, store address) — forwarding candidates.
+  std::vector<std::pair<int, Affine>> forwardable;
+};
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder(Rng& rng, const GeneratorOptions& opt) : rng_(rng), opt_(opt) {}
+
+  NestProgram Build() {
+    const int num_bands = rng_.NextInt(1, opt_.max_bands);
+    for (int b = 0; b < num_bands; ++b) AddBand(b);
+    // Arrays were allocated with placeholder sizes as statements were
+    // generated; nothing to patch — finalize.
+    return std::move(program_);
+  }
+
+ private:
+  Rng& rng_;
+  const GeneratorOptions& opt_;
+  NestProgram program_;
+  int input_arrays_ = 0;
+  /// Output arrays of completed bands (loadable by later bands).
+  std::vector<int> completed_outputs_;
+
+  int NewArray(std::string name, std::int64_t size, bool is_input) {
+    ArrayDecl decl;
+    decl.name = std::move(name);
+    decl.size = static_cast<int>(size);
+    decl.is_input = is_input;
+    decl.init.reserve(static_cast<size_t>(size));
+    for (std::int64_t i = 0; i < size; ++i) {
+      decl.init.push_back(RandValue(rng_, opt_.max_value));
+    }
+    program_.arrays.push_back(std::move(decl));
+    return static_cast<int>(program_.arrays.size()) - 1;
+  }
+
+  /// A random non-empty subset of the band's variables, loop order
+  /// preserved.
+  std::vector<int> RandomVarSubset(const BandScratch& sc) {
+    std::vector<int> subset;
+    for (const int v : sc.vars) {
+      if (rng_.NextBool(0.6)) subset.push_back(v);
+    }
+    if (subset.empty()) {
+      subset.push_back(sc.vars[rng_.NextIndex(sc.vars.size())]);
+    }
+    return subset;
+  }
+
+  /// Emits a load node: a fresh/reused input array, or an earlier
+  /// band's output.
+  ExprNode MakeLoad(const BandScratch& sc) {
+    ExprNode node;
+    node.kind = ExprKind::kLoad;
+    // Earlier-band output?
+    if (!completed_outputs_.empty() && rng_.NextBool(0.4)) {
+      const int arr =
+          completed_outputs_[rng_.NextIndex(completed_outputs_.size())];
+      const std::int64_t size = program_.arrays[static_cast<size_t>(arr)].size;
+      // Row-major over a subset small enough to fit in the array.
+      std::vector<int> subset;
+      std::int64_t product = 1;
+      for (const int v : sc.vars) {
+        const std::int64_t e = program_.var_extent[static_cast<size_t>(v)];
+        if (product * e <= size && rng_.NextBool(0.7)) {
+          subset.push_back(v);
+          product *= e;
+        }
+      }
+      std::int64_t span = 1;
+      node.array = arr;
+      node.addr = RowMajor(subset, program_.var_extent, &span);
+      return node;
+    }
+    // Reuse one of this band's input arrays?
+    if (!sc.input_addrs.empty() &&
+        (input_arrays_ >= opt_.max_arrays || rng_.NextBool(0.35))) {
+      const auto& [arr, addr] =
+          sc.input_addrs[rng_.NextIndex(sc.input_addrs.size())];
+      node.array = arr;
+      node.addr = addr;
+      return node;
+    }
+    // Fresh input array addressed row-major over a random subset.
+    const std::vector<int> subset = RandomVarSubset(sc);
+    std::int64_t size = 1;
+    node.addr = RowMajor(subset, program_.var_extent, &size);
+    node.array =
+        NewArray(StrFormat("in%d", input_arrays_++), size, /*is_input=*/true);
+    return node;
+  }
+
+  /// Random expression pool for one statement (forwarding handled by
+  /// the caller, which may prepend a forwarded load).
+  void MakeRhs(const BandScratch& sc, Statement* stmt) {
+    // Leaves: 1-3 of load / index / const.
+    const int leaves = rng_.NextInt(1, 3);
+    for (int i = 0; i < leaves; ++i) {
+      switch (rng_.NextInt(0, 2)) {
+        case 0:
+          stmt->nodes.push_back(MakeLoad(sc));
+          break;
+        case 1: {
+          ExprNode n;
+          n.kind = ExprKind::kIndex;
+          n.var = sc.vars[rng_.NextIndex(sc.vars.size())];
+          stmt->nodes.push_back(n);
+          break;
+        }
+        default: {
+          ExprNode n;
+          n.kind = ExprKind::kConst;
+          n.imm = RandValue(rng_, opt_.max_value);
+          stmt->nodes.push_back(n);
+          break;
+        }
+      }
+    }
+    // Interior operators over random earlier nodes.
+    const int ops = rng_.NextInt(1, std::max(1, opt_.max_expr_ops));
+    for (int i = 0; i < ops; ++i) {
+      ExprNode n;
+      const size_t pool = stmt->nodes.size();
+      if (rng_.NextBool(0.2)) {
+        n.kind = ExprKind::kUnary;
+        n.op = kUnaryOps[rng_.NextIndex(std::size(kUnaryOps))];
+        n.a = static_cast<int>(rng_.NextIndex(pool));
+      } else {
+        n.kind = ExprKind::kBinary;
+        n.op = kBinaryOps[rng_.NextIndex(std::size(kBinaryOps))];
+        n.a = static_cast<int>(rng_.NextIndex(pool));
+        n.b = static_cast<int>(rng_.NextIndex(pool));
+      }
+      stmt->nodes.push_back(n);
+    }
+    stmt->root = static_cast<int>(stmt->nodes.size()) - 1;
+  }
+
+  void AddBand(int band_idx) {
+    Band band;
+    BandScratch sc;
+    const int depth = rng_.NextInt(1, opt_.max_depth);
+    std::int64_t domain = 1;
+    for (int p = 0; p < depth; ++p) {
+      const std::int64_t room = std::max<std::int64_t>(
+          1, std::min(opt_.max_trip, opt_.max_domain / domain));
+      const std::int64_t trip =
+          1 + static_cast<std::int64_t>(
+                  rng_.NextBounded(static_cast<std::uint64_t>(room)));
+      domain *= trip;
+      band.loops.push_back(Loop{p, trip});
+      const int var = program_.num_vars++;
+      program_.var_extent.push_back(trip);
+      sc.vars.push_back(var);
+      if (static_cast<int>(band.recover.size()) < program_.num_vars) {
+        band.recover.resize(static_cast<size_t>(program_.num_vars));
+      }
+      band.recover[static_cast<size_t>(var)].SetCoeff(p, 1);
+    }
+
+    const int stmts = rng_.NextInt(1, opt_.max_stmts);
+    for (int s = 0; s < stmts; ++s) {
+      Statement stmt;
+      // Optional same-band forwarding load as the first leaf.
+      if (!sc.forwardable.empty() && rng_.NextBool(opt_.forward_prob)) {
+        const auto& [arr, addr] =
+            sc.forwardable[rng_.NextIndex(sc.forwardable.size())];
+        ExprNode n;
+        n.kind = ExprKind::kLoad;
+        n.array = arr;
+        n.addr = addr;
+        stmt.nodes.push_back(n);
+      }
+      MakeRhs(sc, &stmt);
+
+      if (rng_.NextBool(opt_.reduction_prob)) {
+        stmt.is_reduction = true;
+        stmt.reduction_op =
+            kReductionOps[rng_.NextIndex(std::size(kReductionOps))];
+        stmt.reduction_init = RandValue(rng_, opt_.max_value);
+        // Address = a prefix of the loop order (S-before-R holds by
+        // construction), possibly empty (scalar accumulator).
+        const int k = rng_.NextInt(0, depth - 1);
+        const std::vector<int> prefix(sc.vars.begin(), sc.vars.begin() + k);
+        std::int64_t size = 1;
+        stmt.store_addr = RowMajor(prefix, program_.var_extent, &size);
+        stmt.store_array =
+            NewArray(StrFormat("out%d_%d", band_idx, s), size, false);
+      } else {
+        // Non-reduction stores address every variable (row-major over
+        // the whole band), as Verify requires.
+        std::int64_t size = 1;
+        stmt.store_addr = RowMajor(sc.vars, program_.var_extent, &size);
+        stmt.store_array =
+            NewArray(StrFormat("out%d_%d", band_idx, s), size, false);
+        sc.forwardable.emplace_back(stmt.store_array, stmt.store_addr);
+      }
+      band.stmts.push_back(std::move(stmt));
+    }
+
+    // Record this band's input-array addresses for reuse bookkeeping
+    // (already folded into MakeLoad through sc) and publish outputs.
+    for (const Statement& stmt : band.stmts) {
+      completed_outputs_.push_back(stmt.store_array);
+    }
+    program_.bands.push_back(std::move(band));
+  }
+};
+
+}  // namespace
+
+GeneratorOptions GeneratorOptions::Small() {
+  GeneratorOptions o;
+  o.max_bands = 2;
+  o.max_depth = 2;
+  o.max_trip = 5;
+  o.max_domain = 64;
+  o.max_stmts = 2;
+  o.max_expr_ops = 3;
+  o.max_transforms = 3;
+  return o;
+}
+
+GeneratorOptions GeneratorOptions::Medium() {
+  GeneratorOptions o;
+  o.max_bands = 3;
+  o.max_depth = 3;
+  o.max_trip = 8;
+  o.max_domain = 512;
+  o.max_stmts = 3;
+  o.max_expr_ops = 5;
+  o.max_transforms = 4;
+  return o;
+}
+
+GeneratorOptions GeneratorOptions::Large() {
+  GeneratorOptions o;
+  o.max_bands = 4;
+  o.max_depth = 4;
+  o.max_trip = 10;
+  o.max_domain = 4096;
+  o.max_stmts = 4;
+  o.max_expr_ops = 8;
+  o.max_arrays = 6;
+  o.max_transforms = 6;
+  return o;
+}
+
+NestProgram GenerateProgram(Rng& rng, const GeneratorOptions& options) {
+  ProgramBuilder builder(rng, options);
+  NestProgram program = builder.Build();
+  // Legal-by-construction is the contract; a Verify failure here is a
+  // generator bug the tests catch immediately.
+  assert(program.Verify().ok());
+  return program;
+}
+
+std::vector<TransformStep> GenerateTransforms(Rng& rng,
+                                              const NestProgram& program,
+                                              const GeneratorOptions& options) {
+  std::vector<TransformStep> steps;
+  NestProgram current = program;
+  const int want = rng.NextInt(0, options.max_transforms);
+  for (int i = 0; i < want; ++i) {
+    bool applied = false;
+    for (int attempt = 0; attempt < 8 && !applied; ++attempt) {
+      TransformStep step;
+      step.band = static_cast<int>(rng.NextIndex(current.bands.size()));
+      const Band& band = current.bands[static_cast<size_t>(step.band)];
+      switch (rng.NextInt(0, 3)) {
+        case 0: {  // tile
+          step.kind = TransformStep::Kind::kTile;
+          const Loop& loop = band.loops[rng.NextIndex(band.loops.size())];
+          std::vector<std::int64_t> divisors;
+          for (std::int64_t d = 2; d <= loop.trip; ++d) {
+            if (loop.trip % d == 0) divisors.push_back(d);
+          }
+          if (divisors.empty()) continue;
+          step.a = loop.id;
+          step.factor = divisors[rng.NextIndex(divisors.size())];
+          break;
+        }
+        case 1: {  // interchange
+          if (band.loops.size() < 2) continue;
+          step.kind = TransformStep::Kind::kInterchange;
+          step.a = static_cast<int>(rng.NextIndex(band.loops.size()));
+          step.b = static_cast<int>(rng.NextIndex(band.loops.size()));
+          if (step.a == step.b) continue;
+          break;
+        }
+        case 2: {  // fuse
+          if (current.bands.size() < 2) continue;
+          step.kind = TransformStep::Kind::kFuse;
+          step.band =
+              static_cast<int>(rng.NextIndex(current.bands.size() - 1));
+          break;
+        }
+        default: {  // unroll
+          step.kind = TransformStep::Kind::kUnroll;
+          const std::int64_t domain = band.DomainSize();
+          std::vector<std::int64_t> divisors;
+          for (const std::int64_t d : {2, 3, 4}) {
+            if (domain % d == 0) divisors.push_back(d);
+          }
+          if (divisors.empty()) continue;
+          step.factor = divisors[rng.NextIndex(divisors.size())];
+          break;
+        }
+      }
+      Result<NestProgram> next = ApplyTransform(current, step);
+      if (!next.ok()) continue;
+      current = std::move(next).value();
+      steps.push_back(step);
+      applied = true;
+    }
+  }
+  return steps;
+}
+
+GeneratedCase GenerateCase(Rng& rng, const GeneratorOptions& options) {
+  GeneratedCase c;
+  c.program = GenerateProgram(rng, options);
+  c.transforms = GenerateTransforms(rng, c.program, options);
+  return c;
+}
+
+}  // namespace cgra::frontend

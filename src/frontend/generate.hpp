@@ -1,0 +1,58 @@
+// Seeded random NestProgram generator: the fuzzer's kernel supply.
+//
+// Deterministic per Rng seed (same seed => same program => same
+// Digest(), asserted by tests), legal by construction (the result
+// always passes NestProgram::Verify — generation is restricted to the
+// shapes Verify admits: row-major injective stores, prefix-scheduled
+// reductions, forwarding loads with exactly the producer's address),
+// and size-bounded by knobs so CI smoke runs stay cheap while nightly
+// runs push mappers with deeper nests and fatter expressions.
+#pragma once
+
+#include "frontend/nest.hpp"
+#include "frontend/transform.hpp"
+#include "support/rng.hpp"
+
+namespace cgra::frontend {
+
+struct GeneratorOptions {
+  int max_bands = 2;        ///< bands per program (>= 1)
+  int max_depth = 2;        ///< loops per band (>= 1)
+  std::int64_t max_trip = 6;    ///< per-loop trip in [1, max_trip]
+  std::int64_t max_domain = 256;  ///< cap on a band's iteration count
+  int max_stmts = 2;        ///< statements per band (>= 1)
+  int max_expr_ops = 4;     ///< interior (unary/binary) nodes per rhs
+  int max_arrays = 4;       ///< cap on generated input arrays
+  double reduction_prob = 0.45;
+  double forward_prob = 0.3;  ///< same-band store-to-load forwarding
+  std::int64_t max_value = 64;  ///< |array init| and |constants| bound
+  int max_transforms = 3;
+
+  /// CI shape presets. Small: smoke-sized kernels every PR maps in
+  /// milliseconds. Medium: the nightly default. Large: deep nests and
+  /// fat bodies for the extended nightly sweep.
+  static GeneratorOptions Small();
+  static GeneratorOptions Medium();
+  static GeneratorOptions Large();
+};
+
+/// A generated fuzz case: the untransformed program plus the schedule
+/// edits to apply to it (every step is applicable in sequence at
+/// generation time; the shrinker may later drop some).
+struct GeneratedCase {
+  NestProgram program;
+  std::vector<TransformStep> transforms;
+};
+
+/// Generates a legal program. Postcondition: Verify().ok().
+NestProgram GenerateProgram(Rng& rng, const GeneratorOptions& options);
+
+/// Generates transforms applicable to `program` in order.
+std::vector<TransformStep> GenerateTransforms(Rng& rng,
+                                              const NestProgram& program,
+                                              const GeneratorOptions& options);
+
+/// Program + transforms in one call.
+GeneratedCase GenerateCase(Rng& rng, const GeneratorOptions& options);
+
+}  // namespace cgra::frontend

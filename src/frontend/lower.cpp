@@ -1,0 +1,380 @@
+#include "frontend/lower.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "cf/unroll.hpp"
+#include "support/str.hpp"
+
+namespace cgra::frontend {
+namespace {
+
+// Shared scratch for one lowering target: the DFG under construction
+// plus the value ops statements read.
+struct Emitter {
+  Dfg* dfg = nullptr;
+  bool inject_bug = false;
+  // Original variable id -> op producing its value this iteration.
+  std::map<int, OpId> var_op;
+  // Array id -> op producing the value the band stored there (same-band
+  // store-to-load forwarding; Verify guarantees addresses match).
+  std::map<int, OpId> forward;
+  // Memoised constants.
+  std::map<std::int64_t, OpId> consts;
+
+  OpId Const(std::int64_t v) {
+    auto it = consts.find(v);
+    if (it != consts.end()) return it->second;
+    const OpId id = dfg->AddConst(v, StrFormat("c%lld", static_cast<long long>(v)));
+    consts.emplace(v, id);
+    return id;
+  }
+
+  /// c0 + sum coeff_v * var_v as an add/mul tree over the var ops.
+  OpId EmitAffine(const Affine& a) {
+    OpId acc = kNoOp;
+    for (const int v : a.Support()) {
+      const std::int64_t c = a.Coeff(v);
+      OpId term = var_op.at(v);
+      if (c != 1) term = dfg->AddBinary(Opcode::kMul, Const(c), term);
+      acc = acc == kNoOp ? term : dfg->AddBinary(Opcode::kAdd, acc, term);
+    }
+    if (acc == kNoOp) return Const(a.c0);
+    if (a.c0 != 0) acc = dfg->AddBinary(Opcode::kAdd, acc, Const(a.c0));
+    return acc;
+  }
+
+  /// Statement right-hand side; returns the value to store (bug
+  /// injection included).
+  OpId EmitRhs(const Statement& stmt) {
+    std::vector<OpId> val(stmt.nodes.size(), kNoOp);
+    for (int i = 0; i < static_cast<int>(stmt.nodes.size()); ++i) {
+      const ExprNode& node = stmt.nodes[static_cast<size_t>(i)];
+      switch (node.kind) {
+        case ExprKind::kConst:
+          val[static_cast<size_t>(i)] = Const(node.imm);
+          break;
+        case ExprKind::kIndex:
+          val[static_cast<size_t>(i)] = var_op.at(node.var);
+          break;
+        case ExprKind::kLoad: {
+          auto fwd = forward.find(node.array);
+          if (fwd != forward.end()) {
+            // Same-band producer: the load's address equals the store's
+            // (Verify), so the stored value IS the loaded value.
+            val[static_cast<size_t>(i)] = fwd->second;
+          } else {
+            val[static_cast<size_t>(i)] =
+                dfg->AddLoad(node.array, EmitAffine(node.addr));
+          }
+          break;
+        }
+        case ExprKind::kUnary:
+          val[static_cast<size_t>(i)] =
+              dfg->AddUnary(node.op, val[static_cast<size_t>(node.a)]);
+          break;
+        case ExprKind::kBinary:
+          val[static_cast<size_t>(i)] =
+              dfg->AddBinary(node.op, val[static_cast<size_t>(node.a)],
+                             val[static_cast<size_t>(node.b)]);
+          break;
+      }
+    }
+    OpId rhs = val[static_cast<size_t>(stmt.root)];
+    if (inject_bug) rhs = dfg->AddBinary(Opcode::kAdd, rhs, Const(1));
+    return rhs;
+  }
+};
+
+}  // namespace
+
+Result<Kernel> LowerBand(const NestProgram& program, int band_idx,
+                         const LoweringOptions& options) {
+  if (Status s = program.Verify(); !s.ok()) return s.error();
+  if (band_idx < 0 || band_idx >= static_cast<int>(program.bands.size())) {
+    return Error::InvalidArgument(
+        StrFormat("band %d out of range", band_idx));
+  }
+  const Band& band = program.bands[static_cast<size_t>(band_idx)];
+  const std::int64_t domain = band.DomainSize();
+
+  Kernel kernel;
+  kernel.name = StrFormat("nest_b%d", band_idx);
+  kernel.description =
+      StrFormat("band %d of nest %s", band_idx, program.Digest().c_str());
+
+  Emitter e{&kernel.dfg, options.inject_bug, {}, {}, {}};
+  Dfg& dfg = kernel.dfg;
+
+  // Odometer counters, innermost outward. Counter ops are their own
+  // carried predecessors (read at distance 1, initialised to trip-1 so
+  // iteration 0 computes 0); `adv` tells a loop that everything inside
+  // it wrapped this iteration, i.e. it advances.
+  const int n = static_cast<int>(band.loops.size());
+  std::vector<OpId> counter(static_cast<size_t>(n), kNoOp);
+  OpId adv = kNoOp;  // innermost advances every iteration
+  for (int p = n - 1; p >= 0; --p) {
+    const Loop& loop = band.loops[static_cast<size_t>(p)];
+    const std::int64_t t = loop.trip;
+    if (t == 1) {
+      counter[static_cast<size_t>(p)] = e.Const(0);
+      adv = (p == n - 1) ? e.Const(1) : adv;  // wrap passes through
+      continue;
+    }
+    Op eq;
+    eq.opcode = Opcode::kCmpEq;
+    eq.name = StrFormat("l%d_wrap", loop.id);
+    eq.operands = {Operand{kNoOp, 1, t - 1}, Operand{e.Const(t - 1), 0, 0}};
+    const OpId eq_id = dfg.AddOp(std::move(eq));
+    Op inc;
+    inc.opcode = Opcode::kAdd;
+    inc.name = StrFormat("l%d_inc", loop.id);
+    inc.operands = {Operand{kNoOp, 1, t - 1}, Operand{e.Const(1), 0, 0}};
+    const OpId inc_id = dfg.AddOp(std::move(inc));
+    const OpId next = dfg.AddSelect(eq_id, e.Const(0), inc_id,
+                                    StrFormat("l%d_next", loop.id));
+    OpId c;
+    if (p == n - 1) {
+      c = next;
+      adv = eq_id;
+    } else {
+      Op sel;
+      sel.opcode = Opcode::kSelect;
+      sel.name = StrFormat("l%d", loop.id);
+      sel.operands = {Operand{adv, 0, 0}, Operand{next, 0, 0},
+                      Operand{kNoOp, 1, t - 1}};
+      c = dfg.AddOp(std::move(sel));
+      dfg.mutable_op(c).operands[2].producer = c;
+      adv = dfg.AddBinary(Opcode::kAnd, adv, eq_id,
+                          StrFormat("l%d_wrapped", loop.id));
+    }
+    dfg.mutable_op(eq_id).operands[0].producer = c;
+    dfg.mutable_op(inc_id).operands[0].producer = c;
+    counter[static_cast<size_t>(p)] = c;
+  }
+
+  // Recover original variable values from the counters.
+  const std::vector<int> band_vars = band.Vars();
+  for (const int v : band_vars) {
+    const Affine& r = band.recover[static_cast<size_t>(v)];
+    OpId acc = kNoOp;
+    for (int p = 0; p < n; ++p) {
+      const std::int64_t c = r.Coeff(band.loops[static_cast<size_t>(p)].id);
+      if (c == 0) continue;
+      OpId term = counter[static_cast<size_t>(p)];
+      if (c != 1) term = dfg.AddBinary(Opcode::kMul, e.Const(c), term);
+      acc = acc == kNoOp ? term : dfg.AddBinary(Opcode::kAdd, acc, term);
+    }
+    e.var_op[v] = acc == kNoOp ? e.Const(0) : acc;
+  }
+
+  for (const Statement& stmt : band.stmts) {
+    const OpId rhs = e.EmitRhs(stmt);
+    const OpId addr = e.EmitAffine(stmt.store_addr);
+    if (!stmt.is_reduction) {
+      dfg.AddStore(stmt.store_array, addr, rhs);
+      e.forward[stmt.store_array] = rhs;
+      continue;
+    }
+    // group_start: every reduction variable (absent from the address)
+    // is at 0, i.e. this iteration starts a fresh address group.
+    const std::vector<int> support = stmt.store_addr.Support();
+    OpId gs = kNoOp;
+    for (const int v : band_vars) {
+      if (std::find(support.begin(), support.end(), v) != support.end()) {
+        continue;
+      }
+      const OpId z =
+          dfg.AddBinary(Opcode::kCmpEq, e.var_op.at(v), e.Const(0));
+      gs = gs == kNoOp ? z : dfg.AddBinary(Opcode::kAnd, gs, z);
+    }
+    if (gs == kNoOp) gs = e.Const(1);
+    Op base;
+    base.opcode = Opcode::kSelect;
+    base.name = "red_base";
+    base.operands = {Operand{gs, 0, 0},
+                     Operand{e.Const(stmt.reduction_init), 0, 0},
+                     Operand{kNoOp, 1, stmt.reduction_init}};
+    const OpId base_id = dfg.AddOp(std::move(base));
+    const OpId acc =
+        dfg.AddBinary(stmt.reduction_op, base_id, rhs, "red_acc");
+    dfg.mutable_op(base_id).operands[2].producer = acc;
+    dfg.AddStore(stmt.store_array, addr, acc);
+  }
+
+  if (Status s = dfg.Verify(); !s.ok()) {
+    return Error::Internal(StrFormat("lowered band %d fails Dfg::Verify: %s",
+                                     band_idx, s.error().message.c_str()));
+  }
+
+  kernel.input.iterations = static_cast<int>(domain);
+  kernel.input.arrays.reserve(program.arrays.size());
+  for (const ArrayDecl& a : program.arrays) {
+    kernel.input.arrays.push_back(a.init);
+  }
+  if (band.unroll > 1) return UnrollKernel(kernel, band.unroll);
+  return kernel;
+}
+
+Result<std::vector<Kernel>> LowerProgram(const NestProgram& program,
+                                         const LoweringOptions& options) {
+  std::vector<Kernel> kernels;
+  for (int b = 0; b < static_cast<int>(program.bands.size()); ++b) {
+    Result<Kernel> k = LowerBand(program, b, options);
+    if (!k.ok()) return k.error();
+    kernels.push_back(std::move(k).value());
+  }
+  return kernels;
+}
+
+Result<CdfgLowering> LowerProgramToCdfg(const NestProgram& program,
+                                        const LoweringOptions& options) {
+  if (Status s = program.Verify(); !s.ok()) return s.error();
+
+  int max_depth = 0;
+  for (const Band& band : program.bands) {
+    max_depth = std::max(max_depth, static_cast<int>(band.loops.size()));
+  }
+  const int done_var = max_depth;  // variable-file slot for the branch
+
+  CdfgLowering out;
+  Cdfg& cdfg = out.cdfg;
+  const int entry = cdfg.AddBlock("entry");
+  cdfg.set_entry(entry);
+  // Block whose fall-through reaches the next band: the entry block
+  // (unconditional) or the previous band's body (taken when its loop
+  // condition `prev_cond` says the band is done).
+  int prev = entry;
+  OpId prev_cond = kNoOp;
+
+  for (int b = 0; b < static_cast<int>(program.bands.size()); ++b) {
+    const Band& band = program.bands[static_cast<size_t>(b)];
+    const int n = static_cast<int>(band.loops.size());
+
+    // init: zero the counters this band uses.
+    Dfg init;
+    const OpId zero = init.AddConst(0, "zero");
+    for (int p = 0; p < n; ++p) {
+      Op vo;
+      vo.opcode = Opcode::kVarOut;
+      vo.slot = p;
+      vo.name = StrFormat("cnt%d_reset", p);
+      vo.operands = {Operand{zero, 0, 0}};
+      init.AddOp(std::move(vo));
+    }
+    const int init_block =
+        cdfg.AddBlock(StrFormat("band%d_init", b), std::move(init));
+
+    // body: one domain point + odometer ripple + loop-exit branch.
+    Dfg body;
+    Emitter e{&body, options.inject_bug, {}, {}, {}};
+    std::vector<OpId> cnt(static_cast<size_t>(n), kNoOp);
+    for (int p = 0; p < n; ++p) {
+      Op vi;
+      vi.opcode = Opcode::kVarIn;
+      vi.slot = p;
+      vi.name = StrFormat("cnt%d", p);
+      cnt[static_cast<size_t>(p)] = body.AddOp(std::move(vi));
+    }
+    for (const int v : band.Vars()) {
+      const Affine& r = band.recover[static_cast<size_t>(v)];
+      OpId acc = kNoOp;
+      for (int p = 0; p < n; ++p) {
+        const std::int64_t c = r.Coeff(band.loops[static_cast<size_t>(p)].id);
+        if (c == 0) continue;
+        OpId term = cnt[static_cast<size_t>(p)];
+        if (c != 1) term = body.AddBinary(Opcode::kMul, e.Const(c), term);
+        acc = acc == kNoOp ? term : body.AddBinary(Opcode::kAdd, acc, term);
+      }
+      e.var_op[v] = acc == kNoOp ? e.Const(0) : acc;
+    }
+    for (const Statement& stmt : band.stmts) {
+      const OpId rhs = e.EmitRhs(stmt);
+      const OpId addr = e.EmitAffine(stmt.store_addr);
+      if (!stmt.is_reduction) {
+        body.AddStore(stmt.store_array, addr, rhs);
+        e.forward[stmt.store_array] = rhs;
+        continue;
+      }
+      // Blocks run once per visit, so the accumulator lives in the
+      // array itself: read-modify-write with a reset at group start.
+      const std::vector<int> support = stmt.store_addr.Support();
+      OpId gs = kNoOp;
+      for (const int v : band.Vars()) {
+        if (std::find(support.begin(), support.end(), v) != support.end()) {
+          continue;
+        }
+        const OpId z =
+            body.AddBinary(Opcode::kCmpEq, e.var_op.at(v), e.Const(0));
+        gs = gs == kNoOp ? z : body.AddBinary(Opcode::kAnd, gs, z);
+      }
+      if (gs == kNoOp) gs = e.Const(1);
+      const OpId current = body.AddLoad(stmt.store_array, addr);
+      const OpId base =
+          body.AddSelect(gs, e.Const(stmt.reduction_init), current);
+      const OpId acc = body.AddBinary(stmt.reduction_op, base, rhs, "red_acc");
+      body.AddStore(stmt.store_array, addr, acc);
+    }
+    // Ripple the odometer from the innermost loop outward; `carry` is
+    // "every loop inside has wrapped" and, after the outermost, the
+    // band's exit condition.
+    OpId carry = e.Const(1);
+    for (int p = n - 1; p >= 0; --p) {
+      const std::int64_t t = band.loops[static_cast<size_t>(p)].trip;
+      const OpId eq = body.AddBinary(Opcode::kCmpEq, cnt[static_cast<size_t>(p)],
+                                     e.Const(t - 1));
+      const OpId inc =
+          body.AddBinary(Opcode::kAdd, cnt[static_cast<size_t>(p)], e.Const(1));
+      const OpId bumped = body.AddSelect(eq, e.Const(0), inc);
+      const OpId next =
+          body.AddSelect(carry, bumped, cnt[static_cast<size_t>(p)]);
+      Op vo;
+      vo.opcode = Opcode::kVarOut;
+      vo.slot = p;
+      vo.name = StrFormat("cnt%d_next", p);
+      vo.operands = {Operand{next, 0, 0}};
+      body.AddOp(std::move(vo));
+      carry = body.AddBinary(Opcode::kAnd, carry, eq);
+    }
+    // The sequencer observes branch conditions through the var file.
+    Op done;
+    done.opcode = Opcode::kVarOut;
+    done.slot = done_var;
+    done.name = "done";
+    done.operands = {Operand{carry, 0, 0}};
+    body.AddOp(std::move(done));
+    const int body_block =
+        cdfg.AddBlock(StrFormat("band%d_body", b), std::move(body));
+
+    if (prev_cond == kNoOp) {
+      cdfg.AddEdge({prev, init_block, ControlEdge::Cond::kAlways, kNoOp});
+    } else {
+      cdfg.AddEdge({prev, init_block, ControlEdge::Cond::kIfTrue, prev_cond});
+    }
+    cdfg.AddEdge({init_block, body_block, ControlEdge::Cond::kAlways, kNoOp});
+    cdfg.AddEdge({body_block, body_block, ControlEdge::Cond::kIfFalse, carry});
+    prev = body_block;
+    prev_cond = carry;
+  }
+  const int exit = cdfg.AddBlock("exit");
+  cdfg.set_exit(exit);
+  if (prev_cond == kNoOp) {
+    cdfg.AddEdge({prev, exit, ControlEdge::Cond::kAlways, kNoOp});
+  } else {
+    cdfg.AddEdge({prev, exit, ControlEdge::Cond::kIfTrue, prev_cond});
+  }
+  if (Status s = cdfg.Verify(); !s.ok()) {
+    return Error::Internal(StrFormat("lowered CDFG fails Verify: %s",
+                                     s.error().message.c_str()));
+  }
+
+  out.input.iterations = 1;
+  out.input.vars.assign(static_cast<size_t>(done_var) + 1, 0);
+  out.input.arrays.reserve(program.arrays.size());
+  for (const ArrayDecl& a : program.arrays) {
+    out.input.arrays.push_back(a.init);
+  }
+  return out;
+}
+
+}  // namespace cgra::frontend

@@ -1,0 +1,68 @@
+// Lowering from the loop-nest IR to the mapper-facing IRs.
+//
+// Two targets, sharing statement lowering:
+//
+//  * LowerBand / LowerProgram: each band becomes ONE loop-body Dfg
+//    (a Kernel) that the registry mappers accept, executing
+//    DomainSize() iterations. Loop counters lower to an "odometer" of
+//    carried selects — the innermost counter wraps mod its trip, each
+//    outer counter advances when everything inside it wrapped — so the
+//    body stays a plain stream kernel (no kIterIdx) and cf/unroll's
+//    UnrollKernel applies directly for the band's unroll factor.
+//    Reductions lower to a carried accumulator re-initialised by a
+//    select when the address group starts (all reduction counters 0);
+//    Verify's S-before-R prefix condition guarantees the group is one
+//    contiguous run of iterations.
+//
+//  * LowerProgramToCdfg: the whole program becomes a CDFG — per band,
+//    an init block zeroing the counters in the variable file and a
+//    body block executing one domain point and rippling the odometer,
+//    self-looping until the band's outermost counter wraps. This is
+//    the input shape for direct CDFG mapping (cf/direct_cdfg) and
+//    gives the fuzzer a fourth execution to compare.
+//
+// LoweringOptions::inject_bug is the fuzzer's deliberately-broken
+// fixture: a valid-but-wrong Mapping cannot survive ValidateMapping,
+// so the seeded defect lives here (stored values off by one), where
+// only the differential oracles can catch it.
+#pragma once
+
+#include <vector>
+
+#include "frontend/nest.hpp"
+#include "ir/cdfg.hpp"
+#include "ir/kernels.hpp"
+
+namespace cgra::frontend {
+
+struct LoweringOptions {
+  /// Mis-lower on purpose: add 1 to every stored value (non-reduction)
+  /// / every reduction contribution. The nest-level evaluator is not
+  /// affected, so every program with an observable store miscompares.
+  bool inject_bug = false;
+};
+
+/// Lowers one band to a loop-body Kernel. The kernel's input arrays
+/// are the program's declared initial contents for ALL arrays (by
+/// global array id); callers comparing band-by-band thread the
+/// previous bands' output state in by overwriting `input.arrays`.
+/// Applies the band's unroll factor through UnrollKernel.
+Result<Kernel> LowerBand(const NestProgram& program, int band_idx,
+                         const LoweringOptions& options = {});
+
+/// LowerBand for every band, in band order.
+Result<std::vector<Kernel>> LowerProgram(const NestProgram& program,
+                                         const LoweringOptions& options = {});
+
+/// The CDFG form: blocks chained entry -> (init_b -> body_b ...) ->
+/// exit, counters and the loop-exit condition living in the variable
+/// file. `input` carries the array contents and a variable file sized
+/// for the deepest band.
+struct CdfgLowering {
+  Cdfg cdfg;
+  ExecInput input;
+};
+Result<CdfgLowering> LowerProgramToCdfg(const NestProgram& program,
+                                        const LoweringOptions& options = {});
+
+}  // namespace cgra::frontend

@@ -1,0 +1,348 @@
+#include "frontend/serialize.hpp"
+
+#include "support/str.hpp"
+
+namespace cgra::frontend {
+namespace {
+
+void WriteAffine(JsonWriter& w, const Affine& a) {
+  w.BeginObject().Key("c0").Int(a.c0).Key("coeff").BeginArray();
+  for (const std::int64_t c : a.coeff) w.Int(c);
+  w.EndArray().EndObject();
+}
+
+Affine ReadAffine(const Json& j) {
+  Affine a;
+  if (const Json* c0 = j.Find("c0")) a.c0 = c0->AsInt();
+  if (const Json* coeff = j.Find("coeff")) {
+    for (const Json& c : coeff->items()) a.coeff.push_back(c.AsInt());
+  }
+  return a;
+}
+
+// Opcode <-> mnemonic via OpName; the opcode space is small, scan it.
+Opcode OpcodeByName(const std::string& name, bool* ok) {
+  for (int i = 0; i <= static_cast<int>(Opcode::kVarOut); ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    if (OpName(op) == name) {
+      *ok = true;
+      return op;
+    }
+  }
+  *ok = false;
+  return Opcode::kAdd;
+}
+
+const char* ExprKindName(ExprKind k) {
+  switch (k) {
+    case ExprKind::kConst: return "const";
+    case ExprKind::kIndex: return "index";
+    case ExprKind::kLoad: return "load";
+    case ExprKind::kUnary: return "unary";
+    case ExprKind::kBinary: return "binary";
+  }
+  return "?";
+}
+
+ExprKind ExprKindByName(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "const") return ExprKind::kConst;
+  if (name == "index") return ExprKind::kIndex;
+  if (name == "load") return ExprKind::kLoad;
+  if (name == "unary") return ExprKind::kUnary;
+  if (name == "binary") return ExprKind::kBinary;
+  *ok = false;
+  return ExprKind::kConst;
+}
+
+const char* TransformKindName(TransformStep::Kind k) {
+  switch (k) {
+    case TransformStep::Kind::kTile: return "tile";
+    case TransformStep::Kind::kInterchange: return "interchange";
+    case TransformStep::Kind::kFuse: return "fuse";
+    case TransformStep::Kind::kUnroll: return "unroll";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string NestProgramToJson(const NestProgram& program) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("num_vars").Int(program.num_vars);
+  w.Key("var_extent").BeginArray();
+  for (const std::int64_t e : program.var_extent) w.Int(e);
+  w.EndArray();
+  w.Key("arrays").BeginArray();
+  for (const ArrayDecl& a : program.arrays) {
+    w.BeginObject()
+        .Key("name").String(a.name)
+        .Key("size").Int(a.size)
+        .Key("input").Bool(a.is_input)
+        .Key("init").BeginArray();
+    for (const std::int64_t v : a.init) w.Int(v);
+    w.EndArray().EndObject();
+  }
+  w.EndArray();
+  w.Key("bands").BeginArray();
+  for (const Band& band : program.bands) {
+    w.BeginObject().Key("unroll").Int(band.unroll).Key("loops").BeginArray();
+    for (const Loop& l : band.loops) {
+      w.BeginObject().Key("id").Int(l.id).Key("trip").Int(l.trip).EndObject();
+    }
+    w.EndArray().Key("recover").BeginArray();
+    for (const Affine& r : band.recover) WriteAffine(w, r);
+    w.EndArray().Key("stmts").BeginArray();
+    for (const Statement& s : band.stmts) {
+      w.BeginObject()
+          .Key("store_array").Int(s.store_array)
+          .Key("store_addr");
+      WriteAffine(w, s.store_addr);
+      w.Key("reduction").Bool(s.is_reduction)
+          .Key("reduction_op").String(OpName(s.reduction_op))
+          .Key("reduction_init").Int(s.reduction_init)
+          .Key("root").Int(s.root)
+          .Key("nodes").BeginArray();
+      for (const ExprNode& n : s.nodes) {
+        w.BeginObject().Key("kind").String(ExprKindName(n.kind));
+        switch (n.kind) {
+          case ExprKind::kConst:
+            w.Key("imm").Int(n.imm);
+            break;
+          case ExprKind::kIndex:
+            w.Key("var").Int(n.var);
+            break;
+          case ExprKind::kLoad:
+            w.Key("array").Int(n.array).Key("addr");
+            WriteAffine(w, n.addr);
+            break;
+          case ExprKind::kUnary:
+            w.Key("op").String(OpName(n.op)).Key("a").Int(n.a);
+            break;
+          case ExprKind::kBinary:
+            w.Key("op").String(OpName(n.op)).Key("a").Int(n.a).Key("b").Int(
+                n.b);
+            break;
+        }
+        w.EndObject();
+      }
+      w.EndArray().EndObject();
+    }
+    w.EndArray().EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.Take();
+}
+
+Result<NestProgram> NestProgramFromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Error::InvalidArgument("program: expected an object");
+  }
+  NestProgram p;
+  if (const Json* nv = json.Find("num_vars")) {
+    p.num_vars = static_cast<int>(nv->AsInt());
+  }
+  if (const Json* ve = json.Find("var_extent")) {
+    for (const Json& e : ve->items()) p.var_extent.push_back(e.AsInt());
+  }
+  if (const Json* arrays = json.Find("arrays")) {
+    for (const Json& a : arrays->items()) {
+      ArrayDecl decl;
+      if (const Json* n = a.Find("name")) decl.name = n->AsString("");
+      if (const Json* s = a.Find("size")) decl.size = static_cast<int>(s->AsInt());
+      if (const Json* i = a.Find("input")) decl.is_input = i->AsBool();
+      if (const Json* init = a.Find("init")) {
+        for (const Json& v : init->items()) decl.init.push_back(v.AsInt());
+      }
+      p.arrays.push_back(std::move(decl));
+    }
+  }
+  if (const Json* bands = json.Find("bands")) {
+    for (const Json& bj : bands->items()) {
+      Band band;
+      if (const Json* u = bj.Find("unroll")) {
+        band.unroll = static_cast<int>(u->AsInt(1));
+      }
+      if (const Json* loops = bj.Find("loops")) {
+        for (const Json& lj : loops->items()) {
+          Loop l;
+          if (const Json* id = lj.Find("id")) l.id = static_cast<int>(id->AsInt());
+          if (const Json* t = lj.Find("trip")) l.trip = t->AsInt();
+          band.loops.push_back(l);
+        }
+      }
+      if (const Json* rec = bj.Find("recover")) {
+        for (const Json& rj : rec->items()) {
+          band.recover.push_back(ReadAffine(rj));
+        }
+      }
+      if (const Json* stmts = bj.Find("stmts")) {
+        for (const Json& sj : stmts->items()) {
+          Statement s;
+          if (const Json* v = sj.Find("store_array")) {
+            s.store_array = static_cast<int>(v->AsInt());
+          }
+          if (const Json* v = sj.Find("store_addr")) s.store_addr = ReadAffine(*v);
+          if (const Json* v = sj.Find("reduction")) s.is_reduction = v->AsBool();
+          if (const Json* v = sj.Find("reduction_op")) {
+            bool ok = false;
+            s.reduction_op = OpcodeByName(v->AsString(""), &ok);
+            if (!ok) {
+              return Error::InvalidArgument(
+                  StrFormat("unknown reduction op '%s'",
+                            v->AsString("").c_str()));
+            }
+          }
+          if (const Json* v = sj.Find("reduction_init")) {
+            s.reduction_init = v->AsInt();
+          }
+          if (const Json* v = sj.Find("root")) s.root = static_cast<int>(v->AsInt());
+          if (const Json* nodes = sj.Find("nodes")) {
+            for (const Json& nj : nodes->items()) {
+              ExprNode n;
+              bool ok = false;
+              if (const Json* k = nj.Find("kind")) {
+                n.kind = ExprKindByName(k->AsString(""), &ok);
+                if (!ok) {
+                  return Error::InvalidArgument(StrFormat(
+                      "unknown node kind '%s'", k->AsString("").c_str()));
+                }
+              }
+              if (const Json* v = nj.Find("imm")) n.imm = v->AsInt();
+              if (const Json* v = nj.Find("var")) n.var = static_cast<int>(v->AsInt());
+              if (const Json* v = nj.Find("array")) {
+                n.array = static_cast<int>(v->AsInt());
+              }
+              if (const Json* v = nj.Find("addr")) n.addr = ReadAffine(*v);
+              if (const Json* v = nj.Find("op")) {
+                bool op_ok = false;
+                n.op = OpcodeByName(v->AsString(""), &op_ok);
+                if (!op_ok) {
+                  return Error::InvalidArgument(StrFormat(
+                      "unknown opcode '%s'", v->AsString("").c_str()));
+                }
+              }
+              if (const Json* v = nj.Find("a")) n.a = static_cast<int>(v->AsInt());
+              if (const Json* v = nj.Find("b")) n.b = static_cast<int>(v->AsInt());
+              s.nodes.push_back(std::move(n));
+            }
+          }
+          band.stmts.push_back(std::move(s));
+        }
+      }
+      p.bands.push_back(std::move(band));
+    }
+  }
+  // The manifest may come from disk and be hand-edited: re-verify.
+  if (Status s = p.Verify(); !s.ok()) return s.error();
+  return p;
+}
+
+std::string TransformsToJson(const std::vector<TransformStep>& steps) {
+  JsonWriter w;
+  w.BeginArray();
+  for (const TransformStep& s : steps) {
+    w.BeginObject()
+        .Key("kind").String(TransformKindName(s.kind))
+        .Key("band").Int(s.band)
+        .Key("a").Int(s.a)
+        .Key("b").Int(s.b)
+        .Key("factor").Int(s.factor)
+        .EndObject();
+  }
+  w.EndArray();
+  return w.Take();
+}
+
+Result<std::vector<TransformStep>> TransformsFromJson(const Json& json) {
+  std::vector<TransformStep> steps;
+  if (!json.is_array()) {
+    return Error::InvalidArgument("transforms: expected an array");
+  }
+  for (const Json& sj : json.items()) {
+    TransformStep s;
+    const std::string kind =
+        sj.Find("kind") ? sj.Find("kind")->AsString("") : "";
+    if (kind == "tile") {
+      s.kind = TransformStep::Kind::kTile;
+    } else if (kind == "interchange") {
+      s.kind = TransformStep::Kind::kInterchange;
+    } else if (kind == "fuse") {
+      s.kind = TransformStep::Kind::kFuse;
+    } else if (kind == "unroll") {
+      s.kind = TransformStep::Kind::kUnroll;
+    } else {
+      return Error::InvalidArgument(
+          StrFormat("unknown transform kind '%s'", kind.c_str()));
+    }
+    if (const Json* v = sj.Find("band")) s.band = static_cast<int>(v->AsInt());
+    if (const Json* v = sj.Find("a")) s.a = static_cast<int>(v->AsInt());
+    if (const Json* v = sj.Find("b")) s.b = static_cast<int>(v->AsInt());
+    if (const Json* v = sj.Find("factor")) s.factor = v->AsInt();
+    steps.push_back(s);
+  }
+  return steps;
+}
+
+std::string ReproManifestToJson(const ReproManifest& manifest) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("version").Int(manifest.version)
+      .Key("fabric").String(manifest.fabric)
+      .Key("mapper").String(manifest.mapper)
+      .Key("sandbox").Bool(manifest.sandbox)
+      .Key("inject_bug").Bool(manifest.inject_bug)
+      .Key("fault_seed").Uint(manifest.fault_seed)
+      .Key("fault_cells").Int(manifest.fault_cells)
+      .Key("verdict").String(manifest.verdict)
+      .Key("phase").String(manifest.phase)
+      .Key("detail").String(manifest.detail)
+      .Key("program").Raw(NestProgramToJson(manifest.program))
+      .Key("transforms").Raw(TransformsToJson(manifest.transforms))
+      .EndObject();
+  return w.Take();
+}
+
+Result<ReproManifest> ReproManifestFromJson(std::string_view text) {
+  Result<Json> parsed = Json::Parse(text);
+  if (!parsed.ok()) return parsed.error();
+  const Json& j = *parsed;
+  if (!j.is_object()) {
+    return Error::InvalidArgument("manifest: expected an object");
+  }
+  ReproManifest m;
+  if (const Json* v = j.Find("version")) m.version = static_cast<int>(v->AsInt());
+  if (m.version != 1) {
+    return Error::InvalidArgument(
+        StrFormat("unsupported manifest version %d", m.version));
+  }
+  if (const Json* v = j.Find("fabric")) m.fabric = v->AsString("");
+  if (const Json* v = j.Find("mapper")) m.mapper = v->AsString("");
+  if (const Json* v = j.Find("sandbox")) m.sandbox = v->AsBool();
+  if (const Json* v = j.Find("inject_bug")) m.inject_bug = v->AsBool();
+  if (const Json* v = j.Find("fault_seed")) {
+    m.fault_seed = static_cast<std::uint64_t>(v->AsInt());
+  }
+  if (const Json* v = j.Find("fault_cells")) {
+    m.fault_cells = static_cast<int>(v->AsInt());
+  }
+  if (const Json* v = j.Find("verdict")) m.verdict = v->AsString("");
+  if (const Json* v = j.Find("phase")) m.phase = v->AsString("");
+  if (const Json* v = j.Find("detail")) m.detail = v->AsString("");
+  const Json* prog = j.Find("program");
+  if (prog == nullptr) {
+    return Error::InvalidArgument("manifest: missing 'program'");
+  }
+  Result<NestProgram> p = NestProgramFromJson(*prog);
+  if (!p.ok()) return p.error();
+  m.program = std::move(p).value();
+  if (const Json* t = j.Find("transforms")) {
+    Result<std::vector<TransformStep>> steps = TransformsFromJson(*t);
+    if (!steps.ok()) return steps.error();
+    m.transforms = std::move(steps).value();
+  }
+  return m;
+}
+
+}  // namespace cgra::frontend

@@ -1,0 +1,47 @@
+// JSON round-tripping for NestPrograms, transform lists, and the
+// fuzzer's repro manifests. A manifest is SELF-CONTAINED: the full
+// program (including array initial data), the transforms, the fuzz
+// configuration knobs that matter for reproduction, and the observed
+// verdict — `cgra_fuzz --replay file.json` needs nothing else. Format
+// documented in docs/FRONTEND.md; `version` guards layout changes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/nest.hpp"
+#include "frontend/transform.hpp"
+#include "support/json.hpp"
+
+namespace cgra::frontend {
+
+/// Program as a JSON object (spliced via JsonWriter::Raw or stored
+/// standalone).
+std::string NestProgramToJson(const NestProgram& program);
+Result<NestProgram> NestProgramFromJson(const Json& json);
+
+std::string TransformsToJson(const std::vector<TransformStep>& steps);
+Result<std::vector<TransformStep>> TransformsFromJson(const Json& json);
+
+/// Everything needed to re-run one fuzz case. `verdict` / `phase` /
+/// `detail` record what the original run observed so --replay can
+/// check it reproduces the SAME failure, not just any failure.
+struct ReproManifest {
+  int version = 1;
+  NestProgram program;
+  std::vector<TransformStep> transforms;
+  std::string fabric;
+  std::string mapper;
+  bool sandbox = false;
+  bool inject_bug = false;
+  std::uint64_t fault_seed = 0;  ///< 0 = no fault model
+  int fault_cells = 0;
+  std::string verdict;
+  std::string phase;
+  std::string detail;
+};
+
+std::string ReproManifestToJson(const ReproManifest& manifest);
+Result<ReproManifest> ReproManifestFromJson(std::string_view text);
+
+}  // namespace cgra::frontend

@@ -1,0 +1,230 @@
+#include "frontend/transform.hpp"
+
+#include <algorithm>
+
+#include "support/str.hpp"
+
+namespace cgra::frontend {
+namespace {
+
+Result<NestProgram> Tile(NestProgram p, int band_idx, int loop_id,
+                         std::int64_t factor) {
+  Band& band = p.bands[static_cast<size_t>(band_idx)];
+  int pos = -1;
+  for (int i = 0; i < static_cast<int>(band.loops.size()); ++i) {
+    if (band.loops[static_cast<size_t>(i)].id == loop_id) pos = i;
+  }
+  if (pos < 0) {
+    return Error::InvalidArgument(
+        StrFormat("tile: band %d has no loop id %d", band_idx, loop_id));
+  }
+  const std::int64_t trip = band.loops[static_cast<size_t>(pos)].trip;
+  if (factor < 2 || factor > trip) {
+    return Error::InvalidArgument(StrFormat(
+        "tile: factor %lld outside [2, trip=%lld]",
+        static_cast<long long>(factor), static_cast<long long>(trip)));
+  }
+  if (trip % factor != 0) {
+    return Error::InvalidArgument(StrFormat(
+        "tile: factor %lld does not divide trip %lld",
+        static_cast<long long>(factor), static_cast<long long>(trip)));
+  }
+  int max_id = 0;
+  for (const Loop& l : band.loops) max_id = std::max(max_id, l.id);
+  const int outer_id = max_id + 1;
+  const int inner_id = max_id + 2;
+  band.loops[static_cast<size_t>(pos)] = Loop{outer_id, trip / factor};
+  band.loops.insert(band.loops.begin() + pos + 1, Loop{inner_id, factor});
+  for (Affine& r : band.recover) {
+    const std::int64_t c = r.Coeff(loop_id);
+    if (c == 0) continue;
+    r.SetCoeff(loop_id, 0);
+    r.SetCoeff(outer_id, c * factor);
+    r.SetCoeff(inner_id, c);
+  }
+  return p;
+}
+
+Result<NestProgram> Interchange(NestProgram p, int band_idx, int a, int b) {
+  Band& band = p.bands[static_cast<size_t>(band_idx)];
+  const int n = static_cast<int>(band.loops.size());
+  if (a < 0 || b < 0 || a >= n || b >= n || a == b) {
+    return Error::InvalidArgument(StrFormat(
+        "interchange: positions %d, %d invalid for a %d-loop band", a, b, n));
+  }
+  std::swap(band.loops[static_cast<size_t>(a)],
+            band.loops[static_cast<size_t>(b)]);
+  return p;
+}
+
+// True when every loop of the band maps one-to-one onto a variable
+// with coefficient 1 (no tiling has split the domain).
+bool IdentitySchedule(const Band& band) {
+  for (const int v : band.Vars()) {
+    const Affine& r = band.recover[static_cast<size_t>(v)];
+    const std::vector<int> support = r.Support();
+    if (support.size() != 1 || r.Coeff(support[0]) != 1) return false;
+  }
+  return true;
+}
+
+Result<NestProgram> Fuse(NestProgram p, int band_idx) {
+  if (band_idx + 1 >= static_cast<int>(p.bands.size())) {
+    return Error::InvalidArgument(
+        StrFormat("fuse: band %d has no successor", band_idx));
+  }
+  Band& first = p.bands[static_cast<size_t>(band_idx)];
+  Band& second = p.bands[static_cast<size_t>(band_idx) + 1];
+  if (first.loops.size() != second.loops.size()) {
+    return Error::InvalidArgument(StrFormat(
+        "fuse: bands %d and %d have different depths", band_idx,
+        band_idx + 1));
+  }
+  for (size_t i = 0; i < first.loops.size(); ++i) {
+    if (first.loops[i].trip != second.loops[i].trip) {
+      return Error::InvalidArgument(StrFormat(
+          "fuse: loop %zu trips differ (%lld vs %lld)", i,
+          static_cast<long long>(first.loops[i].trip),
+          static_cast<long long>(second.loops[i].trip)));
+    }
+  }
+  if (!IdentitySchedule(first) || !IdentitySchedule(second)) {
+    return Error::InvalidArgument(
+        "fuse: both bands must be untiled (identity recovery)");
+  }
+  if (first.unroll != 1 || second.unroll != 1) {
+    return Error::InvalidArgument("fuse: both bands must be un-unrolled");
+  }
+
+  // Positional variable substitution: the second band's variable fed
+  // by the loop at position i becomes the first band's variable at i.
+  std::vector<int> subst(static_cast<size_t>(p.num_vars), -1);
+  for (size_t i = 0; i < first.loops.size(); ++i) {
+    int v1 = -1;
+    int v2 = -1;
+    for (int v = 0; v < p.num_vars; ++v) {
+      if (first.recover.size() > static_cast<size_t>(v) &&
+          first.recover[static_cast<size_t>(v)].Coeff(first.loops[i].id) != 0) {
+        v1 = v;
+      }
+      if (second.recover.size() > static_cast<size_t>(v) &&
+          second.recover[static_cast<size_t>(v)].Coeff(second.loops[i].id) !=
+              0) {
+        v2 = v;
+      }
+    }
+    if (v1 < 0 || v2 < 0) {
+      return Error::Internal("fuse: loop feeds no variable");
+    }
+    subst[static_cast<size_t>(v2)] = v1;
+  }
+
+  auto rewrite_affine = [&](Affine& a) {
+    Affine out;
+    out.c0 = a.c0;
+    for (const int v : a.Support()) {
+      const int to = subst[static_cast<size_t>(v)] >= 0
+                         ? subst[static_cast<size_t>(v)]
+                         : v;
+      out.SetCoeff(to, out.Coeff(to) + a.Coeff(v));
+    }
+    a = out;
+  };
+  for (Statement stmt : second.stmts) {
+    for (ExprNode& node : stmt.nodes) {
+      if (node.kind == ExprKind::kIndex &&
+          subst[static_cast<size_t>(node.var)] >= 0) {
+        node.var = subst[static_cast<size_t>(node.var)];
+      }
+      if (node.kind == ExprKind::kLoad) rewrite_affine(node.addr);
+    }
+    rewrite_affine(stmt.store_addr);
+    first.stmts.push_back(std::move(stmt));
+  }
+  p.bands.erase(p.bands.begin() + band_idx + 1);
+  return p;
+}
+
+Result<NestProgram> Unroll(NestProgram p, int band_idx, std::int64_t factor) {
+  Band& band = p.bands[static_cast<size_t>(band_idx)];
+  if (factor < 1 || factor > kMaxDomainSize) {
+    return Error::InvalidArgument(StrFormat(
+        "unroll: factor %lld out of range", static_cast<long long>(factor)));
+  }
+  const std::int64_t domain = band.DomainSize();
+  if (domain % factor != 0) {
+    return Error::InvalidArgument(StrFormat(
+        "unroll: factor %lld does not divide the band's %lld iterations "
+        "(UnrollKernel requires an exact split)",
+        static_cast<long long>(factor), static_cast<long long>(domain)));
+  }
+  band.unroll = static_cast<int>(factor);
+  return p;
+}
+
+}  // namespace
+
+std::string TransformStep::ToString() const {
+  switch (kind) {
+    case Kind::kTile:
+      return StrFormat("tile(band %d, loop %d, x%lld)", band, a,
+                       static_cast<long long>(factor));
+    case Kind::kInterchange:
+      return StrFormat("interchange(band %d, pos %d <-> %d)", band, a, b);
+    case Kind::kFuse:
+      return StrFormat("fuse(bands %d, %d)", band, band + 1);
+    case Kind::kUnroll:
+      return StrFormat("unroll(band %d, x%lld)", band,
+                       static_cast<long long>(factor));
+  }
+  return "?";
+}
+
+Result<NestProgram> ApplyTransform(const NestProgram& program,
+                                   const TransformStep& step) {
+  if (step.band < 0 || step.band >= static_cast<int>(program.bands.size())) {
+    return Error::InvalidArgument(
+        StrFormat("transform names band %d of %zu", step.band,
+                  program.bands.size()));
+  }
+  Result<NestProgram> out = [&]() -> Result<NestProgram> {
+    switch (step.kind) {
+      case TransformStep::Kind::kTile:
+        return Tile(program, step.band, step.a, step.factor);
+      case TransformStep::Kind::kInterchange:
+        return Interchange(program, step.band, step.a, step.b);
+      case TransformStep::Kind::kFuse:
+        return Fuse(program, step.band);
+      case TransformStep::Kind::kUnroll:
+        return Unroll(program, step.band, step.factor);
+    }
+    return Error::InvalidArgument("unknown transform kind");
+  }();
+  if (!out.ok()) return out;
+  // Legality is whatever Verify accepts: interchange can break the
+  // S-before-R prefix, fusion can demand forwarding that has no exact
+  // address match. Those surface here as structured errors.
+  if (Status s = out->Verify(); !s.ok()) {
+    return Error::InvalidArgument(StrFormat(
+        "%s produces an illegal schedule: %s", step.ToString().c_str(),
+        s.error().message.c_str()));
+  }
+  return out;
+}
+
+Result<NestProgram> ApplyTransforms(const NestProgram& program,
+                                    const std::vector<TransformStep>& steps,
+                                    std::vector<int>* applied) {
+  NestProgram current = program;
+  for (int i = 0; i < static_cast<int>(steps.size()); ++i) {
+    Result<NestProgram> next =
+        ApplyTransform(current, steps[static_cast<size_t>(i)]);
+    if (next.ok()) {
+      current = std::move(next).value();
+      if (applied != nullptr) applied->push_back(i);
+    }
+  }
+  return current;
+}
+
+}  // namespace cgra::frontend

@@ -1,0 +1,54 @@
+// Schedule transforms over NestPrograms: tile, interchange, fuse,
+// unroll. Each transform rewrites *where* statements execute (loop
+// structure, recovery affines, band boundaries) and never touches
+// statement bodies, so semantic preservation reduces to the legality
+// rules NestProgram::Verify enforces — every transform re-verifies its
+// result and returns a structured error (never a crash) when the
+// schedule it would produce is illegal. This mirrors the polyhedral
+// split the MLIR CGRA flows use (PAPERS.md): statements live in the
+// original iteration domain, transforms only edit the schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/nest.hpp"
+
+namespace cgra::frontend {
+
+/// One schedule edit. Field use by kind:
+///   kTile        band, a = loop id, factor = tile size (must divide
+///                the loop's trip). Splits the loop into
+///                outer (trip/factor) x inner (factor) at its position.
+///   kInterchange band, a / b = loop *positions* in the current order.
+///   kFuse        band = first of two adjacent bands; merges band and
+///                band+1 when trips match positionally, both are
+///                untiled (identity recovery) and un-unrolled, and the
+///                merged band passes Verify (exact-address forwarding).
+///   kUnroll      band, factor = innermost unroll applied at lowering;
+///                must divide the band's domain size.
+struct TransformStep {
+  enum class Kind : std::uint8_t { kTile, kInterchange, kFuse, kUnroll };
+  Kind kind = Kind::kTile;
+  int band = 0;
+  int a = 0;
+  int b = 0;
+  std::int64_t factor = 1;
+
+  std::string ToString() const;
+};
+
+/// Apply one step. On success the result passed Verify; on failure the
+/// input is untouched and the error says why the schedule is illegal.
+Result<NestProgram> ApplyTransform(const NestProgram& program,
+                                   const TransformStep& step);
+
+/// Apply steps in order. `applied`, when non-null, receives the index
+/// of every step that succeeded; failing steps are skipped (the
+/// shrinker relies on this: dropping a prefix step must not invalidate
+/// the whole case).
+Result<NestProgram> ApplyTransforms(const NestProgram& program,
+                                    const std::vector<TransformStep>& steps,
+                                    std::vector<int>* applied = nullptr);
+
+}  // namespace cgra::frontend

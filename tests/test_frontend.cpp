@@ -1,0 +1,471 @@
+// Tests for the polyhedral-lite frontend (src/frontend): nest IR
+// semantics, golden lowering digests, transform semantic preservation
+// against RunReference, generator determinism, serialization
+// round-trips, and the differential fuzz harness including the
+// deliberately-broken lowering fixture.
+#include <gtest/gtest.h>
+
+#include "api/request.hpp"
+#include "cf/unroll.hpp"
+#include "frontend/fuzz.hpp"
+#include "frontend/generate.hpp"
+#include "frontend/lower.hpp"
+#include "frontend/nest.hpp"
+#include "frontend/serialize.hpp"
+#include "frontend/transform.hpp"
+#include "ir/interp.hpp"
+#include "support/rng.hpp"
+
+namespace cgra::frontend {
+namespace {
+
+// out[4*i + j] = A[4*i + j] * 2 + i  over a 3x4 band.
+NestProgram TinyAffineProgram() {
+  NestProgram p;
+  p.num_vars = 2;
+  p.var_extent = {3, 4};
+  ArrayDecl in;
+  in.name = "A";
+  in.size = 12;
+  in.is_input = true;
+  for (int i = 0; i < 12; ++i) in.init.push_back(5 * i - 30);
+  p.arrays.push_back(in);
+  ArrayDecl out;
+  out.name = "out";
+  out.size = 12;
+  out.init.assign(12, 0);
+  p.arrays.push_back(out);
+
+  Band b;
+  b.loops = {{0, 3}, {1, 4}};
+  b.recover = {Affine{0, {1, 0}}, Affine{0, {0, 1}}};
+  Statement s;
+  ExprNode load;
+  load.kind = ExprKind::kLoad;
+  load.array = 0;
+  load.addr = Affine{0, {4, 1}};
+  s.nodes.push_back(load);
+  ExprNode two;
+  two.kind = ExprKind::kConst;
+  two.imm = 2;
+  s.nodes.push_back(two);
+  ExprNode mul;
+  mul.kind = ExprKind::kBinary;
+  mul.op = Opcode::kMul;
+  mul.a = 0;
+  mul.b = 1;
+  s.nodes.push_back(mul);
+  ExprNode idx;
+  idx.kind = ExprKind::kIndex;
+  idx.var = 0;
+  s.nodes.push_back(idx);
+  ExprNode add;
+  add.kind = ExprKind::kBinary;
+  add.op = Opcode::kAdd;
+  add.a = 2;
+  add.b = 3;
+  s.nodes.push_back(add);
+  s.root = 4;
+  s.store_array = 1;
+  s.store_addr = Affine{0, {4, 1}};
+  b.stmts.push_back(s);
+  p.bands.push_back(b);
+  return p;
+}
+
+// acc[i] = sum_j A[4*i + j]  (reduction over j) over a 3x4 band.
+NestProgram TinyReductionProgram() {
+  NestProgram p = TinyAffineProgram();
+  p.arrays[1].name = "acc";
+  p.arrays[1].size = 3;
+  p.arrays[1].init.assign(3, 0);
+  Statement& s = p.bands[0].stmts[0];
+  s.nodes.clear();
+  ExprNode load;
+  load.kind = ExprKind::kLoad;
+  load.array = 0;
+  load.addr = Affine{0, {4, 1}};
+  s.nodes.push_back(load);
+  s.root = 0;
+  s.store_array = 1;
+  s.store_addr = Affine{0, {1, 0}};
+  s.is_reduction = true;
+  s.reduction_op = Opcode::kAdd;
+  s.reduction_init = 0;
+  return p;
+}
+
+TEST(NestEval, MatchesHandComputedAffine) {
+  const NestProgram p = TinyAffineProgram();
+  ASSERT_TRUE(p.Verify().ok()) << p.Verify().error().message;
+  auto r = EvaluateProgram(p);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const std::int64_t a = 5 * (4 * i + j) - 30;
+      EXPECT_EQ(r->arrays[1][static_cast<size_t>(4 * i + j)], a * 2 + i);
+    }
+  }
+}
+
+TEST(NestEval, MatchesHandComputedReduction) {
+  const NestProgram p = TinyReductionProgram();
+  ASSERT_TRUE(p.Verify().ok()) << p.Verify().error().message;
+  auto r = EvaluateProgram(p);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  for (int i = 0; i < 3; ++i) {
+    std::int64_t want = 0;
+    for (int j = 0; j < 4; ++j) want += 5 * (4 * i + j) - 30;
+    EXPECT_EQ(r->arrays[1][static_cast<size_t>(i)], want);
+  }
+}
+
+TEST(NestVerify, RejectsZeroTripExtent) {
+  NestProgram p = TinyAffineProgram();
+  p.var_extent[1] = 0;
+  p.bands[0].loops[1].trip = 0;
+  const Status s = p.Verify();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, Error::Code::kInvalidArgument);
+}
+
+TEST(NestVerify, RejectsNonInjectiveStore) {
+  NestProgram p = TinyAffineProgram();
+  p.bands[0].stmts[0].store_addr = Affine{0, {1, 1}};  // collides
+  EXPECT_FALSE(p.Verify().ok());
+}
+
+TEST(NestVerify, RejectsOutOfRangeLoad) {
+  NestProgram p = TinyAffineProgram();
+  p.bands[0].stmts[0].nodes[0].addr.c0 = 5;  // max address 16 > 11
+  EXPECT_FALSE(p.Verify().ok());
+}
+
+// The golden digests pin the lowering: any change to odometer shape,
+// operand order, or reduction plumbing shows up here first. Update
+// deliberately (the fuzzer must stay green across the change).
+TEST(Lowering, GoldenDfgDigests) {
+  auto affine = LowerBand(TinyAffineProgram(), 0);
+  ASSERT_TRUE(affine.ok()) << affine.error().message;
+  EXPECT_EQ(affine->dfg.Digest(), "e3d6bcdb6785bee9");
+  auto reduction = LowerBand(TinyReductionProgram(), 0);
+  ASSERT_TRUE(reduction.ok()) << reduction.error().message;
+  EXPECT_EQ(reduction->dfg.Digest(), "95277ea27baec160");
+}
+
+TEST(Lowering, BandKernelMatchesEvaluator) {
+  for (const NestProgram& p :
+       {TinyAffineProgram(), TinyReductionProgram()}) {
+    auto eval = EvaluateProgram(p);
+    ASSERT_TRUE(eval.ok());
+    auto kernel = LowerBand(p, 0);
+    ASSERT_TRUE(kernel.ok()) << kernel.error().message;
+    auto run = RunReference(kernel->dfg, kernel->input);
+    ASSERT_TRUE(run.ok()) << run.error().message;
+    EXPECT_EQ(run->arrays, eval->after_band[0]);
+  }
+}
+
+TEST(Lowering, CdfgMatchesEvaluator) {
+  for (const NestProgram& p :
+       {TinyAffineProgram(), TinyReductionProgram()}) {
+    auto eval = EvaluateProgram(p);
+    ASSERT_TRUE(eval.ok());
+    auto lowered = LowerProgramToCdfg(p);
+    ASSERT_TRUE(lowered.ok()) << lowered.error().message;
+    auto run = RunCdfgReference(lowered->cdfg, lowered->input);
+    ASSERT_TRUE(run.ok()) << run.error().message;
+    EXPECT_EQ(run->arrays, eval->arrays);
+  }
+}
+
+TEST(Lowering, InjectBugMiscompares) {
+  const NestProgram p = TinyAffineProgram();
+  auto eval = EvaluateProgram(p);
+  ASSERT_TRUE(eval.ok());
+  LoweringOptions broken;
+  broken.inject_bug = true;
+  auto kernel = LowerBand(p, 0, broken);
+  ASSERT_TRUE(kernel.ok());
+  auto run = RunReference(kernel->dfg, kernel->input);
+  ASSERT_TRUE(run.ok());
+  EXPECT_NE(run->arrays, eval->after_band[0]);
+}
+
+void ExpectSameSemantics(const NestProgram& before,
+                         const NestProgram& after) {
+  auto a = EvaluateProgram(before);
+  auto b = EvaluateProgram(after);
+  ASSERT_TRUE(a.ok()) << a.error().message;
+  ASSERT_TRUE(b.ok()) << b.error().message;
+  EXPECT_EQ(a->arrays, b->arrays);
+  // And the transformed schedule must survive lowering + RunReference.
+  auto kernels = LowerProgram(after);
+  ASSERT_TRUE(kernels.ok()) << kernels.error().message;
+  for (size_t band = 0; band < kernels->size(); ++band) {
+    Kernel& k = (*kernels)[band];
+    if (band > 0) k.input.arrays = b->after_band[band - 1];
+    auto run = RunReference(k.dfg, k.input);
+    ASSERT_TRUE(run.ok()) << run.error().message;
+    EXPECT_EQ(run->arrays, b->after_band[band]);
+  }
+}
+
+TEST(Transforms, TilePreservesSemantics) {
+  const NestProgram p = TinyReductionProgram();
+  TransformStep tile;
+  tile.kind = TransformStep::Kind::kTile;
+  tile.band = 0;
+  tile.a = 1;  // loop id 1 (trip 4)
+  tile.factor = 2;
+  auto t = ApplyTransform(p, tile);
+  ASSERT_TRUE(t.ok()) << t.error().message;
+  EXPECT_EQ(t->bands[0].loops.size(), 3u);
+  ExpectSameSemantics(p, *t);
+}
+
+TEST(Transforms, InterchangePreservesSemantics) {
+  const NestProgram p = TinyAffineProgram();
+  TransformStep swap;
+  swap.kind = TransformStep::Kind::kInterchange;
+  swap.band = 0;
+  swap.a = 0;
+  swap.b = 1;
+  auto t = ApplyTransform(p, swap);
+  ASSERT_TRUE(t.ok()) << t.error().message;
+  ExpectSameSemantics(p, *t);
+}
+
+TEST(Transforms, UnrollPreservesSemantics) {
+  const NestProgram p = TinyAffineProgram();
+  TransformStep unroll;
+  unroll.kind = TransformStep::Kind::kUnroll;
+  unroll.band = 0;
+  unroll.factor = 3;  // divides the domain (12)
+  auto t = ApplyTransform(p, unroll);
+  ASSERT_TRUE(t.ok()) << t.error().message;
+  EXPECT_EQ(t->bands[0].unroll, 3);
+  ExpectSameSemantics(p, *t);
+}
+
+TEST(Transforms, FusePreservesSemantics) {
+  // Two bands with identical 3x4 domains; second reads the first's
+  // output at the exact store address, so the fused band forwards.
+  NestProgram p = TinyAffineProgram();
+  NestProgram second = TinyAffineProgram();
+  ArrayDecl out2 = second.arrays[1];
+  out2.name = "out2";
+  p.arrays.push_back(out2);
+  Band b2 = second.bands[0];
+  b2.stmts[0].nodes[0].array = 1;  // load the first band's output
+  b2.stmts[0].store_array = 2;
+  p.bands.push_back(b2);
+  ASSERT_TRUE(p.Verify().ok()) << p.Verify().error().message;
+
+  TransformStep fuse;
+  fuse.kind = TransformStep::Kind::kFuse;
+  fuse.band = 0;
+  auto t = ApplyTransform(p, fuse);
+  ASSERT_TRUE(t.ok()) << t.error().message;
+  ASSERT_EQ(t->bands.size(), 1u);
+  auto a = EvaluateProgram(p);
+  auto b = EvaluateProgram(*t);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->arrays, b->arrays);
+}
+
+TEST(Transforms, StructuredErrors) {
+  const NestProgram p = TinyAffineProgram();
+  TransformStep tile;
+  tile.kind = TransformStep::Kind::kTile;
+  tile.band = 0;
+  tile.a = 1;
+  tile.factor = 3;  // does not divide trip 4
+  auto t = ApplyTransform(p, tile);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.error().code, Error::Code::kInvalidArgument);
+
+  TransformStep swap;
+  swap.kind = TransformStep::Kind::kInterchange;
+  swap.band = 0;
+  swap.a = 0;
+  swap.b = 7;  // no such position
+  EXPECT_FALSE(ApplyTransform(p, swap).ok());
+
+  TransformStep fuse;
+  fuse.kind = TransformStep::Kind::kFuse;
+  fuse.band = 0;  // no adjacent band
+  EXPECT_FALSE(ApplyTransform(p, fuse).ok());
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const GeneratorOptions opts = GeneratorOptions::Small();
+  for (std::uint64_t seed : {1ull, 2ull, 42ull, 1234567ull}) {
+    Rng r1(seed), r2(seed);
+    const GeneratedCase a = GenerateCase(r1, opts);
+    const GeneratedCase b = GenerateCase(r2, opts);
+    EXPECT_EQ(a.program.Digest(), b.program.Digest()) << "seed " << seed;
+    ASSERT_EQ(a.transforms.size(), b.transforms.size());
+    for (size_t i = 0; i < a.transforms.size(); ++i) {
+      EXPECT_EQ(a.transforms[i].ToString(), b.transforms[i].ToString());
+    }
+  }
+}
+
+TEST(Generator, SeedsDiversify) {
+  const GeneratorOptions opts = GeneratorOptions::Small();
+  std::set<std::string> digests;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed);
+    digests.insert(GenerateProgram(rng, opts).Digest());
+  }
+  EXPECT_GT(digests.size(), 25u);
+}
+
+TEST(Generator, ProgramsAreLegalAndEvaluable) {
+  for (const GeneratorOptions& opts :
+       {GeneratorOptions::Small(), GeneratorOptions::Medium()}) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      Rng rng(seed * 977);
+      const GeneratedCase gc = GenerateCase(rng, opts);
+      ASSERT_TRUE(gc.program.Verify().ok())
+          << gc.program.Verify().error().message << "\n"
+          << gc.program.ToString();
+      auto transformed = ApplyTransforms(gc.program, gc.transforms);
+      ASSERT_TRUE(transformed.ok()) << transformed.error().message;
+      auto a = EvaluateProgram(gc.program);
+      auto b = EvaluateProgram(*transformed);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(a->arrays, b->arrays) << gc.program.ToString();
+    }
+  }
+}
+
+TEST(Serialize, ProgramRoundTrip) {
+  for (const NestProgram& p :
+       {TinyAffineProgram(), TinyReductionProgram()}) {
+    const std::string text = NestProgramToJson(p);
+    auto parsed = Json::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    auto back = NestProgramFromJson(*parsed);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(back->Digest(), p.Digest());
+  }
+}
+
+TEST(Serialize, ManifestRoundTrip) {
+  ReproManifest m;
+  m.program = TinyAffineProgram();
+  TransformStep swap;
+  swap.kind = TransformStep::Kind::kInterchange;
+  swap.band = 0;
+  swap.a = 0;
+  swap.b = 1;
+  m.transforms.push_back(swap);
+  m.fabric = "small2x2";
+  m.mapper = "ims";
+  m.inject_bug = true;
+  m.verdict = "miscompare";
+  m.phase = "lowering";
+  m.detail = "band 0: out[0]: want 1, got 2";
+  const std::string text = ReproManifestToJson(m);
+  auto back = ReproManifestFromJson(text);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back->program.Digest(), m.program.Digest());
+  ASSERT_EQ(back->transforms.size(), 1u);
+  EXPECT_EQ(back->transforms[0].ToString(), swap.ToString());
+  EXPECT_EQ(back->fabric, m.fabric);
+  EXPECT_TRUE(back->inject_bug);
+  EXPECT_EQ(back->verdict, m.verdict);
+  EXPECT_EQ(back->phase, m.phase);
+}
+
+TEST(Unroll, ZeroTripKernelIsStructuredError) {
+  auto kernel = api::KernelByName("vecadd", 8, 1);
+  ASSERT_TRUE(kernel.has_value());
+  kernel->input.iterations = 0;
+  auto r = UnrollKernel(*kernel, 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+}
+
+TEST(Unroll, FactorBeyondTripCountIsStructuredError) {
+  auto kernel = api::KernelByName("vecadd", 4, 1);
+  ASSERT_TRUE(kernel.has_value());
+  auto r = UnrollKernel(*kernel, 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Error::Code::kInvalidArgument);
+}
+
+FuzzConfig OracleOnlyConfig() {
+  FuzzConfig config;
+  config.map_and_simulate = false;  // oracle phases only: fast
+  config.gen = GeneratorOptions::Small();
+  return config;
+}
+
+TEST(Fuzz, CleanCampaignHasNoFailures) {
+  const FuzzCampaignResult r =
+      RunFuzzCampaign(OracleOnlyConfig(), 1, 25, /*shrink=*/false);
+  EXPECT_EQ(r.cases, 25);
+  EXPECT_EQ(r.miscompare, 0);
+  EXPECT_EQ(r.crash, 0);
+  EXPECT_EQ(r.infra, 0);
+  EXPECT_TRUE(r.failures.empty());
+}
+
+TEST(Fuzz, CampaignIsDeterministic) {
+  const FuzzCampaignResult a =
+      RunFuzzCampaign(OracleOnlyConfig(), 7, 10, false);
+  const FuzzCampaignResult b =
+      RunFuzzCampaign(OracleOnlyConfig(), 7, 10, false);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.rejected, b.rejected);
+}
+
+TEST(Fuzz, InjectedBugIsCaughtShrunkAndReplays) {
+  FuzzConfig config = OracleOnlyConfig();
+  config.lowering.inject_bug = true;
+  const FuzzCampaignResult r = RunFuzzCampaign(config, 1, 10, true);
+  ASSERT_GT(r.miscompare, 0);
+  ASSERT_FALSE(r.failures.empty());
+  const auto& f = r.failures.front();
+  EXPECT_EQ(f.outcome.verdict, FuzzVerdict::kMiscompare);
+
+  // The shrunk manifest must be smaller than a typical generated case
+  // and still reproduce the same verdict+phase through a JSON round
+  // trip (exactly what `cgra_fuzz --replay` does).
+  const std::string text = ReproManifestToJson(f.manifest);
+  auto manifest = ReproManifestFromJson(text);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  bool reproduced = false;
+  const FuzzOutcome replay = ReplayManifest(*manifest, &reproduced);
+  EXPECT_TRUE(reproduced)
+      << "replay got " << FuzzVerdictName(replay.verdict) << " @ "
+      << replay.phase << ": " << replay.detail;
+}
+
+TEST(Fuzz, ThrowingMapperClassifiedAsCrash) {
+  FuzzConfig config;
+  config.gen = GeneratorOptions::Small();
+  config.mapper = "throwing";
+  Rng rng(3);
+  const GeneratedCase gc = GenerateCase(rng, config.gen);
+  const FuzzOutcome outcome =
+      RunFuzzCase(gc.program, gc.transforms, config);
+  EXPECT_EQ(outcome.verdict, FuzzVerdict::kCrash);
+  EXPECT_EQ(outcome.phase, "map");
+}
+
+TEST(Fuzz, MappedPhaseAgreesOnSmallCases) {
+  // End-to-end including mapping + simulation, on a handful of cases.
+  FuzzConfig config;
+  config.gen = GeneratorOptions::Small();
+  const FuzzCampaignResult r = RunFuzzCampaign(config, 11, 5, false);
+  EXPECT_EQ(r.miscompare, 0);
+  EXPECT_EQ(r.crash, 0);
+  EXPECT_EQ(r.infra, 0);
+}
+
+}  // namespace
+}  // namespace cgra::frontend

@@ -1,0 +1,271 @@
+// cgra_fuzz: differential fuzzing over generated loop nests.
+//
+// Campaign mode generates `--count` cases from `--seed` (case i is a
+// pure function of (seed, i)), runs each through every execution the
+// repo has — nest evaluator, transformed nest evaluator, lowered-DFG
+// reference interpreter, CDFG reference, and (unless --no-map) the
+// mapped-and-simulated configuration — and reports disagreements.
+// Failing cases are shrunk to a (near-)minimal program and dumped as
+// self-contained repro manifests under --out; `--replay FILE` re-runs
+// one manifest and exits 0 only when the SAME verdict+phase
+// reproduces. The JSON report (--report) is gated in CI by
+// scripts/check_fuzz_report.py; docs/FRONTEND.md documents both
+// formats.
+//
+// usage: cgra_fuzz --seed N --count N [--shape small|medium|large]
+//                  [--fabric NAME] [--mapper NAME] [--deadline-s SEC]
+//                  [--min-ii N] [--max-ii N] [--no-map] [--no-cdfg]
+//                  [--sandbox] [--fault-cells N] [--fault-seed N]
+//                  [--inject-bug] [--no-shrink] [--out DIR]
+//                  [--report FILE] [--quiet]
+//        cgra_fuzz --replay FILE [--quiet]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "frontend/fuzz.hpp"
+#include "support/json.hpp"
+#include "support/str.hpp"
+
+using namespace cgra;
+using namespace cgra::frontend;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --seed N --count N [--shape small|medium|large]\n"
+      "          [--fabric NAME] [--mapper NAME] [--deadline-s SEC]\n"
+      "          [--min-ii N] [--max-ii N] [--no-map] [--no-cdfg]\n"
+      "          [--sandbox] [--fault-cells N] [--fault-seed N]\n"
+      "          [--inject-bug] [--no-shrink] [--out DIR] [--report FILE]\n"
+      "          [--quiet]\n"
+      "       %s --replay FILE [--quiet]\n",
+      argv0, argv0);
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+std::string ReportJson(const FuzzCampaignResult& result,
+                       const FuzzConfig& config, std::uint64_t seed,
+                       const std::vector<std::string>& repro_paths) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("tool").String("cgra_fuzz")
+      .Key("schema_version").Int(1)
+      .Key("seed").Uint(seed)
+      .Key("config").BeginObject()
+      .Key("fabric").String(config.fabric)
+      .Key("mapper").String(config.mapper)
+      .Key("sandbox").Bool(config.use_sandbox)
+      .Key("map_and_simulate").Bool(config.map_and_simulate)
+      .Key("check_cdfg").Bool(config.check_cdfg)
+      .Key("inject_bug").Bool(config.lowering.inject_bug)
+      .Key("fault_cells").Int(config.fault_cells)
+      .Key("fault_seed").Uint(config.fault_seed)
+      .EndObject()
+      .Key("cases").Int(result.cases)
+      .Key("counts").BeginObject()
+      .Key("ok").Int(result.ok)
+      .Key("rejected").Int(result.rejected)
+      .Key("unmapped").Int(result.unmapped)
+      .Key("miscompare").Int(result.miscompare)
+      .Key("crash").Int(result.crash)
+      .Key("infra").Int(result.infra)
+      .EndObject()
+      .Key("failures").BeginArray();
+  for (size_t i = 0; i < result.failures.size(); ++i) {
+    const auto& f = result.failures[i];
+    w.BeginObject()
+        .Key("case").Int(f.case_index)
+        .Key("digest").String(f.digest)
+        .Key("verdict").String(FuzzVerdictName(f.outcome.verdict))
+        .Key("phase").String(f.outcome.phase)
+        .Key("detail").String(f.outcome.detail)
+        .Key("shrink_runs").Int(f.shrink_runs);
+    if (i < repro_paths.size() && !repro_paths[i].empty()) {
+      w.Key("repro").String(repro_paths[i]);
+    }
+    w.EndObject();
+  }
+  w.EndArray().EndObject();
+  return w.Take();
+}
+
+int Replay(const std::string& path, bool quiet) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cgra_fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Result<ReproManifest> manifest = ReproManifestFromJson(buf.str());
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "cgra_fuzz: %s: %s\n", path.c_str(),
+                 manifest.error().message.c_str());
+    return 2;
+  }
+  bool reproduced = false;
+  const FuzzOutcome outcome = ReplayManifest(*manifest, &reproduced);
+  if (!quiet) {
+    std::printf("manifest: verdict=%s phase=%s\n", manifest->verdict.c_str(),
+                manifest->phase.c_str());
+    std::printf("replay:   verdict=%s phase=%s detail=%s\n",
+                std::string(FuzzVerdictName(outcome.verdict)).c_str(),
+                outcome.phase.c_str(), outcome.detail.c_str());
+    std::printf("%s\n", reproduced ? "REPRODUCED" : "NOT REPRODUCED");
+  }
+  return reproduced ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  int count = 100;
+  std::string shape = "small";
+  std::string replay_path;
+  std::string out_dir;
+  std::string report_path;
+  bool shrink = true;
+  bool quiet = false;
+  FuzzConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "cgra_fuzz: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::strtoull(next("--seed"), nullptr, 10));
+    } else if (arg == "--count") {
+      count = std::atoi(next("--count"));
+    } else if (arg == "--shape") {
+      shape = next("--shape");
+    } else if (arg == "--fabric") {
+      config.fabric = next("--fabric");
+    } else if (arg == "--mapper") {
+      config.mapper = next("--mapper");
+    } else if (arg == "--deadline-s") {
+      config.map_deadline_s = std::atof(next("--deadline-s"));
+    } else if (arg == "--min-ii") {
+      config.min_ii = std::atoi(next("--min-ii"));
+    } else if (arg == "--max-ii") {
+      config.max_ii = std::atoi(next("--max-ii"));
+    } else if (arg == "--no-map") {
+      config.map_and_simulate = false;
+    } else if (arg == "--no-cdfg") {
+      config.check_cdfg = false;
+    } else if (arg == "--sandbox") {
+      config.use_sandbox = true;
+    } else if (arg == "--fault-cells") {
+      config.fault_cells = std::atoi(next("--fault-cells"));
+    } else if (arg == "--fault-seed") {
+      config.fault_seed = static_cast<std::uint64_t>(
+          std::strtoull(next("--fault-seed"), nullptr, 10));
+    } else if (arg == "--inject-bug") {
+      config.lowering.inject_bug = true;
+    } else if (arg == "--no-shrink") {
+      shrink = false;
+    } else if (arg == "--out") {
+      out_dir = next("--out");
+    } else if (arg == "--report") {
+      report_path = next("--report");
+    } else if (arg == "--replay") {
+      replay_path = next("--replay");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) return Replay(replay_path, quiet);
+
+  if (shape == "small") {
+    config.gen = GeneratorOptions::Small();
+  } else if (shape == "medium") {
+    config.gen = GeneratorOptions::Medium();
+  } else if (shape == "large") {
+    config.gen = GeneratorOptions::Large();
+  } else {
+    std::fprintf(stderr, "cgra_fuzz: unknown shape '%s'\n", shape.c_str());
+    return 2;
+  }
+  if (count <= 0) {
+    std::fprintf(stderr, "cgra_fuzz: --count must be positive\n");
+    return 2;
+  }
+
+  const FuzzCampaignResult result = RunFuzzCampaign(
+      config, seed, count, shrink,
+      [&](int i, const FuzzOutcome& outcome) {
+        if (quiet) return;
+        if (outcome.failed() || (i + 1) % 25 == 0 || i + 1 == count) {
+          std::printf("[%d/%d] %s%s%s\n", i + 1, count,
+                      std::string(FuzzVerdictName(outcome.verdict)).c_str(),
+                      outcome.phase.empty() ? "" : " @ ",
+                      outcome.phase.c_str());
+        }
+      });
+
+  // Dump repro manifests.
+  std::vector<std::string> repro_paths(result.failures.size());
+  if (!result.failures.empty() && !out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    for (size_t i = 0; i < result.failures.size(); ++i) {
+      const auto& f = result.failures[i];
+      const std::string path = StrFormat(
+          "%s/repro_case%d_%s.json", out_dir.c_str(), f.case_index,
+          f.digest.c_str());
+      if (WriteFile(path, ReproManifestToJson(f.manifest))) {
+        repro_paths[i] = path;
+      } else {
+        std::fprintf(stderr, "cgra_fuzz: cannot write %s\n", path.c_str());
+      }
+    }
+  }
+
+  const std::string report = ReportJson(result, config, seed, repro_paths);
+  if (!report_path.empty()) {
+    if (!WriteFile(report_path, report)) {
+      std::fprintf(stderr, "cgra_fuzz: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+  }
+  if (!quiet) {
+    std::printf(
+        "%d cases: %d ok, %d rejected, %d unmapped, %d miscompare, "
+        "%d crash, %d infra\n",
+        result.cases, result.ok, result.rejected, result.unmapped,
+        result.miscompare, result.crash, result.infra);
+    for (size_t i = 0; i < result.failures.size(); ++i) {
+      const auto& f = result.failures[i];
+      std::printf("  case %d [%s] %s @ %s: %s%s%s\n", f.case_index,
+                  f.digest.c_str(),
+                  std::string(FuzzVerdictName(f.outcome.verdict)).c_str(),
+                  f.outcome.phase.c_str(), f.outcome.detail.c_str(),
+                  repro_paths[i].empty() ? "" : " -> ",
+                  repro_paths[i].c_str());
+    }
+  }
+  // Failures make the exit code speak even without the report gate.
+  return (result.miscompare + result.crash + result.infra) > 0 ? 1 : 0;
+}
