@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validate the "search" introspection logs in MapTrace JSON files.
+
+Takes one or more MapTrace post-mortems (cgra_batch --traces DIR
+writes one per job) or a directory of them, and checks (stdlib only;
+schema documented in docs/OBSERVABILITY.md):
+  * every file parses and carries a non-empty "attempts" array;
+  * every attempt's "search" object (when present) has schema version
+    1 ("v" absent means 1), non-negative integer counters, and
+    reject/route/place sections with the documented keys only of the
+    documented types;
+  * a "fabric" section's rows*cols matches the length of both the
+    "routed" and "congested" arrays (a heatmap that disagrees with
+    its own dimensions is corrupt, not renderable);
+  * "curve" entries are [iteration, cost] pairs with non-decreasing
+    iterations; "solver" entries carry integer
+    decisions/conflicts/restarts;
+  * across ALL inputs at least --min-logged attempts (default 1)
+    carried a search log — a batch run whose introspection silently
+    vanished must fail CI, not pass vacuously.
+
+usage: check_search_log.py PATH [PATH ...] [--min-logged N]
+Exit status: 0 clean, 1 any check failed, 2 usage.
+"""
+import argparse
+import json
+import os
+import sys
+
+errors = []
+
+PLACE_COUNTERS = ("accepts", "rejects", "evictions")
+ROUTE_COUNTERS = ("attempts", "failures", "steps", "shared_steps")
+REJECT_REASONS = (
+    "none",
+    "incompatible_cell",
+    "fu_busy",
+    "bank_port_conflict",
+    "timing_violated",
+    "route_congested",
+)
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_search(where, s):
+    if not isinstance(s, dict):
+        fail(f"{where}: 'search' is not an object")
+        return
+    version = s.get("v", 1)
+    if version != 1:
+        fail(f"{where}: unsupported search schema version {version!r}")
+        return
+
+    place = s.get("place")
+    if place is not None:
+        for key in PLACE_COUNTERS:
+            if key in place and not is_uint(place[key]):
+                fail(f"{where}: place.{key} is not a non-negative int")
+        reasons = place.get("reject_reasons", {})
+        if not isinstance(reasons, dict):
+            fail(f"{where}: place.reject_reasons is not an object")
+        else:
+            for name, count in reasons.items():
+                if name not in REJECT_REASONS:
+                    fail(f"{where}: unknown reject reason {name!r}")
+                if not is_uint(count):
+                    fail(f"{where}: reject reason {name!r} count invalid")
+
+    route = s.get("route")
+    if route is not None:
+        for key in ROUTE_COUNTERS:
+            if key in route and not is_uint(route[key]):
+                fail(f"{where}: route.{key} is not a non-negative int")
+
+    fabric = s.get("fabric")
+    if fabric is not None:
+        rows, cols = fabric.get("rows"), fabric.get("cols")
+        if not is_uint(rows) or not is_uint(cols) or rows * cols == 0:
+            fail(f"{where}: fabric rows/cols invalid ({rows!r}x{cols!r})")
+        else:
+            for key in ("routed", "congested"):
+                grid = fabric.get(key)
+                if not isinstance(grid, list) or len(grid) != rows * cols:
+                    fail(
+                        f"{where}: fabric.{key} length != rows*cols "
+                        f"({rows}x{cols})"
+                    )
+                elif not all(is_uint(v) for v in grid):
+                    fail(f"{where}: fabric.{key} has a non-uint entry")
+
+    curve = s.get("curve")
+    if curve is not None:
+        last_iter = None
+        for i, pt in enumerate(curve):
+            if (
+                not isinstance(pt, list)
+                or len(pt) != 2
+                or not is_uint(pt[0])
+                or not isinstance(pt[1], (int, float))
+            ):
+                fail(f"{where}: curve[{i}] is not an [iteration, cost] pair")
+                break
+            if last_iter is not None and pt[0] < last_iter:
+                fail(f"{where}: curve iterations go backwards at [{i}]")
+                break
+            last_iter = pt[0]
+
+    solver = s.get("solver")
+    if solver is not None:
+        for i, sample in enumerate(solver):
+            if not isinstance(sample, dict) or not all(
+                is_uint(sample.get(k, 0))
+                for k in ("decisions", "conflicts", "restarts")
+            ):
+                fail(f"{where}: solver[{i}] sample invalid")
+                break
+
+
+def check_file(path):
+    logged = 0
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable JSON: {e}")
+        return 0
+
+    attempts = doc.get("attempts")
+    if not isinstance(attempts, list) or not attempts:
+        fail(f"{path}: 'attempts' missing, not a list, or empty")
+        return 0
+    for i, attempt in enumerate(attempts):
+        search = attempt.get("search")
+        if search is None:
+            continue
+        logged += 1
+        check_search(f"{path}: attempts[{i}]", search)
+    return logged
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("paths", nargs="+", help="MapTrace JSON files or dirs")
+    parser.add_argument(
+        "--min-logged",
+        type=int,
+        default=1,
+        help="minimum attempts carrying a search log across all inputs",
+    )
+    args = parser.parse_args()
+
+    files = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".json")
+            )
+        else:
+            files.append(path)
+    if not files:
+        print("check_search_log: no input files", file=sys.stderr)
+        return 2
+
+    logged = sum(check_file(path) for path in files)
+    if logged < args.min_logged:
+        fail(
+            f"only {logged} attempt(s) carried a search log across "
+            f"{len(files)} file(s); need >= {args.min_logged}"
+        )
+
+    if errors:
+        for e in errors:
+            print(f"check_search_log: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"check_search_log: OK ({len(files)} file(s), "
+        f"{logged} logged attempt(s))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,7 +59,7 @@ def check_phase(path, phase, i, args):
         fail(where, "'latency_ms' missing or not an object")
         lat = {}
     p99 = number(lat, f"{where}: latency_ms", "p99")
-    for key in ("mean", "p50", "p90", "max"):
+    for key in ("mean", "p50", "p90", "p999", "max"):
         number(lat, f"{where}: latency_ms", key)
 
     if None in (sent, ok, rejected, failed, dropped, cache_hits, qps, p99):

@@ -168,6 +168,10 @@ Result<MapRequest> ParseMapRequest(const Json& object,
       r.dead_cells.push_back(static_cast<int>(c.AsInt()));
     }
   }
+  if (const Json* v = object.Find("stats")) {
+    if (!v->is_bool()) return FieldError("stats", "must be a boolean");
+    r.stats = v->AsBool();
+  }
   return r;
 }
 
@@ -245,6 +249,7 @@ std::string ToJson(const MapRequest& r) {
   w.Key("dead_cells").BeginArray();
   for (const int c : r.dead_cells) w.Int(c);
   w.EndArray();
+  w.Key("stats").Bool(r.stats);
   w.EndObject();
   return w.Take();
 }

@@ -56,6 +56,10 @@ struct MapRequest {
   int extra_slack = 2;
   int iterations = 16;               ///< kernel trip count
   std::vector<int> dead_cells;       ///< FaultModel cells to kill
+  /// Opt-in: echo a search-effort summary ("search" key) in the
+  /// response, aggregated from the attempts' SearchLogs. Off by
+  /// default — the summary costs an observer attachment per request.
+  bool stats = false;
 
   bool operator==(const MapRequest&) const = default;
 };

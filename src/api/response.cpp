@@ -1,8 +1,41 @@
 #include "api/response.hpp"
 
 #include "cache/mapping_cache.hpp"
+#include "engine/trace.hpp"
 
 namespace cgra::api {
+
+MapResponse::SearchSummary SummarizeSearch(const MapTrace& trace) {
+  MapResponse::SearchSummary s;
+#if CGRA_TELEMETRY
+  std::vector<std::uint64_t> cell_steps;
+  for (const MapTrace::Attempt& a : trace.Attempts()) {
+    if (a.search == nullptr || !a.search->Any()) continue;
+    s.present = true;
+    ++s.attempts;
+    s.place_accepts += a.search->place_accepts;
+    s.place_rejects += a.search->place_rejects;
+    s.place_evictions += a.search->place_evictions;
+    s.route_attempts += a.search->route_attempts;
+    s.route_failures += a.search->route_failures;
+    if (cell_steps.size() < a.search->cell_routed.size()) {
+      cell_steps.resize(a.search->cell_routed.size(), 0);
+    }
+    for (std::size_t c = 0; c < a.search->cell_routed.size(); ++c) {
+      cell_steps[c] += a.search->cell_routed[c];
+    }
+  }
+  for (std::size_t c = 0; c < cell_steps.size(); ++c) {
+    if (cell_steps[c] > s.hot_cell_steps) {
+      s.hot_cell_steps = cell_steps[c];
+      s.hot_cell = static_cast<int>(c);
+    }
+  }
+#else
+  (void)trace;
+#endif
+  return s;
+}
 
 MapResponse BuildMapResponse(const MapRequest& request,
                              const Result<EngineResult>& result,
@@ -101,6 +134,20 @@ std::string ToJson(const MapResponse& r) {
     w.EndObject();
   }
   w.EndArray();
+  if (r.search.present) {
+    w.Key("search").BeginObject();
+    w.Key("attempts").Int(r.search.attempts);
+    w.Key("place_accepts").Uint(r.search.place_accepts);
+    w.Key("place_rejects").Uint(r.search.place_rejects);
+    w.Key("place_evictions").Uint(r.search.place_evictions);
+    w.Key("route_attempts").Uint(r.search.route_attempts);
+    w.Key("route_failures").Uint(r.search.route_failures);
+    if (r.search.hot_cell >= 0) {
+      w.Key("hot_cell").Int(r.search.hot_cell);
+      w.Key("hot_cell_steps").Uint(r.search.hot_cell_steps);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   return w.Take();
 }
@@ -158,6 +205,25 @@ Result<MapResponse> ParseMapResponse(const Json& doc) {
       if (const Json* f = a.Find("message")) row.message = f->AsString();
       if (const Json* f = a.Find("sandbox")) row.sandbox = f->AsString();
       r.attempts.push_back(std::move(row));
+    }
+  }
+  if (const Json* v = doc.Find("search"); v && v->is_object()) {
+    r.search.present = true;
+    auto u64 = [&](const char* key) -> std::uint64_t {
+      const Json* f = v->Find(key);
+      return f != nullptr ? static_cast<std::uint64_t>(f->AsInt()) : 0;
+    };
+    if (const Json* f = v->Find("attempts")) {
+      r.search.attempts = static_cast<int>(f->AsInt());
+    }
+    r.search.place_accepts = u64("place_accepts");
+    r.search.place_rejects = u64("place_rejects");
+    r.search.place_evictions = u64("place_evictions");
+    r.search.route_attempts = u64("route_attempts");
+    r.search.route_failures = u64("route_failures");
+    if (const Json* f = v->Find("hot_cell")) {
+      r.search.hot_cell = static_cast<int>(f->AsInt(-1));
+      r.search.hot_cell_steps = u64("hot_cell_steps");
     }
   }
   return r;

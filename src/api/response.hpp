@@ -25,6 +25,10 @@
 #include "support/json.hpp"
 #include "support/status.hpp"
 
+namespace cgra {
+class MapTrace;  // engine/trace.hpp
+}
+
 namespace cgra::api {
 
 struct MapResponse {
@@ -60,7 +64,28 @@ struct MapResponse {
     std::string sandbox;
   };
   std::vector<Attempt> attempts;
+
+  /// Attempt-effort summary, aggregated over the run's per-attempt
+  /// SearchLogs (telemetry/search_log.hpp). Serialised as the "search"
+  /// key only when `present` — i.e. when the request opted in with
+  /// stats=true AND at least one attempt recorded anything.
+  struct SearchSummary {
+    bool present = false;
+    int attempts = 0;  ///< attempts that carried a search log
+    std::uint64_t place_accepts = 0;
+    std::uint64_t place_rejects = 0;
+    std::uint64_t place_evictions = 0;
+    std::uint64_t route_attempts = 0;
+    std::uint64_t route_failures = 0;
+    int hot_cell = -1;  ///< cell with the most committed route steps
+    std::uint64_t hot_cell_steps = 0;
+  };
+  SearchSummary search;
 };
+
+/// Folds the trace's per-attempt SearchLogs into the response summary
+/// (SearchSummary::present stays false when nothing was recorded).
+MapResponse::SearchSummary SummarizeSearch(const MapTrace& trace);
 
 /// Builds the response for an engine run (success or aggregate
 /// failure). `wall_seconds` is the request's end-to-end wall time as

@@ -4,9 +4,12 @@
 
 #include "arch/fault.hpp"
 #include "engine/engine.hpp"
+#include "engine/quarantine.hpp"
+#include "engine/trace.hpp"
 #include "support/str.hpp"
 #include "support/timer.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/search_log.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace cgra::api {
@@ -25,6 +28,14 @@ struct ServeMetrics {
 
   static ServeMetrics& Get() {
     auto& reg = telemetry::MetricsRegistry::Global();
+    // Piggyback on first-metric-touch: the build_info gauges belong in
+    // every /metrics scrape from the first response onward.
+    static const bool build_info = [] {
+      telemetry::RegisterBuildInfo(kSchemaVersion,
+                                   telemetry::SearchLog::kSchemaVersion);
+      return true;
+    }();
+    (void)build_info;
     static ServeMetrics m{
         reg.GetCounter("cgra_serve_http_requests_total",
                        "HTTP requests routed by the mapping service"),
@@ -110,11 +121,18 @@ HttpResponse MappingService::Handle(const HttpRequest& request) {
     }
     return HandleMap(request);
   }
+  if (request.path == "/v1/stats") {
+    if (request.method != "GET") {
+      return JsonResponse(405, ErrorJson("method-not-allowed",
+                                         "use GET /v1/stats"));
+    }
+    return HandleStats();
+  }
   return JsonResponse(
       404, ErrorJson("not-found",
                      "unknown endpoint \"" + request.path +
                          "\" (have: POST /v1/map, GET /healthz, "
-                         "GET /metrics)"));
+                         "GET /metrics, GET /v1/stats)"));
 }
 
 HttpResponse MappingService::HandleHealth() const {
@@ -141,6 +159,51 @@ HttpResponse MappingService::HandleMetrics() const {
   r.content_type = "text/plain; version=0.0.4";
   r.body = telemetry::MetricsRegistry::Global().ToPrometheus();
   return r;
+}
+
+HttpResponse MappingService::HandleStats() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("uptime_seconds").Uint(stats_.UptimeSeconds());
+  w.Key("inflight").Int(inflight());
+  w.Key("windows").BeginObject();
+  struct WindowSpec {
+    const char* key;
+    int seconds;
+  };
+  static constexpr WindowSpec kWindows[] = {{"1s", 1}, {"10s", 10}, {"60s", 60}};
+  for (const auto& win : kWindows) {
+    const StatsWindow::Window s = stats_.Snapshot(win.seconds);
+    w.Key(win.key).BeginObject();
+    w.Key("requests").Uint(s.requests);
+    w.Key("rate_qps").Double(s.rate_qps);
+    w.Key("ok").Uint(s.ok);
+    w.Key("errors").Uint(s.errors);
+    w.Key("cache_hits").Uint(s.cache_hits);
+    w.Key("cache_hit_rate").Double(s.cache_hit_rate);
+    w.Key("p50_ms").Double(s.p50_ms);
+    w.Key("p99_ms").Double(s.p99_ms);
+    w.Key("samples").Int(s.samples);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("quarantine").BeginArray();
+  QuarantineTracker* tracker = options_.quarantine != nullptr
+                                   ? options_.quarantine
+                                   : &QuarantineTracker::Global();
+  for (const QuarantineTracker::Snapshot& q : tracker->Dump()) {
+    w.BeginObject();
+    w.Key("mapper").String(q.mapper);
+    w.Key("recent_crashes").Int(q.recent_crashes);
+    w.Key("trips").Int(q.trips);
+    w.Key("quarantined").Bool(q.quarantined);
+    w.Key("release_in_seconds").Double(q.release_in_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return JsonResponse(200, w.Take());
 }
 
 HttpResponse MappingService::HandleMap(const HttpRequest& http) {
@@ -241,6 +304,11 @@ HttpResponse MappingService::HandleMap(const HttpRequest& http) {
   eo.stop = options_.stop;
   eo.isolation = options_.isolation;
   eo.sandbox_limits = options_.sandbox_limits;
+  eo.quarantine = options_.quarantine;
+  // stats=true: attach a trace so the attempts' SearchLogs are
+  // captured, then fold them into the response's "search" summary.
+  MapTrace trace;
+  if (request.stats) eo.observer = &trace;
 
   const Result<EngineResult> result =
       MappingEngine(eo).Run(kernel->dfg, arch, request.mappers);
@@ -251,8 +319,9 @@ HttpResponse MappingService::HandleMap(const HttpRequest& http) {
   } else {
     metrics.map_fail.Add(1);
   }
-  const MapResponse response =
-      BuildMapResponse(request, result, wall, correlation);
+  stats_.Record(wall, result.ok(), result.ok() && result->cache_hit);
+  MapResponse response = BuildMapResponse(request, result, wall, correlation);
+  if (request.stats) response.search = SummarizeSearch(trace);
   // An engine failure is still HTTP 200: the protocol worked and the
   // body carries the structured verdict ("unmappable" is an answer,
   // not a server error) — except resource exhaustion during drain,

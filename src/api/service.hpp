@@ -24,7 +24,9 @@
 //     --drain-grace exceeded cancels cooperatively.
 //
 // Endpoints: POST /v1/map, GET /healthz, GET /metrics (Prometheus
-// text). Everything else is a canonical 404/405 ErrorJson body.
+// text), GET /v1/stats (sliding-window live stats: request rate,
+// p50/p99 latency, cache hit-rate, quarantine state over 1s/10s/60s
+// windows). Everything else is a canonical 404/405 ErrorJson body.
 // docs/API.md is the wire contract.
 #pragma once
 
@@ -34,6 +36,7 @@
 
 #include "api/request.hpp"
 #include "api/response.hpp"
+#include "api/stats_window.hpp"
 #include "arch/mrrg_cache.hpp"
 #include "cache/mapping_cache.hpp"
 #include "engine/engine.hpp"
@@ -74,6 +77,11 @@ struct ServiceOptions {
   /// Per-attempt rlimits inside each sandboxed child (--rlimit-*).
   SandboxLimits sandbox_limits;
 
+  /// Crash-history state shown in /v1/stats and fed to sandboxed
+  /// engine runs. nullptr = QuarantineTracker::Global() (the daemon
+  /// default); tests point this at a private tracker.
+  QuarantineTracker* quarantine = nullptr;
+
   /// Drain signal: once it fires, new mapping work is refused and the
   /// engine is told to stop cooperatively.
   StopToken stop;
@@ -100,13 +108,18 @@ class MappingService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// The live request window feeding GET /v1/stats (tests poke it).
+  const StatsWindow& stats() const { return stats_; }
+
  private:
   HttpResponse HandleMap(const HttpRequest& request);
   HttpResponse HandleHealth() const;
   HttpResponse HandleMetrics() const;
+  HttpResponse HandleStats() const;
 
   ServiceOptions options_;
   std::atomic<int> inflight_{0};
+  StatsWindow stats_;
 };
 
 }  // namespace cgra::api

@@ -1,0 +1,109 @@
+#include "api/stats_window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cgra::api {
+
+StatsWindow::StatsWindow() : start_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t StatsWindow::NowSecond() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+std::uint64_t StatsWindow::UptimeSeconds() const { return NowSecond(); }
+
+void StatsWindow::Record(double latency_seconds, bool ok, bool cache_hit) {
+  RecordAt(NowSecond(), latency_seconds, ok, cache_hit);
+}
+
+void StatsWindow::RecordAt(std::uint64_t second, double latency_seconds,
+                           bool ok, bool cache_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = buckets_[second % kBuckets];
+  if (b.second != second) {
+    // The slot last held counts from >= kBuckets seconds ago; those
+    // fell off every queryable window, so reclaim it.
+    b = Bucket{};
+    b.second = second;
+  }
+  ++b.requests;
+  if (ok) {
+    ++b.ok;
+  } else {
+    ++b.fail;
+  }
+  if (cache_hit) ++b.cache_hits;
+
+  samples_[sample_next_] = Sample{second, latency_seconds};
+  sample_next_ = (sample_next_ + 1) % kMaxSamples;
+  sample_count_ = std::min(sample_count_ + 1, kMaxSamples);
+}
+
+namespace {
+
+/// Exact nearest-rank percentile over a sorted ascending vector:
+/// the ceil(p * N)-th smallest value (1-based), the same definition
+/// tools/cgra_loadgen reports. Precondition: !sorted.empty().
+double NearestRank(const std::vector<double>& sorted, double p) {
+  const int n = static_cast<int>(sorted.size());
+  int rank = static_cast<int>(std::ceil(p * n));
+  rank = std::clamp(rank, 1, n);
+  return sorted[rank - 1];
+}
+
+}  // namespace
+
+StatsWindow::Window StatsWindow::Snapshot(int window_seconds) const {
+  return SnapshotAt(NowSecond(), window_seconds);
+}
+
+StatsWindow::Window StatsWindow::SnapshotAt(std::uint64_t now_second,
+                                            int window_seconds) const {
+  Window w;
+  // The in-progress second counts as part of the window, so a 1s
+  // window covers [now - 0, now]; clamp to what the ring retains
+  // (one slot is the bucket being written, so horizon is kBuckets-1).
+  const int span = std::clamp(window_seconds, 1, kBuckets - 1);
+  const std::uint64_t oldest =
+      now_second >= static_cast<std::uint64_t>(span - 1)
+          ? now_second - static_cast<std::uint64_t>(span - 1)
+          : 0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Bucket& b : buckets_) {
+    if (b.requests == 0 || b.second < oldest || b.second > now_second) {
+      continue;
+    }
+    w.requests += b.requests;
+    w.ok += b.ok;
+    w.errors += b.fail;
+    w.cache_hits += b.cache_hits;
+  }
+  w.rate_qps = static_cast<double>(w.requests) / span;
+  if (w.requests > 0) {
+    w.cache_hit_rate =
+        static_cast<double>(w.cache_hits) / static_cast<double>(w.requests);
+  }
+
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(sample_count_));
+  for (int i = 0; i < sample_count_; ++i) {
+    const Sample& s = samples_[i];
+    if (s.second < oldest || s.second > now_second) continue;
+    lat.push_back(s.latency_seconds);
+  }
+  w.samples = static_cast<int>(lat.size());
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    w.p50_ms = NearestRank(lat, 0.50) * 1e3;
+    w.p99_ms = NearestRank(lat, 0.99) * 1e3;
+  }
+  return w;
+}
+
+}  // namespace cgra::api

@@ -1,0 +1,97 @@
+// StatsWindow: the sliding-window aggregation behind GET /v1/stats.
+//
+// The Prometheus /metrics dump is cumulative-since-boot; operators
+// watching a live daemon want "what happened in the last second /
+// ten / minute" without running a scrape-and-diff pipeline. This
+// component keeps one ring of per-second buckets (counts) plus a
+// bounded ring of recent latency samples, and answers window queries
+// for the fixed horizons the endpoint exposes: 1s, 10s, 60s.
+//
+// Accuracy contract (documented in docs/OBSERVABILITY.md):
+//   * counts are exact for any window that fits in the bucket ring
+//     (64 buckets >= the 60s horizon plus slack for the in-progress
+//     second);
+//   * percentiles are exact nearest-rank over the latency samples
+//     retained for the window, and the sample ring holds the most
+//     recent kMaxSamples completions — under overload the window's
+//     OLDEST samples are shed first, so p50/p99 stay faithful to the
+//     newest traffic;
+//   * the clock is steady_clock (serve-side wall accounting, not
+//     mapping-deterministic code — recorded latencies never feed a
+//     digest).
+//
+// Thread-safe: Record and Snapshot take one mutex; both are O(ring)
+// and called once per HTTP request, so contention is noise next to a
+// mapping run. The *At variants take an explicit "seconds since
+// start" so tests drive time by hand.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace cgra::api {
+
+class StatsWindow {
+ public:
+  /// Per-second count buckets retained (must exceed the largest
+  /// queryable window; 60s horizon + in-progress second + slack).
+  static constexpr int kBuckets = 64;
+  /// Latency samples retained across all buckets.
+  static constexpr int kMaxSamples = 2048;
+
+  StatsWindow();
+
+  /// Records one completed mapping request (real time).
+  void Record(double latency_seconds, bool ok, bool cache_hit);
+
+  /// Aggregate over the trailing `window_seconds` (clamped to the
+  /// bucket horizon).
+  struct Window {
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t cache_hits = 0;
+    double rate_qps = 0.0;        ///< requests / window_seconds
+    double cache_hit_rate = 0.0;  ///< cache_hits / requests; 0 if idle
+    /// Exact nearest-rank percentiles over the window's retained
+    /// samples, in milliseconds; -1 when no sample is in the window.
+    double p50_ms = -1.0;
+    double p99_ms = -1.0;
+    int samples = 0;  ///< latency samples the percentiles were cut from
+  };
+  Window Snapshot(int window_seconds) const;
+
+  /// Seconds since construction (what Record stamps internally).
+  std::uint64_t UptimeSeconds() const;
+
+  /// Deterministic variants for tests: `second` is an explicit
+  /// "seconds since start" timestamp (monotonic non-decreasing).
+  void RecordAt(std::uint64_t second, double latency_seconds, bool ok,
+                bool cache_hit);
+  Window SnapshotAt(std::uint64_t now_second, int window_seconds) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t second = 0;  ///< timestamp this bucket holds counts for
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t fail = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  struct Sample {
+    std::uint64_t second = 0;
+    double latency_seconds = 0.0;
+  };
+
+  std::uint64_t NowSecond() const;
+
+  const std::chrono::steady_clock::time_point start_;
+  mutable std::mutex mu_;
+  Bucket buckets_[kBuckets];
+  Sample samples_[kMaxSamples];
+  int sample_next_ = 0;   ///< ring write cursor
+  int sample_count_ = 0;  ///< valid entries (saturates at kMaxSamples)
+};
+
+}  // namespace cgra::api

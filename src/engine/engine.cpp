@@ -67,6 +67,10 @@ MapperOptions EntryOptions(const EngineOptions& eo, std::size_t i,
   mo.seed = eo.seed + static_cast<std::uint64_t>(i);
   mo.stop = std::move(stop);
   mo.observer = eo.observer;
+  // Search introspection rides the same per-engine gate as the
+  // engine-emitted spans; the runtime SearchDetail level and the
+  // observer requirement apply downstream.
+  mo.search_log = eo.telemetry;
   mo.mrrg_cache = cache;
   return mo;
 }
@@ -102,7 +106,8 @@ void EmitMapperDone(MapObserver* obs, const Mapper& mapper,
 /// row the chaos gate greps MapTrace JSON for.
 void EmitSandboxAttempt(MapObserver* obs, const Mapper& mapper,
                         const Result<Mapping>& result, double seconds,
-                        const std::string& sandbox) {
+                        const std::string& sandbox,
+                        const std::string& search_json = {}) {
   MapEvent e;
   e.kind = MapEvent::Kind::kAttemptDone;
   e.mapper = mapper.name();
@@ -114,6 +119,16 @@ void EmitSandboxAttempt(MapObserver* obs, const Mapper& mapper,
   } else {
     e.error_code = result.error().code;
     e.message = result.error().message;
+  }
+  // Search introspection shipped home over the wire frame; an
+  // undecodable payload from a possibly-crashed child is dropped, not
+  // an error — the mapping result alone decides the attempt's fate.
+  if (!search_json.empty()) {
+    auto log = std::make_shared<telemetry::SearchLog>();
+    std::string error;
+    if (telemetry::SearchLog::FromJson(search_json, log.get(), &error)) {
+      e.search = std::move(log);
+    }
   }
   NotifyObserver(obs, e);
 }
@@ -234,7 +249,7 @@ EntryOutcome ExecuteEntry(const EngineOptions& eo, const Mapper& mapper,
       quarantine->RecordSuccess(mapper.name());
     }
     EmitSandboxAttempt(eo.observer, mapper, out.result, out.seconds,
-                       out.sandbox);
+                       out.sandbox, sr.search_json);
     EmitMapperDone(eo.observer, mapper, out.result, out.seconds, out.sandbox);
     return out;
   }

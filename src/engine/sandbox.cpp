@@ -1,8 +1,10 @@
 #include "engine/sandbox.hpp"
 
+#include <cstdint>
 #include <utility>
 
 #include "support/str.hpp"
+#include "telemetry/search_log.hpp"
 
 namespace cgra {
 
@@ -10,6 +12,7 @@ namespace {
 
 constexpr char kFrameMapping = 'M';
 constexpr char kFrameError = 'E';
+constexpr char kFrameSearch = 'S';  // length-prefixed SearchLog JSON
 
 Error::Code CodeFromByte(unsigned char b, bool* valid) {
   *valid = true;
@@ -36,8 +39,17 @@ unsigned char ByteFromCode(Error::Code c) {
 
 }  // namespace
 
-std::string EncodeSandboxFrame(const Result<Mapping>& result) {
+std::string EncodeSandboxFrame(const Result<Mapping>& result,
+                               std::string_view search_json) {
   std::string out;
+  if (!search_json.empty()) {
+    out.push_back(kFrameSearch);
+    const std::uint32_t len = static_cast<std::uint32_t>(search_json.size());
+    for (int i = 0; i < 4; ++i) {
+      out.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    }
+    out += search_json;
+  }
   if (result.ok()) {
     out.push_back(kFrameMapping);
     out += SerializeMapping(*result);
@@ -50,11 +62,36 @@ std::string EncodeSandboxFrame(const Result<Mapping>& result) {
 }
 
 Result<Mapping> DecodeSandboxFrame(std::string_view bytes,
-                                   bool* wire_corrupt) {
+                                   bool* wire_corrupt,
+                                   std::string* search_json) {
   *wire_corrupt = false;
+  if (search_json != nullptr) search_json->clear();
   if (bytes.empty()) {
     *wire_corrupt = true;
     return Error::Internal("sandbox: empty result frame");
+  }
+  if (bytes[0] == kFrameSearch) {
+    bytes.remove_prefix(1);
+    if (bytes.size() < 4) {
+      *wire_corrupt = true;
+      return Error::Internal("sandbox: truncated search-log prefix");
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+    }
+    bytes.remove_prefix(4);
+    if (bytes.size() < len) {
+      *wire_corrupt = true;
+      return Error::Internal("sandbox: search-log prefix length overruns frame");
+    }
+    if (search_json != nullptr) search_json->assign(bytes.substr(0, len));
+    bytes.remove_prefix(len);
+    if (bytes.empty()) {
+      *wire_corrupt = true;
+      return Error::Internal("sandbox: search-log prefix without a result frame");
+    }
   }
   const char tag = bytes[0];
   bytes.remove_prefix(1);
@@ -113,15 +150,31 @@ SandboxedMapResult SandboxedMap(const Mapper& mapper, const Dfg& dfg,
   SandboxedMapResult out;
   out.outcome = RunInSandbox(
       [&]() {
-        return EncodeSandboxFrame(
-            SafeMap(mapper, dfg, arch, child_options));
+        // The child's per-attempt collectors never install (they
+        // require an observer, nulled above); one whole-Map collector
+        // here covers every II the child tries, shipped home as the
+        // frame's search prefix.
+        telemetry::SearchLog child_log;
+        Result<Mapping> r = [&] {
+          telemetry::ScopedSearchLog scoped(
+              child_options.search_log &&
+                      telemetry::GetSearchDetail() !=
+                          telemetry::SearchDetail::kOff
+                  ? &child_log
+                  : nullptr);
+          return SafeMap(mapper, dfg, arch, child_options);
+        }();
+        const std::string search_json =
+            child_log.Any() ? child_log.ToJson() : std::string();
+        return EncodeSandboxFrame(r, search_json);
       },
       limits, options.deadline, options.stop);
 
   switch (out.outcome.crash) {
     case SandboxCrash::kNone: {
       bool wire_corrupt = false;
-      out.result = DecodeSandboxFrame(out.outcome.payload, &wire_corrupt);
+      out.result = DecodeSandboxFrame(out.outcome.payload, &wire_corrupt,
+                                      &out.search_json);
       if (wire_corrupt) {
         out.outcome.crash = SandboxCrash::kWireCorrupt;
         out.outcome.detail = out.result.error().message;

@@ -10,6 +10,16 @@
 //   'M' + SerializeMapping(mapping)          mapper succeeded
 //   'E' + <code byte> + <utf-8 message>      mapper failed normally
 //
+// When the child collected search introspection (MapperOptions::
+// search_log; telemetry/search_log.hpp), the frame is prefixed with
+//
+//   'S' + <u32 LE length> + <SearchLog JSON>
+//
+// followed by the ordinary 'M'/'E' frame. Frames without the prefix
+// decode exactly as before, so the wire format stays backward
+// compatible; a truncated or bad-length prefix classifies as
+// kWireCorrupt like any other framing damage.
+//
 // Reusing the versioned+checksummed SerializeMapping wire format means
 // a child that scribbles on its own heap before exiting produces a
 // checksum mismatch — classified kWireCorrupt — rather than a
@@ -37,6 +47,11 @@ struct SandboxedMapResult {
   /// The raw process-level classification (signal name, OOM, timeout,
   /// wire corruption, ...). outcome.crash == kNone on a clean run.
   SandboxOutcome outcome;
+
+  /// Serialised SearchLog collected inside the child (whole-Map scope —
+  /// the child's per-attempt events die with its nulled observer).
+  /// Empty when collection was off or nothing was recorded.
+  std::string search_json;
 
   /// True for outcomes that indicate a broken mapper and should count
   /// toward quarantine: signal, OOM, wire corruption, unexplained
@@ -77,11 +92,16 @@ SandboxedMapResult SandboxedMap(const Mapper& mapper, const Dfg& dfg,
                                 const MapperOptions& options,
                                 const SandboxLimits& limits);
 
-/// Wire-frame helpers, exposed for tests.
-std::string EncodeSandboxFrame(const Result<Mapping>& result);
-/// Decode failure (bad tag, bad code byte, checksum mismatch, empty)
-/// returns kInternal and sets *wire_corrupt.
+/// Wire-frame helpers, exposed for tests. A non-empty `search_json`
+/// adds the 'S' prefix described above.
+std::string EncodeSandboxFrame(const Result<Mapping>& result,
+                               std::string_view search_json = {});
+/// Decode failure (bad tag, bad code byte, checksum mismatch, empty,
+/// truncated search prefix) returns kInternal and sets *wire_corrupt.
+/// When `search_json` is non-null it receives the 'S' prefix payload
+/// (cleared first, so it is empty for unprefixed frames).
 Result<Mapping> DecodeSandboxFrame(std::string_view bytes,
-                                   bool* wire_corrupt);
+                                   bool* wire_corrupt,
+                                   std::string* search_json = nullptr);
 
 }  // namespace cgra

@@ -47,6 +47,7 @@ std::vector<MapTrace::Attempt> MapTrace::Attempts() const {
       a.perf = e.perf;
       a.correlation = e.correlation;
       a.sandbox = e.sandbox;
+      a.search = e.search;
       out.push_back(std::move(a));
     } else if (e.kind == MapEvent::Kind::kNote && e.solver_steps >= 0) {
       notes.push_back(&e);
@@ -112,6 +113,9 @@ std::string MapTrace::ToJson() const {
       w.Key("tracker_occupies").Uint(a.perf.tracker_occupies);
       w.Key("tracker_releases").Uint(a.perf.tracker_releases);
       w.EndObject();
+    }
+    if (a.search != nullptr && a.search->Any()) {
+      w.Key("search").Raw(a.search->ToJson());
     }
     w.EndObject();
   }

@@ -47,6 +47,8 @@ class MapTrace final : public MapObserver {
     PerfCounters perf;              ///< router/tracker effort of the attempt
     std::uint64_t correlation = 0;  ///< telemetry span id; 0 = no tracing
     std::string sandbox;            ///< isolation outcome; "" = in-process
+    /// Search introspection (null when collection was off for the run).
+    std::shared_ptr<const telemetry::SearchLog> search;
   };
   std::vector<Attempt> Attempts() const;
 
@@ -79,6 +81,10 @@ class MapTrace final : public MapObserver {
   /// clean sandboxed run, "signal:SIGSEGV" / "oom" / "timeout" /
   /// "wire-corrupt" for classified deaths, and "quarantined" for
   /// entries the bench skipped; absent for in-process runs.
+  /// When search introspection was collected, an attempt row carries
+  /// "search": the schema-versioned SearchLog object
+  /// (telemetry/search_log.hpp; docs/OBSERVABILITY.md documents the
+  /// schema). Absent when collection was off or nothing was recorded.
   /// Serialisation goes through support/json's JsonWriter.
   std::string ToJson() const;
 

@@ -19,6 +19,7 @@
 #include "mappers/common.hpp"
 #include "mappers/mappers.hpp"
 #include "support/rng.hpp"
+#include "telemetry/search_log.hpp"
 
 namespace cgra {
 namespace {
@@ -244,6 +245,9 @@ Result<Mapping> AnnealAtIi(const Dfg& dfg, const Architecture& arch,
       annealer.Undo(undo);
     }
     temperature = std::max(0.01, temperature * cfg.cooling);
+    // Energy-vs-iteration curve, decimated inside the log (iteration-
+    // keyed, so repeated identical runs record identical curves).
+    telemetry::SearchRecordCost(iter, cost);
   }
   if (cost < 1.0) {
     Result<Mapping> m = annealer.Realize();

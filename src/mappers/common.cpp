@@ -446,11 +446,21 @@ Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
     // joining the MapTrace row to its trace spans.
     const std::uint64_t correlation =
         telemetry::Enabled() ? telemetry::NewCorrelation() : 0;
+    // Search introspection: one collector per attempt, installed in the
+    // thread-local slot for the attempt's extent only. Gated on an
+    // observer being present — without one the log would have nowhere
+    // to go.
+    std::shared_ptr<telemetry::SearchLog> search;
+    if (options.search_log && options.observer != nullptr &&
+        telemetry::GetSearchDetail() != telemetry::SearchDetail::kOff) {
+      search = std::make_shared<telemetry::SearchLog>();
+    }
     Result<Mapping> r = [&] {
       telemetry::Span span(
           "attempt",
           telemetry::Enabled() ? StrFormat("%s ii=%d", name.c_str(), ii) : "",
           correlation);
+      telemetry::ScopedSearchLog scoped(search.get());
       return attempt(ii);
     }();
 
@@ -466,6 +476,7 @@ Result<Mapping> EscalateIi(const Mapper& self, const Dfg& dfg,
       done.error_code = r.error().code;
       done.message = r.error().message;
     }
+    if (search != nullptr && search->Any()) done.search = std::move(search);
     NotifyObserver(options.observer, done);
     ObserveAttemptMetrics(done.ok, ii, done.seconds, done.perf);
 
@@ -494,6 +505,11 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
   WallTimer timer;
   const std::uint64_t correlation =
       telemetry::Enabled() ? telemetry::NewCorrelation() : 0;
+  std::shared_ptr<telemetry::SearchLog> search;
+  if (options.search_log && options.observer != nullptr &&
+      telemetry::GetSearchDetail() != telemetry::SearchDetail::kOff) {
+    search = std::make_shared<telemetry::SearchLog>();
+  }
   Result<Mapping> r = [&] {
     telemetry::Span span(
         "attempt",
@@ -501,6 +517,7 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
             ? StrFormat("%s ii=%d", self.name().c_str(), ii)
             : "",
         correlation);
+    telemetry::ScopedSearchLog scoped(search.get());
     return attempt();
   }();
 
@@ -516,6 +533,7 @@ Result<Mapping> ObservedAttempt(const Mapper& self,
     done.error_code = r.error().code;
     done.message = r.error().message;
   }
+  if (search != nullptr && search->Any()) done.search = std::move(search);
   NotifyObserver(options.observer, done);
   ObserveAttemptMetrics(done.ok, ii, done.seconds, done.perf);
   return r;

@@ -14,6 +14,7 @@
 #include "mappers/common.hpp"
 #include "mappers/mappers.hpp"
 #include "support/rng.hpp"
+#include "telemetry/search_log.hpp"
 
 namespace cgra {
 namespace {
@@ -135,6 +136,7 @@ class GeneticSpatialMapper final : public Mapper {
       // Elite survives; the rest is bred.
       const size_t elite = static_cast<size_t>(
           std::max_element(fitness.begin(), fitness.end()) - fitness.begin());
+      telemetry::SearchRecordCost(gen, fitness[elite]);
       std::vector<std::vector<int>> next{pop[elite]};
       while (next.size() < pop.size()) {
         const auto& a = tournament();
@@ -239,6 +241,7 @@ class QeaBinder final : public Mapper {
             best_genome = genome;
           }
         }
+        telemetry::SearchRecordCost(gen, best_fitness);
         // Rotation: shift probability mass toward the best genome.
         for (OpId op = 0; op < n; ++op) {
           auto& probs = q[static_cast<size_t>(op)];

@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "mapping/perf.hpp"
 #include "support/status.hpp"
+#include "telemetry/search_log.hpp"
 
 namespace cgra {
 
@@ -61,6 +63,12 @@ struct MapEvent {
   /// see EngineAttempt::sandbox for the vocabulary). Empty for
   /// in-process runs, so existing traces are unchanged.
   std::string sandbox;
+  /// Search introspection for this attempt (telemetry/search_log.hpp):
+  /// placement counters, fabric congestion heatmap, solver progress,
+  /// cost curves. Attached to kAttemptDone when
+  /// MapperOptions::search_log collection was active; null otherwise
+  /// (and always null under -DCGRA_TELEMETRY=0).
+  std::shared_ptr<const telemetry::SearchLog> search;
 };
 
 /// Progress sink. The portfolio engine invokes a single observer from

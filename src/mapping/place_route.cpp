@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/search_log.hpp"
+
 namespace cgra {
+namespace {
+
+// Folds one committed route into the active search log's per-cell
+// congestion heatmap (no-op without a collector). MRRG nodes without a
+// cell (shared register file) are counted separately.
+void FoldRouteSteps(const Mrrg& mrrg, const Route& route) {
+  if (telemetry::ActiveSearchLog() == nullptr) return;
+  for (const RouteStep& s : route.steps) {
+    telemetry::SearchRecordCellRouted(mrrg.cell(s.node));
+  }
+}
+
+}  // namespace
 
 PlaceRouteState::PlaceRouteState(const Dfg& dfg, const Architecture& arch,
                                  const Mrrg& mrrg, int ii)
@@ -27,6 +42,7 @@ PlaceRouteState::PlaceRouteState(const Dfg& dfg, const Architecture& arch,
   for (OpId op = 0; op < dfg.num_ops(); ++op) {
     if (!arch.IsFolded(dfg.op(op).opcode)) mappable_.push_back(op);
   }
+  telemetry::SearchRecordGrid(arch.rows(), arch.cols());
 }
 
 std::vector<int> PlaceRouteState::CandidateCells(OpId op) const {
@@ -64,10 +80,13 @@ bool PlaceRouteState::RouteEdge(int edge_index, const RouterOptions& options) {
   req.to_time = arrive;
   req.value = e.from;
   auto route = RouteValue(*mrrg_, tracker_, req, options);
+  telemetry::SearchRecordRouteResult(route.ok());
   if (!route.ok()) {
+    telemetry::SearchRecordCellCongested(req.to_cell);
     last_fail_ = FailReason::kRouteCongested;
     return false;
   }
+  FoldRouteSteps(*mrrg_, route.value());
   routes_[static_cast<size_t>(edge_index)] = std::move(route).value();
   return true;
 }
@@ -86,11 +105,13 @@ bool PlaceRouteState::TryPlace(OpId op, int cell, int time,
   const Op& o = dfg_->op(op);
   if (!arch_->CanExecute(cell, o)) {
     last_fail_ = FailReason::kIncompatibleCell;
+    telemetry::SearchRecordPlaceReject(static_cast<int>(last_fail_));
     return false;
   }
   const int fu = mrrg_->FuNode(cell);
   if (!tracker_.CanOccupy(fu, time, op)) {
     last_fail_ = FailReason::kFuBusy;
+    telemetry::SearchRecordPlaceReject(static_cast<int>(last_fail_));
     return false;
   }
   const bool is_mem = IsMemoryOp(o.opcode);
@@ -101,6 +122,7 @@ bool PlaceRouteState::TryPlace(OpId op, int cell, int time,
         bank_load_[static_cast<size_t>(bank)][static_cast<size_t>(slot)] >=
             arch_->params().bank_ports) {
       last_fail_ = FailReason::kBankPortConflict;
+      telemetry::SearchRecordPlaceReject(static_cast<int>(last_fail_));
       return false;
     }
   }
@@ -130,11 +152,17 @@ bool PlaceRouteState::TryPlace(OpId op, int cell, int time,
                               batch_reqs.size(), router_options);
     if (!routes.ok()) {
       // RouteFanout is atomic: nothing from this batch is committed.
+      for (const RouteRequest& req : batch_reqs) {
+        telemetry::SearchRecordRouteResult(false);
+        telemetry::SearchRecordCellCongested(req.to_cell);
+      }
       last_fail_ = FailReason::kRouteCongested;
       return false;
     }
     for (size_t i = 0; i < batch_edges.size(); ++i) {
       const int e = batch_edges[i];
+      telemetry::SearchRecordRouteResult(true);
+      FoldRouteSteps(*mrrg_, (*routes)[i]);
       last_route_steps_ += static_cast<int>((*routes)[i].steps.size());
       routes_[static_cast<size_t>(e)] = std::move((*routes)[i]);
       routed.push_back(e);
@@ -191,9 +219,11 @@ bool PlaceRouteState::TryPlace(OpId op, int cell, int time,
       --bank_load_[static_cast<size_t>(BankOf(cell))][static_cast<size_t>(slot)];
     }
     place_[static_cast<size_t>(op)] = Placement{};
+    telemetry::SearchRecordPlaceReject(static_cast<int>(last_fail_));
     return false;
   }
   ++placed_count_;
+  telemetry::SearchRecordPlaceAccept();
   return true;
 }
 
@@ -210,6 +240,7 @@ void PlaceRouteState::Unplace(OpId op) {
   }
   place_[static_cast<size_t>(op)] = Placement{};
   --placed_count_;
+  telemetry::SearchRecordEviction();
 }
 
 Mapping PlaceRouteState::Finalize() const {

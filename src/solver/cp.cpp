@@ -1,5 +1,6 @@
 #include "solver/cp.hpp"
 
+#include "telemetry/search_log.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
@@ -214,7 +215,11 @@ Result<std::vector<int>> CpModel::Solve(const Deadline& deadline,
                                         const StopToken& stop) {
   telemetry::Span span("solver.search", "cp");
   if (!PropagateAll()) return Error::Unmappable("CSP root propagation wiped out");
-  if (!Search(deadline, stop, stats, 0)) {
+  const bool found = Search(deadline, stop, stats, 0);
+  if (stats != nullptr) {
+    telemetry::SearchRecordSolverSample(stats->nodes, stats->backtracks, 0);
+  }
+  if (!found) {
     if (deadline.Expired() || stop.StopRequested()) {
       return Error::ResourceLimit(stop.StopRequested()
                                       ? "CSP search cancelled"

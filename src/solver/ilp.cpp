@@ -1,5 +1,6 @@
 #include "solver/ilp.hpp"
 
+#include "telemetry/search_log.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
@@ -131,6 +132,10 @@ Result<IlpModel::Solution> IlpModel::Solve(const SolveOptions& options) const {
             best.x[static_cast<size_t>(j)] = std::round(best.x[static_cast<size_t>(j)]);
           }
         }
+        // Objective-vs-nodes progress point per new incumbent (the
+        // node count keys the sample, so identical runs log identically).
+        telemetry::SearchRecordCost(nodes,
+                                    maximize_ ? best_obj : -best_obj);
       }
       continue;
     }
@@ -158,6 +163,7 @@ Result<IlpModel::Solution> IlpModel::Solve(const SolveOptions& options) const {
   best.objective = maximize_ ? best_obj : -best_obj;
   best.proved_optimal = exhausted;
   best.nodes_explored = nodes;
+  telemetry::SearchRecordObjective(best.objective, nodes);
   return best;
 }
 

@@ -1,5 +1,6 @@
 #include "solver/sat.hpp"
 
+#include "telemetry/search_log.hpp"
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
@@ -312,6 +313,10 @@ SatResult SatSolver::Solve(const Deadline& deadline, const StopToken& stop) {
       if (--conflicts_until_restart <= 0) {
         ++restart_index;
         conflicts_until_restart = 128 * Luby(restart_index);
+        // Solver progress sample per restart: restart count is keyed on
+        // conflicts (Luby), so identical runs sample identically.
+        telemetry::SearchRecordSolverSample(decisions_, conflicts_,
+                                            restart_index - 1);
         Backtrack(0);
         ReduceLearnedDb();
       }
@@ -321,7 +326,11 @@ SatResult SatSolver::Solve(const Deadline& deadline, const StopToken& stop) {
       }
     } else {
       const int v = PickBranchVar();
-      if (v < 0) return SatResult::kSat;
+      if (v < 0) {
+        telemetry::SearchRecordSolverSample(decisions_, conflicts_,
+                                            restart_index - 1);
+        return SatResult::kSat;
+      }
       if ((decisions_ & 1023) == 0 && stop.StopRequested()) {
         return SatResult::kUnknown;
       }

@@ -220,6 +220,33 @@ std::string MetricsRegistry::ToJson() const {
   return w.Take();
 }
 
+void RegisterBuildInfo(int api_schema_version, int search_schema_version) {
+  auto& registry = MetricsRegistry::Global();
+  registry
+      .GetGauge("cgra_build_info",
+                "always 1; the cgra_build_* gauges describe this build")
+      .Set(1);
+  registry
+      .GetGauge("cgra_build_api_schema_version",
+                "schema_version of the api request/response JSON")
+      .Set(api_schema_version);
+  registry
+      .GetGauge("cgra_build_search_log_schema_version",
+                "schema version of SearchLog JSON (\"search\" trace key)")
+      .Set(search_schema_version);
+  registry
+      .GetGauge("cgra_build_telemetry_compiled",
+                "1 when built with -DCGRA_TELEMETRY=1 (when compiled "
+                "out this dump is empty altogether)")
+      .Set(1);
+  // First-class from process start: dashboards alerting on span loss
+  // need the counter present at 0, not absent until the first drop
+  // (the span tracer bumps this same entry on ring-buffer overflow).
+  registry.GetCounter("telemetry_dropped_spans_total",
+                      "span records dropped on per-thread ring-buffer "
+                      "overflow");
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, e] : entries_) {

@@ -151,6 +151,18 @@ class MetricsRegistry {
   Entry* Find(const std::string& name);
 };
 
+/// Registers the build_info gauge family in the global registry
+/// (idempotent; re-registration just re-sets the values):
+///   cgra_build_info                      always 1 — presence marker
+///   cgra_build_api_schema_version        api::kSchemaVersion
+///   cgra_build_search_log_schema_version SearchLog::kSchemaVersion
+///   cgra_build_telemetry_compiled       1 here; the whole dump is
+///                                        empty when compiled out
+/// Plain gauges rather than labels because the registry is label-free;
+/// tools call this once at startup so every /metrics or
+/// aggregate.metrics snapshot states which schemas produced it.
+void RegisterBuildInfo(int api_schema_version, int search_schema_version);
+
 }  // namespace cgra::telemetry
 
 #else  // CGRA_TELEMETRY == 0
@@ -206,6 +218,8 @@ class MetricsRegistry {
   std::string ToJson() const { return "{}"; }
   void Reset() {}
 };
+
+inline void RegisterBuildInfo(int, int) {}
 
 }  // namespace cgra::telemetry
 

@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #if CGRA_TELEMETRY
 
 #include <chrono>
@@ -132,6 +134,14 @@ void Push(const SpanRecord& rec) {
   const std::uint64_t tail = ring.tail.load(std::memory_order_acquire);
   if (head - tail >= TraceSink::ThreadRing::kCapacity) {
     ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    // Also a first-class metric: the per-ring counters are only
+    // visible in the Chrome-trace export's otherData, but a truncated
+    // trace should be detectable from /metrics and aggregate.metrics
+    // too. Drops are rare, so the registry lookup cost is irrelevant.
+    static Counter& dropped_total = MetricsRegistry::Global().GetCounter(
+        "telemetry_dropped_spans_total",
+        "span records dropped on per-thread ring-buffer overflow");
+    dropped_total.Add();
     return;
   }
   SpanRecord& slot = ring.ring[head % TraceSink::ThreadRing::kCapacity];

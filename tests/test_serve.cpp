@@ -149,6 +149,80 @@ TEST(Serve, MetricsIsPrometheusText) {
 #endif
 }
 
+TEST(Serve, StatsWindowEndpoint) {
+  TestDaemon d;
+  ASSERT_TRUE(d.start_status.ok());
+  // Route one mapping request so the 60s window has traffic in it.
+  ASSERT_TRUE(d.Fetch("POST", "/v1/map", MapBody()).ok());
+
+  const Result<HttpResponse> r = d.Fetch("GET", "/v1/stats");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  const Result<Json> doc = Json::Parse(r->body);
+  ASSERT_TRUE(doc.ok()) << r->body;
+  EXPECT_EQ(doc->Find("schema_version")->AsInt(), 1);
+  ASSERT_NE(doc->Find("inflight"), nullptr);
+  const Json* windows = doc->Find("windows");
+  ASSERT_NE(windows, nullptr);
+  for (const char* key : {"1s", "10s", "60s"}) {
+    const Json* w = windows->Find(key);
+    ASSERT_NE(w, nullptr) << key;
+    ASSERT_NE(w->Find("requests"), nullptr) << key;
+    ASSERT_NE(w->Find("rate_qps"), nullptr) << key;
+    ASSERT_NE(w->Find("p50_ms"), nullptr) << key;
+    ASSERT_NE(w->Find("p99_ms"), nullptr) << key;
+    ASSERT_NE(w->Find("cache_hit_rate"), nullptr) << key;
+  }
+  const Json* w60 = windows->Find("60s");
+  EXPECT_GE(w60->Find("requests")->AsInt(), 1);
+  EXPECT_GE(w60->Find("ok")->AsInt(), 1);
+  EXPECT_GE(w60->Find("p99_ms")->AsDouble(), 0.0);
+  const Json* quarantine = doc->Find("quarantine");
+  ASSERT_NE(quarantine, nullptr);
+  EXPECT_TRUE(quarantine->is_array());
+  // Wrong method is the canonical 405.
+  const Result<HttpResponse> post = d.Fetch("POST", "/v1/stats", "{}");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 405);
+}
+
+TEST(Serve, StatsOptInEchoesSearchSummary) {
+  TestDaemon d;
+  ASSERT_TRUE(d.start_status.ok());
+  api::MapRequest req;
+  req.name = "t";
+  req.fabric = "adres4x4";
+  req.kernel = "dot_product";
+  req.mappers = {"ims"};
+  req.stats = true;
+  const Result<HttpResponse> r =
+      d.Fetch("POST", "/v1/map", api::ToJson(req));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  const Result<api::MapResponse> body = api::ParseMapResponseText(r->body);
+  ASSERT_TRUE(body.ok()) << r->body;
+  EXPECT_TRUE(body->ok);
+#if CGRA_TELEMETRY
+  EXPECT_TRUE(body->search.present) << r->body;
+  EXPECT_GE(body->search.attempts, 1);
+  EXPECT_GT(body->search.place_accepts, 0u);
+  EXPECT_GT(body->search.route_attempts, 0u);
+  EXPECT_GE(body->search.hot_cell, 0);
+#else
+  EXPECT_FALSE(body->search.present);
+#endif
+
+  // Without the opt-in the response carries no "search" key.
+  req.stats = false;
+  const Result<HttpResponse> plain =
+      d.Fetch("POST", "/v1/map", api::ToJson(req));
+  ASSERT_TRUE(plain.ok());
+  const Result<api::MapResponse> plain_body =
+      api::ParseMapResponseText(plain->body);
+  ASSERT_TRUE(plain_body.ok());
+  EXPECT_FALSE(plain_body->search.present);
+}
+
 TEST(Serve, UnknownEndpointIs404) {
   TestDaemon d;
   ASSERT_TRUE(d.start_status.ok());

@@ -55,6 +55,7 @@
 #include "support/timer.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/search_log.hpp"
 #include "telemetry/telemetry.hpp"
 
 using namespace cgra;
@@ -168,6 +169,16 @@ int main(int argc, char** argv) {
       traces_dir = v;
     } else if (const char* v = arg_value("--trace")) {
       trace_path = v;
+    } else if (const char* v = arg_value("--search-detail")) {
+      telemetry::SearchDetail detail;
+      if (!telemetry::ParseSearchDetail(v, &detail)) {
+        std::fprintf(stderr,
+                     "cgra_batch: --search-detail must be off, counters or "
+                     "full (got \"%s\")\n",
+                     v);
+        return 2;
+      }
+      telemetry::SetSearchDetail(detail);
     } else if (const char* v = arg_value("--cache-capacity")) {
       cache_capacity = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = arg_value("--threads")) {
@@ -197,7 +208,8 @@ int main(int argc, char** argv) {
                    "          [--isolation none|crashy_only|all]\n"
                    "          [--rlimit-cpu SEC] [--rlimit-mem MB] "
                    "[--rlimit-stack MB]\n"
-                   "          [--traces DIR] [--trace FILE] [--quiet]\n",
+                   "          [--traces DIR] [--trace FILE]\n"
+                   "          [--search-detail off|counters|full] [--quiet]\n",
                    argv[0]);
       return 2;
     }
@@ -207,6 +219,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (!trace_path.empty()) telemetry::SetEnabled(true);
+  // Stamp the build_info gauges so the report's aggregate.metrics (and
+  // any /metrics-style dump of this process) identifies the schemas
+  // this binary speaks and whether telemetry was compiled in.
+  telemetry::RegisterBuildInfo(api::kSchemaVersion,
+                               telemetry::SearchLog::kSchemaVersion);
 
   std::string manifest_text;
   {

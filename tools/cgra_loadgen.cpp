@@ -99,7 +99,7 @@ struct PhaseStats {
   std::size_t retries = 0;  ///< shots retried once after Retry-After
   double wall_seconds = 0.0;
   double achieved_qps = 0.0;
-  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  double mean = 0.0, p50 = 0.0, p90 = 0.0, p99 = 0.0, p999 = 0.0, max = 0.0;
   ChaosStats chaos;
 };
 
@@ -126,13 +126,18 @@ double RetryAfterSeconds(const HttpResponse& resp) {
   return -1.0;
 }
 
+/// Exact nearest-rank percentile: the ceil(p*N)-th smallest sample
+/// (1-based), so the reported value is always a latency that actually
+/// occurred — no interpolation between samples, which at the tail
+/// (p99, p99.9 with few samples) invents values below the real worst
+/// observations. docs/API.md documents the method.
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
-  const double rank = p * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  const std::size_t n = sorted.size();
+  std::size_t rank =
+      static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sorted[rank - 1];
 }
 
 PhaseStats Summarize(const std::string& name,
@@ -188,6 +193,7 @@ PhaseStats Summarize(const std::string& name,
     s.p50 = Percentile(lat, 0.50);
     s.p90 = Percentile(lat, 0.90);
     s.p99 = Percentile(lat, 0.99);
+    s.p999 = Percentile(lat, 0.999);
     s.max = lat.back();
   }
   return s;
@@ -210,6 +216,7 @@ void PhaseJson(JsonWriter& w, const PhaseStats& s, bool chaos_enabled) {
   w.Key("p50").Double(s.p50);
   w.Key("p90").Double(s.p90);
   w.Key("p99").Double(s.p99);
+  w.Key("p999").Double(s.p999);
   w.Key("max").Double(s.max);
   w.EndObject();
   if (chaos_enabled) {
@@ -412,10 +419,10 @@ int main(int argc, char** argv) {
       std::printf(
           "%-5s %4zu sent  %4zu ok  %3zu rejected  %3zu failed  "
           "%3zu dropped  %4zu cached  %3zu retried | qps %.1f | ms "
-          "p50 %.1f p90 %.1f p99 %.1f max %.1f\n",
+          "p50 %.1f p90 %.1f p99 %.1f p99.9 %.1f max %.1f\n",
           s.name.c_str(), s.sent, s.ok, s.rejected, s.failed, s.dropped,
           s.cache_hits, s.retries, s.achieved_qps, s.p50, s.p90, s.p99,
-          s.max);
+          s.p999, s.max);
       if (chaos) {
         std::printf(
             "      chaos %zu sent  %zu ok  %zu rejected  %zu failed  "

@@ -1,19 +1,33 @@
-// cgra_trace: inspect a Chrome trace-event JSON exported by the
-// telemetry subsystem (cgra_batch --trace, perf_suite --trace, or any
-// WriteChromeTrace call) without leaving the terminal.
+// cgra_trace: inspect the JSON artefacts the telemetry subsystem
+// exports, without leaving the terminal. Two input shapes are
+// auto-detected:
 //
-// Default mode prints a per-span-name aggregate table — count, total
-// and self wall time (self = total minus time spent in nested spans),
-// min/mean/max — sorted by self time, which answers "where did the
-// batch actually spend its wall clock" in one glance. --collapse
-// prints collapsed-stack lines ("batch.job;engine.run;mapper;attempt
-// <self_us>") in the format flamegraph.pl and speedscope consume
-// directly. Both modes reconstruct the span stacks from the balanced
-// B/E duration events per thread track; an unbalanced file is a bug
-// (scripts/check_trace_json.py gates that in CI).
+//   * Chrome trace-event files (top-level "traceEvents"; cgra_batch
+//     --trace, perf_suite --trace, any WriteChromeTrace call).
+//     Default mode prints a per-span-name aggregate table — count,
+//     total and self wall time (self = total minus time spent in
+//     nested spans), min/mean/max — sorted by self time, which
+//     answers "where did the batch actually spend its wall clock" in
+//     one glance. --collapse prints collapsed-stack lines
+//     ("batch.job;engine.run;mapper;attempt <self_us>") in the format
+//     flamegraph.pl and speedscope consume directly. Both modes
+//     reconstruct the span stacks from the balanced B/E duration
+//     events per thread track; an unbalanced file is a bug
+//     (scripts/check_trace_json.py gates that in CI).
 //
-// usage: cgra_trace TRACE.json [--collapse] [--tid N]
+//   * MapTrace post-mortems (top-level "attempts"; cgra_batch
+//     --traces DIR writes one per job). The inspector renders each
+//     attempt's "search" introspection log: place accept/reject
+//     counters with the reject-reason breakdown, routing effort, the
+//     per-cell congestion heatmap as an ASCII fabric grid, the
+//     annealer/ILP cost curve as a sparkline, and solver progress
+//     samples. --json emits the same inspection as one machine-
+//     readable document (the heatmap smoke test in CI consumes it).
+//     docs/OBSERVABILITY.md documents the search-log schema.
+//
+// usage: cgra_trace TRACE.json [--collapse] [--tid N] [--json]
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -52,27 +66,260 @@ std::string ReadFile(const char* path, bool& ok) {
   return text;
 }
 
+// ---- MapTrace inspector ---------------------------------------------------
+
+/// '.' for zero, else the value scaled onto '1'..'9' against the grid
+/// maximum (ceil scaling: any nonzero cell is at least '1', only the
+/// hottest reach '9').
+char HeatSymbol(std::uint64_t v, std::uint64_t max) {
+  if (v == 0 || max == 0) return '.';
+  const std::uint64_t level = (v * 9 + max - 1) / max;
+  return static_cast<char>('0' + std::min<std::uint64_t>(level, 9));
+}
+
+/// Reads a search-log fabric array ("routed" / "congested") into a
+/// flat vector; true when present with rows*cols entries.
+bool ReadGrid(const Json& fabric, const char* key, std::size_t cells,
+              std::vector<std::uint64_t>* out) {
+  const Json* arr = fabric.Find(key);
+  if (!arr || !arr->is_array() || arr->items().size() != cells) return false;
+  out->clear();
+  out->reserve(cells);
+  for (const Json& v : arr->items()) {
+    out->push_back(static_cast<std::uint64_t>(v.AsInt()));
+  }
+  return true;
+}
+
+void PrintGrid(const char* label, int rows, int cols,
+               const std::vector<std::uint64_t>& vals) {
+  std::uint64_t max = 0;
+  for (const std::uint64_t v : vals) max = std::max(max, v);
+  std::printf("  %s %dx%d (max %llu; '.'=0, 1-9 scaled):\n", label, rows,
+              cols, static_cast<unsigned long long>(max));
+  for (int r = 0; r < rows; ++r) {
+    std::printf("   ");
+    for (int c = 0; c < cols; ++c) {
+      std::printf(" %c", HeatSymbol(vals[static_cast<std::size_t>(r) * cols + c],
+                                    max));
+    }
+    std::printf("\n");
+  }
+}
+
+/// One-line ASCII sparkline of the curve's cost values (low cost =
+/// low glyph), capped at 64 columns by even subsampling.
+std::string Sparkline(const std::vector<double>& ys) {
+  static const char kLevels[] = " .:-=+*#%@";
+  const int n_levels = static_cast<int>(sizeof(kLevels)) - 2;  // 0..9
+  if (ys.empty()) return "";
+  double lo = ys[0], hi = ys[0];
+  for (const double y : ys) {
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  const std::size_t width = std::min<std::size_t>(ys.size(), 64);
+  std::string out;
+  out.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const double y = ys[i * ys.size() / width];
+    const int level =
+        hi > lo ? static_cast<int>((y - lo) / (hi - lo) * n_levels + 0.5) : 0;
+    out += kLevels[std::clamp(level, 0, n_levels)];
+  }
+  return out;
+}
+
+/// Re-emits a parsed Json value verbatim (the --json mode splices the
+/// original search objects into its own document).
+void EmitJson(JsonWriter& w, const Json& v) {
+  switch (v.kind()) {
+    case Json::Kind::kNull:
+      w.Null();
+      break;
+    case Json::Kind::kBool:
+      w.Bool(v.AsBool());
+      break;
+    case Json::Kind::kNumber:
+      w.Double(v.AsDouble());
+      break;
+    case Json::Kind::kString:
+      w.String(v.AsString());
+      break;
+    case Json::Kind::kArray:
+      w.BeginArray();
+      for (const Json& e : v.items()) EmitJson(w, e);
+      w.EndArray();
+      break;
+    case Json::Kind::kObject:
+      w.BeginObject();
+      for (const auto& [k, m] : v.members()) {
+        w.Key(k);
+        EmitJson(w, m);
+      }
+      w.EndObject();
+      break;
+  }
+}
+
+/// Inspector for MapTrace JSON (top-level "attempts"): renders each
+/// attempt's "search" log. Returns the process exit code.
+int InspectMapTrace(const Json& doc, bool as_json) {
+  const Json* attempts = doc.Find("attempts");
+  if (!attempts || !attempts->is_array()) {
+    std::fprintf(stderr, "cgra_trace: no attempts array\n");
+    return 1;
+  }
+
+  if (as_json) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("attempts").BeginArray();
+    int index = 0;
+    for (const Json& a : attempts->items()) {
+      w.BeginObject();
+      w.Key("index").Int(index++);
+      if (const Json* f = a.Find("mapper")) w.Key("mapper").String(f->AsString());
+      if (const Json* f = a.Find("ii")) w.Key("ii").Int(f->AsInt(-1));
+      if (const Json* f = a.Find("ok")) w.Key("ok").Bool(f->AsBool());
+      if (const Json* s = a.Find("search")) {
+        w.Key("search");
+        EmitJson(w, *s);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+
+  int index = 0;
+  int with_search = 0;
+  for (const Json& a : attempts->items()) {
+    const int i = index++;
+    const std::string mapper =
+        a.Find("mapper") ? a.Find("mapper")->AsString() : std::string("?");
+    const long long ii = a.Find("ii") ? a.Find("ii")->AsInt(-1) : -1;
+    const bool ok = a.Find("ok") && a.Find("ok")->AsBool();
+    const double seconds =
+        a.Find("seconds") ? a.Find("seconds")->AsDouble() : 0.0;
+    std::printf("[%d] %s ii=%lld %s (%.3fs)\n", i, mapper.c_str(), ii,
+                ok ? "ok" : "failed", seconds);
+    const Json* s = a.Find("search");
+    if (!s || !s->is_object()) {
+      std::printf("  (no search log)\n");
+      continue;
+    }
+    ++with_search;
+
+    if (const Json* place = s->Find("place")) {
+      std::printf(
+          "  place: accepts=%lld rejects=%lld evictions=%lld\n",
+          place->Find("accepts") ? place->Find("accepts")->AsInt() : 0,
+          place->Find("rejects") ? place->Find("rejects")->AsInt() : 0,
+          place->Find("evictions") ? place->Find("evictions")->AsInt() : 0);
+      if (const Json* reasons = place->Find("reject_reasons")) {
+        std::printf("    rejected:");
+        for (const auto& [name, count] : reasons->members()) {
+          std::printf(" %s=%lld", name.c_str(),
+                      static_cast<long long>(count.AsInt()));
+        }
+        std::printf("\n");
+      }
+    }
+    if (const Json* route = s->Find("route")) {
+      std::printf(
+          "  route: attempts=%lld failures=%lld steps=%lld shared_steps=%lld\n",
+          route->Find("attempts") ? route->Find("attempts")->AsInt() : 0,
+          route->Find("failures") ? route->Find("failures")->AsInt() : 0,
+          route->Find("steps") ? route->Find("steps")->AsInt() : 0,
+          route->Find("shared_steps") ? route->Find("shared_steps")->AsInt()
+                                      : 0);
+    }
+    if (const Json* fabric = s->Find("fabric")) {
+      const int rows =
+          fabric->Find("rows") ? static_cast<int>(fabric->Find("rows")->AsInt())
+                               : 0;
+      const int cols =
+          fabric->Find("cols") ? static_cast<int>(fabric->Find("cols")->AsInt())
+                               : 0;
+      if (rows > 0 && cols > 0) {
+        const std::size_t cells =
+            static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+        std::vector<std::uint64_t> grid;
+        if (ReadGrid(*fabric, "routed", cells, &grid)) {
+          PrintGrid("routed steps/cell", rows, cols, grid);
+        }
+        if (ReadGrid(*fabric, "congested", cells, &grid)) {
+          bool any = false;
+          for (const std::uint64_t v : grid) any = any || v > 0;
+          if (any) PrintGrid("congested route targets", rows, cols, grid);
+        }
+      }
+    }
+    if (const Json* curve = s->Find("curve");
+        curve && curve->is_array() && !curve->items().empty()) {
+      std::vector<double> ys;
+      ys.reserve(curve->items().size());
+      for (const Json& pt : curve->items()) {
+        if (pt.is_array() && pt.items().size() == 2) {
+          ys.push_back(pt.items()[1].AsDouble());
+        }
+      }
+      if (!ys.empty()) {
+        std::printf("  cost curve: %zu point(s), %.6g -> %.6g\n    [%s]\n",
+                    ys.size(), ys.front(), ys.back(),
+                    Sparkline(ys).c_str());
+      }
+    }
+    if (const Json* solver = s->Find("solver");
+        solver && solver->is_array() && !solver->items().empty()) {
+      const Json& last = solver->items().back();
+      std::printf(
+          "  solver: %zu sample(s), last: decisions=%lld conflicts=%lld "
+          "restarts=%lld\n",
+          solver->items().size(),
+          last.Find("decisions") ? last.Find("decisions")->AsInt() : 0,
+          last.Find("conflicts") ? last.Find("conflicts")->AsInt() : 0,
+          last.Find("restarts") ? last.Find("restarts")->AsInt() : 0);
+    }
+    if (const Json* obj = s->Find("objective")) {
+      std::printf("  objective: %.6g after %lld node(s)\n",
+                  obj->Find("value") ? obj->Find("value")->AsDouble() : 0.0,
+                  obj->Find("nodes") ? obj->Find("nodes")->AsInt() : 0);
+    }
+  }
+  std::printf("%d attempt(s), %d with search log(s)\n", index, with_search);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
   bool collapse = false;
+  bool as_json = false;
   long only_tid = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--collapse") == 0) {
       collapse = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
     } else if (std::strcmp(argv[i], "--tid") == 0 && i + 1 < argc) {
       only_tid = std::atol(argv[++i]);
     } else if (argv[i][0] != '-' && !path) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s TRACE.json [--collapse] [--tid N]\n",
+      std::fprintf(stderr,
+                   "usage: %s TRACE.json [--collapse] [--tid N] [--json]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!path) {
-    std::fprintf(stderr, "usage: %s TRACE.json [--collapse] [--tid N]\n",
+    std::fprintf(stderr,
+                 "usage: %s TRACE.json [--collapse] [--tid N] [--json]\n",
                  argv[0]);
     return 2;
   }
@@ -89,9 +336,18 @@ int main(int argc, char** argv) {
                  doc.error().message.c_str());
     return 1;
   }
+  // MapTrace post-mortems carry "attempts" instead of "traceEvents";
+  // route them to the search-log inspector.
+  if (const Json* attempts = doc->Find("attempts");
+      attempts && attempts->is_array()) {
+    return InspectMapTrace(*doc, as_json);
+  }
   const Json* events = doc->Find("traceEvents");
   if (!events || !events->is_array()) {
-    std::fprintf(stderr, "cgra_trace: %s has no traceEvents array\n", path);
+    std::fprintf(stderr,
+                 "cgra_trace: %s has neither a traceEvents nor an attempts "
+                 "array\n",
+                 path);
     return 1;
   }
 
